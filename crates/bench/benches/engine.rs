@@ -1,0 +1,76 @@
+//! Criterion microbenchmarks of the simulation engines themselves:
+//! requests per second through each substrate, which bounds how long the
+//! figure regeneration takes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nvsim_dram::{DramConfig, DramModel};
+use nvsim_media::{MediaAddr, MediaConfig, XpointMedia};
+use nvsim_types::{Addr, MemoryBackend, RequestDesc, Time};
+use vans::{MemorySystem, VansConfig};
+
+fn bench_vans_reads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vans");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("dependent_read", |b| {
+        let mut sys = MemorySystem::new(VansConfig::optane_1dimm()).unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            let addr = Addr::new((i * 64 * 7919) % (1 << 30));
+            i += 1;
+            sys.execute(RequestDesc::load(addr))
+        });
+    });
+    g.bench_function("nt_store", |b| {
+        let mut sys = MemorySystem::new(VansConfig::optane_1dimm()).unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            let addr = Addr::new((i * 64) % (1 << 24));
+            i += 1;
+            sys.execute(RequestDesc::nt_store(addr))
+        });
+    });
+    g.finish();
+}
+
+fn bench_dram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("ddr4_access", |b| {
+        let mut cfg = DramConfig::ddr4_2666_4gb();
+        cfg.refresh_enabled = false;
+        let mut m = DramModel::new(cfg).unwrap();
+        let mut now = Time::ZERO;
+        let mut i = 0u64;
+        b.iter(|| {
+            let addr = Addr::new((i * 64 * 131) % (1 << 30));
+            i += 1;
+            now = m.access(addr, i.is_multiple_of(4), now);
+            now
+        });
+    });
+    g.finish();
+}
+
+fn bench_media(c: &mut Criterion) {
+    let mut g = c.benchmark_group("media");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("xpoint_4kb_read", |b| {
+        let mut m = XpointMedia::new(MediaConfig::optane_like()).unwrap();
+        let mut now = Time::ZERO;
+        let mut i = 0u64;
+        b.iter(|| {
+            let addr = MediaAddr::new((i * 4096) % (1 << 30));
+            i += 1;
+            now = m.read(addr, 4096, now);
+            now
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_vans_reads, bench_dram, bench_media
+}
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Criterion wrappers around reduced-size versions of the figure
+//! experiments: one benchmark per table/figure family, so regressions in
+//! experiment runtime are tracked. (`nvsim-bench all` regenerates the
+//! full-size figures.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lens::microbench::{Overwrite, PtrChasing, Stride};
+use nvsim_baselines::{DramBackend, PmepBackend, PmepConfig};
+use nvsim_cpu::{Core, CoreConfig};
+use nvsim_dram::{DramConfig, DramModel, ProtocolChecker};
+use nvsim_types::{Addr, MemOp, Time};
+use nvsim_workloads::{Redis, SpecWorkloadGen, Workload};
+use vans::{MemorySystem, VansConfig};
+
+fn vans() -> MemorySystem {
+    MemorySystem::new(VansConfig::optane_1dimm()).unwrap()
+}
+
+/// Fig 1/5/9 family: a pointer-chasing latency point on each system.
+fn bench_latency_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig_latency");
+    g.sample_size(10);
+    g.bench_function("fig1b_vans_point_64kb", |b| {
+        b.iter(|| {
+            PtrChasing::read(64 << 10)
+                .run(&mut vans())
+                .latency_per_cl_ns()
+        })
+    });
+    g.bench_function("fig1b_pmep_point_64kb", |b| {
+        b.iter(|| {
+            let mut p = PmepBackend::new(PmepConfig::paper()).unwrap();
+            PtrChasing::read(64 << 10).run(&mut p).latency_per_cl_ns()
+        })
+    });
+    g.bench_function("fig3b_pcm_point_64kb", |b| {
+        b.iter(|| {
+            let mut p = DramBackend::new(DramConfig::pcm()).unwrap();
+            PtrChasing::read(64 << 10).run(&mut p).latency_per_cl_ns()
+        })
+    });
+    g.finish();
+}
+
+/// Fig 1a/9e family: a bandwidth stream point.
+fn bench_bandwidth_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig_bandwidth");
+    g.sample_size(10);
+    g.bench_function("fig1a_vans_ntstore_1mb", |b| {
+        b.iter(|| {
+            Stride::sequential(1 << 20, MemOp::NtStore)
+                .run(&mut vans())
+                .bandwidth_gbps()
+        })
+    });
+    g.finish();
+}
+
+/// Fig 7 family: a reduced overwrite run.
+fn bench_policy_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig_policy");
+    g.sample_size(10);
+    g.bench_function("fig7b_overwrite_2k_iters", |b| {
+        b.iter(|| Overwrite::small(2_000).run(&mut vans()).iter_us.len())
+    });
+    g.finish();
+}
+
+/// Fig 11/12 family: a reduced SPEC / cloud run through the CPU model.
+fn bench_fullsystem_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig_fullsystem");
+    g.sample_size(10);
+    g.bench_function("fig11_mcf_50k_on_vans", |b| {
+        b.iter(|| {
+            let mut gentor = SpecWorkloadGen::from_table_iv("mcf", 27.1, 1.0, 42);
+            let mut core = Core::new(CoreConfig::cascade_lake_like());
+            let mut mem = vans();
+            core.run(gentor.generate(50_000).into_iter(), &mut mem)
+                .ipc()
+        })
+    });
+    g.bench_function("fig12a_redis_50k_on_vans", |b| {
+        b.iter(|| {
+            let mut w = Redis::new(42);
+            let mut core = Core::new(CoreConfig::cascade_lake_like());
+            let mut mem = vans();
+            core.run(w.generate(50_000).into_iter(), &mut mem)
+                .read_cpi()
+        })
+    });
+    g.finish();
+}
+
+/// §IV-B: protocol-checking a command trace.
+fn bench_ddr4check(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ddr4check");
+    g.sample_size(10);
+    g.bench_function("check_4k_commands", |b| {
+        let mut cfg = DramConfig::ddr4_2666_4gb();
+        cfg.record_commands = true;
+        let mut model = DramModel::new(cfg.clone()).unwrap();
+        let mut now = Time::ZERO;
+        for i in 0..2_000u64 {
+            now = model.access(Addr::new(i * 64 * 131 % (1 << 30)), i % 3 == 0, now);
+        }
+        let trace: Vec<_> = model.trace().to_vec();
+        let checker = ProtocolChecker::new(cfg);
+        b.iter(|| checker.check(&trace).len())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_latency_figures, bench_bandwidth_figures, bench_policy_figures, bench_fullsystem_figures, bench_ddr4check
+}
+criterion_main!(benches);

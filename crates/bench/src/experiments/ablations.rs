@@ -1,0 +1,83 @@
+//! Ablations: remove each modeled structure and show which measured
+//! behaviour it is responsible for. This is the design-space flexibility
+//! §IV-E advertises, pointed back at the paper's own findings.
+
+use crate::output::{ExpOutput, Series};
+use lens::microbench::{Overwrite, PtrChasing};
+use lens::tail_analysis;
+use vans::{MemorySystem, VansConfig};
+
+fn read_points(cfg: &VansConfig) -> [f64; 3] {
+    let mut out = [0.0; 3];
+    for (i, region) in [8u64 << 10, 1 << 20, 32 << 20].into_iter().enumerate() {
+        let mut sys = MemorySystem::new(cfg.clone()).expect("valid config");
+        out[i] = PtrChasing::read(region).run(&mut sys).latency_per_cl_ns();
+    }
+    out
+}
+
+/// The ablation table: each row is a variant, columns are read latency
+/// at the three plateaus plus the overwrite tail count.
+pub fn ablations() -> ExpOutput {
+    let mut out = ExpOutput::new(
+        "ablations",
+        "structure ablations: which component causes which behaviour",
+        "variant",
+        "ns per CL (8KB / 1MB / 64MB) and tail count",
+    );
+
+    let mut variants: Vec<(&str, VansConfig)> = Vec::new();
+    variants.push(("baseline", VansConfig::optane_1dimm()));
+    let mut v = VansConfig::optane_1dimm();
+    v.rmw.entries = 1;
+    variants.push(("no-RMW-buffer", v));
+    let mut v = VansConfig::optane_1dimm();
+    v.ait.buffer_entries = 16;
+    variants.push(("tiny-AIT-buffer", v));
+    let mut v = VansConfig::optane_1dimm();
+    v.lsq.entries = 1;
+    variants.push(("no-LSQ", v));
+    let mut v = VansConfig::optane_1dimm();
+    v.wear.enabled = false;
+    variants.push(("no-wear-leveling", v));
+    let mut v = VansConfig::optane_1dimm();
+    v.media.dies = 1;
+    variants.push(("single-die-media", v));
+
+    let mut col_8k = Vec::new();
+    let mut col_1m = Vec::new();
+    let mut col_64m = Vec::new();
+    let mut col_tails = Vec::new();
+    for (name, cfg) in &variants {
+        let [a, b, c] = read_points(cfg);
+        col_8k.push((name.to_string(), a));
+        col_1m.push((name.to_string(), b));
+        col_64m.push((name.to_string(), c));
+        let mut sys = MemorySystem::new(cfg.clone()).expect("valid config");
+        // Enough iterations to cross the 14,000-write wear threshold
+        // at least twice.
+        let r = Overwrite::small(30_000).run(&mut sys);
+        let t = tail_analysis(&r.iter_us);
+        col_tails.push((name.to_string(), t.tail_count as f64));
+    }
+    // Baseline values for the notes.
+    let base_8k = col_8k[0].1;
+    let norm_8k = col_8k[1].1;
+    let base_64m = col_64m[0].1;
+    let die_64m = col_64m[5].1;
+    out.push_series(Series::categorical("read@8KB", col_8k));
+    out.push_series(Series::categorical("read@1MB", col_1m));
+    out.push_series(Series::categorical("read@32MB", col_64m));
+    out.push_series(Series::categorical("overwrite tails", col_tails.clone()));
+    out.note(format!(
+        "removing the RMW buffer erases the first plateau: 8KB-region reads go {base_8k:.0} -> {norm_8k:.0} ns"
+    ));
+    out.note(format!(
+        "wear-leveling off: tails {} -> {}",
+        col_tails[0].1, col_tails[4].1
+    ));
+    out.note(format!(
+        "single media die: deep reads {base_64m:.0} -> {die_64m:.0} ns (the 4KB fill loses its die parallelism)"
+    ));
+    out
+}

@@ -1,0 +1,105 @@
+//! Shared helpers for experiment modules.
+
+use lens::microbench::{PtrChaseMode, PtrChasing};
+use nvsim_types::MemoryBackend;
+use vans::{MemorySystem, VansConfig};
+
+/// A fresh single-DIMM VANS system.
+pub fn vans_1dimm() -> MemorySystem {
+    MemorySystem::new(VansConfig::optane_1dimm()).expect("valid preset")
+}
+
+/// A fresh six-DIMM interleaved VANS system.
+pub fn vans_6dimm() -> MemorySystem {
+    MemorySystem::new(VansConfig::optane_6dimm()).expect("valid preset")
+}
+
+/// The standard region sweep used by the latency figures: powers of two
+/// from 128 B to 256 MB (Fig 1b / 5a's x axis).
+pub fn region_sweep() -> Vec<u64> {
+    (7..=28).map(|p| 1u64 << p).collect()
+}
+
+/// A coarser sweep (powers of four) for expensive multi-system figures.
+pub fn region_sweep_coarse() -> Vec<u64> {
+    (4..=14).map(|p| 1u64 << (2 * p)).collect()
+}
+
+/// Measures a pointer-chasing latency curve on fresh backends produced
+/// by `fresh`. Uses two passes (warm) up to 16 MB and a single pass
+/// beyond, where the steady state is cold anyway.
+pub fn chase_curve<B, F>(
+    regions: &[u64],
+    block: u64,
+    mode: PtrChaseMode,
+    mut fresh: F,
+) -> Vec<(u64, f64)>
+where
+    B: MemoryBackend,
+    F: FnMut() -> B,
+{
+    regions
+        .iter()
+        .map(|&r| {
+            let passes = if r <= 16 << 20 { 2 } else { 1 };
+            let mut cfg = match mode {
+                PtrChaseMode::Read => PtrChasing::read(r),
+                PtrChaseMode::Write => PtrChasing::write(r),
+                PtrChaseMode::ReadAfterWrite => PtrChasing::read_after_write(r),
+            };
+            cfg = cfg.with_block(block.max(64)).with_passes(passes);
+            let lat = cfg.run(&mut fresh()).latency_per_cl_ns();
+            (r, lat)
+        })
+        .collect()
+}
+
+/// `1 - |sim - ref|/ref` averaged over paired curves, in percent.
+pub fn curve_accuracy_pct(sim: &[(u64, f64)], reference: &[(u64, f64)]) -> f64 {
+    let sim_y: Vec<f64> = sim.iter().map(|&(_, y)| y).collect();
+    let ref_y: Vec<f64> = reference.iter().map(|&(_, y)| y).collect();
+    nvsim_types::stats::mean_accuracy(&sim_y, &ref_y) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvsim_types::backend::FixedLatencyBackend;
+    use nvsim_types::Time;
+
+    #[test]
+    fn region_sweeps_are_powers_of_two() {
+        let s = region_sweep();
+        assert_eq!(*s.first().unwrap(), 128);
+        assert_eq!(*s.last().unwrap(), 256 << 20);
+        assert!(s.windows(2).all(|w| w[1] == w[0] * 2));
+        let c = region_sweep_coarse();
+        assert!(c.windows(2).all(|w| w[1] == w[0] * 4));
+    }
+
+    #[test]
+    fn chase_curve_has_one_point_per_region() {
+        let fresh =
+            || FixedLatencyBackend::new(Time::from_ns(100), Time::from_ns(50));
+        let regions = [1024u64, 4096];
+        let curve = chase_curve(&regions, 64, PtrChaseMode::Read, fresh);
+        assert_eq!(curve.len(), 2);
+        assert_eq!(curve[0].0, 1024);
+        // Fixed-latency backend: flat at 100ns.
+        assert!((curve[0].1 - 100.0).abs() < 1.0);
+        assert!((curve[1].1 - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn accuracy_is_100_for_identical_curves() {
+        let c = vec![(64u64, 10.0), (128, 20.0)];
+        assert!((curve_accuracy_pct(&c, &c) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accuracy_penalizes_divergence() {
+        let sim = vec![(64u64, 20.0)];
+        let reference = vec![(64u64, 10.0)];
+        assert!(curve_accuracy_pct(&sim, &reference) < 1.0);
+    }
+}

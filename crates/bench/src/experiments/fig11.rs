@@ -1,0 +1,171 @@
+//! Fig 11: full-system SPEC CPU validation.
+//!
+//! The paper runs SPEC CPU 2006/2017 on gem5+VANS and compares against
+//! the Optane server. Here the CPU model runs the Table-IV-calibrated
+//! synthetic traces against (1) the DDR4 DRAM model, (2) VANS, and
+//! (3) the Ramulator-PCM baseline; the "server" is the analytical
+//! reference (first-order IPC model with the measured latencies).
+//!
+//! (a) DRAM-system IPC vs the reference; (b) LLC miss rate; (c) speedup
+//! `ExecTime_DRAM / ExecTime_NVRAM` per workload for VANS and
+//! Ramulator-PCM vs the reference; (d) geometric-mean accuracy.
+
+use crate::output::{ExpOutput, Series};
+use nvsim_baselines::DramBackend;
+use nvsim_cpu::{Core, CoreConfig, RunReport};
+use nvsim_dram::DramConfig;
+use nvsim_types::stats::{accuracy, geometric_mean};
+use nvsim_types::MemoryBackend;
+use nvsim_workloads::{SpecWorkloadGen, Workload};
+use optane_model::{SpecRef, SPEC_REFERENCE};
+use vans::{MemorySystem, VansConfig};
+
+const WARMUP: u64 = 150_000;
+const MEASURE: u64 = 600_000;
+
+fn run_on<B: MemoryBackend>(w: &SpecRef, mem: &mut B) -> RunReport {
+    let mut g = SpecWorkloadGen::from_table_iv(w.name, w.llc_mpki, w.footprint_gib, 42);
+    let mut core = Core::new(CoreConfig::cascade_lake_like());
+    core.run(g.generate(WARMUP).into_iter(), mem);
+    core.caches.reset_stats();
+    core.tlb.reset_stats();
+    core.run(g.generate(MEASURE).into_iter(), mem)
+}
+
+fn dram() -> DramBackend {
+    DramBackend::new(DramConfig::ddr4_2666_4gb()).expect("valid preset")
+}
+
+fn pcm() -> DramBackend {
+    DramBackend::new(DramConfig::pcm()).expect("valid preset")
+}
+
+fn vans_mem() -> MemorySystem {
+    MemorySystem::new(VansConfig::optane_6dimm()).expect("valid preset")
+}
+
+/// Fig 11a: DRAM-backed IPC, simulation vs reference server.
+pub fn fig11a() -> ExpOutput {
+    let mut out = ExpOutput::new(
+        "fig11a",
+        "IPC: DRAM simulation vs reference server",
+        "workload",
+        "IPC",
+    );
+    let mut sim_pts = Vec::new();
+    let mut ref_pts = Vec::new();
+    let mut accs = Vec::new();
+    for w in SPEC_REFERENCE {
+        let report = run_on(w, &mut dram());
+        sim_pts.push((w.name.to_owned(), report.ipc()));
+        ref_pts.push((w.name.to_owned(), w.dram_ipc()));
+        accs.push(accuracy(report.ipc(), w.dram_ipc()).max(0.01));
+    }
+    let gm = geometric_mean(&accs) * 100.0;
+    out.push_series(Series::categorical("server DRAM (ref)", ref_pts));
+    out.push_series(Series::categorical("gem5-substitute+DDR4", sim_pts));
+    out.note(format!(
+        "IPC accuracy geometric mean {gm:.1}% (paper: 61.2% — their gap comes from unmodeled Cascade Lake details, ours from the first-order core model)"
+    ));
+    out
+}
+
+/// Fig 11b: LLC miss behaviour, simulation vs the published Table IV
+/// reference. The paper compares its cache model's LLC miss rate against
+/// the machine; our published reference for cache behaviour is Table IV's
+/// MPKI, so the comparison is MPKI measured through the full DRAM-backed
+/// simulation vs that target.
+pub fn fig11b() -> ExpOutput {
+    let mut out = ExpOutput::new(
+        "fig11b",
+        "LLC MPKI: full DRAM-backed simulation vs Table IV reference",
+        "workload",
+        "LLC MPKI",
+    );
+    let mut sim_pts = Vec::new();
+    let mut ref_pts = Vec::new();
+    let mut accs = Vec::new();
+    for w in SPEC_REFERENCE {
+        let report = run_on(w, &mut dram());
+        let mpki = report.llc_mpki();
+        sim_pts.push((w.name.to_owned(), mpki));
+        ref_pts.push((w.name.to_owned(), w.llc_mpki));
+        accs.push(accuracy(mpki, w.llc_mpki).max(0.01));
+    }
+    let gm = geometric_mean(&accs) * 100.0;
+    out.push_series(Series::categorical("Table IV (ref)", ref_pts));
+    out.push_series(Series::categorical("simulation", sim_pts));
+    out.note(format!(
+        "LLC MPKI accuracy geometric mean {gm:.1}% (the paper's LLC-miss validation reports 85.5%)"
+    ));
+    out
+}
+
+/// Fig 11c: speedup (DRAM exec time / NVRAM exec time) per workload.
+pub fn fig11c() -> ExpOutput {
+    let mut out = ExpOutput::new(
+        "fig11c",
+        "speedup ExecTime_DRAM/ExecTime_NVRAM: VANS vs Ramulator-PCM vs reference",
+        "workload",
+        "speedup",
+    );
+    let mut ref_pts = Vec::new();
+    let mut vans_pts = Vec::new();
+    let mut pcm_pts = Vec::new();
+    for w in SPEC_REFERENCE {
+        let dram_time = run_on(w, &mut dram()).exec_time;
+        let vans_time = run_on(w, &mut vans_mem()).exec_time;
+        let pcm_time = run_on(w, &mut pcm()).exec_time;
+        ref_pts.push((w.name.to_owned(), w.speedup()));
+        vans_pts.push((
+            w.name.to_owned(),
+            dram_time.as_ns_f64() / vans_time.as_ns_f64(),
+        ));
+        pcm_pts.push((
+            w.name.to_owned(),
+            dram_time.as_ns_f64() / pcm_time.as_ns_f64(),
+        ));
+    }
+    out.push_series(Series::categorical("Optane (ref)", ref_pts));
+    out.push_series(Series::categorical("VANS", vans_pts));
+    out.push_series(Series::categorical("Ramulator-PCM", pcm_pts));
+    out.note(
+        "memory-intensive pointer chasers (mcf, gcc17, mcf17) lose the most on NVRAM; the PCM model misses the on-DIMM buffering and mispredicts the ordering".to_owned(),
+    );
+    out
+}
+
+/// Fig 11d: speedup-accuracy geometric means.
+pub fn fig11d() -> ExpOutput {
+    let mut out = ExpOutput::new(
+        "fig11d",
+        "speedup accuracy (geometric mean): VANS vs Ramulator-PCM",
+        "simulator",
+        "accuracy (%)",
+    );
+    let mut vans_accs = Vec::new();
+    let mut pcm_accs = Vec::new();
+    for w in SPEC_REFERENCE {
+        let dram_time = run_on(w, &mut dram()).exec_time;
+        let vans_time = run_on(w, &mut vans_mem()).exec_time;
+        let pcm_time = run_on(w, &mut pcm()).exec_time;
+        let vans_speedup = dram_time.as_ns_f64() / vans_time.as_ns_f64();
+        let pcm_speedup = dram_time.as_ns_f64() / pcm_time.as_ns_f64();
+        vans_accs.push(accuracy(vans_speedup, w.speedup()).max(0.01));
+        pcm_accs.push(accuracy(pcm_speedup, w.speedup()).max(0.01));
+    }
+    let vans_gm = geometric_mean(&vans_accs) * 100.0;
+    let pcm_gm = geometric_mean(&pcm_accs) * 100.0;
+    out.push_series(Series::categorical(
+        "accuracy",
+        [
+            ("VANS".to_owned(), vans_gm),
+            ("Ramulator-PCM".to_owned(), pcm_gm),
+        ],
+    ));
+    out.note(format!(
+        "VANS {vans_gm:.1}% vs Ramulator-PCM {pcm_gm:.1}% (paper: 87.1% vs 65.6%) — the shape claim is VANS > PCM: {}",
+        if vans_gm > pcm_gm { "holds" } else { "FAILS" }
+    ));
+    out
+}

@@ -1,0 +1,120 @@
+//! Fig 13: the case-study evaluation — Lazy cache and Pre-translation on
+//! the six workloads (fio, YCSB, TPCC, HashMap, Redis, LinkedList).
+//!
+//! (d) speedup over the unoptimized baseline for LazyCache,
+//! Pre-translation and Both; (e) Pre-translation's TLB MPKI reduction.
+
+use crate::output::{ExpOutput, Series};
+use nvsim_cpu::{Core, CoreConfig};
+use nvsim_types::Time;
+use nvsim_workloads::cloud::fig13_workloads;
+use vans::opt::{LazyCacheConfig, PreTranslationConfig};
+use vans::{MemorySystem, VansConfig};
+
+const INSTRUCTIONS: u64 = 2_000_000;
+
+#[derive(Clone, Copy, PartialEq)]
+enum OptMode {
+    Baseline,
+    Lazy,
+    Pretrans,
+    Both,
+}
+
+fn run(name_seed: u64, workload_idx: usize, mode: OptMode) -> (Time, f64) {
+    let mut sys = MemorySystem::new(VansConfig::optane_1dimm()).expect("valid preset");
+    if matches!(mode, OptMode::Lazy | OptMode::Both) {
+        sys.enable_lazy_cache(LazyCacheConfig::paper());
+    }
+    if matches!(mode, OptMode::Pretrans | OptMode::Both) {
+        sys.enable_pretranslation(PreTranslationConfig::paper());
+    }
+    let mut ws = fig13_workloads(name_seed);
+    let w = &mut ws[workload_idx];
+    w.set_mkpt(matches!(mode, OptMode::Pretrans | OptMode::Both));
+    let mut core = Core::new(CoreConfig::cascade_lake_like());
+    // Warm up (long enough for the first wear-leveling migration to
+    // teach the Lazy cache and for Pre-translation to learn the chains),
+    // then measure.
+    core.run(w.generate(INSTRUCTIONS).into_iter(), &mut sys);
+    core.tlb.reset_stats();
+    let report = core.run(w.generate(INSTRUCTIONS).into_iter(), &mut sys);
+    (report.exec_time, report.tlb_mpki())
+}
+
+fn workload_names() -> Vec<String> {
+    fig13_workloads(1)
+        .iter()
+        .map(|w| w.name().to_owned())
+        .collect()
+}
+
+/// Fig 13d: speedups of the three optimization configurations.
+pub fn fig13d() -> ExpOutput {
+    let mut out = ExpOutput::new(
+        "fig13d",
+        "case-study speedup over baseline: LazyCache / Pre-translation / Both",
+        "workload",
+        "speedup",
+    );
+    let names = workload_names();
+    let mut lazy_pts = Vec::new();
+    let mut pt_pts = Vec::new();
+    let mut both_pts = Vec::new();
+    let mut base_pts = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        let (base, _) = run(42, i, OptMode::Baseline);
+        let (lazy, _) = run(42, i, OptMode::Lazy);
+        let (pt, _) = run(42, i, OptMode::Pretrans);
+        let (both, _) = run(42, i, OptMode::Both);
+        base_pts.push((name.clone(), 1.0));
+        lazy_pts.push((name.clone(), base.as_ns_f64() / lazy.as_ns_f64()));
+        pt_pts.push((name.clone(), base.as_ns_f64() / pt.as_ns_f64()));
+        both_pts.push((name.clone(), base.as_ns_f64() / both.as_ns_f64()));
+    }
+    let avg = |pts: &[(String, f64)]| pts.iter().map(|(_, s)| s).sum::<f64>() / pts.len() as f64;
+    let lazy_avg = avg(&lazy_pts);
+    let pt_avg = avg(&pt_pts);
+    let both_avg = avg(&both_pts);
+    out.push_series(Series::categorical("Baseline", base_pts));
+    out.push_series(Series::categorical("LazyCache", lazy_pts));
+    out.push_series(Series::categorical("Pre-Translation", pt_pts));
+    out.push_series(Series::categorical("Both", both_pts));
+    out.note(format!(
+        "average speedups: LazyCache {lazy_avg:.2}x (paper ~1.10x), Pre-translation {pt_avg:.2}x (paper 1.01–1.48x), Both {both_avg:.2}x (paper 1.08–1.49x)"
+    ));
+    out
+}
+
+/// Fig 13e: Pre-translation's TLB MPKI reduction.
+pub fn fig13e() -> ExpOutput {
+    let mut out = ExpOutput::new(
+        "fig13e",
+        "Pre-translation TLB MPKI, normalized to baseline",
+        "workload",
+        "normalized TLB MPKI",
+    );
+    let names = workload_names();
+    let mut base_pts = Vec::new();
+    let mut pt_pts = Vec::new();
+    let mut reductions = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        let (_, base_mpki) = run(42, i, OptMode::Baseline);
+        let (_, pt_mpki) = run(42, i, OptMode::Pretrans);
+        let norm = if base_mpki > 0.0 {
+            pt_mpki / base_mpki
+        } else {
+            1.0
+        };
+        base_pts.push((name.clone(), 1.0));
+        pt_pts.push((name.clone(), norm));
+        reductions.push(1.0 - norm);
+    }
+    let avg_red = reductions.iter().sum::<f64>() / reductions.len() as f64 * 100.0;
+    out.push_series(Series::categorical("Baseline", base_pts));
+    out.push_series(Series::categorical("Pre-Translation", pt_pts));
+    out.note(format!(
+        "average TLB MPKI reduction {avg_red:.0}% (paper: 17% on average)"
+    ));
+    out
+}

@@ -1,0 +1,61 @@
+//! Fig 4: the LENS prober → parameter map. Running the full
+//! characterization against VANS regenerates the figure's blue numbers:
+//! WPQ 512 B, LSQ 4 KB, RMW 16 KB @ 256 B, AIT 16 MB @ 4 KB, 64 KB wear
+//! blocks, 4 KB interleaving.
+
+use crate::experiments::common::{vans_1dimm, vans_6dimm};
+use crate::output::{ExpOutput, Series};
+use lens::probers::{BufferProber, PerfProber, PolicyProber};
+use lens::CharacterizationReport;
+use vans::MemorySystem;
+
+/// Fig 4: the full LENS characterization summary.
+pub fn fig4() -> ExpOutput {
+    let report = CharacterizationReport::characterize(
+        &BufferProber::default(),
+        &PolicyProber {
+            overwrite_iterations: 45_000,
+            ..PolicyProber::default()
+        },
+        &PerfProber::default(),
+        vans_1dimm,
+        Some(vans_6dimm as fn() -> MemorySystem),
+    );
+    let mut out = ExpOutput::new(
+        "fig4",
+        "LENS-characterized Optane DIMM parameters (from VANS timing alone)",
+        "parameter",
+        "bytes (or as noted)",
+    );
+    let mut pts: Vec<(String, f64)> = Vec::new();
+    for (i, cap) in report.buffer.read_buffer_capacities.iter().enumerate() {
+        pts.push((format!("read buffer L{}", i + 1), *cap as f64));
+    }
+    for (i, cap) in report.buffer.write_buffer_capacities.iter().enumerate() {
+        pts.push((format!("write queue L{}", i + 1), *cap as f64));
+    }
+    if let Some(e) = report.buffer.read_entry_size {
+        pts.push(("read entry size".to_owned(), e as f64));
+    }
+    if let Some(e) = report.buffer.write_entry_size {
+        pts.push(("write-combine granularity".to_owned(), e as f64));
+    }
+    if let Some(b) = report.policy.migration_block {
+        pts.push(("wear block".to_owned(), b as f64));
+    }
+    if let Some(g) = report.policy.interleave_granularity {
+        pts.push(("interleave granularity".to_owned(), g as f64));
+    }
+    if let Some(p) = report.policy.migration_period_iters {
+        pts.push(("migration period (iters)".to_owned(), p));
+    }
+    pts.push((
+        "migration latency (us)".to_owned(),
+        report.policy.migration_latency_us,
+    ));
+    out.push_series(Series::categorical("characterized", pts));
+    out.note(format!("hierarchy: {:?}", report.buffer.hierarchy));
+    out.note("ground truth: WPQ 512, LSQ 4096, RMW 16384 @256, AIT 16777216 @4096, wear 65536, interleave 4096".to_string());
+    out.note(report.to_string());
+    out
+}

@@ -1,0 +1,130 @@
+//! Fig 5: the buffer-prober tests on the Optane (VANS) DIMM.
+//!
+//! (a) load/store latency per CL with 64 B PC-blocks — read knees at
+//! 16 KB and 16 MB, write knees at ~512 B and ~4 KB; (b) the same with
+//! 256 B blocks — amortized fills lower both curves; (c) read-after-write
+//! vs the sum of independent reads and writes — the inclusive-hierarchy
+//! evidence; (d) L2 TLB MPKI stays flat across region sizes, ruling the
+//! TLB out as the cause of the knees.
+
+use crate::experiments::common::{chase_curve, region_sweep, vans_1dimm};
+use crate::output::{ExpOutput, Series};
+use lens::detect_knees;
+use lens::microbench::PtrChaseMode;
+use nvsim_cpu::{Core, CoreConfig, TraceOp};
+use nvsim_types::{DetRng, VirtAddr};
+
+/// Fig 5a: ld/st latency per CL, 64 B PC-blocks.
+pub fn fig5a() -> ExpOutput {
+    let mut out = ExpOutput::new(
+        "fig5a",
+        "ld/st latency per CL (64B PC-block) on VANS",
+        "region (B)",
+        "ns per cache line",
+    );
+    let regions = region_sweep();
+    let ld = chase_curve(&regions, 64, PtrChaseMode::Read, vans_1dimm);
+    let st = chase_curve(&regions, 64, PtrChaseMode::Write, vans_1dimm);
+    let ld_knees: Vec<u64> = detect_knees(&ld, 1.22).iter().map(|k| k.capacity).collect();
+    let st_knees: Vec<u64> = detect_knees(&st, 1.22).iter().map(|k| k.capacity).collect();
+    out.push_series(Series::numeric("ld", ld));
+    out.push_series(Series::numeric("st", st));
+    out.note(format!(
+        "read knees at {ld_knees:?} (paper: 16KB RMW buffer, 16MB AIT buffer)"
+    ));
+    out.note(format!(
+        "write knees at {st_knees:?} (paper: 512B WPQ, 4KB LSQ)"
+    ));
+    out
+}
+
+/// Fig 5b: the same with 256 B PC-blocks.
+pub fn fig5b() -> ExpOutput {
+    let mut out = ExpOutput::new(
+        "fig5b",
+        "ld/st latency per CL (256B PC-block) on VANS",
+        "region (B)",
+        "ns per cache line",
+    );
+    let regions: Vec<u64> = region_sweep().into_iter().filter(|&r| r >= 256).collect();
+    let ld64 = chase_curve(&regions, 64, PtrChaseMode::Read, vans_1dimm);
+    let ld256 = chase_curve(&regions, 256, PtrChaseMode::Read, vans_1dimm);
+    let st256 = chase_curve(&regions, 256, PtrChaseMode::Write, vans_1dimm);
+    let deep = regions.iter().position(|&r| r == 64 << 20).unwrap_or(0);
+    let amortized = ld64[deep].1 / ld256[deep].1;
+    out.push_series(Series::numeric("ld-256", ld256));
+    out.push_series(Series::numeric("st-256", st256));
+    out.note(format!(
+        "at 64MB regions, 256B blocks amortize the fill: {amortized:.2}x lower read latency than 64B blocks"
+    ));
+    out
+}
+
+/// Fig 5c: read-after-write roundtrip vs R+W.
+pub fn fig5c() -> ExpOutput {
+    let mut out = ExpOutput::new(
+        "fig5c",
+        "RaW roundtrip vs R+W on VANS (inclusive hierarchy evidence)",
+        "region (B)",
+        "roundtrip ns per cache line",
+    );
+    let regions = region_sweep();
+    let raw = chase_curve(&regions, 64, PtrChaseMode::ReadAfterWrite, vans_1dimm);
+    let ld = chase_curve(&regions, 64, PtrChaseMode::Read, vans_1dimm);
+    let st = chase_curve(&regions, 64, PtrChaseMode::Write, vans_1dimm);
+    let rpw: Vec<(u64, f64)> = ld
+        .iter()
+        .zip(&st)
+        .map(|(&(r, l), &(_, s))| (r, l + s))
+        .collect();
+    // Small-region RaW >> R+W (fence flush amortized over few accesses);
+    // convergence by the LSQ size; no speedup at 16MB (inclusive).
+    let small_ratio = raw[0].1 / rpw[0].1;
+    let at_16mb = regions.iter().position(|&r| r == 16 << 20).unwrap();
+    let deep_ratio = raw[at_16mb].1 / rpw[at_16mb].1;
+    out.push_series(Series::numeric("RaW", raw));
+    out.push_series(Series::numeric("R+W", rpw));
+    out.note(format!(
+        "RaW/R+W = {small_ratio:.1}x at 128B (mfence flushes the LSQ; small requests under-utilize the queues), {deep_ratio:.2}x at 16MB (no parallel fast-forward: buffers form an inclusive hierarchy)"
+    ));
+    out
+}
+
+/// Fig 5d: L2 TLB MPKI of the load test stays flat across regions.
+pub fn fig5d() -> ExpOutput {
+    let mut out = ExpOutput::new(
+        "fig5d",
+        "L2 TLB MPKI during the pointer-chasing load test",
+        "region (B)",
+        "TLB MPKI",
+    );
+    let regions: Vec<u64> = (12..=26).map(|p| 1u64 << p).collect();
+    let mut pts = Vec::new();
+    for &region in &regions {
+        let mut core = Core::new(CoreConfig::cascade_lake_like());
+        let mut mem = vans_1dimm();
+        // Chase over the region, like the LENS load test, via the CPU
+        // model so the TLB is exercised.
+        let blocks = (region / 64).max(1) as usize;
+        let mut rng = DetRng::seed_from(0xF16D);
+        let succ = rng.cyclic_permutation(blocks);
+        let mut order = Vec::with_capacity(blocks.min(200_000));
+        let mut b = 0usize;
+        for _ in 0..blocks.min(200_000) {
+            order.push(TraceOp::chase(VirtAddr::new(b as u64 * 64)));
+            b = succ[b];
+        }
+        // Two passes: warm then measure.
+        core.run(order.clone().into_iter(), &mut mem);
+        core.tlb.reset_stats();
+        let report = core.run(order.into_iter(), &mut mem);
+        pts.push((region, report.tlb_mpki()));
+    }
+    let max = pts.iter().map(|&(_, y)| y).fold(f64::MIN, f64::max);
+    let at_16k = pts.first().map(|&(_, y)| y).unwrap_or(0.0);
+    out.push_series(Series::numeric("L2 TLB MPKI", pts));
+    out.note(format!(
+        "MPKI changes smoothly with footprint (max {max:.1}) and shows no step at the 16KB/16MB latency knees (at 4KB region: {at_16k:.1}); the knees are not a TLB artifact"
+    ));
+    out
+}

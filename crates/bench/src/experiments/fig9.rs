@@ -1,0 +1,195 @@
+//! Fig 9: VANS validation against the (reference) Optane machine.
+//!
+//! (a) pointer-chasing ld/st latency, 1 DIMM; (b) the same on 6
+//! interleaved DIMMs; (c) RMW-buffer read amplification; (d) the
+//! overwrite tail; (e) overall accuracy across the four metrics.
+
+use crate::experiments::common::{
+    chase_curve, curve_accuracy_pct, region_sweep, vans_1dimm, vans_6dimm,
+};
+use crate::output::{ExpOutput, Series};
+use lens::microbench::{Overwrite, PtrChaseMode, PtrChasing, Stride};
+use lens::tail_analysis;
+use nvsim_types::{MemOp, MemoryBackend};
+use optane_model::OptaneReference;
+
+fn ref_read_curve(regions: &[u64], dimms: u32) -> Vec<(u64, f64)> {
+    let m = OptaneReference::new();
+    regions
+        .iter()
+        .map(|&r| (r, m.read_latency_ns(r, dimms)))
+        .collect()
+}
+
+fn ref_write_curve(regions: &[u64], dimms: u32) -> Vec<(u64, f64)> {
+    let m = OptaneReference::new();
+    regions
+        .iter()
+        .map(|&r| (r, m.write_latency_ns(r, dimms)))
+        .collect()
+}
+
+fn validation_figure(id: &str, dimms: u32) -> ExpOutput {
+    let mut out = ExpOutput::new(
+        id,
+        format!(
+            "VANS vs Optane reference: pointer chasing, {dimms} DIMM{}",
+            if dimms > 1 { "s (4KB interleaved)" } else { "" }
+        ),
+        "region (B)",
+        "ns per cache line",
+    );
+    let regions = region_sweep();
+    let fresh = if dimms > 1 { vans_6dimm } else { vans_1dimm };
+    let vans_ld = chase_curve(&regions, 64, PtrChaseMode::Read, fresh);
+    let vans_st = chase_curve(&regions, 64, PtrChaseMode::Write, fresh);
+    let ref_ld = ref_read_curve(&regions, dimms);
+    let ref_st = ref_write_curve(&regions, dimms);
+    let acc_ld = curve_accuracy_pct(&vans_ld, &ref_ld);
+    let acc_st = curve_accuracy_pct(&vans_st, &ref_st);
+    // The paper notes the small-region store deviation (CPU on-core
+    // effects) — quantify it the same way.
+    let small_st_dev = (vans_st[0].1 - ref_st[0].1).abs() / ref_st[0].1 * 100.0;
+    out.push_series(Series::numeric("Optane-ld(ref)", ref_ld));
+    out.push_series(Series::numeric("VANS-ld", vans_ld));
+    out.push_series(Series::numeric("Optane-st(ref)", ref_st));
+    out.push_series(Series::numeric("VANS-st", vans_st));
+    out.note(format!(
+        "load accuracy {acc_ld:.1}%, store accuracy {acc_st:.1}%"
+    ));
+    out.note(format!(
+        "small-region store deviation {small_st_dev:.0}% — as in the paper, unfenced small stores are dominated by CPU-side costs the DIMM model does not include"
+    ));
+    out
+}
+
+/// Fig 9a: 1-DIMM validation.
+pub fn fig9a() -> ExpOutput {
+    validation_figure("fig9a", 1)
+}
+
+/// Fig 9b: 6-DIMM interleaved validation.
+pub fn fig9b() -> ExpOutput {
+    validation_figure("fig9b", 6)
+}
+
+/// Fig 9c: RMW-buffer read amplification, VANS counters vs reference.
+pub fn fig9c() -> ExpOutput {
+    let mut out = ExpOutput::new(
+        "fig9c",
+        "RMW-buffer read amplification: VANS vs reference model",
+        "region (B)",
+        "read amplification",
+    );
+    let m = OptaneReference::new();
+    let regions: Vec<u64> = (10..=24).map(|p| 1u64 << p).collect();
+    let mut vans_pts = Vec::new();
+    let mut ref_pts = Vec::new();
+    for &r in &regions {
+        let mut sys = vans_1dimm();
+        PtrChasing::read(r).with_passes(1).run(&mut sys);
+        let c = sys.counters();
+        // Amplification at the RMW interface: bytes fetched into the RMW
+        // buffer per bus byte.
+        let fills = (c.rmw_misses * 256) as f64;
+        let amp = (fills / c.bus_bytes_read as f64).max(1.0);
+        vans_pts.push((r, amp));
+        // Reference: 4x once the region overflows the 16KB buffer.
+        let ref_amp = if r > m.rmw_capacity {
+            4.0
+        } else {
+            1.0 + 3.0 * (r as f64 / m.rmw_capacity as f64)
+        };
+        ref_pts.push((r, ref_amp));
+    }
+    let acc = curve_accuracy_pct(&vans_pts, &ref_pts);
+    out.push_series(Series::numeric("Optane(ref)", ref_pts));
+    out.push_series(Series::numeric("VANS", vans_pts));
+    out.note(format!(
+        "amplification settles at ~4x (64B requests fetch 256B blocks); curve agreement {acc:.0}% (paper: within 9%)"
+    ));
+    out
+}
+
+/// Fig 9d: overwrite tail, VANS vs the reference backend.
+pub fn fig9d() -> ExpOutput {
+    let mut out = ExpOutput::new(
+        "fig9d",
+        "overwrite (256B) tail latency: VANS vs reference",
+        "iteration",
+        "iteration time (us)",
+    );
+    let iters = 45_000u32;
+    let vans_r = Overwrite::small(iters).run(&mut vans_1dimm());
+    let vans_t = tail_analysis(&vans_r.iter_us);
+    let mut ref_backend = optane_model::ReferenceBackend::new(OptaneReference::new(), 1);
+    let ref_r = Overwrite::small(iters).run(&mut ref_backend);
+    let ref_t = tail_analysis(&ref_r.iter_us);
+    let sample = |r: &lens::OverwriteResult, thr: f64| {
+        r.iter_us
+            .iter()
+            .enumerate()
+            .filter(|&(i, &v)| i % 500 == 0 || v > thr)
+            .map(|(i, &v)| (i as u64, v))
+            .collect::<Vec<_>>()
+    };
+    out.push_series(Series::numeric(
+        "VANS-overwrite",
+        sample(&vans_r, vans_t.threshold_us),
+    ));
+    out.push_series(Series::numeric(
+        "Optane-overwrite(ref)",
+        sample(&ref_r, ref_t.threshold_us),
+    ));
+    out.note(format!(
+        "tail period: VANS {:.0} vs reference {:.0} iterations; magnitude {:.0} vs {:.0} us",
+        vans_t.period_iters.unwrap_or(f64::NAN),
+        ref_t.period_iters.unwrap_or(f64::NAN),
+        vans_t.tail_magnitude_us,
+        ref_t.tail_magnitude_us
+    ));
+    out
+}
+
+/// Fig 9e: overall accuracy across lat-ld / lat-st / bw-ld / bw-st.
+pub fn fig9e() -> ExpOutput {
+    let mut out = ExpOutput::new(
+        "fig9e",
+        "VANS overall accuracy vs the Optane reference",
+        "metric",
+        "accuracy (%)",
+    );
+    let m = OptaneReference::new();
+    let regions = region_sweep();
+    let acc_lat_ld = curve_accuracy_pct(
+        &chase_curve(&regions, 64, PtrChaseMode::Read, vans_1dimm),
+        &ref_read_curve(&regions, 1),
+    );
+    let acc_lat_st = curve_accuracy_pct(
+        &chase_curve(&regions, 64, PtrChaseMode::Write, vans_1dimm),
+        &ref_write_curve(&regions, 1),
+    );
+    let stream = 16u64 << 20;
+    let bw_ld = Stride::sequential(stream, MemOp::Load)
+        .run(&mut vans_6dimm())
+        .bandwidth_gbps();
+    let bw_st = Stride::sequential(stream, MemOp::NtStore)
+        .run(&mut vans_6dimm())
+        .bandwidth_gbps();
+    let acc_bw_ld = nvsim_types::stats::accuracy(bw_ld, m.bw_load_gbps) * 100.0;
+    let acc_bw_st = nvsim_types::stats::accuracy(bw_st, m.bw_nt_store_gbps) * 100.0;
+    let mean = (acc_lat_ld + acc_lat_st + acc_bw_ld + acc_bw_st) / 4.0;
+    out.push_series(Series::categorical(
+        "VANS",
+        [
+            ("Lat-ld".to_owned(), acc_lat_ld),
+            ("Lat-st".to_owned(), acc_lat_st),
+            ("BW-ld".to_owned(), acc_bw_ld),
+            ("BW-st".to_owned(), acc_bw_st),
+        ],
+    ));
+    out.note(format!(
+        "mean accuracy {mean:.1}% (paper reports 86.5% across the same four metrics)"
+    ));
+    out
+}

@@ -1,0 +1,19 @@
+//! One module per table/figure of the paper's evaluation.
+
+pub mod ablations;
+pub mod common;
+pub mod ddr4check;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig9;
+pub mod scaling;
+pub mod tab1;
+pub mod tab4;

@@ -1,0 +1,62 @@
+//! Tables I and II, regenerated from the `lens::capabilities` data.
+
+use crate::output::{ExpOutput, Series};
+use lens::capabilities::{table_i, table_ii, Capability};
+
+/// Table I: profiling-tool capability comparison.
+pub fn tab1() -> ExpOutput {
+    let mut out = ExpOutput::new(
+        "tab1",
+        "profiling-tool capability comparison",
+        "capability",
+        "1 = provided",
+    );
+    use Capability::*;
+    let caps = [
+        (Latency, "latency"),
+        (Bandwidth, "bandwidth"),
+        (AddrMapping, "addr mapping"),
+        (BufferSize, "buffer size"),
+        (BufferGranularity, "buffer granularity"),
+        (BufferHierarchy, "buffer hierarchy"),
+        (TailFrequency, "tail frequency"),
+        (TailGranularity, "tail granularity"),
+    ];
+    for tool in table_i() {
+        out.push_series(Series::categorical(
+            tool.name,
+            caps.iter().map(|(c, label)| {
+                (
+                    label.to_string(),
+                    if tool.capabilities.contains(c) { 1.0 } else { 0.0 },
+                )
+            }),
+        ));
+    }
+    out.note(
+        "only LENS reaches the on-DIMM structures (sizes, granularities, hierarchy, migration)"
+            .to_owned(),
+    );
+    out
+}
+
+/// Table II: the LENS probe map.
+pub fn tab2() -> ExpOutput {
+    let mut out = ExpOutput::new(
+        "tab2",
+        "LENS probe map: prober -> microbenchmark -> behaviour -> parameter",
+        "row",
+        "(see notes)",
+    );
+    let rows = table_ii();
+    out.push_series(Series::categorical(
+        "entries",
+        rows.iter()
+            .enumerate()
+            .map(|(i, _)| (format!("row {}", i + 1), 1.0)),
+    ));
+    for r in &rows {
+        out.note(r.to_string());
+    }
+    out
+}

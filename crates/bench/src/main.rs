@@ -1,0 +1,56 @@
+//! The `nvsim-bench` CLI: regenerate the paper's tables and figures.
+//!
+//! ```text
+//! nvsim-bench list            # show available experiments
+//! nvsim-bench all             # run everything -> results/
+//! nvsim-bench fig5a fig7b     # run specific experiments
+//! ```
+
+use nvsim_bench::registry;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let reg = registry();
+    if args.is_empty() || args[0] == "list" {
+        println!("available experiments (pass ids, or `all`):");
+        for id in reg.keys() {
+            println!("  {id}");
+        }
+        return;
+    }
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        reg.keys().copied().collect()
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    let results_dir = PathBuf::from("results");
+    let mut summary = String::from("# nvsim-bench results\n\n");
+    for id in ids {
+        let Some(f) = reg.get(id) else {
+            eprintln!("unknown experiment `{id}` (try `list`)");
+            std::process::exit(2);
+        };
+        eprintln!(">> running {id} ...");
+        let start = Instant::now();
+        let out = f();
+        let secs = start.elapsed().as_secs_f64();
+        println!("{out}");
+        eprintln!("<< {id} done in {secs:.1}s");
+        if let Err(e) = out.write_csv(&results_dir) {
+            eprintln!("warning: could not write CSV for {id}: {e}");
+        }
+        summary.push_str(&format!(
+            "## {} — {}\n\n```\n{}\n```\n\n",
+            out.id, out.title, out
+        ));
+    }
+    if let Err(e) = std::fs::create_dir_all(&results_dir)
+        .and_then(|_| std::fs::write(results_dir.join("summary.md"), &summary))
+    {
+        eprintln!("warning: could not write summary: {e}");
+    } else {
+        eprintln!("wrote results/summary.md");
+    }
+}

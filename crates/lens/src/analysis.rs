@@ -1,0 +1,311 @@
+//! Curve analysis: knee detection, amplification scores, tail-latency
+//! statistics, interleaving detection.
+
+use serde::{Deserialize, Serialize};
+
+/// A detected knee (inflection) in a latency-vs-size curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KneeDetection {
+    /// The x (size) at which the curve has finished stepping up — LENS
+    /// interprets the *previous* sample as the overflowing capacity.
+    pub at: u64,
+    /// Estimated capacity: the largest size still on the lower plateau.
+    pub capacity: u64,
+    /// Step ratio across the knee.
+    pub ratio: f64,
+}
+
+/// Detects knees in a monotone-ish latency curve sampled at increasing
+/// sizes. A knee is a sustained step: the latency at `x[i+1]` exceeds the
+/// running plateau level by more than `threshold` (ratio).
+///
+/// Returns knees in ascending size order. Consecutive step samples are
+/// merged into one knee (soft knees span a few samples).
+///
+/// # Example
+///
+/// ```
+/// use lens::detect_knees;
+/// let curve = vec![
+///     (1024, 100.0), (2048, 100.0), (4096, 102.0),
+///     (8192, 150.0), (16384, 180.0), (32768, 182.0),
+/// ];
+/// let knees = detect_knees(&curve, 1.2);
+/// assert_eq!(knees.len(), 1);
+/// assert_eq!(knees[0].capacity, 4096);
+/// ```
+pub fn detect_knees(curve: &[(u64, f64)], threshold: f64) -> Vec<KneeDetection> {
+    assert!(threshold > 1.0, "threshold must exceed 1.0");
+    if curve.len() < 2 {
+        return Vec::new();
+    }
+    // 1. Segment the curve into runs of similar level: a sample joins the
+    //    current segment while it stays within the threshold band of the
+    //    segment's first sample.
+    struct Segment {
+        start: usize,
+        end: usize, // inclusive
+        level: f64,
+    }
+    let mut segments: Vec<Segment> = Vec::new();
+    let mut seg_start = 0usize;
+    let mut base = curve[0].1;
+    for i in 1..=curve.len() {
+        let split = if i == curve.len() {
+            true
+        } else {
+            let y = curve[i].1;
+            y > base * threshold || y < base / threshold
+        };
+        if split {
+            let level =
+                curve[seg_start..i].iter().map(|&(_, y)| y).sum::<f64>() / (i - seg_start) as f64;
+            segments.push(Segment {
+                start: seg_start,
+                end: i - 1,
+                level,
+            });
+            if i < curve.len() {
+                seg_start = i;
+                base = curve[i].1;
+            }
+        }
+    }
+    // 2. Plateaus are segments spanning >= 3 samples; the first and last
+    //    segments count regardless (curves start and end on plateaus, and
+    //    a final short run is the tail of the deepest level). Short
+    //    interior segments are ramp samples between plateaus.
+    let last = segments.len() - 1;
+    let plateaus: Vec<&Segment> = segments
+        .iter()
+        .enumerate()
+        .filter(|(i, s)| *i == 0 || *i == last || s.end - s.start + 1 >= 3)
+        .map(|(_, s)| s)
+        .collect();
+    // 3. Knees are rises between consecutive plateau levels.
+    let mut knees = Vec::new();
+    for pair in plateaus.windows(2) {
+        let (lo, hi) = (pair[0], pair[1]);
+        if hi.level > lo.level * threshold {
+            knees.push(KneeDetection {
+                at: curve[hi.start].0,
+                capacity: curve[lo.end].0,
+                ratio: hi.level / lo.level,
+            });
+        }
+    }
+    knees
+}
+
+/// An amplification score point: latency ratio between an overflowing and
+/// a non-overflowing configuration (the paper's proxy for actual
+/// traffic amplification, §III-A).
+pub fn amplification_score(overflow_latency: f64, fit_latency: f64) -> f64 {
+    if fit_latency <= 0.0 {
+        return 1.0;
+    }
+    (overflow_latency / fit_latency).max(1.0)
+}
+
+/// Tail-latency statistics of an overwrite run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TailAnalysis {
+    /// Median iteration time, µs.
+    pub median_us: f64,
+    /// Tail threshold used (10× median), µs.
+    pub threshold_us: f64,
+    /// Number of tail events.
+    pub tail_count: usize,
+    /// Fraction of iterations that are tails (the ‰ axis of Fig 7c).
+    pub tail_ratio: f64,
+    /// Mean tail magnitude, µs.
+    pub tail_magnitude_us: f64,
+    /// Mean period between consecutive tails, iterations
+    /// (`None` with fewer than two tails).
+    pub period_iters: Option<f64>,
+    /// Mean latency penalty of a tail relative to the median.
+    pub penalty: f64,
+}
+
+/// Analyzes per-iteration times (µs) for long-tail events.
+///
+/// # Panics
+///
+/// Panics if `iter_us` is empty.
+pub fn tail_analysis(iter_us: &[f64]) -> TailAnalysis {
+    assert!(!iter_us.is_empty(), "no iterations to analyze");
+    let mut sorted = iter_us.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let median = sorted[sorted.len() / 2];
+    let threshold = median * 10.0;
+    let tails: Vec<(usize, f64)> = iter_us
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|&(_, t)| t > threshold)
+        .collect();
+    let tail_count = tails.len();
+    let tail_magnitude = if tail_count == 0 {
+        0.0
+    } else {
+        tails.iter().map(|&(_, t)| t).sum::<f64>() / tail_count as f64
+    };
+    let period = if tail_count >= 2 {
+        let diffs: Vec<f64> = tails.windows(2).map(|w| (w[1].0 - w[0].0) as f64).collect();
+        Some(diffs.iter().sum::<f64>() / diffs.len() as f64)
+    } else {
+        None
+    };
+    TailAnalysis {
+        median_us: median,
+        threshold_us: threshold,
+        tail_count,
+        tail_ratio: tail_count as f64 / iter_us.len() as f64,
+        tail_magnitude_us: tail_magnitude,
+        period_iters: period,
+        penalty: if median > 0.0 {
+            tail_magnitude / median
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Detects the multi-DIMM interleave granularity by comparing sequential
+/// write execution-time curves on a single DIMM vs an interleaved system
+/// (Fig 7a): for sizes within one interleave chunk the two track each
+/// other; beyond it the interleaved system pulls ahead.
+///
+/// Returns the detected granularity (largest size where the curves still
+/// match), or `None` if the curves never diverge (no interleaving).
+pub fn detect_interleave_granularity(
+    single: &[(u64, f64)],
+    interleaved: &[(u64, f64)],
+) -> Option<u64> {
+    let mut last_match = None;
+    let mut diverged = false;
+    for (&(xs, ys), &(xi, yi)) in single.iter().zip(interleaved) {
+        assert_eq!(xs, xi, "curves must share x samples");
+        if yi < ys * 0.85 {
+            diverged = true;
+            break;
+        }
+        last_match = Some(xs);
+    }
+    if diverged {
+        last_match
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn staircase() -> Vec<(u64, f64)> {
+        // Plateaus at 100, 180, 330 with knees after 16K and 16M.
+        let mut v = Vec::new();
+        for p in 6..=28u32 {
+            let x = 1u64 << p;
+            let y = if x <= 16 << 10 {
+                100.0
+            } else if x <= 64 << 10 {
+                140.0 // ramp
+            } else if x <= 16 << 20 {
+                180.0
+            } else if x <= 64 << 20 {
+                260.0 // ramp
+            } else {
+                330.0
+            };
+            v.push((x, y));
+        }
+        v
+    }
+
+    #[test]
+    fn detects_two_knees_of_the_read_staircase() {
+        let knees = detect_knees(&staircase(), 1.2);
+        assert_eq!(knees.len(), 2, "{knees:?}");
+        assert_eq!(knees[0].capacity, 16 << 10);
+        assert_eq!(knees[1].capacity, 16 << 20);
+    }
+
+    #[test]
+    fn flat_curve_has_no_knees() {
+        let curve: Vec<(u64, f64)> = (6..=28).map(|p| (1u64 << p, 200.0)).collect();
+        assert!(detect_knees(&curve, 1.2).is_empty());
+    }
+
+    #[test]
+    fn noise_below_threshold_ignored() {
+        let curve: Vec<(u64, f64)> = (6..=20)
+            .map(|p| (1u64 << p, 100.0 + (p % 3) as f64 * 5.0))
+            .collect();
+        assert!(detect_knees(&curve, 1.25).is_empty());
+    }
+
+    #[test]
+    fn gradual_ramp_merges_into_one_knee() {
+        let curve = vec![
+            (1024u64, 100.0),
+            (2048, 100.0),
+            (4096, 130.0),
+            (8192, 170.0),
+            (16384, 200.0),
+            (32768, 205.0),
+        ];
+        let knees = detect_knees(&curve, 1.2);
+        assert_eq!(knees.len(), 1);
+        assert_eq!(knees[0].capacity, 2048);
+    }
+
+    #[test]
+    fn amplification_score_floor_is_one() {
+        assert_eq!(amplification_score(50.0, 100.0), 1.0);
+        assert!((amplification_score(190.0, 100.0) - 1.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_analysis_finds_periodic_tails() {
+        let mut iters = vec![0.5f64; 1000];
+        for i in (99..1000).step_by(100) {
+            iters[i] = 60.0;
+        }
+        let t = tail_analysis(&iters);
+        assert_eq!(t.tail_count, 10);
+        assert!((t.tail_ratio - 0.01).abs() < 1e-9);
+        assert!((t.period_iters.unwrap() - 100.0).abs() < 1e-9);
+        assert!(t.penalty > 100.0);
+        assert!((t.tail_magnitude_us - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tail_analysis_without_tails() {
+        let iters = vec![0.5f64; 100];
+        let t = tail_analysis(&iters);
+        assert_eq!(t.tail_count, 0);
+        assert_eq!(t.tail_ratio, 0.0);
+        assert!(t.period_iters.is_none());
+    }
+
+    #[test]
+    fn interleave_divergence_detected() {
+        // Both curves identical through 4KB; interleaved faster beyond.
+        let sizes = [1024u64, 2048, 4096, 8192, 16384];
+        let single: Vec<(u64, f64)> = sizes.iter().map(|&s| (s, s as f64)).collect();
+        let inter: Vec<(u64, f64)> = sizes
+            .iter()
+            .map(|&s| (s, if s <= 4096 { s as f64 } else { s as f64 / 4.0 }))
+            .collect();
+        assert_eq!(detect_interleave_granularity(&single, &inter), Some(4096));
+    }
+
+    #[test]
+    fn no_interleaving_returns_none() {
+        let sizes = [1024u64, 2048, 4096];
+        let c: Vec<(u64, f64)> = sizes.iter().map(|&s| (s, s as f64)).collect();
+        assert_eq!(detect_interleave_granularity(&c, &c), None);
+    }
+}

@@ -1,0 +1,181 @@
+//! Tables I and II as data: what profiling tools can measure (Table I)
+//! and how each LENS prober maps microbenchmarks to hardware behaviours
+//! and recovered parameters (Table II).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A profiling capability (the columns of Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Capability {
+    /// Basic latency measurement.
+    Latency,
+    /// Basic bandwidth measurement.
+    Bandwidth,
+    /// Address-mapping analysis.
+    AddrMapping,
+    /// On-DIMM buffer size recovery.
+    BufferSize,
+    /// On-DIMM buffer access granularity recovery.
+    BufferGranularity,
+    /// Buffer hierarchy organization recovery.
+    BufferHierarchy,
+    /// Long-tail (wear-leveling) frequency analysis.
+    TailFrequency,
+    /// Wear-leveling granularity recovery.
+    TailGranularity,
+}
+
+/// A profiling tool's capability profile (a row of Table I).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ToolProfile {
+    /// Tool name.
+    pub name: &'static str,
+    /// Capabilities the tool provides.
+    pub capabilities: Vec<Capability>,
+}
+
+/// Table I: the comparison of profiling tools. Pre-LENS tools cover only
+/// the basic metrics (plus DRAMA's address mapping); only LENS reaches
+/// the on-DIMM structures.
+pub fn table_i() -> Vec<ToolProfile> {
+    use Capability::*;
+    vec![
+        ToolProfile {
+            name: "MLC",
+            capabilities: vec![Latency, Bandwidth],
+        },
+        ToolProfile {
+            name: "perf",
+            capabilities: vec![Latency, Bandwidth],
+        },
+        ToolProfile {
+            name: "DRAMA",
+            capabilities: vec![Latency, AddrMapping],
+        },
+        ToolProfile {
+            name: "LENS",
+            capabilities: vec![
+                Latency,
+                Bandwidth,
+                AddrMapping,
+                BufferSize,
+                BufferGranularity,
+                BufferHierarchy,
+                TailFrequency,
+                TailGranularity,
+            ],
+        },
+    ]
+}
+
+/// One row of Table II: prober → microbenchmark → behaviour → parameter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProbeMapping {
+    /// Which prober uses this probe.
+    pub prober: &'static str,
+    /// The microbenchmark variant.
+    pub microbenchmark: &'static str,
+    /// The hardware behaviour it triggers.
+    pub behaviour: &'static str,
+    /// The microarchitecture parameter recovered.
+    pub parameter: &'static str,
+}
+
+/// Table II: the LENS probe map, mirrored 1:1 by the implementation in
+/// [`crate::probers`].
+pub fn table_ii() -> Vec<ProbeMapping> {
+    vec![
+        ProbeMapping {
+            prober: "Buffer",
+            microbenchmark: "PtrChasing (64B block)",
+            behaviour: "buffer overflow",
+            parameter: "buffer size",
+        },
+        ProbeMapping {
+            prober: "Buffer",
+            microbenchmark: "PtrChasing (various block)",
+            behaviour: "R/W amplification",
+            parameter: "buffer entry size",
+        },
+        ProbeMapping {
+            prober: "Buffer",
+            microbenchmark: "read-after-write",
+            behaviour: "data fast-forwarding",
+            parameter: "buffer hierarchy",
+        },
+        ProbeMapping {
+            prober: "Policy",
+            microbenchmark: "sequential/strided write",
+            behaviour: "interleaving speedup",
+            parameter: "interleaving scheme",
+        },
+        ProbeMapping {
+            prober: "Policy",
+            microbenchmark: "overwrite (256B region)",
+            behaviour: "data migration",
+            parameter: "migration latency & frequency",
+        },
+        ProbeMapping {
+            prober: "Policy",
+            microbenchmark: "overwrite (various region)",
+            behaviour: "data migration",
+            parameter: "migration block size",
+        },
+        ProbeMapping {
+            prober: "Perf",
+            microbenchmark: "strided read/write",
+            behaviour: "stable amplification",
+            parameter: "internal bandwidth",
+        },
+        ProbeMapping {
+            prober: "Perf",
+            microbenchmark: "(derived from buffer probe)",
+            behaviour: "plateau latencies",
+            parameter: "internal latency",
+        },
+    ]
+}
+
+impl fmt::Display for ProbeMapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<7} | {:<28} | {:<22} | {}",
+            self.prober, self.microbenchmark, self.behaviour, self.parameter
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_lens_reaches_the_dimm_internals() {
+        let t = table_i();
+        for tool in &t {
+            let deep = tool
+                .capabilities
+                .iter()
+                .any(|c| matches!(c, Capability::BufferSize | Capability::TailFrequency));
+            assert_eq!(deep, tool.name == "LENS", "{}", tool.name);
+        }
+    }
+
+    #[test]
+    fn table_ii_covers_all_three_probers() {
+        let rows = table_ii();
+        for p in ["Buffer", "Policy", "Perf"] {
+            assert!(rows.iter().any(|r| r.prober == p), "missing {p}");
+        }
+        assert_eq!(rows.len(), 8);
+    }
+
+    #[test]
+    fn rows_render() {
+        let s = table_ii()[0].to_string();
+        assert!(s.contains("Buffer"));
+        assert!(s.contains("buffer size"));
+    }
+}

@@ -1,0 +1,446 @@
+//! The three LENS probers.
+
+use crate::analysis::{
+    amplification_score, detect_interleave_granularity, detect_knees, tail_analysis, KneeDetection,
+    TailAnalysis,
+};
+use crate::microbench::{Overwrite, PtrChasing, Stride};
+use nvsim_types::{MemOp, MemoryBackend};
+use serde::{Deserialize, Serialize};
+
+/// Generates the power-of-two sweep `[lo, hi]`.
+fn sweep(lo: u64, hi: u64) -> Vec<u64> {
+    let mut v = Vec::new();
+    let mut x = lo.next_power_of_two();
+    while x <= hi {
+        v.push(x);
+        x *= 2;
+    }
+    v
+}
+
+/// How the two levels of a buffer hierarchy are organized (§III-A's
+/// question (ii)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HierarchyOrganization {
+    /// Multi-level inclusive hierarchy: no parallel fast-forward speedup.
+    Inclusive,
+    /// Independent buffers: read-after-write shows a parallel
+    /// fast-forward speedup.
+    Independent,
+    /// Could not be determined (e.g. fewer than two buffers).
+    Unknown,
+}
+
+/// The buffer prober's findings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BufferReport {
+    /// Latency-vs-region read curve, (region, ns/CL).
+    pub read_curve: Vec<(u64, f64)>,
+    /// Latency-vs-region write curve.
+    pub write_curve: Vec<(u64, f64)>,
+    /// Detected read-buffer capacities (e.g. 16 KB RMW, 16 MB AIT).
+    pub read_buffer_capacities: Vec<u64>,
+    /// Detected write-buffer capacities (e.g. 512 B WPQ, 4 KB LSQ).
+    pub write_buffer_capacities: Vec<u64>,
+    /// Read knees (full detection data).
+    pub read_knees: Vec<KneeDetection>,
+    /// Write knees.
+    pub write_knees: Vec<KneeDetection>,
+    /// Read amplification score per block size for the first read buffer.
+    pub read_amp_scores: Vec<(u64, f64)>,
+    /// Detected entry size of the first read buffer (score reaches ~1).
+    pub read_entry_size: Option<u64>,
+    /// Write amplification score per block size.
+    pub write_amp_scores: Vec<(u64, f64)>,
+    /// Detected write-combining granularity.
+    pub write_entry_size: Option<u64>,
+    /// Hierarchy organization from the read-after-write test.
+    pub hierarchy: HierarchyOrganization,
+    /// RaW roundtrip latency curve.
+    pub raw_curve: Vec<(u64, f64)>,
+    /// R+W (sum of independent read and write latency) curve.
+    pub r_plus_w_curve: Vec<(u64, f64)>,
+}
+
+/// The buffer prober: capacities, entry sizes, hierarchy (§III-A).
+#[derive(Debug, Clone)]
+pub struct BufferProber {
+    /// Smallest probed region.
+    pub min_region: u64,
+    /// Largest probed region.
+    pub max_region: u64,
+    /// Knee-detection threshold (step ratio).
+    pub knee_threshold: f64,
+}
+
+impl Default for BufferProber {
+    fn default() -> Self {
+        BufferProber {
+            min_region: 128,
+            max_region: 256 << 20,
+            knee_threshold: 1.22,
+        }
+    }
+}
+
+impl BufferProber {
+    /// A scaled-down prober for small test configurations.
+    pub fn scaled(max_region: u64) -> Self {
+        BufferProber {
+            min_region: 128,
+            max_region,
+            knee_threshold: 1.22,
+        }
+    }
+
+    /// Runs the full buffer characterization. `fresh` must create an
+    /// identical cold backend for each experiment (the kernel module
+    /// equivalent is rebooting between runs to reset device state).
+    pub fn probe_with<B, F>(&self, mut fresh: F) -> BufferReport
+    where
+        B: MemoryBackend,
+        F: FnMut() -> B,
+    {
+        let regions = sweep(self.min_region, self.max_region);
+        let mut read_curve = Vec::new();
+        let mut write_curve = Vec::new();
+        let mut raw_curve = Vec::new();
+        let mut r_plus_w_curve = Vec::new();
+        for &r in &regions {
+            let read = PtrChasing::read(r).run(&mut fresh()).latency_per_cl_ns();
+            let write = PtrChasing::write(r).run(&mut fresh()).latency_per_cl_ns();
+            let raw = PtrChasing::read_after_write(r)
+                .run(&mut fresh())
+                .latency_per_cl_ns();
+            read_curve.push((r, read));
+            write_curve.push((r, write));
+            raw_curve.push((r, raw));
+            r_plus_w_curve.push((r, read + write));
+        }
+        let read_knees = detect_knees(&read_curve, self.knee_threshold);
+        let write_knees = detect_knees(&write_curve, self.knee_threshold);
+
+        // Entry sizes: amplification scores with a region that overflows
+        // the first buffer (between the knees) against one that fits.
+        let first_read_cap = read_knees.first().map(|k| k.capacity);
+        let (read_amp_scores, read_entry_size) = if let Some(cap) = first_read_cap {
+            self.amp_scores(cap, false, &mut fresh)
+        } else {
+            (Vec::new(), None)
+        };
+        let first_write_cap = write_knees.first().map(|k| k.capacity);
+        let (write_amp_scores, write_entry_size) = if let Some(cap) = first_write_cap {
+            self.amp_scores(cap, true, &mut fresh)
+        } else {
+            (Vec::new(), None)
+        };
+
+        // Hierarchy: if the buffers were independent, RaW at regions
+        // beyond the second knee would beat R+W by fast-forwarding from
+        // both levels in parallel (§III-C / Fig 5c).
+        let hierarchy = if read_knees.len() >= 2 {
+            let deep = read_knees[1].at;
+            let raw_at = raw_curve.iter().find(|&&(x, _)| x >= deep).map(|&(_, y)| y);
+            let rw_at = r_plus_w_curve
+                .iter()
+                .find(|&&(x, _)| x >= deep)
+                .map(|&(_, y)| y);
+            match (raw_at, rw_at) {
+                (Some(raw), Some(rw)) if raw < rw * 0.8 => HierarchyOrganization::Independent,
+                (Some(_), Some(_)) => HierarchyOrganization::Inclusive,
+                _ => HierarchyOrganization::Unknown,
+            }
+        } else {
+            HierarchyOrganization::Unknown
+        };
+
+        BufferReport {
+            read_curve,
+            write_curve,
+            read_buffer_capacities: read_knees.iter().map(|k| k.capacity).collect(),
+            write_buffer_capacities: write_knees.iter().map(|k| k.capacity).collect(),
+            read_knees,
+            write_knees,
+            read_amp_scores,
+            read_entry_size,
+            write_amp_scores,
+            write_entry_size,
+            hierarchy,
+            raw_curve,
+            r_plus_w_curve,
+        }
+    }
+
+    /// Amplification scores across block sizes for the buffer whose
+    /// capacity is `cap`; the entry size is where the score settles to 1.
+    fn amp_scores<B, F>(
+        &self,
+        cap: u64,
+        write: bool,
+        fresh: &mut F,
+    ) -> (Vec<(u64, f64)>, Option<u64>)
+    where
+        B: MemoryBackend,
+        F: FnMut() -> B,
+    {
+        let overflow_region = (cap * 8).min(self.max_region);
+        let fit_region = (cap / 2).max(512);
+        let blocks = sweep(64, 4096.min(fit_region));
+        let mut scores = Vec::new();
+        for &b in &blocks {
+            let mk = |region: u64| {
+                if write {
+                    PtrChasing::write(region).with_block(b)
+                } else {
+                    PtrChasing::read(region).with_block(b)
+                }
+            };
+            let over = mk(overflow_region).run(&mut fresh()).latency_per_cl_ns();
+            let fit = mk(fit_region).run(&mut fresh()).latency_per_cl_ns();
+            scores.push((b, amplification_score(over, fit)));
+        }
+        // Entry size: first block size where the score is within 15% of 1.
+        let entry = scores.iter().find(|&&(_, s)| s < 1.15).map(|&(b, _)| b);
+        (scores, entry)
+    }
+}
+
+/// The policy prober's findings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyReport {
+    /// Tail statistics of the 256 B overwrite test (Fig 7b).
+    pub overwrite_tail: TailAnalysis,
+    /// Tail ratio (‰) per overwrite region size (Fig 7c).
+    pub tail_ratio_by_region: Vec<(u64, f64)>,
+    /// Inferred wear-leveling (migration) block size: the smallest region
+    /// whose tail ratio collapses.
+    pub migration_block: Option<u64>,
+    /// Estimated migration latency, µs.
+    pub migration_latency_us: f64,
+    /// Estimated migration period, iterations of 256 B writes.
+    pub migration_period_iters: Option<f64>,
+    /// Sequential-write time curves for the interleaving test (Fig 7a).
+    pub seq_write_single: Vec<(u64, f64)>,
+    /// Interleaved counterpart (empty if no interleaved system probed).
+    pub seq_write_interleaved: Vec<(u64, f64)>,
+    /// Detected interleave granularity, bytes.
+    pub interleave_granularity: Option<u64>,
+}
+
+/// The policy prober: wear-leveling migration and interleaving (§III-A).
+#[derive(Debug, Clone)]
+pub struct PolicyProber {
+    /// Iterations of the 256 B overwrite test.
+    pub overwrite_iterations: u32,
+    /// Region sizes for the migration-granularity scan.
+    pub region_sizes: Vec<u64>,
+    /// Total bytes written per region scan (fixed data volume, as in the
+    /// paper).
+    pub scan_bytes: u64,
+    /// Sizes for the sequential-write interleaving test.
+    pub seq_sizes: Vec<u64>,
+}
+
+impl Default for PolicyProber {
+    fn default() -> Self {
+        PolicyProber {
+            overwrite_iterations: 60_000,
+            region_sizes: vec![256, 1 << 10, 8 << 10, 64 << 10, 512 << 10],
+            scan_bytes: 24 << 20,
+            seq_sizes: sweep(512, 16 << 10),
+        }
+    }
+}
+
+impl PolicyProber {
+    /// A scaled-down prober for test configurations with a small wear
+    /// threshold.
+    pub fn scaled(overwrite_iterations: u32, scan_bytes: u64) -> Self {
+        PolicyProber {
+            overwrite_iterations,
+            region_sizes: vec![256, 1 << 10, 8 << 10, 64 << 10, 512 << 10],
+            scan_bytes,
+            seq_sizes: sweep(512, 16 << 10),
+        }
+    }
+
+    /// Runs the migration analysis against a fresh backend per phase;
+    /// optionally probes interleaving with a second, interleaved, system.
+    pub fn probe_with<B, F, G>(
+        &self,
+        mut fresh: F,
+        mut fresh_interleaved: Option<G>,
+    ) -> PolicyReport
+    where
+        B: MemoryBackend,
+        F: FnMut() -> B,
+        G: FnMut() -> B,
+    {
+        // Fig 7b: constant 256 B overwrite.
+        let result = Overwrite::small(self.overwrite_iterations).run(&mut fresh());
+        let overwrite_tail = tail_analysis(&result.iter_us);
+
+        // Fig 7c: fixed data volume across region sizes.
+        let mut tail_ratio_by_region = Vec::new();
+        for &region in &self.region_sizes {
+            let iterations = (self.scan_bytes / region).max(100) as u32;
+            let r = Overwrite::region(region, iterations).run(&mut fresh());
+            let t = tail_analysis(&r.iter_us);
+            // Normalize to per-256B-write ratio so regions are comparable.
+            let writes_per_iter = (region / 256).max(1) as f64;
+            tail_ratio_by_region.push((region, t.tail_ratio / writes_per_iter));
+        }
+        // Migration block: first region whose ratio collapses by 5x+
+        // relative to the small-region ratio.
+        let base_ratio = tail_ratio_by_region.first().map(|&(_, r)| r).unwrap_or(0.0);
+        let migration_block = if base_ratio > 0.0 {
+            tail_ratio_by_region
+                .iter()
+                .find(|&&(_, r)| r < base_ratio / 5.0)
+                .map(|&(s, _)| s)
+        } else {
+            None
+        };
+
+        // Fig 7a: sequential writes on single vs interleaved systems.
+        let mut seq_write_single = Vec::new();
+        for &s in &self.seq_sizes {
+            let r = Stride::sequential(s, MemOp::NtStore).run(&mut fresh());
+            seq_write_single.push((s, r.total.as_us_f64()));
+        }
+        let mut seq_write_interleaved = Vec::new();
+        if let Some(fi) = fresh_interleaved.as_mut() {
+            for &s in &self.seq_sizes {
+                let r = Stride::sequential(s, MemOp::NtStore).run(&mut fi());
+                seq_write_interleaved.push((s, r.total.as_us_f64()));
+            }
+        }
+        let interleave_granularity = if seq_write_interleaved.is_empty() {
+            None
+        } else {
+            detect_interleave_granularity(&seq_write_single, &seq_write_interleaved)
+        };
+
+        PolicyReport {
+            migration_latency_us: overwrite_tail.tail_magnitude_us,
+            migration_period_iters: overwrite_tail.period_iters,
+            overwrite_tail,
+            tail_ratio_by_region,
+            migration_block,
+            seq_write_single,
+            seq_write_interleaved,
+            interleave_granularity,
+        }
+    }
+}
+
+/// The performance prober's findings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Single-thread bandwidth per op flavor, GB/s.
+    pub bandwidth_gbps: Vec<(MemOp, f64)>,
+    /// Estimated latency of each read-buffer level, ns (the plateau
+    /// levels of the read curve).
+    pub buffer_latencies_ns: Vec<f64>,
+}
+
+/// The performance prober: device bandwidth and per-buffer latency
+/// (§III-A).
+#[derive(Debug, Clone)]
+pub struct PerfProber {
+    /// Stream size for bandwidth tests.
+    pub stream_bytes: u64,
+}
+
+impl Default for PerfProber {
+    fn default() -> Self {
+        PerfProber {
+            stream_bytes: 32 << 20,
+        }
+    }
+}
+
+impl PerfProber {
+    /// Runs bandwidth streams per op flavor and derives per-buffer
+    /// latencies from a buffer report's read curve.
+    pub fn probe_with<B, F>(&self, mut fresh: F, buffer: &BufferReport) -> PerfReport
+    where
+        B: MemoryBackend,
+        F: FnMut() -> B,
+    {
+        let ops = [MemOp::Load, MemOp::Store, MemOp::StoreClwb, MemOp::NtStore];
+        let mut bandwidth = Vec::new();
+        for op in ops {
+            let r = Stride::sequential(self.stream_bytes, op).run(&mut fresh());
+            bandwidth.push((op, r.bandwidth_gbps()));
+        }
+        // Plateau levels: latency right before each knee, plus the final
+        // plateau.
+        let mut lats = Vec::new();
+        for k in &buffer.read_knees {
+            if let Some(&(_, y)) = buffer.read_curve.iter().find(|&&(x, _)| x == k.capacity) {
+                lats.push(y);
+            }
+        }
+        if let Some(&(_, y)) = buffer.read_curve.last() {
+            lats.push(y);
+        }
+        PerfReport {
+            bandwidth_gbps: bandwidth,
+            buffer_latencies_ns: lats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvsim_types::backend::FixedLatencyBackend;
+    use nvsim_types::Time;
+
+    fn flat_backend() -> FixedLatencyBackend {
+        FixedLatencyBackend::new(Time::from_ns(100), Time::from_ns(60))
+    }
+
+    #[test]
+    fn flat_backend_yields_no_buffers() {
+        let prober = BufferProber::scaled(1 << 20);
+        let report = prober.probe_with(flat_backend);
+        assert!(report.read_buffer_capacities.is_empty());
+        assert!(report.write_buffer_capacities.is_empty());
+        assert_eq!(report.hierarchy, HierarchyOrganization::Unknown);
+    }
+
+    #[test]
+    fn flat_backend_has_no_tails() {
+        let prober = PolicyProber::scaled(2_000, 1 << 20);
+        let report = prober.probe_with(flat_backend, None::<fn() -> FixedLatencyBackend>);
+        assert_eq!(report.overwrite_tail.tail_count, 0);
+        assert!(report.migration_block.is_none());
+        assert!(report.interleave_granularity.is_none());
+    }
+
+    #[test]
+    fn perf_prober_measures_bandwidth() {
+        let prober = BufferProber::scaled(1 << 20);
+        let buffer = prober.probe_with(flat_backend);
+        let perf = PerfProber {
+            stream_bytes: 1 << 20,
+        }
+        .probe_with(flat_backend, &buffer);
+        assert_eq!(perf.bandwidth_gbps.len(), 4);
+        for &(_, bw) in &perf.bandwidth_gbps {
+            assert!(bw > 0.0);
+        }
+        // Final plateau latency present even without knees.
+        assert_eq!(perf.buffer_latencies_ns.len(), 1);
+        assert!((perf.buffer_latencies_ns[0] - 100.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn sweep_is_powers_of_two() {
+        let s = sweep(128, 1024);
+        assert_eq!(s, vec![128, 256, 512, 1024]);
+    }
+}

@@ -1,0 +1,153 @@
+//! The aggregated characterization report (the content of Fig 4).
+
+use crate::probers::{
+    BufferProber, BufferReport, PerfProber, PerfReport, PolicyProber, PolicyReport,
+};
+use nvsim_types::MemoryBackend;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Everything LENS learned about a memory system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CharacterizationReport {
+    /// The probed system's label.
+    pub system: String,
+    /// Buffer prober findings.
+    pub buffer: BufferReport,
+    /// Policy prober findings.
+    pub policy: PolicyReport,
+    /// Performance prober findings.
+    pub perf: PerfReport,
+}
+
+impl CharacterizationReport {
+    /// Runs all three probers against fresh instances produced by
+    /// `fresh` (plus, optionally, an interleaved variant for the
+    /// interleaving analysis).
+    pub fn characterize<B, F, G>(
+        buffer_prober: &BufferProber,
+        policy_prober: &PolicyProber,
+        perf_prober: &PerfProber,
+        mut fresh: F,
+        fresh_interleaved: Option<G>,
+    ) -> Self
+    where
+        B: MemoryBackend,
+        F: FnMut() -> B,
+        G: FnMut() -> B,
+    {
+        let system = fresh().label();
+        let buffer = buffer_prober.probe_with(&mut fresh);
+        let policy = policy_prober.probe_with(&mut fresh, fresh_interleaved);
+        let perf = perf_prober.probe_with(&mut fresh, &buffer);
+        CharacterizationReport {
+            system,
+            buffer,
+            policy,
+            perf,
+        }
+    }
+}
+
+fn human_bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{}GB", b >> 30)
+    } else if b >= 1 << 20 {
+        format!("{}MB", b >> 20)
+    } else if b >= 1 << 10 {
+        format!("{}KB", b >> 10)
+    } else {
+        format!("{b}B")
+    }
+}
+
+impl fmt::Display for CharacterizationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "LENS characterization of `{}`", self.system)?;
+        writeln!(f, "  read buffers:")?;
+        for (i, cap) in self.buffer.read_buffer_capacities.iter().enumerate() {
+            let lat = self
+                .perf
+                .buffer_latencies_ns
+                .get(i)
+                .copied()
+                .unwrap_or(f64::NAN);
+            writeln!(
+                f,
+                "    level {}: capacity {} (~{:.0} ns/CL on its plateau)",
+                i + 1,
+                human_bytes(*cap),
+                lat
+            )?;
+        }
+        writeln!(f, "  write queues:")?;
+        for (i, cap) in self.buffer.write_buffer_capacities.iter().enumerate() {
+            writeln!(f, "    level {}: capacity {}", i + 1, human_bytes(*cap))?;
+        }
+        if let Some(e) = self.buffer.read_entry_size {
+            writeln!(f, "  read entry size: {}", human_bytes(e))?;
+        }
+        if let Some(e) = self.buffer.write_entry_size {
+            writeln!(f, "  write-combining granularity: {}", human_bytes(e))?;
+        }
+        writeln!(f, "  hierarchy: {:?}", self.buffer.hierarchy)?;
+        if self.policy.overwrite_tail.tail_count > 0 {
+            writeln!(
+                f,
+                "  wear-leveling: tail every ~{:.0} iterations, ~{:.0}x penalty, ~{:.0} us",
+                self.policy.migration_period_iters.unwrap_or(f64::NAN),
+                self.policy.overwrite_tail.penalty,
+                self.policy.migration_latency_us
+            )?;
+            if let Some(b) = self.policy.migration_block {
+                writeln!(f, "  wear block size: {}", human_bytes(b))?;
+            }
+        } else {
+            writeln!(f, "  wear-leveling: no tail events observed")?;
+        }
+        if let Some(g) = self.policy.interleave_granularity {
+            writeln!(
+                f,
+                "  multi-DIMM interleaving: {} granularity",
+                human_bytes(g)
+            )?;
+        }
+        writeln!(f, "  single-thread bandwidth:")?;
+        for (op, bw) in &self.perf.bandwidth_gbps {
+            writeln!(f, "    {op}: {bw:.2} GB/s")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvsim_types::backend::FixedLatencyBackend;
+    use nvsim_types::Time;
+
+    #[test]
+    fn report_renders_for_flat_backend() {
+        let fresh = || FixedLatencyBackend::new(Time::from_ns(100), Time::from_ns(60));
+        let report = CharacterizationReport::characterize(
+            &BufferProber::scaled(1 << 20),
+            &PolicyProber::scaled(1_000, 1 << 20),
+            &PerfProber {
+                stream_bytes: 1 << 20,
+            },
+            fresh,
+            None::<fn() -> FixedLatencyBackend>,
+        );
+        let text = report.to_string();
+        assert!(text.contains("fixed-latency"));
+        assert!(text.contains("no tail events"));
+    }
+
+    #[test]
+    fn human_bytes_formats() {
+        assert_eq!(human_bytes(512), "512B");
+        assert_eq!(human_bytes(16 << 10), "16KB");
+        assert_eq!(human_bytes(16 << 20), "16MB");
+        assert_eq!(human_bytes(4 << 30), "4GB");
+    }
+}

@@ -1,0 +1,99 @@
+//! LENS probing the analytical Optane reference backend: the probers
+//! must recover the reference model's own parameters. This closes the
+//! loop on the validation methodology — the same analysis that reverse
+//! engineers VANS also reverse engineers the machine model VANS is
+//! validated against.
+
+use lens::microbench::{PtrChasing, Stride};
+use lens::probers::BufferProber;
+use lens::{detect_knees, tail_analysis};
+use nvsim_types::{MemOp, MemoryBackend};
+use optane_model::{OptaneReference, ReferenceBackend};
+
+fn fresh() -> ReferenceBackend {
+    ReferenceBackend::new(OptaneReference::new(), 1)
+}
+
+#[test]
+fn reference_read_knees_recovered() {
+    let prober = BufferProber::default();
+    let report = prober.probe_with(fresh);
+    assert!(
+        report.read_buffer_capacities.len() >= 2,
+        "knees: {:?}",
+        report.read_knees
+    );
+    let first = report.read_buffer_capacities[0];
+    let second = *report.read_buffer_capacities.last().unwrap();
+    assert!(
+        (8192..=32768).contains(&first),
+        "first knee {first} should be ~16KB"
+    );
+    assert!(
+        ((8 << 20)..=(32 << 20)).contains(&second),
+        "second knee {second} should be ~16MB"
+    );
+}
+
+#[test]
+fn reference_write_knees_recovered() {
+    let prober = BufferProber::default();
+    let report = prober.probe_with(fresh);
+    assert!(
+        !report.write_buffer_capacities.is_empty(),
+        "write knees: {:?}",
+        report.write_knees
+    );
+    let first = report.write_buffer_capacities[0];
+    assert!(
+        (256..=2048).contains(&first),
+        "first write knee {first} should be ~512B"
+    );
+}
+
+#[test]
+fn reference_tail_period_matches_configuration() {
+    let mut model = OptaneReference::new();
+    model.tail_period_iters = 500;
+    let mut backend = ReferenceBackend::new(model, 1);
+    let r = lens::microbench::Overwrite::small(5_000).run(&mut backend);
+    let t = tail_analysis(&r.iter_us);
+    assert_eq!(t.tail_count, 10);
+    assert!((t.period_iters.unwrap() - 500.0).abs() < 1.0);
+}
+
+#[test]
+fn reference_latency_matches_model_directly() {
+    // A pointer chase over an 8KB region should measure the model's
+    // small-region read latency.
+    let model = OptaneReference::new();
+    let expected = model.read_latency_ns(8 << 10, 1);
+    let measured = PtrChasing::read(8 << 10)
+        .run(&mut fresh())
+        .latency_per_cl_ns();
+    assert!(
+        (measured - expected).abs() / expected < 0.15,
+        "measured {measured:.0} vs model {expected:.0}"
+    );
+}
+
+#[test]
+fn detect_knees_agrees_between_curve_and_backend() {
+    // Knees detected on the analytic curve equal the knees detected by
+    // driving the backend with the microbenchmark.
+    let model = OptaneReference::new();
+    let analytic = detect_knees(&model.read_curve(1), 1.22);
+    let probed = BufferProber::default().probe_with(fresh);
+    assert_eq!(analytic.len(), probed.read_knees.len());
+}
+
+#[test]
+fn bandwidth_ordering_probed_from_backend() {
+    // The stride prober is not meaningful on the footprint-tracking
+    // reference backend for bandwidth magnitude, but op submission and
+    // counters must stay consistent.
+    let mut b = fresh();
+    let r = Stride::sequential(1 << 20, MemOp::Load).run(&mut b);
+    assert!(r.bandwidth_gbps() > 0.0);
+    assert_eq!(b.counters().bus_reads, (1 << 20) / 64);
+}

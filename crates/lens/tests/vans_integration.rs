@@ -1,0 +1,151 @@
+//! Integration tests: LENS probing the VANS simulator must recover the
+//! microarchitectural parameters VANS was configured with — the central
+//! claim of the paper's methodology.
+
+use lens::microbench::{Overwrite, PtrChasing};
+use lens::probers::{BufferProber, BufferReport, HierarchyOrganization, PolicyProber};
+use lens::{detect_knees, tail_analysis};
+use nvsim_types::MemoryBackend;
+use std::sync::OnceLock;
+use vans::{MemorySystem, VansConfig};
+
+fn fresh_tiny() -> MemorySystem {
+    MemorySystem::new(VansConfig::tiny_for_tests()).expect("valid preset")
+}
+
+fn fresh_full() -> MemorySystem {
+    MemorySystem::new(VansConfig::optane_1dimm()).expect("valid preset")
+}
+
+/// The full-size buffer probe is the most expensive experiment in the
+/// suite; run it once and share the report across tests.
+fn full_buffer_report() -> &'static BufferReport {
+    static REPORT: OnceLock<BufferReport> = OnceLock::new();
+    REPORT.get_or_init(|| BufferProber::default().probe_with(fresh_full))
+}
+
+/// Prints the full-size read/write curves (debugging aid for
+/// calibration; run with `--nocapture`).
+#[test]
+fn print_read_write_curves() {
+    let mut points = Vec::new();
+    let mut r = 128u64;
+    while r <= 256 << 20 {
+        points.push(r);
+        r *= 4;
+    }
+    println!("region  read_ns  write_ns");
+    for &region in &points {
+        let read = PtrChasing::read(region)
+            .run(&mut fresh_full())
+            .latency_per_cl_ns();
+        let write = PtrChasing::write(region)
+            .run(&mut fresh_full())
+            .latency_per_cl_ns();
+        println!("{region:>12} {read:8.1} {write:8.1}");
+    }
+}
+
+#[test]
+fn lens_recovers_read_buffer_capacities() {
+    // Full-size VANS: RMW 16 KB, AIT 16 MB.
+    let report = full_buffer_report();
+    assert!(
+        report.read_buffer_capacities.len() >= 2,
+        "expected two read buffers, got {:?} (curve {:?})",
+        report.read_buffer_capacities,
+        report.read_curve
+    );
+    let rmw = report.read_buffer_capacities[0];
+    let ait = *report.read_buffer_capacities.last().unwrap();
+    assert!(
+        (8192..=32768).contains(&rmw),
+        "RMW capacity estimate {rmw} not near 16KB"
+    );
+    assert!(
+        ((8 << 20)..=(32 << 20)).contains(&ait),
+        "AIT capacity estimate {ait} not near 16MB"
+    );
+}
+
+#[test]
+fn lens_recovers_write_queue_capacities() {
+    let report = full_buffer_report();
+    assert!(
+        !report.write_buffer_capacities.is_empty(),
+        "expected write knees, curve {:?}",
+        report.write_curve
+    );
+    // First knee near the 512 B WPQ; a deeper knee near the 4 KB LSQ.
+    let first = report.write_buffer_capacities[0];
+    assert!(
+        (256..=1024).contains(&first),
+        "WPQ estimate {first} not near 512B (knees {:?})",
+        report.write_buffer_capacities
+    );
+}
+
+#[test]
+fn lens_identifies_inclusive_hierarchy() {
+    let report = full_buffer_report();
+    assert_eq!(report.hierarchy, HierarchyOrganization::Inclusive);
+}
+
+#[test]
+fn lens_measures_migration_tail() {
+    // Tiny config has wear threshold 100: tails appear quickly.
+    let result = Overwrite::small(1000).run(&mut fresh_tiny());
+    let t = tail_analysis(&result.iter_us);
+    assert!(t.tail_count >= 5, "tails: {:?}", t);
+    let period = t.period_iters.expect("multiple tails");
+    assert!(
+        (80.0..=130.0).contains(&period),
+        "expected ~100-iteration period, got {period}"
+    );
+    assert!(t.penalty > 10.0, "penalty {}", t.penalty);
+}
+
+#[test]
+fn lens_recovers_wear_block_size() {
+    let prober = PolicyProber::scaled(2_000, 4 << 20);
+    let report = prober.probe_with(fresh_tiny, None::<fn() -> MemorySystem>);
+    assert!(
+        report.overwrite_tail.tail_count > 0,
+        "no tails at all: {:?}",
+        report.overwrite_tail
+    );
+    let block = report
+        .migration_block
+        .expect("tail ratio should collapse at the wear block size");
+    assert_eq!(block, 64 << 10, "wear block estimate");
+}
+
+#[test]
+fn lens_detects_4kb_interleaving() {
+    let prober = PolicyProber::scaled(500, 1 << 20);
+    let fresh_inter = || MemorySystem::new(VansConfig::optane_6dimm()).expect("valid preset");
+    let report = prober.probe_with(fresh_full, Some(fresh_inter));
+    let g = report
+        .interleave_granularity
+        .expect("interleaving must be detected");
+    assert_eq!(g, 4096, "interleave granularity");
+}
+
+#[test]
+fn vans_read_amplification_counters_match_block_sweep() {
+    // Counter-based ground truth for the latency-proxy amplification:
+    // 64 B blocks over an AIT-missing region amplify reads at the media.
+    let mut sys = fresh_full();
+    PtrChasing::read(64 << 20).with_passes(1).run(&mut sys);
+    let amp = sys.counters().read_amplification().expect("reads happened");
+    assert!(amp > 2.0, "media amplification {amp}");
+}
+
+#[test]
+fn knee_detection_on_reference_matches_vans() {
+    // The reference model and VANS should agree on knee positions.
+    let model = optane_model::OptaneReference::new();
+    let knees = detect_knees(&model.read_curve(1), 1.22);
+    assert_eq!(knees.len(), 2);
+    assert!((8192..=32768).contains(&knees[0].capacity));
+}

@@ -1,0 +1,467 @@
+//! Set-associative caches and the three-level hierarchy of Table V.
+
+use nvsim_types::error::{require_nonzero, require_power_of_two};
+use nvsim_types::{Addr, ConfigError, CACHE_LINE};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity: u64,
+    /// Associativity (ways).
+    pub ways: u32,
+    /// Hit latency in core cycles.
+    pub hit_cycles: u32,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.capacity / (self.ways as u64 * CACHE_LINE)
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the first invalid field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        require_nonzero("cache.capacity", self.capacity)?;
+        require_nonzero("cache.ways", self.ways as u64)?;
+        if !self.capacity.is_multiple_of(self.ways as u64 * CACHE_LINE) {
+            return Err(ConfigError::new(
+                "cache.capacity",
+                "must be a multiple of ways x line size",
+            ));
+        }
+        require_power_of_two("cache.sets", self.sets())?;
+        Ok(())
+    }
+}
+
+/// The outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheAccess {
+    /// Whether the line was present.
+    pub hit: bool,
+    /// A dirty victim line (base address) that must be written back.
+    pub writeback: Option<Addr>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    stamp: u64,
+}
+
+/// One set-associative, write-back, write-allocate cache level.
+///
+/// # Example
+///
+/// ```
+/// use nvsim_cpu::cache::{Cache, CacheConfig};
+/// use nvsim_types::Addr;
+///
+/// let mut l1 = Cache::new(CacheConfig { capacity: 32 << 10, ways: 8, hit_cycles: 4 })?;
+/// assert!(!l1.access(Addr::new(0x40), false).hit);
+/// assert!(l1.access(Addr::new(0x40), false).hit);
+/// # Ok::<(), nvsim_types::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Way>>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates a cache level.
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration validation error, if any.
+    pub fn new(cfg: CacheConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let sets = vec![vec![Way::default(); cfg.ways as usize]; cfg.sets() as usize];
+        Ok(Cache {
+            cfg,
+            sets,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        })
+    }
+
+    /// The level's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Lifetime (hits, misses).
+    pub fn hit_miss(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Resets statistics (contents stay).
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    fn index(&self, addr: Addr) -> (usize, u64) {
+        let line = addr.line_index();
+        let set = (line % self.cfg.sets()) as usize;
+        let tag = line / self.cfg.sets();
+        (set, tag)
+    }
+
+    /// Accesses the line containing `addr`; allocates on miss. `write`
+    /// marks the line dirty.
+    pub fn access(&mut self, addr: Addr, write: bool) -> CacheAccess {
+        self.clock += 1;
+        let (set_idx, tag) = self.index(addr);
+        let sets = self.cfg.sets();
+        let set = &mut self.sets[set_idx];
+        if let Some(w) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
+            w.stamp = self.clock;
+            w.dirty |= write;
+            self.hits += 1;
+            return CacheAccess {
+                hit: true,
+                writeback: None,
+            };
+        }
+        self.misses += 1;
+        // Victim: invalid way first, else LRU.
+        let victim_idx = set.iter().position(|w| !w.valid).unwrap_or_else(|| {
+            set.iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.stamp)
+                .map(|(i, _)| i)
+                .expect("nonzero ways")
+        });
+        let victim = set[victim_idx];
+        let writeback = (victim.valid && victim.dirty)
+            .then(|| Addr::new((victim.tag * sets + set_idx as u64) * CACHE_LINE));
+        set[victim_idx] = Way {
+            tag,
+            valid: true,
+            dirty: write,
+            stamp: self.clock,
+        };
+        CacheAccess {
+            hit: false,
+            writeback,
+        }
+    }
+
+    /// True if the line containing `addr` is resident (no state change).
+    pub fn probe(&self, addr: Addr) -> bool {
+        let (set_idx, tag) = self.index(addr);
+        self.sets[set_idx].iter().any(|w| w.valid && w.tag == tag)
+    }
+
+    /// Invalidates the line containing `addr`, returning whether it was
+    /// dirty (clwb / nt-store behaviour).
+    pub fn invalidate(&mut self, addr: Addr) -> Option<bool> {
+        let (set_idx, tag) = self.index(addr);
+        let set = &mut self.sets[set_idx];
+        let w = set.iter_mut().find(|w| w.valid && w.tag == tag)?;
+        w.valid = false;
+        Some(w.dirty)
+    }
+}
+
+/// Configuration of the full hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyConfig {
+    /// L1 data cache.
+    pub l1: CacheConfig,
+    /// Private L2.
+    pub l2: CacheConfig,
+    /// Shared L3 (LLC).
+    pub l3: CacheConfig,
+}
+
+impl HierarchyConfig {
+    /// Table V: L1D 32 KB 8-way, L2 1 MB 16-way, L3 32 MB 16-way.
+    pub fn table_v() -> Self {
+        HierarchyConfig {
+            l1: CacheConfig {
+                capacity: 32 << 10,
+                ways: 8,
+                hit_cycles: 4,
+            },
+            l2: CacheConfig {
+                capacity: 1 << 20,
+                ways: 16,
+                hit_cycles: 14,
+            },
+            l3: CacheConfig {
+                capacity: 32 << 20,
+                ways: 16,
+                hit_cycles: 44,
+            },
+        }
+    }
+
+    /// A small hierarchy for fast tests (4 KB / 16 KB / 64 KB).
+    pub fn tiny_for_tests() -> Self {
+        HierarchyConfig {
+            l1: CacheConfig {
+                capacity: 4 << 10,
+                ways: 4,
+                hit_cycles: 4,
+            },
+            l2: CacheConfig {
+                capacity: 16 << 10,
+                ways: 4,
+                hit_cycles: 14,
+            },
+            l3: CacheConfig {
+                capacity: 64 << 10,
+                ways: 8,
+                hit_cycles: 44,
+            },
+        }
+    }
+}
+
+/// The result of walking a memory access through the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyAccess {
+    /// Cycles spent in cache hits along the way.
+    pub hit_cycles: u32,
+    /// True if the access missed every level (must go to memory).
+    pub llc_miss: bool,
+    /// Dirty lines pushed out to memory (at most one per level).
+    pub writebacks: [Option<Addr>; 3],
+}
+
+/// A three-level write-back hierarchy.
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    /// L1 data cache.
+    pub l1: Cache,
+    /// L2.
+    pub l2: Cache,
+    /// L3 / LLC.
+    pub l3: Cache,
+}
+
+impl CacheHierarchy {
+    /// Builds the hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first level's validation error.
+    pub fn new(cfg: HierarchyConfig) -> Result<Self, ConfigError> {
+        Ok(CacheHierarchy {
+            l1: Cache::new(cfg.l1)?,
+            l2: Cache::new(cfg.l2)?,
+            l3: Cache::new(cfg.l3)?,
+        })
+    }
+
+    /// Performs one access; misses allocate in every level on the way in.
+    pub fn access(&mut self, addr: Addr, write: bool) -> HierarchyAccess {
+        let mut hit_cycles = self.l1.config().hit_cycles;
+        let mut writebacks = [None, None, None];
+        let a1 = self.l1.access(addr, write);
+        writebacks[0] = a1.writeback;
+        if a1.hit {
+            return HierarchyAccess {
+                hit_cycles,
+                llc_miss: false,
+                writebacks,
+            };
+        }
+        hit_cycles += self.l2.config().hit_cycles;
+        // L1 writebacks land in L2.
+        if let Some(wb) = a1.writeback {
+            let spill = self.l2.access(wb, true);
+            writebacks[1] = spill.writeback;
+        }
+        let a2 = self.l2.access(addr, false);
+        writebacks[1] = writebacks[1].or(a2.writeback);
+        if a2.hit {
+            return HierarchyAccess {
+                hit_cycles,
+                llc_miss: false,
+                writebacks,
+            };
+        }
+        hit_cycles += self.l3.config().hit_cycles;
+        if let Some(wb) = writebacks[1] {
+            let spill = self.l3.access(wb, true);
+            writebacks[2] = spill.writeback;
+        }
+        let a3 = self.l3.access(addr, false);
+        writebacks[2] = writebacks[2].or(a3.writeback);
+        HierarchyAccess {
+            hit_cycles,
+            llc_miss: !a3.hit,
+            writebacks,
+        }
+    }
+
+    /// LLC (hits, misses).
+    pub fn llc_hit_miss(&self) -> (u64, u64) {
+        self.l3.hit_miss()
+    }
+
+    /// Invalidates a line everywhere (for clwb/nt-store semantics);
+    /// returns true if any level held it dirty.
+    pub fn flush_line(&mut self, addr: Addr) -> bool {
+        let d1 = self.l1.invalidate(addr).unwrap_or(false);
+        let d2 = self.l2.invalidate(addr).unwrap_or(false);
+        let d3 = self.l3.invalidate(addr).unwrap_or(false);
+        d1 || d2 || d3
+    }
+
+    /// Resets statistics on every level.
+    pub fn reset_stats(&mut self) {
+        self.l1.reset_stats();
+        self.l2.reset_stats();
+        self.l3.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l1() -> Cache {
+        Cache::new(CacheConfig {
+            capacity: 4 << 10,
+            ways: 4,
+            hit_cycles: 4,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = l1();
+        assert!(!c.access(Addr::new(0x40), false).hit);
+        assert!(c.access(Addr::new(0x40), false).hit);
+        assert!(c.access(Addr::new(0x7f), false).hit); // same line
+        assert_eq!(c.hit_miss(), (2, 1));
+    }
+
+    #[test]
+    fn conflict_eviction_lru() {
+        let mut c = l1();
+        let sets = c.config().sets();
+        // Fill all 4 ways of set 0, then a 5th conflicting line.
+        for i in 0..4u64 {
+            c.access(Addr::new(i * sets * 64), false);
+        }
+        // Touch line 0 to make line 1 the LRU.
+        c.access(Addr::new(0), false);
+        c.access(Addr::new(4 * sets * 64), false);
+        assert!(c.probe(Addr::new(0)));
+        assert!(!c.probe(Addr::new(sets * 64)), "LRU way evicted");
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = l1();
+        let sets = c.config().sets();
+        c.access(Addr::new(0), true); // dirty
+        for i in 1..=4u64 {
+            let acc = c.access(Addr::new(i * sets * 64), false);
+            if let Some(wb) = acc.writeback {
+                assert_eq!(wb, Addr::new(0));
+                return;
+            }
+        }
+        panic!("dirty line never written back");
+    }
+
+    #[test]
+    fn invalidate_reports_dirtiness() {
+        let mut c = l1();
+        c.access(Addr::new(0x40), true);
+        assert_eq!(c.invalidate(Addr::new(0x40)), Some(true));
+        assert_eq!(c.invalidate(Addr::new(0x40)), None);
+        assert!(!c.probe(Addr::new(0x40)));
+    }
+
+    #[test]
+    fn hierarchy_miss_allocates_everywhere() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::tiny_for_tests()).unwrap();
+        let a = h.access(Addr::new(0x1000), false);
+        assert!(a.llc_miss);
+        // Second access hits L1.
+        let b = h.access(Addr::new(0x1000), false);
+        assert!(!b.llc_miss);
+        assert_eq!(b.hit_cycles, 4);
+    }
+
+    #[test]
+    fn hierarchy_l2_hit_after_l1_eviction() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::tiny_for_tests()).unwrap();
+        h.access(Addr::new(0), false);
+        // Blow L1 (4 KB) but stay within L2 (16 KB).
+        for i in 1..128u64 {
+            h.access(Addr::new(i * 64), false);
+        }
+        let (l1_hits_before, _) = h.l1.hit_miss();
+        let acc = h.access(Addr::new(0), false);
+        let (l1_hits_after, _) = h.l1.hit_miss();
+        assert!(!acc.llc_miss);
+        // It was not an L1 hit (L1 holds the most recent 64 lines).
+        assert_eq!(l1_hits_before, l1_hits_after);
+    }
+
+    #[test]
+    fn working_set_beyond_llc_misses() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::tiny_for_tests()).unwrap();
+        // Stream 1 MB (llc is 64 KB): steady state misses.
+        for round in 0..2 {
+            let mut misses = 0;
+            for i in 0..(1 << 14) {
+                let acc = h.access(Addr::new(i * 64), false);
+                if acc.llc_miss {
+                    misses += 1;
+                }
+            }
+            if round == 1 {
+                assert!(misses > (1 << 13), "streaming should defeat the LLC");
+            }
+        }
+    }
+
+    #[test]
+    fn flush_line_everywhere() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::tiny_for_tests()).unwrap();
+        h.access(Addr::new(0x40), true);
+        assert!(h.flush_line(Addr::new(0x40)));
+        assert!(!h.flush_line(Addr::new(0x40)));
+        let a = h.access(Addr::new(0x40), false);
+        assert!(a.llc_miss, "flushed line must re-miss");
+    }
+
+    #[test]
+    fn table_v_config_validates() {
+        let h = CacheHierarchy::new(HierarchyConfig::table_v()).unwrap();
+        assert_eq!(h.l1.config().capacity, 32 << 10);
+        assert_eq!(h.l3.config().sets(), (32 << 20) / (16 * 64));
+    }
+
+    #[test]
+    fn bad_config_rejected() {
+        let bad = CacheConfig {
+            capacity: 3000,
+            ways: 4,
+            hit_cycles: 1,
+        };
+        assert!(Cache::new(bad).is_err());
+    }
+}

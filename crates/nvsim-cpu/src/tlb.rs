@@ -1,0 +1,323 @@
+//! TLBs, the page walker, and the Pre-translation integration.
+
+use nvsim_types::{Addr, MemoryBackend, RequestDesc, Time, VirtAddr};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// TLB hierarchy configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbConfig {
+    /// L1 DTLB entries (Table III: 64 entries, 4-way).
+    pub l1_entries: u32,
+    /// Second-level (STLB) entries (Table III: 1536 entries, 12-way).
+    pub stlb_entries: u32,
+    /// STLB hit penalty in core cycles.
+    pub stlb_hit_cycles: u32,
+    /// Page-walk cost in core cycles on top of the walk's memory
+    /// accesses.
+    pub walk_base_cycles: u32,
+    /// Memory accesses a page walk performs (radix levels that miss the
+    /// walk caches).
+    pub walk_memory_accesses: u32,
+}
+
+impl TlbConfig {
+    /// Table III-like defaults.
+    pub fn table_iii() -> Self {
+        TlbConfig {
+            l1_entries: 64,
+            stlb_entries: 1536,
+            stlb_hit_cycles: 7,
+            walk_base_cycles: 30,
+            walk_memory_accesses: 2,
+        }
+    }
+
+    /// A tiny configuration for tests.
+    pub fn tiny_for_tests() -> Self {
+        TlbConfig {
+            l1_entries: 4,
+            stlb_entries: 16,
+            stlb_hit_cycles: 7,
+            walk_base_cycles: 30,
+            walk_memory_accesses: 2,
+        }
+    }
+}
+
+/// Statistics of TLB behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// L1 DTLB hits.
+    pub l1_hits: u64,
+    /// STLB hits (L1 misses that stopped there).
+    pub stlb_hits: u64,
+    /// Full misses requiring a page walk.
+    pub walks: u64,
+    /// Walks skipped thanks to a pre-translation entry installed by a
+    /// marked load (§V-B).
+    pub pretranslated: u64,
+    /// Check-before-read confirmations that found a stale entry.
+    pub stale_pretranslations: u64,
+}
+
+/// The result of a translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Translation {
+    /// The physical address.
+    pub paddr: Addr,
+    /// Core cycles spent on translation (0 for an L1 hit).
+    pub cycles: u32,
+    /// Whether a full page walk happened (counts toward TLB MPKI).
+    pub walked: bool,
+}
+
+#[derive(Debug, Clone, Default)]
+struct TlbArray {
+    entries: HashMap<u64, u64>, // vpn -> stamp
+    /// Recency index: stamp -> vpn (stamps are unique), for O(log n)
+    /// LRU eviction.
+    order: std::collections::BTreeMap<u64, u64>,
+    capacity: usize,
+    clock: u64,
+}
+
+impl TlbArray {
+    fn new(capacity: usize) -> Self {
+        TlbArray {
+            entries: HashMap::with_capacity(capacity + 1),
+            order: std::collections::BTreeMap::new(),
+            capacity,
+            clock: 0,
+        }
+    }
+
+    fn lookup(&mut self, vpn: u64) -> bool {
+        self.clock += 1;
+        if let Some(stamp) = self.entries.get_mut(&vpn) {
+            self.order.remove(stamp);
+            *stamp = self.clock;
+            self.order.insert(self.clock, vpn);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn insert(&mut self, vpn: u64) {
+        self.clock += 1;
+        if let Some(stamp) = self.entries.get(&vpn) {
+            self.order.remove(stamp);
+        } else if self.entries.len() >= self.capacity {
+            if let Some((&stamp, &victim)) = self.order.iter().next() {
+                self.order.remove(&stamp);
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(vpn, self.clock);
+        self.order.insert(self.clock, vpn);
+    }
+}
+
+/// L1 DTLB + STLB with a page walker that issues real memory reads, plus
+/// the Pre-translation (`mkpt`) fast path.
+///
+/// Virtual-to-physical mapping itself is a deterministic linear map
+/// (`pfn = vpn`), which keeps page-table state implicit while preserving
+/// all the *timing* behaviour (hits, misses, walks).
+#[derive(Debug)]
+pub struct TlbHierarchy {
+    cfg: TlbConfig,
+    l1: TlbArray,
+    stlb: TlbArray,
+    /// Pre-translation entries the NVRAM piggybacked: vpn → install time.
+    prefetched: HashMap<u64, Time>,
+    stats: TlbStats,
+}
+
+impl TlbHierarchy {
+    /// Creates the TLB hierarchy.
+    pub fn new(cfg: TlbConfig) -> Self {
+        TlbHierarchy {
+            l1: TlbArray::new(cfg.l1_entries as usize),
+            stlb: TlbArray::new(cfg.stlb_entries as usize),
+            cfg,
+            prefetched: HashMap::new(),
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// Resets statistics (contents stay).
+    pub fn reset_stats(&mut self) {
+        self.stats = TlbStats::default();
+    }
+
+    /// The deterministic linear page mapping used by the model.
+    pub fn page_mapping(vaddr: VirtAddr) -> Addr {
+        // Identity at page granularity.
+        Addr::new(vaddr.raw())
+    }
+
+    /// Installs a TLB entry that arrived piggybacked on NVRAM read data
+    /// (the Pre-translation path). The check-before-read validation is
+    /// modeled by comparing against the true mapping: stale entries are
+    /// dropped and counted.
+    pub fn install_pretranslation(&mut self, pfn: u64, at: Time) {
+        // pfn is the page frame of the next hop; with the linear mapping
+        // the expected vpn equals the pfn.
+        let vpn = pfn;
+        let true_pfn = vpn; // linear map: always up to date
+        if pfn != true_pfn {
+            self.stats.stale_pretranslations += 1;
+            return;
+        }
+        self.prefetched.insert(vpn, at);
+        self.l1.insert(vpn);
+    }
+
+    /// Translates `vaddr` at time `now`, walking the page table through
+    /// `mem` if necessary.
+    pub fn translate<B: MemoryBackend>(
+        &mut self,
+        vaddr: VirtAddr,
+        now: Time,
+        mem: &mut B,
+    ) -> Translation {
+        let vpn = vaddr.page_index();
+        let paddr = Self::page_mapping(vaddr);
+        if self.l1.lookup(vpn) {
+            self.stats.l1_hits += 1;
+            // Entries installed by pre-translation count once.
+            if self.prefetched.remove(&vpn).is_some() {
+                self.stats.pretranslated += 1;
+            }
+            return Translation {
+                paddr,
+                cycles: 0,
+                walked: false,
+            };
+        }
+        if self.stlb.lookup(vpn) {
+            self.stats.stlb_hits += 1;
+            self.l1.insert(vpn);
+            return Translation {
+                paddr,
+                cycles: self.cfg.stlb_hit_cycles,
+                walked: false,
+            };
+        }
+        // Full walk: issue real memory reads against the page-table
+        // region (placed high in the physical address space).
+        self.stats.walks += 1;
+        let mut t = now;
+        for level in 0..self.cfg.walk_memory_accesses {
+            // Page-table pages live high in the physical address space;
+            // each radix level indexes by 9 fewer VPN bits.
+            let pte = (1u64 << 40) + ((vpn >> (9 * level)) * 8) % (1 << 30);
+            t = mem.execute(RequestDesc::load(Addr::new(pte).align_down(64)));
+        }
+        let walk_wait = t.saturating_sub(now);
+        let cycles = self.cfg.walk_base_cycles + (walk_wait.as_ns_f64() * 2.2).round() as u32;
+        self.l1.insert(vpn);
+        self.stlb.insert(vpn);
+        Translation {
+            paddr,
+            cycles,
+            walked: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvsim_types::backend::FixedLatencyBackend;
+
+    fn mem() -> FixedLatencyBackend {
+        FixedLatencyBackend::new(Time::from_ns(100), Time::from_ns(100))
+    }
+
+    fn tlb() -> TlbHierarchy {
+        TlbHierarchy::new(TlbConfig::tiny_for_tests())
+    }
+
+    #[test]
+    fn first_access_walks_then_hits() {
+        let mut t = tlb();
+        let mut m = mem();
+        let a = t.translate(VirtAddr::new(0x1000), Time::ZERO, &mut m);
+        assert!(a.walked);
+        assert!(a.cycles > 30);
+        let b = t.translate(VirtAddr::new(0x1040), m.now(), &mut m);
+        assert!(!b.walked);
+        assert_eq!(b.cycles, 0);
+        assert_eq!(t.stats().walks, 1);
+        assert_eq!(t.stats().l1_hits, 1);
+    }
+
+    #[test]
+    fn stlb_catches_l1_evictions() {
+        let mut t = tlb();
+        let mut m = mem();
+        // Touch 5 pages: more than the 4-entry L1, within the 16-entry STLB.
+        for i in 0..5u64 {
+            t.translate(VirtAddr::new(i * 4096), Time::ZERO, &mut m);
+        }
+        let before = t.stats().walks;
+        let a = t.translate(VirtAddr::new(0), Time::ZERO, &mut m);
+        assert!(!a.walked, "STLB should cover the re-access");
+        assert_eq!(a.cycles, 7);
+        assert_eq!(t.stats().walks, before);
+    }
+
+    #[test]
+    fn working_set_beyond_stlb_walks_again() {
+        let mut t = tlb();
+        let mut m = mem();
+        for i in 0..20u64 {
+            t.translate(VirtAddr::new(i * 4096), Time::ZERO, &mut m);
+        }
+        let before = t.stats().walks;
+        t.translate(VirtAddr::new(0), Time::ZERO, &mut m);
+        assert_eq!(t.stats().walks, before + 1);
+    }
+
+    #[test]
+    fn walk_issues_memory_reads() {
+        let mut t = tlb();
+        let mut m = mem();
+        t.translate(VirtAddr::new(0x5000), Time::ZERO, &mut m);
+        assert_eq!(
+            m.counters().bus_reads as u32,
+            TlbConfig::tiny_for_tests().walk_memory_accesses
+        );
+    }
+
+    #[test]
+    fn pretranslation_skips_the_walk() {
+        let mut t = tlb();
+        let mut m = mem();
+        let next_page = VirtAddr::new(0x7000);
+        t.install_pretranslation(next_page.page_index(), Time::ZERO);
+        let a = t.translate(next_page, Time::ZERO, &mut m);
+        assert!(!a.walked);
+        assert_eq!(a.cycles, 0);
+        assert_eq!(t.stats().pretranslated, 1);
+        assert_eq!(t.stats().walks, 0);
+    }
+
+    #[test]
+    fn translation_is_deterministic() {
+        let mut t = tlb();
+        let mut m = mem();
+        let a = t.translate(VirtAddr::new(0x1234), Time::ZERO, &mut m);
+        let b = t.translate(VirtAddr::new(0x1234), Time::ZERO, &mut m);
+        assert_eq!(a.paddr, b.paddr);
+        assert_eq!(a.paddr, Addr::new(0x1234));
+    }
+}

@@ -1,0 +1,171 @@
+//! The instruction-trace vocabulary shared by the CPU model and the
+//! workload generators.
+
+use nvsim_types::VirtAddr;
+use serde::{Deserialize, Serialize};
+
+/// Classification of a trace operation for CPI attribution (Fig 12a
+/// groups cycles into "Read" vs "Rest").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Loads (including marked pointer-chasing loads).
+    Read,
+    /// Stores, flushes, fences.
+    Write,
+    /// Pure compute.
+    Compute,
+}
+
+/// One operation of an instruction trace.
+///
+/// Memory operations carry virtual addresses; the CPU model translates
+/// them through its TLB/page-table machinery before touching the caches
+/// and the memory backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceOp {
+    /// `n` non-memory instructions retiring at the core's base rate.
+    Compute {
+        /// Number of instructions.
+        n: u32,
+    },
+    /// A 64 B load.
+    Load {
+        /// Virtual address.
+        vaddr: VirtAddr,
+        /// True if this load's result feeds the next load's address
+        /// (pointer chasing): it cannot overlap with younger memory ops.
+        dependent: bool,
+        /// True if software marked this load with `mkpt`
+        /// (Pre-translation case study).
+        mkpt: bool,
+    },
+    /// A 64 B store.
+    Store {
+        /// Virtual address.
+        vaddr: VirtAddr,
+        /// True for a non-temporal store.
+        non_temporal: bool,
+    },
+    /// A `clwb` of the line containing `vaddr`.
+    Clwb {
+        /// Virtual address.
+        vaddr: VirtAddr,
+    },
+    /// An `mfence`/`sfence`.
+    Fence,
+}
+
+impl TraceOp {
+    /// A compute burst of `n` instructions.
+    pub fn compute(n: u32) -> Self {
+        TraceOp::Compute { n }
+    }
+
+    /// A plain independent load.
+    pub fn load(vaddr: VirtAddr) -> Self {
+        TraceOp::Load {
+            vaddr,
+            dependent: false,
+            mkpt: false,
+        }
+    }
+
+    /// A dependent (pointer-chasing) load.
+    pub fn chase(vaddr: VirtAddr) -> Self {
+        TraceOp::Load {
+            vaddr,
+            dependent: true,
+            mkpt: false,
+        }
+    }
+
+    /// A dependent load marked with `mkpt`.
+    pub fn chase_mkpt(vaddr: VirtAddr) -> Self {
+        TraceOp::Load {
+            vaddr,
+            dependent: true,
+            mkpt: true,
+        }
+    }
+
+    /// A plain store.
+    pub fn store(vaddr: VirtAddr) -> Self {
+        TraceOp::Store {
+            vaddr,
+            non_temporal: false,
+        }
+    }
+
+    /// A non-temporal store.
+    pub fn nt_store(vaddr: VirtAddr) -> Self {
+        TraceOp::Store {
+            vaddr,
+            non_temporal: true,
+        }
+    }
+
+    /// Number of retired instructions this op represents.
+    pub fn instructions(&self) -> u64 {
+        match self {
+            TraceOp::Compute { n } => *n as u64,
+            _ => 1,
+        }
+    }
+
+    /// The op's attribution class.
+    pub fn class(&self) -> OpClass {
+        match self {
+            TraceOp::Load { .. } => OpClass::Read,
+            TraceOp::Store { .. } | TraceOp::Clwb { .. } | TraceOp::Fence => OpClass::Write,
+            TraceOp::Compute { .. } => OpClass::Compute,
+        }
+    }
+
+    /// The virtual address touched, if any.
+    pub fn vaddr(&self) -> Option<VirtAddr> {
+        match self {
+            TraceOp::Load { vaddr, .. }
+            | TraceOp::Store { vaddr, .. }
+            | TraceOp::Clwb { vaddr } => Some(*vaddr),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_classes() {
+        assert_eq!(TraceOp::compute(5).instructions(), 5);
+        assert_eq!(TraceOp::compute(5).class(), OpClass::Compute);
+        assert_eq!(TraceOp::load(VirtAddr::new(0)).class(), OpClass::Read);
+        assert_eq!(TraceOp::store(VirtAddr::new(0)).class(), OpClass::Write);
+        assert_eq!(TraceOp::Fence.class(), OpClass::Write);
+        assert_eq!(TraceOp::Fence.instructions(), 1);
+    }
+
+    #[test]
+    fn chase_flags() {
+        match TraceOp::chase_mkpt(VirtAddr::new(64)) {
+            TraceOp::Load {
+                dependent, mkpt, ..
+            } => {
+                assert!(dependent);
+                assert!(mkpt);
+            }
+            _ => panic!("not a load"),
+        }
+    }
+
+    #[test]
+    fn vaddr_extraction() {
+        assert_eq!(
+            TraceOp::load(VirtAddr::new(0x40)).vaddr(),
+            Some(VirtAddr::new(0x40))
+        );
+        assert_eq!(TraceOp::Fence.vaddr(), None);
+        assert_eq!(TraceOp::compute(1).vaddr(), None);
+    }
+}

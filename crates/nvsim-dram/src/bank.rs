@@ -1,0 +1,145 @@
+//! Per-bank and per-rank timing state machines.
+
+use nvsim_types::Time;
+
+/// State of one DRAM bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BankState {
+    /// All rows closed; an ACT may be issued once `next_act` is reached.
+    Precharged,
+    /// A row is open and column commands may target it.
+    Active {
+        /// The open row.
+        row: u32,
+    },
+}
+
+/// Timing bookkeeping for a single bank.
+///
+/// Each field holds the earliest time the named command may *issue*;
+/// the model takes maxima across bank, rank and channel constraints.
+#[derive(Debug, Clone)]
+pub struct Bank {
+    /// Current row-buffer state.
+    pub state: BankState,
+    /// Earliest allowed ACT.
+    pub next_act: Time,
+    /// Earliest allowed RD.
+    pub next_read: Time,
+    /// Earliest allowed WR.
+    pub next_write: Time,
+    /// Earliest allowed PRE.
+    pub next_pre: Time,
+    /// Issue time of the most recent ACT (for tRAS/tRC accounting).
+    pub last_act: Time,
+    /// Row-buffer hit statistics.
+    pub row_hits: u64,
+    /// Row-buffer miss (conflict or closed) statistics.
+    pub row_misses: u64,
+}
+
+impl Default for Bank {
+    fn default() -> Self {
+        Bank {
+            state: BankState::Precharged,
+            next_act: Time::ZERO,
+            next_read: Time::ZERO,
+            next_write: Time::ZERO,
+            next_pre: Time::ZERO,
+            last_act: Time::ZERO,
+            row_hits: 0,
+            row_misses: 0,
+        }
+    }
+}
+
+impl Bank {
+    /// True if `row` is currently open in this bank.
+    pub fn row_open(&self, row: u32) -> bool {
+        matches!(self.state, BankState::Active { row: r } if r == row)
+    }
+}
+
+/// Per-rank constraint tracking: the rolling four-activate window (tFAW)
+/// and the earliest next ACT due to tRRD.
+#[derive(Debug, Clone, Default)]
+pub struct RankWindow {
+    /// Issue times of the four most recent ACTs, oldest first.
+    act_times: Vec<Time>,
+    /// Earliest next ACT anywhere in the rank (tRRD).
+    pub next_act_rank: Time,
+    /// Earliest next command of any kind (post-refresh block).
+    pub next_any: Time,
+}
+
+impl RankWindow {
+    /// Earliest time a new ACT satisfies tFAW, given the window.
+    pub fn faw_constraint(&self, tfaw: Time) -> Time {
+        if self.act_times.len() < 4 {
+            Time::ZERO
+        } else {
+            self.act_times[self.act_times.len() - 4] + tfaw
+        }
+    }
+
+    /// Records an ACT issue.
+    pub fn record_act(&mut self, at: Time) {
+        self.act_times.push(at);
+        if self.act_times.len() > 8 {
+            self.act_times.drain(..4);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_bank_is_precharged() {
+        let b = Bank::default();
+        assert_eq!(b.state, BankState::Precharged);
+        assert!(!b.row_open(0));
+    }
+
+    #[test]
+    fn row_open_matches_exact_row() {
+        let mut b = Bank::default();
+        b.state = BankState::Active { row: 7 };
+        assert!(b.row_open(7));
+        assert!(!b.row_open(8));
+    }
+
+    #[test]
+    fn faw_empty_window_unconstrained() {
+        let w = RankWindow::default();
+        assert_eq!(w.faw_constraint(Time::from_ns(30)), Time::ZERO);
+    }
+
+    #[test]
+    fn faw_fourth_act_constrained_by_first() {
+        let mut w = RankWindow::default();
+        for i in 0..4 {
+            w.record_act(Time::from_ns(10 * i));
+        }
+        // Fifth ACT must wait until first ACT + tFAW.
+        assert_eq!(
+            w.faw_constraint(Time::from_ns(35)),
+            Time::from_ns(0) + Time::from_ns(35)
+        );
+        w.record_act(Time::from_ns(40));
+        // Now the window is ACTs at 10,20,30,40 -> constraint 10+35=45.
+        assert_eq!(w.faw_constraint(Time::from_ns(35)), Time::from_ns(45));
+    }
+
+    #[test]
+    fn act_window_is_bounded() {
+        let mut w = RankWindow::default();
+        for i in 0..100 {
+            w.record_act(Time::from_ns(i));
+        }
+        assert!(w.act_times.len() <= 8);
+        // Still correct: last four ACTs are 96..=99 -> constraint from t=96.
+        assert_eq!(w.faw_constraint(Time::from_ns(10)), Time::from_ns(106));
+    }
+}

@@ -1,0 +1,487 @@
+//! DDR protocol checker.
+//!
+//! The paper verifies its on-DIMM DRAM model by feeding command traces to
+//! Micron's DDR4 Verilog model under a Cadence toolchain and confirming
+//! that "our model does not generate any illegal DDR4 command" (§IV-B).
+//! Without that proprietary flow, this module provides the equivalent
+//! property check in Rust: replay a [`CommandRecord`] trace and verify
+//! every inter-command timing constraint and state-machine legality rule.
+
+use crate::command::{CommandKind, CommandRecord};
+use crate::config::DramConfig;
+use nvsim_types::Time;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A protocol violation found in a command trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Index of the offending command in the trace.
+    pub index: usize,
+    /// The offending command.
+    pub command: CommandRecord,
+    /// The rule that was broken (e.g. "tRCD").
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "command #{} ({}) violates {}: {}",
+            self.index, self.command, self.rule, self.detail
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum RowState {
+    Closed,
+    Open(u32),
+}
+
+#[derive(Debug, Clone)]
+struct BankCheck {
+    state: RowState,
+    last_act: Option<Time>,
+    last_pre: Option<Time>,
+    last_col: Option<Time>,
+    last_write_end: Option<Time>,
+    last_read: Option<Time>,
+}
+
+impl Default for BankCheck {
+    fn default() -> Self {
+        BankCheck {
+            state: RowState::Closed,
+            last_act: None,
+            last_pre: None,
+            last_col: None,
+            last_write_end: None,
+            last_read: None,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct RankCheck {
+    acts: Vec<Time>,
+    last_refresh_end: Option<Time>,
+}
+
+/// Replays DRAM command traces and reports every timing/state violation.
+///
+/// # Example
+///
+/// ```
+/// use nvsim_dram::{DramConfig, DramModel, ProtocolChecker};
+/// use nvsim_types::{Addr, Time};
+///
+/// let mut cfg = DramConfig::ddr4_2666_4gb();
+/// cfg.record_commands = true;
+/// let mut dram = DramModel::new(cfg.clone())?;
+/// let mut now = Time::ZERO;
+/// for i in 0..64 {
+///     now = dram.access(Addr::new(i * 64 * 7919), i % 3 == 0, now);
+/// }
+/// let checker = ProtocolChecker::new(cfg);
+/// assert!(checker.check(dram.trace()).is_empty());
+/// # Ok::<(), nvsim_types::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProtocolChecker {
+    cfg: DramConfig,
+}
+
+impl ProtocolChecker {
+    /// Creates a checker for the given device configuration.
+    pub fn new(cfg: DramConfig) -> Self {
+        ProtocolChecker { cfg }
+    }
+
+    fn clocks(&self, n: u32) -> Time {
+        self.cfg.clock().period() * n as u64
+    }
+
+    /// Checks a trace, returning all violations (empty = legal trace).
+    ///
+    /// The trace must be sorted by issue time; out-of-order records are
+    /// themselves reported as violations.
+    pub fn check(&self, trace: &[CommandRecord]) -> Vec<Violation> {
+        let t = self.cfg.timings;
+        let trcd = self.clocks(t.trcd);
+        let trp = self.clocks(t.trp);
+        let tras = self.clocks(t.tras);
+        let trc = self.clocks(t.trc);
+        let tccd_s = self.clocks(t.tccd_s);
+        let tfaw = self.clocks(t.tfaw);
+        let twr = self.clocks(t.twr);
+        let trtp = self.clocks(t.trtp);
+        let trfc = self.clocks(t.trfc);
+        let cwl = self.clocks(t.cwl);
+        let burst = self.clocks(t.burst_cycles);
+
+        let mut banks: HashMap<(u32, u32, u32, u32), BankCheck> = HashMap::new();
+        let mut ranks: HashMap<(u32, u32), RankCheck> = HashMap::new();
+        let mut violations = Vec::new();
+        let mut last_time: Option<Time> = None;
+
+        for (i, &cmd) in trace.iter().enumerate() {
+            if let Some(prev) = last_time {
+                if cmd.at < prev {
+                    violations.push(Violation {
+                        index: i,
+                        command: cmd,
+                        rule: "monotonicity",
+                        detail: format!("issue time {} precedes previous {}", cmd.at, prev),
+                    });
+                }
+            }
+            last_time = Some(cmd.at.max(last_time.unwrap_or(Time::ZERO)));
+
+            let rank_key = (cmd.channel, cmd.rank);
+            let rank = ranks.entry(rank_key).or_default();
+
+            // Post-refresh blackout applies to every command on the rank.
+            if let Some(refresh_end) = rank.last_refresh_end {
+                if cmd.at < refresh_end && cmd.kind != CommandKind::Refresh {
+                    violations.push(Violation {
+                        index: i,
+                        command: cmd,
+                        rule: "tRFC",
+                        detail: format!(
+                            "command at {} during refresh blackout ending {}",
+                            cmd.at, refresh_end
+                        ),
+                    });
+                }
+            }
+
+            match cmd.kind {
+                CommandKind::Refresh => {
+                    // All banks of the rank must be precharged.
+                    for ((ch, r, _, _), bank) in banks.iter() {
+                        if *ch == cmd.channel && *r == cmd.rank {
+                            if let RowState::Open(row) = bank.state {
+                                violations.push(Violation {
+                                    index: i,
+                                    command: cmd,
+                                    rule: "REF-precharged",
+                                    detail: format!("row {row} open during refresh"),
+                                });
+                            }
+                        }
+                    }
+                    rank.last_refresh_end = Some(cmd.at + trfc);
+                }
+                CommandKind::Activate => {
+                    let bank_key = (cmd.channel, cmd.rank, cmd.bank_group, cmd.bank);
+                    let bank = banks.entry(bank_key).or_default();
+                    if let RowState::Open(row) = bank.state {
+                        violations.push(Violation {
+                            index: i,
+                            command: cmd,
+                            rule: "ACT-closed",
+                            detail: format!("bank already has row {row} open"),
+                        });
+                    }
+                    if let Some(pre) = bank.last_pre {
+                        if cmd.at < pre + trp {
+                            violations.push(Violation {
+                                index: i,
+                                command: cmd,
+                                rule: "tRP",
+                                detail: format!("ACT at {} < PRE {} + tRP {}", cmd.at, pre, trp),
+                            });
+                        }
+                    }
+                    if let Some(act) = bank.last_act {
+                        if cmd.at < act + trc {
+                            violations.push(Violation {
+                                index: i,
+                                command: cmd,
+                                rule: "tRC",
+                                detail: format!(
+                                    "ACT at {} < previous ACT {} + tRC {}",
+                                    cmd.at, act, trc
+                                ),
+                            });
+                        }
+                    }
+                    // tFAW over the rank.
+                    if rank.acts.len() >= 4 {
+                        let window_start = rank.acts[rank.acts.len() - 4];
+                        if cmd.at < window_start + tfaw {
+                            violations.push(Violation {
+                                index: i,
+                                command: cmd,
+                                rule: "tFAW",
+                                detail: format!(
+                                    "5th ACT at {} within tFAW window from {}",
+                                    cmd.at, window_start
+                                ),
+                            });
+                        }
+                    }
+                    rank.acts.push(cmd.at);
+                    if rank.acts.len() > 16 {
+                        rank.acts.drain(..8);
+                    }
+                    bank.state = RowState::Open(cmd.row);
+                    bank.last_act = Some(cmd.at);
+                }
+                CommandKind::Read | CommandKind::Write => {
+                    let bank_key = (cmd.channel, cmd.rank, cmd.bank_group, cmd.bank);
+                    let bank = banks.entry(bank_key).or_default();
+                    match bank.state {
+                        RowState::Closed => violations.push(Violation {
+                            index: i,
+                            command: cmd,
+                            rule: "COL-open-row",
+                            detail: "column command to a precharged bank".to_owned(),
+                        }),
+                        RowState::Open(_) => {}
+                    }
+                    if let Some(act) = bank.last_act {
+                        if cmd.at < act + trcd {
+                            violations.push(Violation {
+                                index: i,
+                                command: cmd,
+                                rule: "tRCD",
+                                detail: format!(
+                                    "column command at {} < ACT {} + tRCD {}",
+                                    cmd.at, act, trcd
+                                ),
+                            });
+                        }
+                    }
+                    if let Some(col) = bank.last_col {
+                        if cmd.at < col + tccd_s {
+                            violations.push(Violation {
+                                index: i,
+                                command: cmd,
+                                rule: "tCCD",
+                                detail: format!(
+                                    "column command at {} < previous column {} + tCCD {}",
+                                    cmd.at, col, tccd_s
+                                ),
+                            });
+                        }
+                    }
+                    bank.last_col = Some(cmd.at);
+                    if cmd.kind == CommandKind::Write {
+                        bank.last_write_end = Some(cmd.at + cwl + burst);
+                    } else {
+                        bank.last_read = Some(cmd.at);
+                    }
+                }
+                CommandKind::Precharge => {
+                    let bank_key = (cmd.channel, cmd.rank, cmd.bank_group, cmd.bank);
+                    let bank = banks.entry(bank_key).or_default();
+                    if let Some(act) = bank.last_act {
+                        if cmd.at < act + tras {
+                            violations.push(Violation {
+                                index: i,
+                                command: cmd,
+                                rule: "tRAS",
+                                detail: format!("PRE at {} < ACT {} + tRAS {}", cmd.at, act, tras),
+                            });
+                        }
+                    }
+                    if let Some(wend) = bank.last_write_end {
+                        if cmd.at < wend + twr {
+                            violations.push(Violation {
+                                index: i,
+                                command: cmd,
+                                rule: "tWR",
+                                detail: format!(
+                                    "PRE at {} < write data end {} + tWR {}",
+                                    cmd.at, wend, twr
+                                ),
+                            });
+                        }
+                    }
+                    if let Some(rd) = bank.last_read {
+                        if cmd.at < rd + trtp {
+                            violations.push(Violation {
+                                index: i,
+                                command: cmd,
+                                rule: "tRTP",
+                                detail: format!("PRE at {} < RD {} + tRTP {}", cmd.at, rd, trtp),
+                            });
+                        }
+                    }
+                    bank.state = RowState::Closed;
+                    bank.last_pre = Some(cmd.at);
+                }
+            }
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::DramModel;
+    use nvsim_types::Addr;
+
+    fn cfg() -> DramConfig {
+        let mut cfg = DramConfig::ddr4_2666_4gb();
+        cfg.record_commands = true;
+        cfg
+    }
+
+    fn cmd(at_ns: u64, kind: CommandKind, row: u32) -> CommandRecord {
+        CommandRecord {
+            at: Time::from_ns(at_ns),
+            kind,
+            channel: 0,
+            rank: 0,
+            bank_group: 0,
+            bank: 0,
+            row,
+            column: 0,
+        }
+    }
+
+    #[test]
+    fn model_trace_is_legal_random_mix() {
+        let mut c = cfg();
+        c.refresh_enabled = false;
+        let mut m = DramModel::new(c.clone()).unwrap();
+        let mut now = Time::ZERO;
+        let mut x = 0x12345u64;
+        for i in 0..2_000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let addr = Addr::new((x >> 16) % (1 << 30));
+            now = m.access(addr, i % 4 == 1, now);
+        }
+        let violations = ProtocolChecker::new(c).check(m.trace());
+        assert!(violations.is_empty(), "first violation: {}", violations[0]);
+    }
+
+    #[test]
+    fn model_trace_is_legal_with_refresh() {
+        let c = cfg();
+        let mut m = DramModel::new(c.clone()).unwrap();
+        let mut now = Time::ZERO;
+        for i in 0..2_000u64 {
+            now = m.access(Addr::new(i * 64 * 131), i % 3 == 0, now);
+            // Spread accesses so several refresh intervals elapse.
+            now += Time::from_ns(50);
+        }
+        let violations = ProtocolChecker::new(c).check(m.trace());
+        assert!(violations.is_empty(), "first violation: {}", violations[0]);
+    }
+
+    #[test]
+    fn detects_trcd_violation() {
+        let c = cfg();
+        let trace = vec![
+            cmd(0, CommandKind::Activate, 5),
+            cmd(1, CommandKind::Read, 0), // way before tRCD (19 ck ~ 14ns)
+        ];
+        let v = ProtocolChecker::new(c).check(&trace);
+        assert!(v.iter().any(|v| v.rule == "tRCD"), "{v:?}");
+    }
+
+    #[test]
+    fn detects_column_to_closed_bank() {
+        let c = cfg();
+        let trace = vec![cmd(0, CommandKind::Read, 0)];
+        let v = ProtocolChecker::new(c).check(&trace);
+        assert!(v.iter().any(|v| v.rule == "COL-open-row"));
+    }
+
+    #[test]
+    fn detects_act_to_open_bank() {
+        let c = cfg();
+        let trace = vec![
+            cmd(0, CommandKind::Activate, 1),
+            cmd(1_000, CommandKind::Activate, 2),
+        ];
+        let v = ProtocolChecker::new(c).check(&trace);
+        assert!(v.iter().any(|v| v.rule == "ACT-closed"));
+    }
+
+    #[test]
+    fn detects_tras_violation() {
+        let c = cfg();
+        let trace = vec![
+            cmd(0, CommandKind::Activate, 1),
+            cmd(5, CommandKind::Precharge, 0), // tRAS = 43 ck ~ 32ns
+        ];
+        let v = ProtocolChecker::new(c).check(&trace);
+        assert!(v.iter().any(|v| v.rule == "tRAS"));
+    }
+
+    #[test]
+    fn detects_trp_violation() {
+        let c = cfg();
+        let trace = vec![
+            cmd(0, CommandKind::Activate, 1),
+            cmd(100, CommandKind::Precharge, 0),
+            cmd(101, CommandKind::Activate, 2), // tRP = 19 ck ~ 14ns
+        ];
+        let v = ProtocolChecker::new(c).check(&trace);
+        assert!(v.iter().any(|v| v.rule == "tRP"));
+    }
+
+    #[test]
+    fn detects_tfaw_violation() {
+        let c = cfg();
+        let mut trace = Vec::new();
+        // 5 ACTs to different banks 1ns apart: violates tFAW (~21ns).
+        for b in 0..5 {
+            trace.push(CommandRecord {
+                at: Time::from_ns(b as u64),
+                kind: CommandKind::Activate,
+                channel: 0,
+                rank: 0,
+                bank_group: b / 4,
+                bank: b % 4,
+                row: 0,
+                column: 0,
+            });
+        }
+        let v = ProtocolChecker::new(c).check(&trace);
+        assert!(v.iter().any(|v| v.rule == "tFAW"));
+    }
+
+    #[test]
+    fn detects_refresh_with_open_row() {
+        let c = cfg();
+        let trace = vec![
+            cmd(0, CommandKind::Activate, 1),
+            cmd(100, CommandKind::Refresh, 0),
+        ];
+        let v = ProtocolChecker::new(c).check(&trace);
+        assert!(v.iter().any(|v| v.rule == "REF-precharged"));
+    }
+
+    #[test]
+    fn detects_out_of_order_trace() {
+        let c = cfg();
+        let trace = vec![
+            cmd(100, CommandKind::Activate, 1),
+            cmd(50, CommandKind::Precharge, 0),
+        ];
+        let v = ProtocolChecker::new(c).check(&trace);
+        assert!(v.iter().any(|v| v.rule == "monotonicity"));
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let c = cfg();
+        let trace = vec![cmd(0, CommandKind::Read, 0)];
+        let v = ProtocolChecker::new(c).check(&trace);
+        let msg = v[0].to_string();
+        assert!(msg.contains("COL-open-row"));
+        assert!(msg.contains("command #0"));
+    }
+}

@@ -1,0 +1,110 @@
+//! DRAM command vocabulary and command-trace records.
+
+use nvsim_types::Time;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A DRAM device command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommandKind {
+    /// Open a row in a bank.
+    Activate,
+    /// Column read from the open row.
+    Read,
+    /// Column write to the open row.
+    Write,
+    /// Close the open row of a bank.
+    Precharge,
+    /// All-bank refresh for a rank.
+    Refresh,
+}
+
+impl CommandKind {
+    /// Short mnemonic used in trace output ("ACT", "RD", ...).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CommandKind::Activate => "ACT",
+            CommandKind::Read => "RD",
+            CommandKind::Write => "WR",
+            CommandKind::Precharge => "PRE",
+            CommandKind::Refresh => "REF",
+        }
+    }
+}
+
+impl fmt::Display for CommandKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// One entry of a DRAM command trace: what was issued, where, and when.
+///
+/// The protocol checker consumes a sequence of these; the [`crate::DramModel`]
+/// produces them when `record_commands` is enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommandRecord {
+    /// Issue time of the command on the command bus.
+    pub at: Time,
+    /// The command.
+    pub kind: CommandKind,
+    /// Channel index.
+    pub channel: u32,
+    /// Rank index.
+    pub rank: u32,
+    /// Bank group index (0 on DDR3-style devices).
+    pub bank_group: u32,
+    /// Bank index within the group. Ignored for [`CommandKind::Refresh`].
+    pub bank: u32,
+    /// Row for [`CommandKind::Activate`]; 0 otherwise.
+    pub row: u32,
+    /// Column for read/write; 0 otherwise.
+    pub column: u32,
+}
+
+impl fmt::Display for CommandRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} ch{} r{} bg{} b{} row{} col{}",
+            self.at,
+            self.kind,
+            self.channel,
+            self.rank,
+            self.bank_group,
+            self.bank,
+            self.row,
+            self.column
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonics() {
+        assert_eq!(CommandKind::Activate.mnemonic(), "ACT");
+        assert_eq!(CommandKind::Refresh.to_string(), "REF");
+    }
+
+    #[test]
+    fn record_display_contains_coordinates() {
+        let r = CommandRecord {
+            at: Time::from_ns(10),
+            kind: CommandKind::Read,
+            channel: 1,
+            rank: 0,
+            bank_group: 2,
+            bank: 3,
+            row: 0,
+            column: 17,
+        };
+        let s = r.to_string();
+        assert!(s.contains("RD"));
+        assert!(s.contains("ch1"));
+        assert!(s.contains("bg2"));
+        assert!(s.contains("col17"));
+    }
+}

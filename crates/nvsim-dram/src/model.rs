@@ -1,0 +1,533 @@
+//! The DRAM timing engine.
+//!
+//! [`DramModel`] is a stateful timing calculator in the style of fast DRAM
+//! simulators: each access is resolved into the command sequence it needs
+//! (PRE?/ACT?/RD|WR), the issue time of each command is the maximum over
+//! all bank/rank/channel constraints, bank state is updated, and the
+//! data-available time is returned. Because all constraint windows are kept
+//! as "earliest next allowed" timestamps, the model is exact for the
+//! modeled constraint set while remaining O(1) per access.
+
+use crate::bank::{Bank, BankState, RankWindow};
+use crate::command::{CommandKind, CommandRecord};
+use crate::config::{DramConfig, SchedulerPolicy};
+use crate::mapping::{AddressMapping, DecodedAddr};
+use nvsim_types::{Addr, ConfigError, Time};
+
+/// Aggregate statistics exposed by the DRAM model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Total read accesses.
+    pub reads: u64,
+    /// Total write accesses.
+    pub writes: u64,
+    /// Row-buffer hits.
+    pub row_hits: u64,
+    /// Row-buffer misses (closed row or conflict).
+    pub row_misses: u64,
+    /// Refresh commands issued.
+    pub refreshes: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Channel {
+    banks: Vec<Bank>,
+    ranks: Vec<RankWindow>,
+    /// Earliest time the shared data bus is free.
+    data_bus_free: Time,
+    /// Earliest time the command bus is free.
+    cmd_bus_free: Time,
+    /// End of the most recent write burst (for tWTR).
+    last_write_data_end: Time,
+    /// Next scheduled refresh.
+    next_refresh: Time,
+}
+
+/// A cycle-level DRAM timing model.
+///
+/// # Example
+///
+/// ```
+/// use nvsim_dram::{DramConfig, DramModel};
+/// use nvsim_types::{Addr, Time};
+///
+/// let mut dram = DramModel::new(DramConfig::ddr4_2666_4gb())?;
+/// // Row miss: ACT + RD; ~ tRCD + CL + burst.
+/// let t1 = dram.access(Addr::new(0), false, Time::ZERO);
+/// // Row hit right after: much faster.
+/// let t2 = dram.access(Addr::new(4 * 64), false, t1);
+/// assert!(t2 - t1 < t1 - Time::ZERO);
+/// # Ok::<(), nvsim_types::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DramModel {
+    cfg: DramConfig,
+    mapping: AddressMapping,
+    channels: Vec<Channel>,
+    stats: DramStats,
+    trace: Vec<CommandRecord>,
+    tck: Time,
+}
+
+impl DramModel {
+    /// Builds a model from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration validation error, if any.
+    pub fn new(cfg: DramConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let tck = cfg.clock().period();
+        let org = cfg.organization;
+        let refresh_start = tck * cfg.timings.trefi as u64;
+        let channels = (0..org.channels)
+            .map(|_| Channel {
+                banks: vec![Bank::default(); (org.ranks * org.banks_per_rank()) as usize],
+                ranks: vec![RankWindow::default(); org.ranks as usize],
+                data_bus_free: Time::ZERO,
+                cmd_bus_free: Time::ZERO,
+                last_write_data_end: Time::ZERO,
+                next_refresh: refresh_start,
+            })
+            .collect();
+        let mapping = AddressMapping::standard(&org);
+        Ok(DramModel {
+            cfg,
+            mapping,
+            channels,
+            stats: DramStats::default(),
+            trace: Vec::new(),
+            tck,
+        })
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// Replaces the address mapping (must target the same organization).
+    pub fn set_mapping(&mut self, mapping: AddressMapping) {
+        self.mapping = mapping;
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> DramStats {
+        self.stats
+    }
+
+    /// The recorded command trace (empty unless `record_commands` is set).
+    pub fn trace(&self) -> &[CommandRecord] {
+        &self.trace
+    }
+
+    /// Clears the recorded command trace.
+    pub fn clear_trace(&mut self) {
+        self.trace.clear();
+    }
+
+    /// Scheduler policy in effect.
+    pub fn scheduler(&self) -> SchedulerPolicy {
+        self.cfg.scheduler
+    }
+
+    fn clocks(&self, n: u32) -> Time {
+        self.tck * n as u64
+    }
+
+    fn record(&mut self, at: Time, kind: CommandKind, ch: u32, d: &DecodedAddr) {
+        if self.cfg.record_commands {
+            // Refreshes are evaluated lazily and may be recorded after
+            // commands with later issue times; keep the trace time-sorted.
+            let rec = CommandRecord {
+                at,
+                kind,
+                channel: ch,
+                rank: d.rank,
+                bank_group: d.bank_group,
+                bank: d.bank,
+                row: if kind == CommandKind::Activate {
+                    d.row
+                } else {
+                    0
+                },
+                column: match kind {
+                    CommandKind::Read | CommandKind::Write => d.column,
+                    _ => 0,
+                },
+            };
+            let pos = self
+                .trace
+                .iter()
+                .rposition(|c| c.at <= rec.at)
+                .map_or(0, |p| p + 1);
+            self.trace.insert(pos, rec);
+        }
+    }
+
+    /// Performs any refreshes due at or before `now` on the channel.
+    fn maybe_refresh(&mut self, ch_idx: usize, now: Time) {
+        if !self.cfg.refresh_enabled {
+            return;
+        }
+        let trefi = self.clocks(self.cfg.timings.trefi);
+        let trfc = self.clocks(self.cfg.timings.trfc);
+        let trp = self.clocks(self.cfg.timings.trp);
+        loop {
+            let due = self.channels[ch_idx].next_refresh;
+            if due > now {
+                break;
+            }
+            // Precharge all banks (implicitly; banks must be idle for REF),
+            // then block the rank for tRFC.
+            let org = self.cfg.organization;
+            for rank in 0..org.ranks {
+                // Precharge every open bank first (the implicit PREA),
+                // emitting the PRE commands so the trace stays legal.
+                let mut start = due;
+                let mut pres: Vec<(Time, DecodedAddr)> = Vec::new();
+                {
+                    let chan = &mut self.channels[ch_idx];
+                    for b in 0..org.banks_per_rank() {
+                        let flat = (rank * org.banks_per_rank() + b) as usize;
+                        let bank = &mut chan.banks[flat];
+                        if matches!(bank.state, BankState::Active { .. }) {
+                            let pre_at = due.max(bank.next_pre);
+                            bank.state = BankState::Precharged;
+                            bank.next_act = bank.next_act.max(pre_at + trp);
+                            start = start.max(pre_at + trp);
+                            pres.push((
+                                pre_at,
+                                DecodedAddr {
+                                    rank,
+                                    bank_group: b / org.banks_per_group,
+                                    bank: b % org.banks_per_group,
+                                    ..Default::default()
+                                },
+                            ));
+                        }
+                    }
+                }
+                for (pre_at, d) in pres {
+                    self.record(pre_at, CommandKind::Precharge, ch_idx as u32, &d);
+                }
+                let end = start + trfc;
+                let chan = &mut self.channels[ch_idx];
+                for b in 0..org.banks_per_rank() {
+                    let bank = &mut chan.banks[(rank * org.banks_per_rank() + b) as usize];
+                    bank.state = BankState::Precharged;
+                    bank.next_act = bank.next_act.max(end);
+                }
+                chan.ranks[rank as usize].next_any = chan.ranks[rank as usize].next_any.max(end);
+                let rec = DecodedAddr {
+                    rank,
+                    ..Default::default()
+                };
+                self.record(start, CommandKind::Refresh, ch_idx as u32, &rec);
+                self.stats.refreshes += 1;
+            }
+            self.channels[ch_idx].next_refresh = due + trefi;
+        }
+    }
+
+    /// Simulates one access of `cfg.organization.access_bytes` bytes.
+    ///
+    /// `earliest` is the first moment the request may occupy the channel
+    /// (its arrival at the device). Returns the time the data transfer
+    /// completes (read: data at the pins; write: data written into the
+    /// sense amps — write recovery is accounted for in subsequent
+    /// constraint windows, as on real devices).
+    pub fn access(&mut self, addr: Addr, is_write: bool, earliest: Time) -> Time {
+        let d = self.mapping.decode(addr);
+        self.access_decoded(&d, is_write, earliest)
+    }
+
+    /// Like [`access`](Self::access) but takes pre-decoded coordinates.
+    pub fn access_decoded(&mut self, d: &DecodedAddr, is_write: bool, earliest: Time) -> Time {
+        let t = self.cfg.timings;
+        let ch_idx = d.channel as usize;
+        self.maybe_refresh(ch_idx, earliest);
+
+        let org = self.cfg.organization;
+        let flat = d.flat_bank(&org);
+        let trp = self.clocks(t.trp);
+        let trcd = self.clocks(t.trcd);
+        let tras = self.clocks(t.tras);
+        let trc = self.clocks(t.trc);
+        let cl = self.clocks(t.cl);
+        let cwl = self.clocks(t.cwl);
+        let burst = self.clocks(t.burst_cycles);
+        let twr = self.clocks(t.twr);
+        let trtp = self.clocks(t.trtp);
+        let tccd = self.clocks(t.tccd_l);
+        let trrd = self.clocks(t.trrd_l);
+        let twtr = self.clocks(t.twtr_l);
+        let tfaw = self.clocks(t.tfaw);
+        let one_ck = self.tck;
+
+        // Split-borrow the channel once.
+        let hit = {
+            let chan = &self.channels[ch_idx];
+            chan.banks[flat].row_open(d.row)
+        };
+
+        if is_write {
+            self.stats.writes += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+
+        let mut cursor = earliest;
+        if !hit {
+            // Row conflict: precharge first if another row is open.
+            let need_pre = {
+                let bank = &self.channels[ch_idx].banks[flat];
+                matches!(bank.state, BankState::Active { .. })
+            };
+            if need_pre {
+                let (pre_at, rec_d) = {
+                    let chan = &mut self.channels[ch_idx];
+                    let bank = &mut chan.banks[flat];
+                    let pre_at = cursor
+                        .max(bank.next_pre)
+                        .max(chan.cmd_bus_free)
+                        .max(chan.ranks[d.rank as usize].next_any);
+                    bank.state = BankState::Precharged;
+                    bank.next_act = bank.next_act.max(pre_at + trp);
+                    chan.cmd_bus_free = pre_at + one_ck;
+                    (pre_at, *d)
+                };
+                self.record(pre_at, CommandKind::Precharge, d.channel, &rec_d);
+                cursor = pre_at;
+            }
+            // Activate the target row.
+            let act_at = {
+                let chan = &mut self.channels[ch_idx];
+                let rank = &mut chan.ranks[d.rank as usize];
+                let bank = &mut chan.banks[flat];
+                let act_at = cursor
+                    .max(bank.next_act)
+                    .max(rank.next_act_rank)
+                    .max(rank.faw_constraint(tfaw))
+                    .max(rank.next_any)
+                    .max(chan.cmd_bus_free);
+                bank.state = BankState::Active { row: d.row };
+                bank.last_act = act_at;
+                bank.next_read = bank.next_read.max(act_at + trcd);
+                bank.next_write = bank.next_write.max(act_at + trcd);
+                bank.next_pre = bank.next_pre.max(act_at + tras);
+                bank.next_act = bank.next_act.max(act_at + trc);
+                bank.row_misses += 1;
+                rank.record_act(act_at);
+                rank.next_act_rank = rank.next_act_rank.max(act_at + trrd);
+                chan.cmd_bus_free = act_at + one_ck;
+                act_at
+            };
+            self.record(act_at, CommandKind::Activate, d.channel, d);
+            self.stats.row_misses += 1;
+            cursor = act_at;
+        } else {
+            let chan = &mut self.channels[ch_idx];
+            chan.banks[flat].row_hits += 1;
+            self.stats.row_hits += 1;
+        }
+
+        // Column command.
+        let (issue_at, data_done) = {
+            let chan = &mut self.channels[ch_idx];
+            let rank = &mut chan.ranks[d.rank as usize];
+            let bank = &mut chan.banks[flat];
+            let col_ready = if is_write {
+                bank.next_write
+            } else {
+                // tWTR: reads must wait after the end of write data.
+                bank.next_read.max(chan.last_write_data_end + twtr)
+            };
+            let issue_at = cursor
+                .max(col_ready)
+                .max(rank.next_any)
+                .max(chan.cmd_bus_free)
+                // The data bus must be free when our burst starts.
+                .max(
+                    chan.data_bus_free
+                        .saturating_sub(if is_write { cwl } else { cl }),
+                );
+            let latency = if is_write { cwl } else { cl };
+            let data_start = issue_at + latency;
+            let data_done = data_start + burst;
+            chan.cmd_bus_free = issue_at + one_ck;
+            chan.data_bus_free = chan.data_bus_free.max(data_done);
+            // Column-to-column spacing.
+            bank.next_read = bank.next_read.max(issue_at + tccd);
+            bank.next_write = bank.next_write.max(issue_at + tccd);
+            if is_write {
+                chan.last_write_data_end = chan.last_write_data_end.max(data_done);
+                // Write recovery gates precharge.
+                bank.next_pre = bank.next_pre.max(data_done + twr);
+            } else {
+                bank.next_pre = bank.next_pre.max(issue_at + trtp);
+            }
+            (issue_at, data_done)
+        };
+        self.record(
+            issue_at,
+            if is_write {
+                CommandKind::Write
+            } else {
+                CommandKind::Read
+            },
+            d.channel,
+            d,
+        );
+        data_done
+    }
+
+    /// Convenience: latency of a single isolated read from the idle state
+    /// starting at `earliest` (ACT + RD + CL + burst).
+    pub fn idle_read_latency(&mut self, addr: Addr, earliest: Time) -> Time {
+        let done = self.access(addr, false, earliest);
+        done - earliest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DramConfig;
+
+    fn model() -> DramModel {
+        let mut cfg = DramConfig::ddr4_2666_4gb();
+        cfg.refresh_enabled = false;
+        DramModel::new(cfg).expect("valid preset")
+    }
+
+    #[test]
+    fn idle_read_latency_is_act_rcd_cl_burst() {
+        let mut m = model();
+        let t = m.config().timings;
+        let tck = m.config().clock().period();
+        let expected = tck * (t.trcd + t.cl + t.burst_cycles) as u64;
+        let lat = m.idle_read_latency(Addr::new(0), Time::ZERO);
+        assert_eq!(lat, expected);
+    }
+
+    #[test]
+    fn row_hit_is_faster_than_miss() {
+        let mut m = model();
+        let t0 = Time::ZERO;
+        let t1 = m.access(Addr::new(0), false, t0);
+        let miss_lat = t1 - t0;
+        // Same row (stride by channels * access_bytes keeps channel & row).
+        let t2 = m.access(Addr::new(4 * 64), false, t1);
+        let hit_lat = t2 - t1;
+        assert!(hit_lat < miss_lat, "hit {hit_lat} !< miss {miss_lat}");
+    }
+
+    #[test]
+    fn row_conflict_pays_precharge() {
+        let mut m = model();
+        let t1 = m.access(Addr::new(0), false, Time::ZERO);
+        let hit_done = m.access(Addr::new(4 * 64), false, t1);
+        let hit_lat = hit_done - t1;
+        // Different row, same bank: row index changes with the high bits.
+        let org = m.config().organization;
+        let row_stride = 64u64
+            * org.channels as u64
+            * org.columns as u64
+            * org.bank_groups as u64
+            * org.banks_per_group as u64
+            * org.ranks as u64;
+        let conflict_done = m.access(Addr::new(row_stride), false, hit_done);
+        let conflict_lat = conflict_done - hit_done;
+        assert!(
+            conflict_lat > hit_lat * 2,
+            "conflict {conflict_lat} vs hit {hit_lat}"
+        );
+    }
+
+    #[test]
+    fn writes_then_read_pay_wtr() {
+        let mut m = model();
+        let w = m.access(Addr::new(0), true, Time::ZERO);
+        let r_done = m.access(Addr::new(4 * 64), false, w);
+        // Read after write on same channel must be at least tWTR after
+        // write data end.
+        let t = m.config().timings;
+        let min_gap = m.config().clock().cycles_to_time(t.twtr_l as u64);
+        assert!(r_done - w >= min_gap);
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let mut m = model();
+        let mut now = Time::ZERO;
+        now = m.access(Addr::new(0), false, now);
+        now = m.access(Addr::new(4 * 64), false, now);
+        let _ = m.access(Addr::new(8 * 64), false, now);
+        let s = m.stats();
+        assert_eq!(s.reads, 3);
+        assert_eq!(s.row_misses, 1);
+        assert_eq!(s.row_hits, 2);
+    }
+
+    #[test]
+    fn trace_recorded_when_enabled() {
+        let mut cfg = DramConfig::ddr4_2666_4gb();
+        cfg.record_commands = true;
+        cfg.refresh_enabled = false;
+        let mut m = DramModel::new(cfg).unwrap();
+        let done = m.access(Addr::new(0), false, Time::ZERO);
+        let _ = m.access(Addr::new(4 * 64), true, done);
+        let kinds: Vec<_> = m.trace().iter().map(|c| c.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![CommandKind::Activate, CommandKind::Read, CommandKind::Write]
+        );
+        m.clear_trace();
+        assert!(m.trace().is_empty());
+    }
+
+    #[test]
+    fn refresh_blocks_the_rank() {
+        let mut cfg = DramConfig::ddr4_2666_4gb();
+        cfg.refresh_enabled = true;
+        cfg.record_commands = true;
+        let mut m = DramModel::new(cfg).unwrap();
+        let trefi = m
+            .config()
+            .clock()
+            .cycles_to_time(m.config().timings.trefi as u64);
+        // Arrive just after the first refresh is due.
+        let arrival = trefi + Time::from_ns(1);
+        let done = m.access(Addr::new(0), false, arrival);
+        let trfc = m
+            .config()
+            .clock()
+            .cycles_to_time(m.config().timings.trfc as u64);
+        assert!(done >= trefi + trfc, "access must wait out tRFC");
+        assert!(m.trace().iter().any(|c| c.kind == CommandKind::Refresh));
+        assert!(m.stats().refreshes > 0);
+    }
+
+    #[test]
+    fn different_banks_overlap() {
+        let mut m = model();
+        // Two accesses to different banks issued at the same time should
+        // finish closer together than two serialized same-bank conflicts.
+        let a_done = m.access(Addr::new(0), false, Time::ZERO);
+        // Different bank: stride by channels*columns*64.
+        let org = m.config().organization;
+        let bank_stride = 64u64 * org.channels as u64 * org.columns as u64;
+        let b_done = m.access(Addr::new(bank_stride), false, Time::ZERO);
+        let span = b_done.max(a_done) - Time::ZERO;
+        let serial = (a_done - Time::ZERO) * 2;
+        assert!(span < serial, "bank parallelism should overlap accesses");
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut cfg = DramConfig::ddr4_2666_4gb();
+        cfg.timings.burst_cycles = 0;
+        assert!(DramModel::new(cfg).is_err());
+    }
+}

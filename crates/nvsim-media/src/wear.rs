@@ -1,0 +1,314 @@
+//! Hot-block detection for wear-leveling.
+//!
+//! The paper's policy prober observes (Fig 7b) a long tail latency every
+//! ~14,000 iterations when 256 B writes hammer one spot, and (Fig 7c) that
+//! the tail frequency collapses once the overwritten region spans two or
+//! more 64 KB blocks — from which it infers a 64 KB wear-leveling block.
+//!
+//! [`WearTracker`] reproduces both behaviours with a *decaying hot-block
+//! counter*: each 64 KB block keeps a write counter; all counters halve
+//! every `threshold` global writes (lazily); a migration triggers when a
+//! block's counter reaches `threshold`. Consequences:
+//!
+//! * A block absorbing ~100 % of write traffic reaches the threshold every
+//!   `threshold` writes → periodic migrations (Fig 7b).
+//! * Blocks absorbing ≤ 50 % of traffic converge to a fixed point strictly
+//!   below the threshold and never migrate → the collapse at ≥ 2 blocks
+//!   (Fig 7c).
+
+use crate::media::MediaAddr;
+use nvsim_types::error::{require_nonzero, require_power_of_two};
+use nvsim_types::ConfigError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Wear-leveling configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WearConfig {
+    /// Enables wear-leveling entirely (ablation switch).
+    pub enabled: bool,
+    /// Wear-leveling block size in bytes (the paper infers 64 KB).
+    pub block_size: u64,
+    /// Hot-block threshold in writes; also the decay epoch length.
+    /// The paper measures a tail every ~14,000 256 B writes.
+    pub threshold: u64,
+    /// Duration of one block migration (the stall the writer sees).
+    /// The paper measures tails of tens of microseconds — over 100× a
+    /// normal write.
+    pub migration_latency: nvsim_types::Time,
+}
+
+impl WearConfig {
+    /// The Optane-like default: 64 KB blocks, threshold 14,000, 60 µs
+    /// migration.
+    pub fn optane_like() -> Self {
+        WearConfig {
+            enabled: true,
+            block_size: 64 * 1024,
+            threshold: 14_000,
+            migration_latency: nvsim_types::Time::from_us(60),
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the first invalid field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        require_power_of_two("wear.block_size", self.block_size)?;
+        require_nonzero("wear.threshold", self.threshold)?;
+        Ok(())
+    }
+}
+
+/// The outcome of recording a write with the tracker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WearEvent {
+    /// No wear action needed.
+    None,
+    /// The block just crossed the hot threshold and must be migrated.
+    Migrate {
+        /// Index of the hot wear-leveling block.
+        block: u64,
+    },
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BlockWear {
+    /// Decayed hotness counter.
+    hot: u64,
+    /// Epoch at which `hot` was last updated (for lazy decay).
+    epoch: u64,
+    /// Lifetime migrations of this block.
+    migrations: u64,
+    /// Lifetime writes (no decay; for reporting).
+    lifetime_writes: u64,
+}
+
+/// Tracks per-block write heat and decides when to migrate.
+///
+/// # Example
+///
+/// ```
+/// use nvsim_media::{MediaAddr, WearConfig, WearEvent, WearTracker};
+///
+/// let mut cfg = WearConfig::optane_like();
+/// cfg.threshold = 100; // small threshold for the example
+/// let mut w = WearTracker::new(cfg)?;
+/// let mut migrations = 0;
+/// for _ in 0..1000 {
+///     if let WearEvent::Migrate { .. } = w.record_write(MediaAddr::new(0)) {
+///         migrations += 1;
+///     }
+/// }
+/// assert_eq!(migrations, 10); // one per `threshold` writes to one block
+/// # Ok::<(), nvsim_types::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct WearTracker {
+    cfg: WearConfig,
+    blocks: HashMap<u64, BlockWear>,
+    total_writes: u64,
+    total_migrations: u64,
+}
+
+impl WearTracker {
+    /// Creates a tracker from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration validation error, if any.
+    pub fn new(cfg: WearConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        Ok(WearTracker {
+            cfg,
+            blocks: HashMap::new(),
+            total_writes: 0,
+            total_migrations: 0,
+        })
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &WearConfig {
+        &self.cfg
+    }
+
+    fn current_epoch(&self) -> u64 {
+        self.total_writes / self.cfg.threshold
+    }
+
+    fn decay(hot: u64, from_epoch: u64, to_epoch: u64) -> u64 {
+        let shift = (to_epoch - from_epoch).min(63);
+        hot >> shift
+    }
+
+    /// Records one write to the block containing `addr` and reports whether
+    /// a migration must be performed.
+    pub fn record_write(&mut self, addr: MediaAddr) -> WearEvent {
+        if !self.cfg.enabled {
+            self.total_writes += 1;
+            return WearEvent::None;
+        }
+        let epoch = self.current_epoch();
+        self.total_writes += 1;
+        let block = addr.block_index(self.cfg.block_size);
+        let entry = self.blocks.entry(block).or_default();
+        entry.hot = Self::decay(entry.hot, entry.epoch, epoch);
+        entry.epoch = epoch;
+        entry.hot += 1;
+        entry.lifetime_writes += 1;
+        if entry.hot >= self.cfg.threshold {
+            entry.hot = 0;
+            entry.migrations += 1;
+            self.total_migrations += 1;
+            WearEvent::Migrate { block }
+        } else {
+            WearEvent::None
+        }
+    }
+
+    /// Total writes recorded.
+    pub fn total_writes(&self) -> u64 {
+        self.total_writes
+    }
+
+    /// Total migrations triggered.
+    pub fn total_migrations(&self) -> u64 {
+        self.total_migrations
+    }
+
+    /// Lifetime migrations of the block containing `addr`.
+    pub fn block_migrations(&self, addr: MediaAddr) -> u64 {
+        self.blocks
+            .get(&addr.block_index(self.cfg.block_size))
+            .map_or(0, |b| b.migrations)
+    }
+
+    /// Lifetime writes to the block containing `addr`.
+    pub fn block_writes(&self, addr: MediaAddr) -> u64 {
+        self.blocks
+            .get(&addr.block_index(self.cfg.block_size))
+            .map_or(0, |b| b.lifetime_writes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker(threshold: u64) -> WearTracker {
+        let mut cfg = WearConfig::optane_like();
+        cfg.threshold = threshold;
+        WearTracker::new(cfg).expect("valid config")
+    }
+
+    fn hammer(w: &mut WearTracker, addrs: &[MediaAddr], writes: u64) -> (u64, Vec<u64>) {
+        let mut migrations = 0;
+        let mut at = Vec::new();
+        for i in 0..writes {
+            let a = addrs[(i % addrs.len() as u64) as usize];
+            if let WearEvent::Migrate { .. } = w.record_write(a) {
+                migrations += 1;
+                at.push(i);
+            }
+        }
+        (migrations, at)
+    }
+
+    #[test]
+    fn single_hot_block_migrates_periodically() {
+        let mut w = tracker(1000);
+        let (migrations, at) = hammer(&mut w, &[MediaAddr::new(0)], 10_000);
+        assert_eq!(migrations, 10);
+        // Periods are exactly `threshold` writes.
+        for pair in at.windows(2) {
+            assert_eq!(pair[1] - pair[0], 1000);
+        }
+    }
+
+    #[test]
+    fn two_equal_blocks_never_migrate() {
+        // This is the Fig 7c collapse: writes spread 50/50 across two
+        // 64 KB blocks keep each counter at a fixed point below threshold.
+        let mut w = tracker(1000);
+        let a = MediaAddr::new(0);
+        let b = MediaAddr::new(64 * 1024);
+        let (migrations, _) = hammer(&mut w, &[a, b], 200_000);
+        assert_eq!(migrations, 0);
+    }
+
+    #[test]
+    fn eight_blocks_never_migrate() {
+        let mut w = tracker(1000);
+        let addrs: Vec<_> = (0..8).map(|i| MediaAddr::new(i * 64 * 1024)).collect();
+        let (migrations, _) = hammer(&mut w, &addrs, 400_000);
+        assert_eq!(migrations, 0);
+    }
+
+    #[test]
+    fn dominant_share_still_migrates_but_less_often() {
+        // 75% of traffic to one block: fixed point 2*0.75*T > T, so it
+        // still migrates, but with a longer period than 100% traffic.
+        let mut w = tracker(1000);
+        let hot = MediaAddr::new(0);
+        let cold = MediaAddr::new(64 * 1024);
+        let (migrations, _) = hammer(&mut w, &[hot, hot, hot, cold], 100_000);
+        assert!(migrations > 0, "75% share should still trigger");
+        assert!(
+            migrations < 100,
+            "but less often than a fully hot block ({migrations})"
+        );
+    }
+
+    #[test]
+    fn writes_within_one_block_aggregate() {
+        // Writes to different 256 B units of the same 64 KB block heat the
+        // same counter (this is why small overwrite regions all behave the
+        // same in Fig 7c).
+        let mut w = tracker(1000);
+        let addrs: Vec<_> = (0..16).map(|i| MediaAddr::new(i * 256)).collect();
+        let (migrations, _) = hammer(&mut w, &addrs, 10_000);
+        assert_eq!(migrations, 10);
+    }
+
+    #[test]
+    fn disabled_tracker_never_migrates() {
+        let mut cfg = WearConfig::optane_like();
+        cfg.enabled = false;
+        cfg.threshold = 10;
+        let mut w = WearTracker::new(cfg).unwrap();
+        for _ in 0..1000 {
+            assert_eq!(w.record_write(MediaAddr::new(0)), WearEvent::None);
+        }
+        assert_eq!(w.total_migrations(), 0);
+        assert_eq!(w.total_writes(), 1000);
+    }
+
+    #[test]
+    fn per_block_counters_reported() {
+        let mut w = tracker(100);
+        hammer(&mut w, &[MediaAddr::new(0)], 250);
+        assert_eq!(w.block_writes(MediaAddr::new(100)), 250);
+        assert_eq!(w.block_migrations(MediaAddr::new(0)), 2);
+        assert_eq!(w.block_writes(MediaAddr::new(1 << 20)), 0);
+    }
+
+    #[test]
+    fn migration_counts_track_totals() {
+        let mut w = tracker(100);
+        let (migrations, _) = hammer(&mut w, &[MediaAddr::new(0)], 1000);
+        assert_eq!(w.total_migrations(), migrations);
+        assert_eq!(w.total_writes(), 1000);
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut cfg = WearConfig::optane_like();
+        cfg.block_size = 60_000;
+        assert!(WearTracker::new(cfg).is_err());
+        let mut cfg = WearConfig::optane_like();
+        cfg.threshold = 0;
+        assert!(WearTracker::new(cfg).is_err());
+    }
+}

@@ -1,0 +1,290 @@
+//! Physical and virtual address newtypes plus alignment helpers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Size of one CPU cache line in bytes.
+pub const CACHE_LINE: u64 = 64;
+/// Size of one base (4 KiB) page in bytes.
+pub const PAGE_SIZE: u64 = 4096;
+
+macro_rules! addr_common {
+    ($name:ident, $doc_kind:literal) => {
+        impl $name {
+            /// Creates a new address from a raw byte offset.
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// The zero address.
+            pub const ZERO: Self = Self(0);
+
+            /// The raw byte offset.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// Rounds this address down to a multiple of `align` bytes.
+            ///
+            /// # Panics
+            ///
+            /// Panics in debug builds if `align` is not a power of two.
+            #[inline]
+            pub fn align_down(self, align: u64) -> Self {
+                debug_assert!(
+                    align.is_power_of_two(),
+                    "alignment {align} not a power of two"
+                );
+                Self(self.0 & !(align - 1))
+            }
+
+            /// Rounds this address up to a multiple of `align` bytes.
+            ///
+            /// # Panics
+            ///
+            /// Panics in debug builds if `align` is not a power of two.
+            #[inline]
+            pub fn align_up(self, align: u64) -> Self {
+                debug_assert!(
+                    align.is_power_of_two(),
+                    "alignment {align} not a power of two"
+                );
+                Self((self.0 + align - 1) & !(align - 1))
+            }
+
+            /// True if this address is aligned to `align` bytes.
+            #[inline]
+            pub fn is_aligned(self, align: u64) -> bool {
+                self.0 % align == 0
+            }
+
+            /// The offset of this address within an `align`-sized block.
+            #[inline]
+            pub fn offset_in(self, align: u64) -> u64 {
+                self.0 & (align - 1)
+            }
+
+            /// The index of the `block`-sized block containing this address.
+            #[inline]
+            pub fn block_index(self, block: u64) -> u64 {
+                self.0 / block
+            }
+
+            /// The cache line (64 B block) index of this address.
+            #[inline]
+            pub fn line_index(self) -> u64 {
+                self.0 / CACHE_LINE
+            }
+
+            /// The 4 KiB page index of this address.
+            #[inline]
+            pub fn page_index(self) -> u64 {
+                self.0 / PAGE_SIZE
+            }
+
+            /// Address advanced by `bytes`.
+            #[inline]
+            pub const fn offset(self, bytes: u64) -> Self {
+                Self(self.0 + bytes)
+            }
+        }
+
+        impl Add<u64> for $name {
+            type Output = $name;
+            #[inline]
+            fn add(self, rhs: u64) -> $name {
+                $name(self.0 + rhs)
+            }
+        }
+
+        impl Sub<u64> for $name {
+            type Output = $name;
+            #[inline]
+            fn sub(self, rhs: u64) -> $name {
+                $name(self.0 - rhs)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = u64;
+            #[inline]
+            fn sub(self, rhs: $name) -> u64 {
+                self.0 - rhs.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($doc_kind, ":{:#x}"), self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        impl fmt::UpperHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::UpperHex::fmt(&self.0, f)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(a: $name) -> u64 {
+                a.0
+            }
+        }
+    };
+}
+
+/// A physical memory address (the address seen by the memory controller).
+///
+/// Note that inside an NVRAM DIMM a further translation to a *media address*
+/// happens in the address-indirection table (AIT); that address space is
+/// modeled by `nvsim-media` and is deliberately a different type there.
+///
+/// # Example
+///
+/// ```
+/// use nvsim_types::Addr;
+/// let a = Addr::new(0x1234);
+/// assert_eq!(a.align_down(64).raw(), 0x1200);
+/// assert_eq!(a.offset_in(64), 0x34);
+/// assert_eq!(a.line_index(), 0x1234 / 64);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Addr(u64);
+addr_common!(Addr, "pa");
+
+/// A virtual address, used by the CPU model and workload generators.
+///
+/// # Example
+///
+/// ```
+/// use nvsim_types::VirtAddr;
+/// let v = VirtAddr::new(0x7f00_0000_1080);
+/// assert_eq!(v.page_index(), 0x7f00_0000_1080 / 4096);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct VirtAddr(u64);
+addr_common!(VirtAddr, "va");
+
+/// Splits a byte range `[addr, addr+size)` into the series of
+/// `block`-aligned blocks it touches, yielding `(block_base, bytes_in_block)`.
+///
+/// This is the canonical helper for computing access amplification: a 64 B
+/// write that straddles two 256 B buffer entries touches both.
+///
+/// # Example
+///
+/// ```
+/// use nvsim_types::{Addr, addr::split_into_blocks};
+/// let parts: Vec<_> = split_into_blocks(Addr::new(0xF0), 32, 256).collect();
+/// assert_eq!(parts, vec![(Addr::new(0x0), 16), (Addr::new(0x100), 16)]);
+/// ```
+pub fn split_into_blocks(addr: Addr, size: u64, block: u64) -> impl Iterator<Item = (Addr, u64)> {
+    assert!(block.is_power_of_two(), "block size must be a power of two");
+    assert!(size > 0, "size must be positive");
+    let end = addr.raw() + size;
+    let mut cur = addr.raw();
+    std::iter::from_fn(move || {
+        if cur >= end {
+            return None;
+        }
+        let base = cur & !(block - 1);
+        let next = base + block;
+        let take = end.min(next) - cur;
+        cur = next;
+        Some((Addr::new(base), take))
+    })
+}
+
+/// Number of `block`-sized blocks touched by `[addr, addr+size)`.
+pub fn blocks_touched(addr: Addr, size: u64, block: u64) -> u64 {
+    let first = addr.raw() / block;
+    let last = (addr.raw() + size - 1) / block;
+    last - first + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_helpers() {
+        let a = Addr::new(0x1234);
+        assert_eq!(a.align_down(0x100), Addr::new(0x1200));
+        assert_eq!(a.align_up(0x100), Addr::new(0x1300));
+        assert!(Addr::new(0x1200).is_aligned(0x100));
+        assert!(!a.is_aligned(0x100));
+        assert_eq!(a.offset_in(0x100), 0x34);
+        assert_eq!(Addr::new(0x1300).align_up(0x100), Addr::new(0x1300));
+    }
+
+    #[test]
+    fn indices() {
+        let a = Addr::new(4096 * 3 + 64 * 2);
+        assert_eq!(a.page_index(), 3);
+        assert_eq!(a.line_index(), (4096 * 3) / 64 + 2);
+        assert_eq!(a.block_index(256), a.raw() / 256);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Addr::new(100);
+        assert_eq!(a + 28, Addr::new(128));
+        assert_eq!(a - 50, Addr::new(50));
+        assert_eq!(Addr::new(300) - a, 200);
+        assert_eq!(a.offset(10), Addr::new(110));
+    }
+
+    #[test]
+    fn split_single_block() {
+        let parts: Vec<_> = split_into_blocks(Addr::new(0x100), 64, 256).collect();
+        assert_eq!(parts, vec![(Addr::new(0x100), 64)]);
+    }
+
+    #[test]
+    fn split_straddling() {
+        let parts: Vec<_> = split_into_blocks(Addr::new(0x1F0), 64, 256).collect();
+        assert_eq!(parts, vec![(Addr::new(0x100), 16), (Addr::new(0x200), 48)]);
+    }
+
+    #[test]
+    fn split_spanning_many() {
+        let parts: Vec<_> = split_into_blocks(Addr::new(0), 1024, 256).collect();
+        assert_eq!(parts.len(), 4);
+        assert!(parts.iter().all(|&(_, n)| n == 256));
+    }
+
+    #[test]
+    fn blocks_touched_counts() {
+        assert_eq!(blocks_touched(Addr::new(0), 64, 256), 1);
+        assert_eq!(blocks_touched(Addr::new(0xF0), 32, 256), 2);
+        assert_eq!(blocks_touched(Addr::new(0), 4096, 256), 16);
+        assert_eq!(blocks_touched(Addr::new(255), 2, 256), 2);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Addr::new(0x40).to_string(), "pa:0x40");
+        assert_eq!(VirtAddr::new(0x40).to_string(), "va:0x40");
+        assert_eq!(format!("{:x}", Addr::new(255)), "ff");
+        assert_eq!(format!("{:X}", Addr::new(255)), "FF");
+    }
+}

@@ -1,0 +1,474 @@
+//! The [`MemoryBackend`] trait: the contract between memory-system models
+//! (VANS, the baselines, the analytical Optane reference) and everything
+//! that drives them (LENS probers, the CPU model, trace replay).
+
+use crate::addr::Addr;
+use crate::request::{MemOp, ReqId, RequestDesc};
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Event and traffic counters every backend exposes.
+///
+/// Counters a given model does not implement stay zero; LENS only interprets
+/// counters relevant to the behaviour it probes. All byte counters are of
+/// traffic at the named interface, which is what makes amplification ratios
+/// (Fig 6, Fig 9c) directly computable:
+/// `read_amplification = media_bytes_read / bus_bytes_read`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BackendCounters {
+    /// Read requests that crossed the host memory bus.
+    pub bus_reads: u64,
+    /// Write requests that crossed the host memory bus.
+    pub bus_writes: u64,
+    /// Bytes read over the host memory bus.
+    pub bus_bytes_read: u64,
+    /// Bytes written over the host memory bus.
+    pub bus_bytes_written: u64,
+    /// RMW-buffer lookups that hit.
+    pub rmw_hits: u64,
+    /// RMW-buffer lookups that missed.
+    pub rmw_misses: u64,
+    /// AIT-buffer lookups that hit.
+    pub ait_hits: u64,
+    /// AIT-buffer lookups that missed.
+    pub ait_misses: u64,
+    /// Bytes read from the NVRAM media arrays.
+    pub media_bytes_read: u64,
+    /// Bytes written to the NVRAM media arrays.
+    pub media_bytes_written: u64,
+    /// Wear-leveling migrations triggered.
+    pub migrations: u64,
+    /// Write-combining merges performed in the on-DIMM LSQ.
+    pub lsq_combines: u64,
+    /// Accesses to the on-DIMM DRAM (AIT table + AIT buffer).
+    pub on_dimm_dram_accesses: u64,
+    /// Fences processed.
+    pub fences: u64,
+}
+
+impl BackendCounters {
+    /// Read amplification at the media interface relative to bus reads
+    /// (`None` if no bus reads happened).
+    pub fn read_amplification(&self) -> Option<f64> {
+        (self.bus_bytes_read > 0).then(|| self.media_bytes_read as f64 / self.bus_bytes_read as f64)
+    }
+
+    /// Write amplification at the media interface relative to bus writes
+    /// (`None` if no bus writes happened).
+    pub fn write_amplification(&self) -> Option<f64> {
+        (self.bus_bytes_written > 0)
+            .then(|| self.media_bytes_written as f64 / self.bus_bytes_written as f64)
+    }
+
+    /// RMW-buffer hit rate (`None` if no lookups).
+    pub fn rmw_hit_rate(&self) -> Option<f64> {
+        let total = self.rmw_hits + self.rmw_misses;
+        (total > 0).then(|| self.rmw_hits as f64 / total as f64)
+    }
+
+    /// AIT-buffer hit rate (`None` if no lookups).
+    pub fn ait_hit_rate(&self) -> Option<f64> {
+        let total = self.ait_hits + self.ait_misses;
+        (total > 0).then(|| self.ait_hits as f64 / total as f64)
+    }
+
+    /// Difference `self - earlier`, for windowed measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any counter in `earlier` exceeds this one.
+    pub fn delta_since(&self, earlier: &BackendCounters) -> BackendCounters {
+        BackendCounters {
+            bus_reads: self.bus_reads - earlier.bus_reads,
+            bus_writes: self.bus_writes - earlier.bus_writes,
+            bus_bytes_read: self.bus_bytes_read - earlier.bus_bytes_read,
+            bus_bytes_written: self.bus_bytes_written - earlier.bus_bytes_written,
+            rmw_hits: self.rmw_hits - earlier.rmw_hits,
+            rmw_misses: self.rmw_misses - earlier.rmw_misses,
+            ait_hits: self.ait_hits - earlier.ait_hits,
+            ait_misses: self.ait_misses - earlier.ait_misses,
+            media_bytes_read: self.media_bytes_read - earlier.media_bytes_read,
+            media_bytes_written: self.media_bytes_written - earlier.media_bytes_written,
+            migrations: self.migrations - earlier.migrations,
+            lsq_combines: self.lsq_combines - earlier.lsq_combines,
+            on_dimm_dram_accesses: self.on_dimm_dram_accesses - earlier.on_dimm_dram_accesses,
+            fences: self.fences - earlier.fences,
+        }
+    }
+
+    /// A map view of all counters, for tabular experiment output.
+    pub fn as_map(&self) -> BTreeMap<&'static str, u64> {
+        let mut m = BTreeMap::new();
+        m.insert("bus_reads", self.bus_reads);
+        m.insert("bus_writes", self.bus_writes);
+        m.insert("bus_bytes_read", self.bus_bytes_read);
+        m.insert("bus_bytes_written", self.bus_bytes_written);
+        m.insert("rmw_hits", self.rmw_hits);
+        m.insert("rmw_misses", self.rmw_misses);
+        m.insert("ait_hits", self.ait_hits);
+        m.insert("ait_misses", self.ait_misses);
+        m.insert("media_bytes_read", self.media_bytes_read);
+        m.insert("media_bytes_written", self.media_bytes_written);
+        m.insert("migrations", self.migrations);
+        m.insert("lsq_combines", self.lsq_combines);
+        m.insert("on_dimm_dram_accesses", self.on_dimm_dram_accesses);
+        m.insert("fences", self.fences);
+        m
+    }
+}
+
+/// A simulated memory system that requests can be issued against.
+///
+/// The driving pattern is synchronous-ish discrete-event simulation:
+///
+/// * [`submit`](MemoryBackend::submit) enqueues a request at the backend's
+///   current time and returns its id *without* advancing time.
+/// * [`wait_for`](MemoryBackend::wait_for) advances simulated time until the
+///   given request completes and returns the completion time. Other requests
+///   may complete along the way.
+/// * [`drain`](MemoryBackend::drain) advances time until the backend is idle.
+/// * [`skip_to`](MemoryBackend::skip_to) models the issuing agent being busy
+///   elsewhere (compute, another channel) until `t`.
+///
+/// Dependent-access experiments (pointer chasing) alternate
+/// `submit`/`wait_for`; bandwidth experiments `submit` a window of requests
+/// and then `drain`.
+pub trait MemoryBackend {
+    /// Human-readable model name ("VANS", "PMEP", "Ramulator-PCM", ...).
+    fn label(&self) -> String;
+
+    /// Current simulated time.
+    fn now(&self) -> Time;
+
+    /// Enqueues a request at the current simulated time.
+    ///
+    /// Backpressure is modeled inside the backend: if internal queues are
+    /// full the request waits in an unbounded front-end queue, exactly like
+    /// a core stalling on a full WPQ.
+    fn submit(&mut self, desc: RequestDesc) -> ReqId;
+
+    /// Removes request `id` from the in-flight set and returns its
+    /// completion time **without advancing the clock** — the primitive
+    /// for overlap-aware agents (the CPU model's miss window) that issue
+    /// younger requests while older ones are still in flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never submitted or was already taken.
+    fn take_completion(&mut self, id: ReqId) -> Time;
+
+    /// Advances simulated time until request `id` completes; returns the
+    /// completion time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never submitted or already waited for.
+    fn wait_for(&mut self, id: ReqId) -> Time {
+        let done = self.take_completion(id);
+        self.skip_to(done);
+        done
+    }
+
+    /// Advances simulated time until no request is in flight; returns the
+    /// time at which the backend became idle.
+    fn drain(&mut self) -> Time;
+
+    /// Advances the clock to `t` (processing any internal events) without
+    /// submitting new work. No-op if `t` is in the past.
+    fn skip_to(&mut self, t: Time);
+
+    /// Snapshot of the backend's counters.
+    fn counters(&self) -> BackendCounters;
+
+    /// Resets all counters to zero (time is *not* reset).
+    fn reset_counters(&mut self);
+
+    /// Issues a request and waits for it; convenience for dependent chains.
+    fn execute(&mut self, desc: RequestDesc) -> Time {
+        let id = self.submit(desc);
+        self.wait_for(id)
+    }
+
+    /// Issues a fence and waits for it to retire.
+    fn fence(&mut self) -> Time {
+        self.execute(RequestDesc::fence())
+    }
+
+    /// Issues `descs` back-to-back and waits for all of them; returns the
+    /// time the last one completed.
+    fn execute_batch(&mut self, descs: &[RequestDesc]) -> Time {
+        for &d in descs {
+            self.submit(d);
+        }
+        self.drain()
+    }
+
+    /// Whether this backend distinguishes `op` from a plain load/store.
+    ///
+    /// Baseline DRAM-style models treat `StoreClwb`/`NtStore` as `Store`;
+    /// they report `false` so LENS can annotate its reports.
+    fn models_persistence_ops(&self) -> bool {
+        false
+    }
+
+    /// Pre-translation lookup for an `mkpt`-marked pointer-chasing read
+    /// (the Pre-translation case study of the VANS paper, §V-B).
+    ///
+    /// Returns `Some((pfn, ready_at))` — the page frame number of the next
+    /// pointer hop and the time the piggybacked TLB entry is available —
+    /// if the backend implements pre-translation and has an entry for
+    /// `paddr`. The default implementation (no pre-translation hardware)
+    /// returns `None`.
+    fn mkpt_lookup(&mut self, _paddr: Addr, _t: Time) -> Option<(u64, Time)> {
+        None
+    }
+
+    /// Installs or refreshes a pre-translation entry: the pointer stored
+    /// at `paddr` targets page frame `pfn`. No-op by default.
+    fn mkpt_update(&mut self, _paddr: Addr, _pfn: u64) {}
+}
+
+/// Blanket impl so `&mut B` can be passed wherever a backend is expected.
+impl<B: MemoryBackend + ?Sized> MemoryBackend for &mut B {
+    fn label(&self) -> String {
+        (**self).label()
+    }
+    fn now(&self) -> Time {
+        (**self).now()
+    }
+    fn submit(&mut self, desc: RequestDesc) -> ReqId {
+        (**self).submit(desc)
+    }
+    fn take_completion(&mut self, id: ReqId) -> Time {
+        (**self).take_completion(id)
+    }
+    fn wait_for(&mut self, id: ReqId) -> Time {
+        (**self).wait_for(id)
+    }
+    fn drain(&mut self) -> Time {
+        (**self).drain()
+    }
+    fn skip_to(&mut self, t: Time) {
+        (**self).skip_to(t)
+    }
+    fn counters(&self) -> BackendCounters {
+        (**self).counters()
+    }
+    fn reset_counters(&mut self) {
+        (**self).reset_counters()
+    }
+    fn models_persistence_ops(&self) -> bool {
+        (**self).models_persistence_ops()
+    }
+    fn mkpt_lookup(&mut self, paddr: Addr, t: Time) -> Option<(u64, Time)> {
+        (**self).mkpt_lookup(paddr, t)
+    }
+    fn mkpt_update(&mut self, paddr: Addr, pfn: u64) {
+        (**self).mkpt_update(paddr, pfn)
+    }
+}
+
+/// A trivial fixed-latency backend, useful in tests of driver code.
+///
+/// Reads and writes complete a constant latency after they are submitted,
+/// with unlimited parallelism. Not a model of anything real.
+///
+/// # Example
+///
+/// ```
+/// use nvsim_types::backend::FixedLatencyBackend;
+/// use nvsim_types::{Addr, MemoryBackend, RequestDesc, Time};
+///
+/// let mut mem = FixedLatencyBackend::new(Time::from_ns(100), Time::from_ns(300));
+/// let t = mem.execute(RequestDesc::load(Addr::new(0x40)));
+/// assert_eq!(t, Time::from_ns(100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FixedLatencyBackend {
+    read_latency: Time,
+    write_latency: Time,
+    now: Time,
+    next_id: u64,
+    inflight: Vec<(ReqId, Time)>,
+    counters: BackendCounters,
+}
+
+impl FixedLatencyBackend {
+    /// Creates a backend with the given read and write latencies.
+    pub fn new(read_latency: Time, write_latency: Time) -> Self {
+        FixedLatencyBackend {
+            read_latency,
+            write_latency,
+            now: Time::ZERO,
+            next_id: 0,
+            inflight: Vec::new(),
+            counters: BackendCounters::default(),
+        }
+    }
+}
+
+impl MemoryBackend for FixedLatencyBackend {
+    fn label(&self) -> String {
+        "fixed-latency".to_owned()
+    }
+
+    fn now(&self) -> Time {
+        self.now
+    }
+
+    fn submit(&mut self, desc: RequestDesc) -> ReqId {
+        let id = ReqId(self.next_id);
+        self.next_id += 1;
+        let latency = match desc.op {
+            MemOp::Load => {
+                self.counters.bus_reads += 1;
+                self.counters.bus_bytes_read += desc.size as u64;
+                self.read_latency
+            }
+            MemOp::Fence => {
+                self.counters.fences += 1;
+                Time::ZERO
+            }
+            _ => {
+                self.counters.bus_writes += 1;
+                self.counters.bus_bytes_written += desc.size as u64;
+                self.write_latency
+            }
+        };
+        self.inflight.push((id, self.now + latency));
+        id
+    }
+
+    fn take_completion(&mut self, id: ReqId) -> Time {
+        let pos = self
+            .inflight
+            .iter()
+            .position(|&(i, _)| i == id)
+            .expect("waited for unknown or already-completed request");
+        let (_, done) = self.inflight.remove(pos);
+        done
+    }
+
+    fn drain(&mut self) -> Time {
+        let last = self
+            .inflight
+            .drain(..)
+            .map(|(_, t)| t)
+            .max()
+            .unwrap_or(self.now);
+        self.now = self.now.max(last);
+        self.now
+    }
+
+    fn skip_to(&mut self, t: Time) {
+        self.now = self.now.max(t);
+    }
+
+    fn counters(&self) -> BackendCounters {
+        self.counters
+    }
+
+    fn reset_counters(&mut self) {
+        self.counters = BackendCounters::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+
+    fn mem() -> FixedLatencyBackend {
+        FixedLatencyBackend::new(Time::from_ns(100), Time::from_ns(300))
+    }
+
+    #[test]
+    fn execute_advances_time() {
+        let mut m = mem();
+        let t1 = m.execute(RequestDesc::load(Addr::new(0)));
+        assert_eq!(t1, Time::from_ns(100));
+        let t2 = m.execute(RequestDesc::store(Addr::new(64)));
+        assert_eq!(t2, Time::from_ns(400));
+        assert_eq!(m.now(), Time::from_ns(400));
+    }
+
+    #[test]
+    fn batch_overlaps_in_fixed_backend() {
+        let mut m = mem();
+        let descs: Vec<_> = (0..8)
+            .map(|i| RequestDesc::load(Addr::new(i * 64)))
+            .collect();
+        let done = m.execute_batch(&descs);
+        // Unlimited parallelism: all 8 finish at 100ns.
+        assert_eq!(done, Time::from_ns(100));
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let mut m = mem();
+        m.execute(RequestDesc::load(Addr::new(0)));
+        m.execute(RequestDesc::nt_store(Addr::new(64)));
+        m.fence();
+        let c = m.counters();
+        assert_eq!(c.bus_reads, 1);
+        assert_eq!(c.bus_writes, 1);
+        assert_eq!(c.bus_bytes_read, 64);
+        assert_eq!(c.bus_bytes_written, 64);
+        assert_eq!(c.fences, 1);
+        m.reset_counters();
+        assert_eq!(m.counters(), BackendCounters::default());
+    }
+
+    #[test]
+    fn skip_to_moves_clock_forward_only() {
+        let mut m = mem();
+        m.skip_to(Time::from_ns(500));
+        assert_eq!(m.now(), Time::from_ns(500));
+        m.skip_to(Time::from_ns(100));
+        assert_eq!(m.now(), Time::from_ns(500));
+    }
+
+    #[test]
+    fn amplification_ratios() {
+        let c = BackendCounters {
+            bus_bytes_read: 64,
+            media_bytes_read: 256,
+            ..Default::default()
+        };
+        assert_eq!(c.read_amplification(), Some(4.0));
+        assert_eq!(c.write_amplification(), None);
+    }
+
+    #[test]
+    fn counter_deltas() {
+        let early = BackendCounters {
+            bus_reads: 10,
+            migrations: 1,
+            ..Default::default()
+        };
+        let late = BackendCounters {
+            bus_reads: 25,
+            migrations: 3,
+            ..Default::default()
+        };
+        let d = late.delta_since(&early);
+        assert_eq!(d.bus_reads, 15);
+        assert_eq!(d.migrations, 2);
+    }
+
+    #[test]
+    fn counters_map_is_complete() {
+        let c = BackendCounters::default();
+        assert_eq!(c.as_map().len(), 14);
+    }
+
+    #[test]
+    fn trait_object_usable_via_mut_ref() {
+        let mut m = mem();
+        fn drive(b: &mut dyn MemoryBackend) -> Time {
+            b.execute(RequestDesc::load(Addr::new(0)))
+        }
+        assert_eq!(drive(&mut m), Time::from_ns(100));
+    }
+}

@@ -1,0 +1,102 @@
+//! Error types shared across the workspace.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a simulator configuration fails validation.
+///
+/// # Example
+///
+/// ```
+/// use nvsim_types::ConfigError;
+/// let err = ConfigError::new("lsq_entries", "must be a power of two");
+/// assert_eq!(err.to_string(), "invalid config field `lsq_entries`: must be a power of two");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    field: String,
+    reason: String,
+}
+
+impl ConfigError {
+    /// Creates a configuration error for `field` with a human-readable reason.
+    pub fn new(field: impl Into<String>, reason: impl Into<String>) -> Self {
+        ConfigError {
+            field: field.into(),
+            reason: reason.into(),
+        }
+    }
+
+    /// The offending configuration field.
+    pub fn field(&self) -> &str {
+        &self.field
+    }
+
+    /// Why validation failed.
+    pub fn reason(&self) -> &str {
+        &self.reason
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid config field `{}`: {}", self.field, self.reason)
+    }
+}
+
+impl Error for ConfigError {}
+
+/// Validates that a value is a power of two, producing a [`ConfigError`]
+/// naming `field` otherwise.
+pub fn require_power_of_two(field: &str, value: u64) -> Result<(), ConfigError> {
+    if value.is_power_of_two() {
+        Ok(())
+    } else {
+        Err(ConfigError::new(
+            field,
+            format!("must be a power of two, got {value}"),
+        ))
+    }
+}
+
+/// Validates that a value is nonzero.
+pub fn require_nonzero(field: &str, value: u64) -> Result<(), ConfigError> {
+    if value != 0 {
+        Ok(())
+    } else {
+        Err(ConfigError::new(field, "must be nonzero"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_accessors() {
+        let e = ConfigError::new("wpq_entries", "too small");
+        assert_eq!(e.field(), "wpq_entries");
+        assert_eq!(e.reason(), "too small");
+        assert!(e.to_string().contains("wpq_entries"));
+    }
+
+    #[test]
+    fn power_of_two_validation() {
+        assert!(require_power_of_two("x", 64).is_ok());
+        assert!(require_power_of_two("x", 1).is_ok());
+        let err = require_power_of_two("x", 100).unwrap_err();
+        assert!(err.to_string().contains("power of two"));
+    }
+
+    #[test]
+    fn nonzero_validation() {
+        assert!(require_nonzero("n", 5).is_ok());
+        assert!(require_nonzero("n", 0).is_err());
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<ConfigError>();
+    }
+}

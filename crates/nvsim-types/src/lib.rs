@@ -1,0 +1,43 @@
+//! Common vocabulary types for the `nvsim` workspace.
+//!
+//! This crate holds the small, dependency-light building blocks shared by
+//! every other crate in the workspace:
+//!
+//! * [`Time`] — simulated time in picoseconds.
+//! * [`Addr`] / [`VirtAddr`] — physical and virtual address newtypes.
+//! * [`Request`], [`MemOp`], [`ReqId`] — the memory-request vocabulary.
+//! * [`MemoryBackend`] — the trait every simulated memory system implements,
+//!   which is what the LENS profiler drives.
+//! * [`stats`] — counters, histograms and running statistics.
+//! * [`rng`] — a deterministic, seedable RNG (SplitMix64 / Xoshiro256++)
+//!   so every simulation in the workspace is reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use nvsim_types::{Addr, MemOp, RequestDesc, Time};
+//!
+//! let req = RequestDesc::new(Addr::new(0x1000), 64, MemOp::Load);
+//! assert_eq!(req.cache_lines(), 1);
+//! let t = Time::from_ns(150);
+//! assert_eq!(t.as_ns_f64(), 150.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod addr;
+pub mod backend;
+pub mod error;
+pub mod request;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use addr::{Addr, VirtAddr, CACHE_LINE, PAGE_SIZE};
+pub use backend::{BackendCounters, MemoryBackend};
+pub use error::ConfigError;
+pub use request::{MemOp, ReqId, Request, RequestDesc};
+pub use rng::{DetRng, SplitMix64};
+pub use stats::{Histogram, RunningStats};
+pub use time::Time;

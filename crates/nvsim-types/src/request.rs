@@ -1,0 +1,275 @@
+//! The memory-request vocabulary shared by all simulated memory systems.
+
+use crate::addr::{Addr, CACHE_LINE};
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Unique identifier for an in-flight memory request.
+///
+/// Ids are allocated monotonically by each backend; they are never reused
+/// within one simulation.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ReqId(pub u64);
+
+impl fmt::Display for ReqId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req#{}", self.0)
+    }
+}
+
+/// The kind of memory operation a request performs.
+///
+/// This mirrors the instruction classes LENS's microbenchmarks use on real
+/// hardware (§III-A of the paper):
+///
+/// * [`MemOp::Load`] — a regular cacheable load (LENS issues non-temporal
+///   AVX-512 loads to bypass the CPU caches; at the memory-system boundary
+///   they look like plain 64 B reads).
+/// * [`MemOp::Store`] — a regular store that eventually reaches memory via
+///   cache write-back.
+/// * [`MemOp::StoreClwb`] — a store followed by a `clwb` cache-line
+///   write-back, forcing the line out to the ADR domain.
+/// * [`MemOp::NtStore`] — a non-temporal (streaming) store that bypasses
+///   the cache hierarchy entirely.
+/// * [`MemOp::Fence`] — an `mfence`/`sfence` ordering point. On Optane this
+///   drains the iMC WPQ (512 B granularity) and, per the paper's
+///   characterization (§III-C), also flushes the on-DIMM LSQ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemOp {
+    /// Cacheable (or NT) load.
+    Load,
+    /// Regular store reaching memory via write-back.
+    Store,
+    /// Store followed by `clwb`.
+    StoreClwb,
+    /// Non-temporal streaming store.
+    NtStore,
+    /// Memory fence: completes when all earlier writes are durable.
+    Fence,
+}
+
+impl MemOp {
+    /// True for every write flavor.
+    #[inline]
+    pub fn is_write(self) -> bool {
+        matches!(self, MemOp::Store | MemOp::StoreClwb | MemOp::NtStore)
+    }
+
+    /// True for loads.
+    #[inline]
+    pub fn is_read(self) -> bool {
+        matches!(self, MemOp::Load)
+    }
+
+    /// True for fences.
+    #[inline]
+    pub fn is_fence(self) -> bool {
+        matches!(self, MemOp::Fence)
+    }
+
+    /// Short lowercase label used in experiment output ("ld", "st", ...).
+    pub fn label(self) -> &'static str {
+        match self {
+            MemOp::Load => "ld",
+            MemOp::Store => "st",
+            MemOp::StoreClwb => "st-clwb",
+            MemOp::NtStore => "st-nt",
+            MemOp::Fence => "fence",
+        }
+    }
+}
+
+impl fmt::Display for MemOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A memory request as described by the issuing agent (CPU model, LENS
+/// microbenchmark, trace replayer) — everything except the id and issue
+/// time, which the backend assigns.
+///
+/// # Example
+///
+/// ```
+/// use nvsim_types::{Addr, MemOp, RequestDesc};
+/// let w = RequestDesc::new(Addr::new(0x200), 256, MemOp::NtStore);
+/// assert_eq!(w.cache_lines(), 4);
+/// assert!(w.op.is_write());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RequestDesc {
+    /// Physical address of the first byte accessed.
+    pub addr: Addr,
+    /// Access size in bytes. Fences carry size 0.
+    pub size: u32,
+    /// Operation kind.
+    pub op: MemOp,
+}
+
+impl RequestDesc {
+    /// Creates a request description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a non-fence request has size 0, or a fence has nonzero size.
+    pub fn new(addr: Addr, size: u32, op: MemOp) -> Self {
+        if op.is_fence() {
+            assert_eq!(size, 0, "fences carry no data");
+        } else {
+            assert!(size > 0, "data requests must have a nonzero size");
+        }
+        RequestDesc { addr, size, op }
+    }
+
+    /// Convenience constructor for a 64 B load.
+    pub fn load(addr: Addr) -> Self {
+        Self::new(addr, CACHE_LINE as u32, MemOp::Load)
+    }
+
+    /// Convenience constructor for a 64 B store.
+    pub fn store(addr: Addr) -> Self {
+        Self::new(addr, CACHE_LINE as u32, MemOp::Store)
+    }
+
+    /// Convenience constructor for a 64 B non-temporal store.
+    pub fn nt_store(addr: Addr) -> Self {
+        Self::new(addr, CACHE_LINE as u32, MemOp::NtStore)
+    }
+
+    /// Convenience constructor for a fence.
+    pub fn fence() -> Self {
+        RequestDesc {
+            addr: Addr::ZERO,
+            size: 0,
+            op: MemOp::Fence,
+        }
+    }
+
+    /// Number of cache lines this request touches.
+    pub fn cache_lines(&self) -> u64 {
+        if self.size == 0 {
+            return 0;
+        }
+        crate::addr::blocks_touched(self.addr, self.size as u64, CACHE_LINE)
+    }
+
+    /// Exclusive end address of the accessed range.
+    pub fn end(&self) -> Addr {
+        self.addr + self.size as u64
+    }
+}
+
+/// A fully-formed in-flight request: description plus identity and timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Backend-assigned identity.
+    pub id: ReqId,
+    /// What to do.
+    pub desc: RequestDesc,
+    /// When the request entered the memory system.
+    pub issued_at: Time,
+}
+
+impl Request {
+    /// Creates a request from its parts.
+    pub fn new(id: ReqId, desc: RequestDesc, issued_at: Time) -> Self {
+        Request {
+            id,
+            desc,
+            issued_at,
+        }
+    }
+
+    /// Physical address shortcut.
+    #[inline]
+    pub fn addr(&self) -> Addr {
+        self.desc.addr
+    }
+
+    /// Operation shortcut.
+    #[inline]
+    pub fn op(&self) -> MemOp {
+        self.desc.op
+    }
+
+    /// Size shortcut.
+    #[inline]
+    pub fn size(&self) -> u32 {
+        self.desc.size
+    }
+}
+
+/// A completion record returned by backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Completion {
+    /// The request that finished.
+    pub id: ReqId,
+    /// When it finished.
+    pub finished_at: Time,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_classification() {
+        assert!(MemOp::Load.is_read());
+        assert!(!MemOp::Load.is_write());
+        for w in [MemOp::Store, MemOp::StoreClwb, MemOp::NtStore] {
+            assert!(w.is_write());
+            assert!(!w.is_read());
+        }
+        assert!(MemOp::Fence.is_fence());
+        assert_eq!(MemOp::NtStore.label(), "st-nt");
+        assert_eq!(MemOp::Load.to_string(), "ld");
+    }
+
+    #[test]
+    fn desc_constructors() {
+        let l = RequestDesc::load(Addr::new(0x40));
+        assert_eq!((l.size, l.op), (64, MemOp::Load));
+        let f = RequestDesc::fence();
+        assert_eq!(f.size, 0);
+        assert!(f.op.is_fence());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero size")]
+    fn zero_size_data_request_panics() {
+        let _ = RequestDesc::new(Addr::ZERO, 0, MemOp::Load);
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn sized_fence_panics() {
+        let _ = RequestDesc::new(Addr::ZERO, 64, MemOp::Fence);
+    }
+
+    #[test]
+    fn cache_line_counting() {
+        assert_eq!(RequestDesc::load(Addr::new(0)).cache_lines(), 1);
+        let straddle = RequestDesc::new(Addr::new(32), 64, MemOp::Load);
+        assert_eq!(straddle.cache_lines(), 2);
+        let big = RequestDesc::new(Addr::new(0), 4096, MemOp::NtStore);
+        assert_eq!(big.cache_lines(), 64);
+        assert_eq!(RequestDesc::fence().cache_lines(), 0);
+    }
+
+    #[test]
+    fn request_shortcuts() {
+        let r = Request::new(
+            ReqId(7),
+            RequestDesc::store(Addr::new(0x80)),
+            Time::from_ns(5),
+        );
+        assert_eq!(r.addr(), Addr::new(0x80));
+        assert_eq!(r.op(), MemOp::Store);
+        assert_eq!(r.size(), 64);
+        assert_eq!(r.id.to_string(), "req#7");
+    }
+}

@@ -1,0 +1,269 @@
+//! Deterministic, seedable random number generation.
+//!
+//! Every stochastic decision in the workspace (pointer-chasing permutations,
+//! Zipfian key draws, synthetic trace generation) flows through [`DetRng`],
+//! a Xoshiro256++ generator seeded via [`SplitMix64`]. This keeps every
+//! experiment bit-reproducible from a single `u64` seed, which is essential
+//! for validating simulator output against golden reference curves.
+
+use std::fmt;
+
+/// SplitMix64: a tiny, high-quality 64-bit mixer used to expand seeds.
+///
+/// # Example
+///
+/// ```
+/// use nvsim_types::SplitMix64;
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// The workspace-standard deterministic RNG: Xoshiro256++.
+///
+/// # Example
+///
+/// ```
+/// use nvsim_types::DetRng;
+/// let mut rng = DetRng::seed_from(7);
+/// let x = rng.range_u64(0, 10);
+/// assert!(x < 10);
+/// // Reproducible:
+/// assert_eq!(DetRng::seed_from(7).next_u64(), DetRng::seed_from(7).next_u64());
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct DetRng {
+    s: [u64; 4],
+}
+
+impl fmt::Debug for DetRng {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DetRng").field("state", &self.s).finish()
+    }
+}
+
+impl DetRng {
+    /// Creates a generator from a single `u64` seed (expanded via SplitMix64).
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        DetRng {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Derives an independent child generator; useful for giving each
+    /// simulation component its own stream without correlation.
+    pub fn fork(&mut self) -> Self {
+        Self::seed_from(self.next_u64())
+    }
+
+    /// Next 64 random bits (Xoshiro256++ step).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniformly distributed value in `[lo, hi)` (Lemire's method).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        let span = hi - lo;
+        // Lemire's nearly-divisionless bounded generation.
+        let mut x = self.next_u64();
+        let mut m = (x as u128).wrapping_mul(span as u128);
+        let mut l = m as u64;
+        if l < span {
+            let t = span.wrapping_neg() % span;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128).wrapping_mul(span as u128);
+                l = m as u64;
+            }
+        }
+        lo + (m >> 64) as u64
+    }
+
+    /// A uniformly distributed `usize` in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.range_u64(0, n as u64) as usize
+    }
+
+    /// A uniform float in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// True with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.index(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// A random cyclic permutation of `0..n` encoded as a successor array:
+    /// `perm[i]` is the element visited after `i`, and following the chain
+    /// from 0 visits all `n` elements exactly once before returning to 0.
+    ///
+    /// This is exactly the structure LENS's pointer-chasing microbenchmark
+    /// builds in memory (Sattolo's algorithm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn cyclic_permutation(&mut self, n: usize) -> Vec<usize> {
+        assert!(n > 0, "permutation of zero elements");
+        // Sattolo's algorithm produces a uniformly random single cycle.
+        let mut items: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = self.index(i);
+            items.swap(i, j);
+        }
+        // items is now a cycle in sequence form; convert to successor form.
+        let mut succ = vec![0usize; n];
+        for w in 0..n {
+            succ[items[w]] = items[(w + 1) % n];
+        }
+        succ
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(123);
+        let mut b = SplitMix64::new(123);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(
+            DetRng::seed_from(1).next_u64(),
+            DetRng::seed_from(2).next_u64()
+        );
+    }
+
+    #[test]
+    fn range_stays_in_bounds() {
+        let mut rng = DetRng::seed_from(9);
+        for _ in 0..10_000 {
+            let v = rng.range_u64(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut rng = DetRng::seed_from(5);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.range_u64(0, 8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = DetRng::seed_from(3);
+        for _ in 0..10_000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_near_half() {
+        let mut rng = DetRng::seed_from(11);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = DetRng::seed_from(21);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cyclic_permutation_is_single_cycle() {
+        let mut rng = DetRng::seed_from(33);
+        for n in [1usize, 2, 3, 17, 256] {
+            let succ = rng.cyclic_permutation(n);
+            let mut seen = vec![false; n];
+            let mut cur = 0usize;
+            for _ in 0..n {
+                assert!(!seen[cur], "revisited {cur} before finishing cycle");
+                seen[cur] = true;
+                cur = succ[cur];
+            }
+            assert_eq!(cur, 0, "cycle must close at the start");
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn fork_produces_independent_streams() {
+        let mut parent = DetRng::seed_from(77);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = DetRng::seed_from(4);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+}

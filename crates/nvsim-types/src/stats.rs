@@ -1,0 +1,403 @@
+//! Statistics primitives: running statistics, histograms, percentiles and
+//! the accuracy metric used throughout the paper's validation sections.
+
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+
+/// Incrementally computed mean / variance / min / max (Welford's algorithm).
+///
+/// # Example
+///
+/// ```
+/// use nvsim_types::RunningStats;
+/// let mut s = RunningStats::new();
+/// for x in [1.0, 2.0, 3.0] { s.push(x); }
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.count(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Adds a [`Time`] sample in nanoseconds.
+    pub fn push_time_ns(&mut self, t: Time) {
+        self.push(t.as_ns_f64());
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 if fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample (`None` if empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest sample (`None` if empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A log-linear latency histogram with exact percentile queries over the
+/// stored samples.
+///
+/// `Histogram` keeps all raw samples (experiments in this workspace are at
+/// most a few hundred thousand samples), which makes tail-latency analysis
+/// (Fig 7b–7c) exact rather than bucketed.
+///
+/// # Example
+///
+/// ```
+/// use nvsim_types::Histogram;
+/// let mut h = Histogram::new();
+/// for v in [1.0, 2.0, 3.0, 4.0, 100.0] { h.push(v); }
+/// assert_eq!(h.percentile(50.0), 3.0);
+/// assert_eq!(h.percentile(100.0), 100.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Histogram {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Adds a [`Time`] sample in nanoseconds.
+    pub fn push_time_ns(&mut self, t: Time) {
+        self.push(t.as_ns_f64());
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean of the samples (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in histogram"));
+            self.sorted = true;
+        }
+    }
+
+    /// The `p`-th percentile (nearest-rank), `p` in `[0, 100]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram is empty or `p` is outside `[0, 100]`.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        assert!(!self.samples.is_empty(), "percentile of empty histogram");
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        self.samples[rank.saturating_sub(1).min(n - 1)]
+    }
+
+    /// Fraction of samples strictly greater than `threshold`.
+    pub fn fraction_above(&self, threshold: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let above = self.samples.iter().filter(|&&x| x > threshold).count();
+        above as f64 / self.samples.len() as f64
+    }
+
+    /// Indices of samples strictly greater than `threshold`, in insertion
+    /// order. Used to measure the *period* of wear-leveling tail spikes.
+    ///
+    /// Note: only meaningful before any percentile query, because percentile
+    /// queries sort the samples in place.
+    pub fn indices_above(&self, threshold: f64) -> Vec<usize> {
+        assert!(
+            !self.sorted || self.samples.windows(2).all(|w| w[0] <= w[1]),
+            "histogram was reordered"
+        );
+        self.samples
+            .iter()
+            .enumerate()
+            .filter(|(_, &x)| x > threshold)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Immutable view of the raw samples in insertion order (unless a
+    /// percentile query has sorted them).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+/// The accuracy metric used by the paper's validation (Fig 3a, 9e, 11d):
+/// `1 - |simulated - reference| / reference`, clamped to `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use nvsim_types::stats::accuracy;
+/// assert_eq!(accuracy(90.0, 100.0), 0.9);
+/// assert_eq!(accuracy(100.0, 100.0), 1.0);
+/// assert_eq!(accuracy(300.0, 100.0), 0.0); // clamped
+/// ```
+pub fn accuracy(simulated: f64, reference: f64) -> f64 {
+    if reference == 0.0 {
+        return if simulated == 0.0 { 1.0 } else { 0.0 };
+    }
+    (1.0 - ((simulated - reference) / reference).abs()).clamp(0.0, 1.0)
+}
+
+/// Arithmetic mean of pairwise accuracies across a curve (the paper's
+/// "average accuracy ... arithmetic mean of accuracies under experiments
+/// with different access sizes", §II-C).
+///
+/// # Panics
+///
+/// Panics if the two series have different lengths or are empty.
+pub fn mean_accuracy(simulated: &[f64], reference: &[f64]) -> f64 {
+    assert_eq!(simulated.len(), reference.len(), "curve length mismatch");
+    assert!(!simulated.is_empty(), "empty curves");
+    simulated
+        .iter()
+        .zip(reference)
+        .map(|(&s, &r)| accuracy(s, r))
+        .sum::<f64>()
+        / simulated.len() as f64
+}
+
+/// Geometric mean of a slice of positive values (used for IPC/speedup
+/// accuracy aggregation, Fig 11).
+///
+/// # Panics
+///
+/// Panics if the slice is empty or contains non-positive values.
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "geometric mean of empty slice");
+    let log_sum: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geometric mean requires positive values, got {x}");
+            x.ln()
+        })
+        .sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_basics() {
+        let mut s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn running_stats_merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = RunningStats::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut left = RunningStats::new();
+        let mut right = RunningStats::new();
+        for &x in &xs[..37] {
+            left.push(x);
+        }
+        for &x in &xs[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), all.count());
+        assert!((left.mean() - all.mean()).abs() < 1e-9);
+        assert!((left.variance() - all.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = RunningStats::new();
+        s.push(3.0);
+        let before = s.clone();
+        s.merge(&RunningStats::new());
+        assert_eq!(s, before);
+        let mut empty = RunningStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn histogram_percentiles() {
+        let mut h = Histogram::new();
+        for v in 1..=100 {
+            h.push(v as f64);
+        }
+        assert_eq!(h.percentile(50.0), 50.0);
+        assert_eq!(h.percentile(99.0), 99.0);
+        assert_eq!(h.percentile(100.0), 100.0);
+        assert_eq!(h.percentile(0.0), 1.0);
+    }
+
+    #[test]
+    fn histogram_tail_fraction() {
+        let mut h = Histogram::new();
+        for _ in 0..990 {
+            h.push(1.0);
+        }
+        for _ in 0..10 {
+            h.push(100.0);
+        }
+        assert!((h.fraction_above(10.0) - 0.01).abs() < 1e-12);
+        assert_eq!(h.fraction_above(1000.0), 0.0);
+    }
+
+    #[test]
+    fn histogram_tail_indices_preserve_order() {
+        let mut h = Histogram::new();
+        for i in 0..100 {
+            h.push(if i % 25 == 24 { 50.0 } else { 1.0 });
+        }
+        assert_eq!(h.indices_above(10.0), vec![24, 49, 74, 99]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty histogram")]
+    fn empty_percentile_panics() {
+        Histogram::new().percentile(50.0);
+    }
+
+    #[test]
+    fn accuracy_metric() {
+        assert_eq!(accuracy(100.0, 100.0), 1.0);
+        assert!((accuracy(110.0, 100.0) - 0.9).abs() < 1e-12);
+        assert!((accuracy(90.0, 100.0) - 0.9).abs() < 1e-12);
+        assert_eq!(accuracy(0.0, 0.0), 1.0);
+        assert_eq!(accuracy(5.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn mean_accuracy_over_curves() {
+        let sim = [100.0, 200.0];
+        let rf = [100.0, 100.0];
+        assert!((mean_accuracy(&sim, &rf) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_values() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geometric_mean_rejects_zero() {
+        geometric_mean(&[1.0, 0.0]);
+    }
+}

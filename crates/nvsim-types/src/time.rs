@@ -1,0 +1,315 @@
+//! Simulated time.
+//!
+//! All clock domains in the workspace (CPU cores at 2.2 GHz, DDR4/DDR-T at
+//! 2666 MT/s, media arrays) are expressed in a single base unit:
+//! **picoseconds**. A `u64` of picoseconds covers ~213 days of simulated
+//! time, far beyond any experiment in the paper.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in (or span of) simulated time, in picoseconds.
+///
+/// `Time` is used both as an absolute timestamp and as a duration; the
+/// arithmetic operators implement the usual timestamp/duration algebra.
+///
+/// # Example
+///
+/// ```
+/// use nvsim_types::Time;
+/// let start = Time::from_ns(100);
+/// let lat = Time::from_ns(55);
+/// assert_eq!(start + lat, Time::from_ns(155));
+/// assert_eq!((start + lat) - start, lat);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Time(u64);
+
+impl Time {
+    /// The zero timestamp (simulation epoch).
+    pub const ZERO: Time = Time(0);
+    /// The maximum representable time; used as an "infinitely far" sentinel.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates a time from raw picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        Time(ps)
+    }
+
+    /// Creates a time from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        Time(ns * 1_000)
+    }
+
+    /// Creates a time from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        Time(us * 1_000_000)
+    }
+
+    /// Creates a time from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        Time(ms * 1_000_000_000)
+    }
+
+    /// Creates a time from a (possibly fractional) number of nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `ns` is negative or not finite.
+    #[inline]
+    pub fn from_ns_f64(ns: f64) -> Self {
+        debug_assert!(ns.is_finite() && ns >= 0.0, "invalid time: {ns} ns");
+        Time((ns * 1_000.0).round() as u64)
+    }
+
+    /// Raw picosecond count.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Time in nanoseconds, rounded down.
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Time in (fractional) nanoseconds.
+    #[inline]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Time in (fractional) microseconds.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Time in (fractional) milliseconds.
+    #[inline]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Time in (fractional) seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Saturating subtraction; clamps at zero instead of panicking.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition.
+    #[inline]
+    pub fn checked_add(self, rhs: Time) -> Option<Time> {
+        self.0.checked_add(rhs.0).map(Time)
+    }
+
+    /// The later of two times.
+    #[inline]
+    pub fn max(self, rhs: Time) -> Time {
+        Time(self.0.max(rhs.0))
+    }
+
+    /// The earlier of two times.
+    #[inline]
+    pub fn min(self, rhs: Time) -> Time {
+        Time(self.0.min(rhs.0))
+    }
+
+    /// True if this is the zero timestamp.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Time {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Time) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: u64) -> Time {
+        Time(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn div(self, rhs: u64) -> Time {
+        Time(self.0 / rhs)
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps >= 1_000_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ps >= 1_000_000_000 {
+            write!(f, "{:.3}ms", self.as_ms_f64())
+        } else if ps >= 1_000_000 {
+            write!(f, "{:.3}us", self.as_us_f64())
+        } else if ps >= 1_000 {
+            write!(f, "{:.3}ns", self.as_ns_f64())
+        } else {
+            write!(f, "{ps}ps")
+        }
+    }
+}
+
+/// A clock frequency, used to convert between cycles and [`Time`].
+///
+/// # Example
+///
+/// ```
+/// use nvsim_types::time::Freq;
+/// let cpu = Freq::mhz(2200);
+/// let t = cpu.cycles_to_time(2200);
+/// assert_eq!(t.as_ns(), 1000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Freq {
+    /// Frequency in kilohertz (integral to keep `Freq` hashable/exact).
+    khz: u64,
+}
+
+impl Freq {
+    /// Creates a frequency from megahertz.
+    pub const fn mhz(mhz: u64) -> Self {
+        Freq { khz: mhz * 1_000 }
+    }
+
+    /// Creates a frequency from gigahertz (integral).
+    pub const fn ghz(ghz: u64) -> Self {
+        Freq {
+            khz: ghz * 1_000_000,
+        }
+    }
+
+    /// Frequency in MHz as a float.
+    pub fn as_mhz_f64(self) -> f64 {
+        self.khz as f64 / 1_000.0
+    }
+
+    /// Duration of one clock cycle.
+    pub fn period(self) -> Time {
+        // ps per cycle = 1e12 / hz = 1e9 / khz
+        Time::from_ps(1_000_000_000 / self.khz)
+    }
+
+    /// Converts a cycle count at this frequency to a time span.
+    pub fn cycles_to_time(self, cycles: u64) -> Time {
+        Time::from_ps(cycles * 1_000_000_000 / self.khz)
+    }
+
+    /// Converts a time span to a whole number of cycles (rounded up).
+    pub fn time_to_cycles(self, t: Time) -> u64 {
+        let period = self.period().as_ps();
+        t.as_ps().div_ceil(period)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(Time::from_ns(5).as_ps(), 5_000);
+        assert_eq!(Time::from_us(2).as_ns(), 2_000);
+        assert_eq!(Time::from_ms(1).as_us_f64(), 1_000.0);
+        assert_eq!(Time::from_ns_f64(1.5).as_ps(), 1_500);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Time::from_ns(10);
+        let b = Time::from_ns(4);
+        assert_eq!(a + b, Time::from_ns(14));
+        assert_eq!(a - b, Time::from_ns(6));
+        assert_eq!(b.saturating_sub(a), Time::ZERO);
+        assert_eq!(a * 3, Time::from_ns(30));
+        assert_eq!(a / 2, Time::from_ns(5));
+        let total: Time = [a, b, b].into_iter().sum();
+        assert_eq!(total, Time::from_ns(18));
+    }
+
+    #[test]
+    fn ordering_and_extremes() {
+        assert!(Time::from_ns(1) < Time::from_ns(2));
+        assert_eq!(Time::from_ns(1).max(Time::from_ns(2)), Time::from_ns(2));
+        assert_eq!(Time::from_ns(1).min(Time::from_ns(2)), Time::from_ns(1));
+        assert!(Time::ZERO.is_zero());
+        assert!(Time::MAX > Time::from_ms(1_000_000));
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(Time::from_ps(500).to_string(), "500ps");
+        assert_eq!(Time::from_ns(150).to_string(), "150.000ns");
+        assert_eq!(Time::from_us(6).to_string(), "6.000us");
+        assert_eq!(Time::from_ms(3).to_string(), "3.000ms");
+    }
+
+    #[test]
+    fn freq_conversions() {
+        let ddr = Freq::mhz(2666);
+        // One DDR-2666 clock (the command clock is 1333 MHz, but we model
+        // the data rate here): ~375 ps per transfer beat.
+        assert_eq!(ddr.period().as_ps(), 375);
+        let cpu = Freq::ghz(2);
+        assert_eq!(cpu.period().as_ps(), 500);
+        assert_eq!(cpu.cycles_to_time(4).as_ns(), 2);
+        assert_eq!(cpu.time_to_cycles(Time::from_ns(2)), 4);
+        assert_eq!(cpu.time_to_cycles(Time::from_ps(501)), 2);
+    }
+}

@@ -1,0 +1,228 @@
+//! A [`MemoryBackend`] view of the reference model, so LENS can drive the
+//! "reference machine" through the same interface as the simulators.
+//!
+//! The backend serves each request with the analytical latency the curves
+//! predict for the *currently observed working set*: it tracks the
+//! distinct lines touched recently (an exponential window) and uses that
+//! as the region size. This is intentionally simple — the backend exists
+//! to validate LENS's analysis pipeline end-to-end (probers must recover
+//! the reference knees from it) rather than to re-model the hardware.
+
+use crate::curves::OptaneReference;
+use nvsim_types::{Addr, BackendCounters, MemOp, MemoryBackend, ReqId, RequestDesc, Time};
+use std::collections::HashMap;
+
+/// The reference machine as a driveable backend.
+#[derive(Debug, Clone)]
+pub struct ReferenceBackend {
+    model: OptaneReference,
+    dimms: u32,
+    now: Time,
+    next_id: u64,
+    completions: HashMap<ReqId, Time>,
+    counters: BackendCounters,
+    /// Footprint tracking: lowest/highest line index seen since reset.
+    lo_line: Option<u64>,
+    hi_line: Option<u64>,
+    /// Bytes written per 64 KB block, for tail emulation (the model's
+    /// tail period is expressed in 256 B write iterations).
+    block_writes: HashMap<u64, u64>,
+}
+
+impl ReferenceBackend {
+    /// Creates a reference backend for `dimms` interleaved DIMMs.
+    pub fn new(model: OptaneReference, dimms: u32) -> Self {
+        ReferenceBackend {
+            model,
+            dimms,
+            now: Time::ZERO,
+            next_id: 0,
+            completions: HashMap::new(),
+            counters: BackendCounters::default(),
+            lo_line: None,
+            hi_line: None,
+            block_writes: HashMap::new(),
+        }
+    }
+
+    /// The underlying analytical model.
+    pub fn model(&self) -> &OptaneReference {
+        &self.model
+    }
+
+    /// Clears the footprint window (call between experiment phases).
+    pub fn reset_footprint(&mut self) {
+        self.lo_line = None;
+        self.hi_line = None;
+    }
+
+    fn observe(&mut self, addr: Addr) -> u64 {
+        let line = addr.line_index();
+        self.lo_line = Some(self.lo_line.map_or(line, |l| l.min(line)));
+        self.hi_line = Some(self.hi_line.map_or(line, |h| h.max(line)));
+        let span_lines = self.hi_line.unwrap() - self.lo_line.unwrap() + 1;
+        span_lines * 64
+    }
+
+    fn latency_for(&mut self, desc: &RequestDesc) -> Time {
+        match desc.op {
+            // Fences carry a dummy address: do not let them pollute the
+            // footprint window.
+            MemOp::Fence => Time::from_ns(50),
+            MemOp::Load => {
+                let region = self.observe(desc.addr);
+                Time::from_ns_f64(self.model.read_latency_ns(region, self.dimms))
+            }
+            _ => {
+                let region = self.observe(desc.addr);
+                // Wear-leveling tail emulation: one stall per
+                // `tail_period` 256 B-equivalents written to a 64 KB
+                // block (the model's period is in 256 B iterations).
+                let block = desc.addr.raw() / (64 << 10);
+                let bytes = self.block_writes.entry(block).or_insert(0);
+                let units_before = *bytes / 256;
+                *bytes += desc.size as u64;
+                let units_after = *bytes / 256;
+                let crossed = units_after / self.model.tail_period_iters
+                    > units_before / self.model.tail_period_iters;
+                if crossed && region < (64 << 10) {
+                    return Time::from_ns_f64(self.model.tail_magnitude_us * 1_000.0);
+                }
+                Time::from_ns_f64(self.model.write_latency_ns(region, self.dimms))
+            }
+        }
+    }
+}
+
+impl MemoryBackend for ReferenceBackend {
+    fn label(&self) -> String {
+        "Optane-reference".to_owned()
+    }
+
+    fn now(&self) -> Time {
+        self.now
+    }
+
+    fn submit(&mut self, desc: RequestDesc) -> ReqId {
+        let id = ReqId(self.next_id);
+        self.next_id += 1;
+        match desc.op {
+            MemOp::Load => {
+                self.counters.bus_reads += desc.cache_lines();
+                self.counters.bus_bytes_read += desc.size as u64;
+            }
+            MemOp::Fence => self.counters.fences += 1,
+            _ => {
+                self.counters.bus_writes += desc.cache_lines();
+                self.counters.bus_bytes_written += desc.size as u64;
+            }
+        }
+        let lat = self.latency_for(&desc);
+        let done = self.now + lat;
+        self.completions.insert(id, done);
+        id
+    }
+
+    fn take_completion(&mut self, id: ReqId) -> Time {
+        self.completions
+            .remove(&id)
+            .expect("waited for unknown or already-completed request")
+    }
+
+    fn drain(&mut self) -> Time {
+        let last = self
+            .completions
+            .drain()
+            .map(|(_, t)| t)
+            .max()
+            .unwrap_or(self.now);
+        self.now = self.now.max(last);
+        self.now
+    }
+
+    fn skip_to(&mut self, t: Time) {
+        self.now = self.now.max(t);
+    }
+
+    fn counters(&self) -> BackendCounters {
+        self.counters
+    }
+
+    fn reset_counters(&mut self) {
+        self.counters = BackendCounters::default();
+    }
+
+    fn models_persistence_ops(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn backend() -> ReferenceBackend {
+        ReferenceBackend::new(OptaneReference::new(), 1)
+    }
+
+    #[test]
+    fn small_footprint_reads_are_fast() {
+        let mut b = backend();
+        let mut now = Time::ZERO;
+        let mut last_lat = Time::ZERO;
+        for i in 0..16u64 {
+            let before = now;
+            now = b.execute(RequestDesc::load(Addr::new(i * 64 % 1024)));
+            last_lat = now - before;
+        }
+        assert!(last_lat < Time::from_ns(120), "{last_lat}");
+    }
+
+    #[test]
+    fn widening_footprint_slows_reads() {
+        let mut b = backend();
+        b.execute(RequestDesc::load(Addr::new(0)));
+        let t0 = b.now();
+        let t1 = b.execute(RequestDesc::load(Addr::new(128 << 20)));
+        assert!(t1 - t0 > Time::from_ns(250));
+    }
+
+    #[test]
+    fn overwrite_tail_appears_on_schedule() {
+        let mut model = OptaneReference::new();
+        model.tail_period_iters = 100;
+        let mut b = ReferenceBackend::new(model, 1);
+        let mut tails = 0;
+        let mut now = Time::ZERO;
+        // The tail period is counted in 256 B write iterations.
+        for _ in 0..1000 {
+            let before = now;
+            now = b.execute(RequestDesc::new(Addr::new(0), 256, MemOp::NtStore));
+            if now - before > Time::from_us(10) {
+                tails += 1;
+            }
+        }
+        assert_eq!(tails, 10);
+    }
+
+    #[test]
+    fn footprint_reset_restores_fast_path() {
+        let mut b = backend();
+        b.execute(RequestDesc::load(Addr::new(0)));
+        b.execute(RequestDesc::load(Addr::new(128 << 20)));
+        b.reset_footprint();
+        let t0 = b.now();
+        let t1 = b.execute(RequestDesc::load(Addr::new(64)));
+        assert!(t1 - t0 < Time::from_ns(120));
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut b = backend();
+        b.execute(RequestDesc::load(Addr::new(0)));
+        b.execute(RequestDesc::nt_store(Addr::new(64)));
+        b.fence();
+        let c = b.counters();
+        assert_eq!((c.bus_reads, c.bus_writes, c.fences), (1, 1, 1));
+    }
+}

@@ -1,0 +1,400 @@
+//! The address-indirection table (AIT).
+//!
+//! The AIT owns the physical→media address translation and the 16 MB AIT
+//! data buffer; both live in the on-DIMM DRAM (§IV-A). It is also where
+//! wear-leveling acts: writes accumulate wear records per 64 KB media
+//! block, and when a block turns hot the AIT stalls writes to it, migrates
+//! the data to a fresh media block, and updates the translation records.
+
+use crate::buffer::LruBuffer;
+use crate::config::AitConfig;
+use nvsim_dram::DramModel;
+use nvsim_media::{MediaAddr, WearEvent, WearTracker, XpointMedia};
+use nvsim_types::{Addr, Time};
+use std::collections::HashMap;
+
+/// Statistics of AIT behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AitStats {
+    /// Data-buffer hits.
+    pub buffer_hits: u64,
+    /// Data-buffer misses (page fetched from media).
+    pub buffer_misses: u64,
+    /// Translation-cache hits.
+    pub translation_hits: u64,
+    /// Translation-cache misses (DRAM table walk).
+    pub translation_misses: u64,
+    /// Wear-leveling migrations performed.
+    pub migrations: u64,
+    /// Dirty pages written back to media.
+    pub writebacks: u64,
+    /// Total accesses to the on-DIMM DRAM.
+    pub dram_accesses: u64,
+    /// Writes that were stalled behind an ongoing migration.
+    pub stalled_writes: u64,
+}
+
+/// The AIT model: translation table + translation cache + data buffer,
+/// timed against the on-DIMM DRAM and the media array.
+#[derive(Debug)]
+pub struct Ait {
+    cfg: AitConfig,
+    /// Data buffer, keyed by physical page index.
+    buffer: LruBuffer,
+    /// Translation cache, keyed by physical page index.
+    tcache: LruBuffer,
+    /// The full translation table: physical page → media frame index.
+    /// Resident in on-DIMM DRAM; lookups not covered by `tcache` pay a
+    /// DRAM access.
+    translations: HashMap<u64, u64>,
+    /// On-DIMM DRAM timing model.
+    dram: DramModel,
+    /// Media array.
+    media: XpointMedia,
+    /// Wear-leveling hot-block detector.
+    wear: WearTracker,
+    /// Bump allocator for fresh media wear blocks (in wear-block units).
+    next_free_block: u64,
+    /// Physical pages currently stalled behind a migration.
+    busy_pages: HashMap<u64, Time>,
+    stats: AitStats,
+}
+
+impl Ait {
+    /// Creates an AIT over the given DRAM, media and wear models.
+    pub fn new(cfg: AitConfig, dram: DramModel, media: XpointMedia, wear: WearTracker) -> Self {
+        let capacity = media.config().capacity_bytes;
+        let block = wear.config().block_size;
+        Ait {
+            buffer: LruBuffer::new(cfg.buffer_entries as usize),
+            tcache: LruBuffer::new(cfg.translation_cache_entries.max(1) as usize),
+            cfg,
+            translations: HashMap::new(),
+            dram,
+            media,
+            wear,
+            // Fresh blocks for migration targets start past the directly
+            // mapped region.
+            next_free_block: capacity / block,
+            busy_pages: HashMap::new(),
+            stats: AitStats::default(),
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> AitStats {
+        self.stats
+    }
+
+    /// Media traffic statistics.
+    pub fn media_stats(&self) -> nvsim_media::MediaStats {
+        self.media.stats()
+    }
+
+    /// The wear tracker (e.g. to inspect per-block migration counts).
+    pub fn wear(&self) -> &WearTracker {
+        &self.wear
+    }
+
+    /// Resets statistics (not contents or wear state).
+    pub fn reset_stats(&mut self) {
+        self.stats = AitStats::default();
+        self.media.reset_stats();
+        self.buffer.reset_stats();
+        self.tcache.reset_stats();
+    }
+
+    /// Pages per wear block.
+    fn pages_per_block(&self) -> u64 {
+        self.wear.config().block_size / self.cfg.entry_bytes as u64
+    }
+
+    fn page_of(&self, addr: Addr) -> u64 {
+        addr.raw() / self.cfg.entry_bytes as u64
+    }
+
+    /// One timed access to the on-DIMM DRAM (row locality handled by the
+    /// DRAM model itself). The AIT stores the page's data and metadata
+    /// contiguously, so we address the DRAM by page index.
+    fn dram_access(&mut self, page: u64, offset: u64, write: bool, t: Time) -> Time {
+        self.stats.dram_accesses += 1;
+        let addr = Addr::new(page * self.cfg.entry_bytes as u64 + offset);
+        self.dram.access(addr, write, t) + self.cfg.controller_overhead
+    }
+
+    /// Resolves the physical page's media frame, paying a DRAM table walk
+    /// on a translation-cache miss. Returns `(media_addr_of_page, time)`.
+    fn translate(&mut self, page: u64, t: Time) -> (MediaAddr, Time) {
+        let mut done = t;
+        if self.tcache.contains(page) {
+            self.tcache.touch(page, false);
+            self.stats.translation_hits += 1;
+        } else {
+            self.stats.translation_misses += 1;
+            done = self.dram_access(page, 0, false, done);
+            self.tcache.touch(page, false);
+        }
+        let frame = *self.translations.entry(page).or_insert(page);
+        (MediaAddr::new(frame * self.cfg.entry_bytes as u64), done)
+    }
+
+    /// Handles a dirty-page eviction: write the page back to media.
+    /// The write-back proceeds in the background (it occupies the media
+    /// but does not extend the requester's latency).
+    fn writeback(&mut self, page: u64, t: Time) {
+        self.stats.writebacks += 1;
+        let frame = *self.translations.entry(page).or_insert(page);
+        let media_addr = MediaAddr::new(frame * self.cfg.entry_bytes as u64);
+        self.media.write(media_addr, self.cfg.entry_bytes, t);
+    }
+
+    /// Ensures the page is resident in the data buffer; returns the time
+    /// data is available to forward. `write` marks the page dirty.
+    fn ensure_resident(&mut self, page: u64, write: bool, t: Time) -> Time {
+        if self.buffer.contains(page) {
+            self.stats.buffer_hits += 1;
+            // Data access in the on-DIMM DRAM.
+            let done = self.dram_access(page, 64, write, t);
+            self.buffer.touch(page, write);
+            return done;
+        }
+        self.stats.buffer_misses += 1;
+        let (media_addr, after_translate) = self.translate(page, t);
+        // Fetch the whole page from media; data is forwarded as it
+        // arrives (the DRAM install happens in the background).
+        let fetched = self
+            .media
+            .read(media_addr, self.cfg.entry_bytes, after_translate);
+        // Background install into the DRAM buffer.
+        let _ = self.dram_access(page, 64, true, fetched);
+        let (_, evicted) = self.buffer.touch(page, write);
+        if let Some(ev) = evicted {
+            if ev.dirty {
+                self.writeback(ev.key, fetched);
+            }
+        }
+        fetched
+    }
+
+    /// Reads `_bytes` of the block containing `addr`; returns the time the
+    /// data is available to the RMW stage.
+    pub fn read(&mut self, addr: Addr, _bytes: u32, t: Time) -> Time {
+        let page = self.page_of(addr);
+        self.ensure_resident(page, false, t)
+    }
+
+    /// Writes `bytes` of the block containing `addr` (arriving from the
+    /// RMW write-through); returns the completion time.
+    ///
+    /// This is where wear accumulates and migrations trigger: a write to a
+    /// page whose media block is mid-migration stalls until the migration
+    /// finishes — the tail latency of Fig 7b.
+    pub fn write(&mut self, addr: Addr, bytes: u32, t: Time) -> Time {
+        let page = self.page_of(addr);
+        // Stall behind an ongoing migration of this page's block.
+        let mut start = t;
+        if let Some(&busy) = self.busy_pages.get(&page) {
+            if busy > start {
+                self.stats.stalled_writes += 1;
+                start = busy;
+            } else {
+                self.busy_pages.remove(&page);
+            }
+        }
+        let done = self.ensure_resident(page, true, start);
+        // Record wear against the *media* block actually written.
+        let frame = *self.translations.entry(page).or_insert(page);
+        let offset = addr.raw() % self.cfg.entry_bytes as u64;
+        let _ = bytes;
+        let media_addr = MediaAddr::new(frame * self.cfg.entry_bytes as u64 + offset);
+        if let WearEvent::Migrate { block } = self.wear.record_write(media_addr) {
+            self.migrate(block, page, done);
+        }
+        done
+    }
+
+    /// Migrates a hot media block: copy its data to a fresh block, remap
+    /// every affected physical page, and stall subsequent writes to those
+    /// pages until the copy completes.
+    fn migrate(&mut self, media_block: u64, _trigger_page: u64, t: Time) {
+        self.stats.migrations += 1;
+        let block_size = self.wear.config().block_size;
+        let ppb = self.pages_per_block();
+        let new_block = self.next_free_block;
+        self.next_free_block += 1;
+        // Timed media copy of the whole wear block.
+        let copy_done = self.media.copy(
+            MediaAddr::new(media_block * block_size),
+            MediaAddr::new(new_block * block_size),
+            block_size as u32,
+            t,
+        ) + self.wear.config().migration_latency;
+        // Remap every physical page currently pointing into the hot block
+        // and stall writes to it until the migration is done.
+        let frame_lo = media_block * ppb;
+        let frame_hi = frame_lo + ppb;
+        let affected: Vec<u64> = self
+            .translations
+            .iter()
+            .filter(|&(_, &f)| f >= frame_lo && f < frame_hi)
+            .map(|(&p, _)| p)
+            .collect();
+        // Pages never explicitly translated map identity; cover those too.
+        let identity_pages: Vec<u64> = (frame_lo..frame_hi)
+            .filter(|p| !self.translations.contains_key(p))
+            .collect();
+        let all: Vec<u64> = affected.into_iter().chain(identity_pages).collect();
+        for (i, page) in all.iter().enumerate() {
+            self.translations
+                .insert(*page, new_block * ppb + (i as u64 % ppb));
+            self.busy_pages.insert(*page, copy_done);
+            self.tcache.invalidate(*page);
+        }
+    }
+
+    /// Hit/miss counters of the data buffer.
+    pub fn buffer_hit_miss(&self) -> (u64, u64) {
+        self.buffer.hit_miss()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvsim_dram::DramConfig;
+    use nvsim_media::{MediaConfig, WearConfig};
+
+    fn ait(buffer_entries: u32, wear_threshold: u64) -> Ait {
+        let cfg = AitConfig {
+            buffer_entries,
+            entry_bytes: 4096,
+            controller_overhead: Time::from_ns(10),
+            translation_cache_entries: 8,
+        };
+        let mut dram_cfg = DramConfig::on_dimm_512mb();
+        dram_cfg.refresh_enabled = false;
+        let dram = DramModel::new(dram_cfg).unwrap();
+        let media = XpointMedia::new(MediaConfig::optane_like()).unwrap();
+        let mut wcfg = WearConfig::optane_like();
+        wcfg.threshold = wear_threshold;
+        let wear = WearTracker::new(wcfg).unwrap();
+        Ait::new(cfg, dram, media, wear)
+    }
+
+    #[test]
+    fn buffer_hit_is_much_faster_than_miss() {
+        let mut a = ait(16, 1_000_000);
+        let miss_done = a.read(Addr::new(0), 256, Time::ZERO);
+        let hit_done = a.read(Addr::new(256), 256, miss_done);
+        let miss_lat = miss_done - Time::ZERO;
+        let hit_lat = hit_done - miss_done;
+        assert!(hit_lat * 2 < miss_lat, "hit {hit_lat} vs miss {miss_lat}");
+        assert_eq!(a.stats().buffer_hits, 1);
+        assert_eq!(a.stats().buffer_misses, 1);
+    }
+
+    #[test]
+    fn miss_fetches_whole_page_from_media() {
+        let mut a = ait(16, 1_000_000);
+        a.read(Addr::new(0), 64, Time::ZERO);
+        assert_eq!(a.media_stats().bytes_read, 4096);
+    }
+
+    #[test]
+    fn translation_cache_saves_a_dram_walk() {
+        // Tiny 2-entry data buffer: page 0 gets evicted while its
+        // translation survives in the 8-entry translation cache.
+        let mut a = ait(2, 1_000_000);
+        let mut now = a.read(Addr::new(0), 256, Time::ZERO);
+        assert_eq!(a.stats().translation_misses, 1);
+        now = a.read(Addr::new(4096), 256, now);
+        now = a.read(Addr::new(2 * 4096), 256, now);
+        // Page 0 is gone from the data buffer; reading it again walks the
+        // buffer-miss path but hits the translation cache.
+        let misses_before = a.stats().translation_misses;
+        a.read(Addr::new(512), 256, now);
+        assert_eq!(a.stats().translation_misses, misses_before);
+        assert_eq!(a.stats().translation_hits, 1);
+        assert_eq!(a.stats().buffer_misses, 4);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back_to_media() {
+        let mut a = ait(2, 1_000_000);
+        let mut now = Time::ZERO;
+        now = a.write(Addr::new(0), 256, now);
+        // Touch two more pages to evict page 0 (dirty).
+        now = a.read(Addr::new(4096), 256, now);
+        let _ = a.read(Addr::new(2 * 4096), 256, now);
+        assert_eq!(a.stats().writebacks, 1);
+        assert!(a.media_stats().bytes_written >= 4096);
+    }
+
+    #[test]
+    fn hot_block_migration_stalls_next_write() {
+        let mut a = ait(16, 50);
+        let mut now = Time::ZERO;
+        let mut latencies = Vec::new();
+        for _ in 0..120 {
+            let done = a.write(Addr::new(0), 256, now);
+            latencies.push((done - now).as_ns());
+            now = done;
+        }
+        assert!(a.stats().migrations >= 1, "expected a migration");
+        assert!(a.stats().stalled_writes >= 1, "expected a stalled write");
+        // The stall appears as a tail far above the median write latency.
+        let max = *latencies.iter().max().unwrap();
+        let mut sorted = latencies.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        assert!(max > median * 20, "tail {max}ns not >> median {median}ns");
+    }
+
+    #[test]
+    fn migration_remaps_translation() {
+        let mut a = ait(16, 50);
+        let mut now = Time::ZERO;
+        for _ in 0..60 {
+            now = a.write(Addr::new(0), 256, now);
+        }
+        assert_eq!(a.stats().migrations, 1);
+        // The page now maps to a fresh frame past the identity region.
+        let frame = a.translations[&0];
+        assert_ne!(frame, 0);
+        // And wear of the new block starts cold: many more writes needed
+        // before the next migration.
+        for _ in 0..30 {
+            now = a.write(Addr::new(0), 256, now);
+        }
+        assert_eq!(a.stats().migrations, 1);
+    }
+
+    #[test]
+    fn spread_writes_do_not_migrate() {
+        let mut a = ait(64, 50);
+        let mut now = Time::ZERO;
+        // Alternate between two 64KB blocks: the decaying detector never
+        // fires (Fig 7c collapse).
+        for i in 0..500u64 {
+            let addr = Addr::new((i % 2) * 64 * 1024);
+            now = a.write(addr, 256, now);
+        }
+        assert_eq!(a.stats().migrations, 0);
+    }
+
+    #[test]
+    fn stats_reset_keeps_wear_state() {
+        let mut a = ait(16, 50);
+        let mut now = Time::ZERO;
+        for _ in 0..40 {
+            now = a.write(Addr::new(0), 256, now);
+        }
+        a.reset_stats();
+        assert_eq!(a.stats().migrations, 0);
+        // Wear state persists: 10 more writes reach the threshold of 50.
+        for _ in 0..10 {
+            now = a.write(Addr::new(0), 256, now);
+        }
+        assert_eq!(a.stats().migrations, 1);
+    }
+}

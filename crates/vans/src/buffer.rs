@@ -1,0 +1,313 @@
+//! A generic fully-associative LRU buffer with dirty tracking.
+//!
+//! Used for the RMW buffer, the AIT data buffer, the AIT translation
+//! cache, and the case-study structures (Lazy cache levels, the RLB).
+//! Entries are keyed by block index (address / entry size); the caller
+//! owns the granularity conventions.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Result of a buffer lookup or insertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// The block was present.
+    Hit,
+    /// The block was absent.
+    Miss,
+}
+
+/// An entry evicted to make room, reported to the caller for write-back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// Block key of the evicted entry.
+    pub key: u64,
+    /// Whether the entry was dirty (needs write-back).
+    pub dirty: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    dirty: bool,
+    /// Monotonic recency stamp; larger = more recent.
+    stamp: u64,
+}
+
+/// Fully-associative LRU buffer keyed by `u64` block indices.
+///
+/// Recency is tracked by a monotone stamp per entry plus an ordered
+/// stamp index, so lookups are O(1) amortized and evictions O(log n) —
+/// important because the AIT buffer (4096 entries) evicts on every
+/// access once a workload's footprint exceeds 16 MB.
+///
+/// # Example
+///
+/// ```
+/// use vans::buffer::{LruBuffer, Lookup};
+/// let mut b = LruBuffer::new(2);
+/// assert_eq!(b.touch(1, false), (Lookup::Miss, None));
+/// assert_eq!(b.touch(2, true), (Lookup::Miss, None));
+/// // 1 is the LRU victim when 3 is inserted.
+/// let (res, evicted) = b.touch(3, false);
+/// assert_eq!(res, Lookup::Miss);
+/// assert_eq!(evicted.unwrap().key, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LruBuffer {
+    capacity: usize,
+    entries: HashMap<u64, Entry>,
+    /// Recency index: stamp -> key (stamps are unique).
+    order: BTreeMap<u64, u64>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl LruBuffer {
+    /// Creates a buffer holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer capacity must be nonzero");
+        LruBuffer {
+            capacity,
+            entries: HashMap::with_capacity(capacity + 1),
+            order: BTreeMap::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lifetime (hits, misses).
+    pub fn hit_miss(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// True if `key` is resident (does not update recency or stats).
+    pub fn contains(&self, key: u64) -> bool {
+        self.entries.contains_key(&key)
+    }
+
+    /// True if `key` is resident and dirty.
+    pub fn is_dirty(&self, key: u64) -> bool {
+        self.entries.get(&key).is_some_and(|e| e.dirty)
+    }
+
+    /// Accesses `key`, inserting it if absent; `write` marks it dirty.
+    /// Returns the hit/miss outcome and, on insertion into a full buffer,
+    /// the evicted victim.
+    pub fn touch(&mut self, key: u64, write: bool) -> (Lookup, Option<Evicted>) {
+        self.clock += 1;
+        if let Some(e) = self.entries.get_mut(&key) {
+            self.order.remove(&e.stamp);
+            e.stamp = self.clock;
+            e.dirty |= write;
+            self.order.insert(self.clock, key);
+            self.hits += 1;
+            return (Lookup::Hit, None);
+        }
+        self.misses += 1;
+        let evicted = if self.entries.len() >= self.capacity {
+            let (&stamp, &victim) = self.order.iter().next().expect("full buffer has a victim");
+            self.order.remove(&stamp);
+            let e = self.entries.remove(&victim).expect("victim resident");
+            Some(Evicted {
+                key: victim,
+                dirty: e.dirty,
+            })
+        } else {
+            None
+        };
+        self.entries.insert(
+            key,
+            Entry {
+                dirty: write,
+                stamp: self.clock,
+            },
+        );
+        self.order.insert(self.clock, key);
+        (Lookup::Miss, evicted)
+    }
+
+    /// Removes `key`, returning whether it was dirty.
+    pub fn invalidate(&mut self, key: u64) -> Option<bool> {
+        let e = self.entries.remove(&key)?;
+        self.order.remove(&e.stamp);
+        Some(e.dirty)
+    }
+
+    /// Clears the dirty bit of `key` (after a write-back).
+    pub fn clean(&mut self, key: u64) {
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.dirty = false;
+        }
+    }
+
+    /// Drains every dirty key (clearing the buffer's dirty state);
+    /// returns them in unspecified order.
+    pub fn take_dirty_keys(&mut self) -> Vec<u64> {
+        let mut keys = Vec::new();
+        for (k, e) in self.entries.iter_mut() {
+            if e.dirty {
+                keys.push(*k);
+                e.dirty = false;
+            }
+        }
+        keys
+    }
+
+    /// Removes every entry; returns the dirty keys.
+    pub fn flush_all(&mut self) -> Vec<u64> {
+        let dirty: Vec<u64> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.dirty)
+            .map(|(k, _)| *k)
+            .collect();
+        self.entries.clear();
+        self.order.clear();
+        dirty
+    }
+
+    /// Iterates over all resident keys in unspecified order.
+    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// The least-recently-used resident key, if any.
+    pub fn peek_lru(&self) -> Option<u64> {
+        self.lru_key()
+    }
+
+    fn lru_key(&self) -> Option<u64> {
+        self.order.values().next().copied()
+    }
+
+    /// Resets hit/miss statistics.
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_update_recency() {
+        let mut b = LruBuffer::new(2);
+        b.touch(1, false);
+        b.touch(2, false);
+        // Touch 1 so 2 becomes LRU.
+        assert_eq!(b.touch(1, false).0, Lookup::Hit);
+        let (_, ev) = b.touch(3, false);
+        assert_eq!(ev.unwrap().key, 2);
+        assert!(b.contains(1));
+        assert!(b.contains(3));
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut b = LruBuffer::new(1);
+        b.touch(7, true);
+        let (_, ev) = b.touch(8, false);
+        let ev = ev.unwrap();
+        assert_eq!(ev.key, 7);
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn clean_eviction_not_dirty() {
+        let mut b = LruBuffer::new(1);
+        b.touch(7, false);
+        let (_, ev) = b.touch(8, false);
+        assert!(!ev.unwrap().dirty);
+    }
+
+    #[test]
+    fn write_marks_dirty_and_clean_clears() {
+        let mut b = LruBuffer::new(4);
+        b.touch(1, false);
+        assert!(!b.is_dirty(1));
+        b.touch(1, true);
+        assert!(b.is_dirty(1));
+        b.clean(1);
+        assert!(!b.is_dirty(1));
+    }
+
+    #[test]
+    fn hit_rate_statistics() {
+        let mut b = LruBuffer::new(2);
+        b.touch(1, false);
+        b.touch(1, false);
+        b.touch(2, false);
+        assert_eq!(b.hit_miss(), (1, 2));
+        b.reset_stats();
+        assert_eq!(b.hit_miss(), (0, 0));
+    }
+
+    #[test]
+    fn flush_all_returns_dirty_only() {
+        let mut b = LruBuffer::new(4);
+        b.touch(1, true);
+        b.touch(2, false);
+        b.touch(3, true);
+        let mut dirty = b.flush_all();
+        dirty.sort_unstable();
+        assert_eq!(dirty, vec![1, 3]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn take_dirty_keys_leaves_entries_resident() {
+        let mut b = LruBuffer::new(4);
+        b.touch(1, true);
+        b.touch(2, true);
+        let mut d = b.take_dirty_keys();
+        d.sort_unstable();
+        assert_eq!(d, vec![1, 2]);
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_dirty(1));
+    }
+
+    #[test]
+    fn invalidate_reports_dirtiness() {
+        let mut b = LruBuffer::new(4);
+        b.touch(5, true);
+        assert_eq!(b.invalidate(5), Some(true));
+        assert_eq!(b.invalidate(5), None);
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut b = LruBuffer::new(8);
+        for k in 0..1000 {
+            b.touch(k, k % 2 == 0);
+            assert!(b.len() <= 8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_panics() {
+        LruBuffer::new(0);
+    }
+}

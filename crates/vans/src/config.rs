@@ -1,0 +1,329 @@
+//! VANS configuration: every microarchitectural parameter the LENS
+//! characterization identified, plus the presets used in the paper's
+//! validation (Table V).
+
+use nvsim_dram::DramConfig;
+use nvsim_media::{MediaConfig, WearConfig};
+use nvsim_types::error::{require_nonzero, require_power_of_two};
+use nvsim_types::{ConfigError, Time};
+use serde::{Deserialize, Serialize};
+
+/// Integrated-memory-controller parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImcConfig {
+    /// Write-pending-queue entries (64 B lines). The paper characterizes a
+    /// 512 B WPQ, i.e. 8 lines; a fence flushes the whole 512 B.
+    pub wpq_entries: u32,
+    /// Read-pending-queue entries.
+    pub rpq_entries: u32,
+    /// One-way DDR-T bus transfer time for a 64 B packet.
+    pub bus_transfer: Time,
+    /// Fixed request/grant protocol overhead per DIMM round trip.
+    pub protocol_overhead: Time,
+    /// CPU-side issue overhead per request (core + uncore before the iMC).
+    pub core_overhead: Time,
+    /// Time to merge/insert a line into the WPQ.
+    pub wpq_latency: Time,
+    /// Minimum pacing of the WPQ drain engine per 64 B line (the DDR-T
+    /// write-credit rate).
+    pub drain_period: Time,
+}
+
+impl ImcConfig {
+    /// Optane-like defaults.
+    pub fn optane_like() -> Self {
+        ImcConfig {
+            wpq_entries: 8,
+            rpq_entries: 32,
+            bus_transfer: Time::from_ns(4),
+            protocol_overhead: Time::from_ns(25),
+            core_overhead: Time::from_ns(26),
+            wpq_latency: Time::from_ns(6),
+            drain_period: Time::from_ns(18),
+        }
+    }
+}
+
+/// On-DIMM load-store-queue parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LsqConfig {
+    /// Entries (64 B lines). Table V: 64 entries → 4 KB.
+    pub entries: u32,
+    /// Lookup/merge latency (result delay).
+    pub latency: Time,
+    /// Port occupancy per lookup (the pipelined issue rate).
+    pub occupancy: Time,
+    /// Write-combining target granularity in bytes (256 for Optane).
+    pub combine_bytes: u32,
+}
+
+impl LsqConfig {
+    /// Optane-like defaults.
+    pub fn optane_like() -> Self {
+        LsqConfig {
+            entries: 64,
+            latency: Time::from_ns(12),
+            occupancy: Time::from_ns(4),
+            combine_bytes: 256,
+        }
+    }
+}
+
+/// RMW-buffer parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RmwConfig {
+    /// Entries of `entry_bytes` each. Table V: 64 × 256 B → 16 KB SRAM.
+    pub entries: u32,
+    /// Entry (and access) granularity in bytes.
+    pub entry_bytes: u32,
+    /// SRAM access latency (result delay).
+    pub sram_latency: Time,
+    /// Port occupancy per access (the pipelined issue rate).
+    pub port_occupancy: Time,
+}
+
+impl RmwConfig {
+    /// Optane-like defaults.
+    pub fn optane_like() -> Self {
+        RmwConfig {
+            entries: 64,
+            entry_bytes: 256,
+            sram_latency: Time::from_ns(35),
+            port_occupancy: Time::from_ns(8),
+        }
+    }
+
+    /// Buffer capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.entries as u64 * self.entry_bytes as u64
+    }
+}
+
+/// Address-indirection-table parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AitConfig {
+    /// AIT data-buffer entries of `entry_bytes` each.
+    /// Table V: 4096 × 4 KB → 16 MB in on-DIMM DRAM.
+    pub buffer_entries: u32,
+    /// Entry (page) granularity in bytes.
+    pub entry_bytes: u32,
+    /// Extra controller overhead per AIT access on top of the on-DIMM
+    /// DRAM timing.
+    pub controller_overhead: Time,
+    /// Entries of the translation cache held in the controller (steady
+    /// state translations that skip the DRAM table walk).
+    pub translation_cache_entries: u32,
+}
+
+impl AitConfig {
+    /// Optane-like defaults.
+    pub fn optane_like() -> Self {
+        AitConfig {
+            buffer_entries: 4096,
+            entry_bytes: 4096,
+            controller_overhead: Time::from_ns(14),
+            translation_cache_entries: 64,
+        }
+    }
+
+    /// Buffer capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.buffer_entries as u64 * self.entry_bytes as u64
+    }
+}
+
+/// Multi-DIMM interleaving settings (iMC level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InterleaveConfig {
+    /// Number of NVRAM DIMMs.
+    pub dimms: u32,
+    /// Interleave granularity in bytes (the paper characterizes 4 KB).
+    pub granularity: u32,
+}
+
+impl InterleaveConfig {
+    /// A single non-interleaved DIMM.
+    pub fn single() -> Self {
+        InterleaveConfig {
+            dimms: 1,
+            granularity: 4096,
+        }
+    }
+
+    /// Six DIMMs with 4 KB interleaving (one socket's channels).
+    pub fn six_dimms() -> Self {
+        InterleaveConfig {
+            dimms: 6,
+            granularity: 4096,
+        }
+    }
+}
+
+/// The full VANS configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VansConfig {
+    /// Display label.
+    pub name: String,
+    /// iMC parameters.
+    pub imc: ImcConfig,
+    /// LSQ parameters.
+    pub lsq: LsqConfig,
+    /// RMW-buffer parameters.
+    pub rmw: RmwConfig,
+    /// AIT parameters.
+    pub ait: AitConfig,
+    /// On-DIMM DRAM (holds AIT table and buffer).
+    pub on_dimm_dram: DramConfig,
+    /// Media array parameters (per DIMM).
+    pub media: MediaConfig,
+    /// Wear-leveling parameters.
+    pub wear: WearConfig,
+    /// Multi-DIMM interleaving.
+    pub interleave: InterleaveConfig,
+}
+
+impl VansConfig {
+    /// A single non-interleaved Optane DIMM in App Direct mode — the
+    /// configuration of the paper's single-DIMM characterization.
+    pub fn optane_1dimm() -> Self {
+        VansConfig {
+            name: "VANS".to_owned(),
+            imc: ImcConfig::optane_like(),
+            lsq: LsqConfig::optane_like(),
+            rmw: RmwConfig::optane_like(),
+            ait: AitConfig::optane_like(),
+            on_dimm_dram: DramConfig::on_dimm_512mb(),
+            media: MediaConfig::optane_like(),
+            wear: WearConfig::optane_like(),
+            interleave: InterleaveConfig::single(),
+        }
+    }
+
+    /// Six interleaved Optane DIMMs (Table V's NVRAM main memory:
+    /// 2666 MHz, 6 channels, 4 KB interleaving).
+    pub fn optane_6dimm() -> Self {
+        let mut cfg = Self::optane_1dimm();
+        cfg.name = "VANS-6DIMM".to_owned();
+        cfg.interleave = InterleaveConfig::six_dimms();
+        cfg
+    }
+
+    /// A scaled-down configuration for fast unit tests: every buffer is
+    /// 1/16 of the Optane size so overflow behaviours appear with small
+    /// footprints. Knees: RMW at 1 KB, AIT at 1 MB, LSQ at 256 B,
+    /// WPQ at 128 B.
+    pub fn tiny_for_tests() -> Self {
+        let mut cfg = Self::optane_1dimm();
+        cfg.name = "VANS-tiny".to_owned();
+        cfg.imc.wpq_entries = 2;
+        cfg.lsq.entries = 4;
+        cfg.rmw.entries = 4;
+        cfg.ait.buffer_entries = 256;
+        cfg.ait.translation_cache_entries = 8;
+        cfg.media.capacity_bytes = 64 << 20;
+        cfg.wear.threshold = 100;
+        cfg
+    }
+
+    /// Validates the whole configuration tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        require_nonzero("imc.wpq_entries", self.imc.wpq_entries as u64)?;
+        require_nonzero("imc.rpq_entries", self.imc.rpq_entries as u64)?;
+        require_nonzero("lsq.entries", self.lsq.entries as u64)?;
+        require_power_of_two("lsq.combine_bytes", self.lsq.combine_bytes as u64)?;
+        require_nonzero("rmw.entries", self.rmw.entries as u64)?;
+        require_power_of_two("rmw.entry_bytes", self.rmw.entry_bytes as u64)?;
+        require_nonzero("ait.buffer_entries", self.ait.buffer_entries as u64)?;
+        require_power_of_two("ait.entry_bytes", self.ait.entry_bytes as u64)?;
+        require_nonzero("interleave.dimms", self.interleave.dimms as u64)?;
+        require_power_of_two("interleave.granularity", self.interleave.granularity as u64)?;
+        if (self.rmw.entry_bytes as u64) < 64 {
+            return Err(ConfigError::new(
+                "rmw.entry_bytes",
+                "must be at least one cache line",
+            ));
+        }
+        if self.ait.entry_bytes < self.rmw.entry_bytes {
+            return Err(ConfigError::new(
+                "ait.entry_bytes",
+                "AIT granularity must be >= RMW granularity",
+            ));
+        }
+        if self.wear.block_size < self.ait.entry_bytes as u64 {
+            return Err(ConfigError::new(
+                "wear.block_size",
+                "wear blocks must be >= one AIT page",
+            ));
+        }
+        self.on_dimm_dram.validate()?;
+        self.media.validate()?;
+        self.wear.validate()?;
+        Ok(())
+    }
+
+    /// WPQ capacity in bytes (the fence-flush granularity LENS observes).
+    pub fn wpq_bytes(&self) -> u64 {
+        self.imc.wpq_entries as u64 * 64
+    }
+
+    /// LSQ capacity in bytes.
+    pub fn lsq_bytes(&self) -> u64 {
+        self.lsq.entries as u64 * 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        VansConfig::optane_1dimm().validate().unwrap();
+        VansConfig::optane_6dimm().validate().unwrap();
+        VansConfig::tiny_for_tests().validate().unwrap();
+    }
+
+    #[test]
+    fn characterized_capacities_match_the_paper() {
+        let cfg = VansConfig::optane_1dimm();
+        assert_eq!(cfg.wpq_bytes(), 512);
+        assert_eq!(cfg.lsq_bytes(), 4096);
+        assert_eq!(cfg.rmw.capacity_bytes(), 16 * 1024);
+        assert_eq!(cfg.ait.capacity_bytes(), 16 * 1024 * 1024);
+        assert_eq!(cfg.wear.block_size, 64 * 1024);
+        assert_eq!(cfg.interleave.granularity, 4096);
+    }
+
+    #[test]
+    fn six_dimm_preset() {
+        let cfg = VansConfig::optane_6dimm();
+        assert_eq!(cfg.interleave.dimms, 6);
+    }
+
+    #[test]
+    fn granularity_ordering_enforced() {
+        let mut cfg = VansConfig::optane_1dimm();
+        cfg.ait.entry_bytes = 128; // < rmw.entry_bytes (256)
+        let err = cfg.validate().unwrap_err();
+        assert_eq!(err.field(), "ait.entry_bytes");
+    }
+
+    #[test]
+    fn wear_block_must_cover_a_page() {
+        let mut cfg = VansConfig::optane_1dimm();
+        cfg.wear.block_size = 2048;
+        let err = cfg.validate().unwrap_err();
+        assert_eq!(err.field(), "wear.block_size");
+    }
+
+    #[test]
+    fn rmw_entry_minimum() {
+        let mut cfg = VansConfig::optane_1dimm();
+        cfg.rmw.entry_bytes = 32;
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,319 @@
+//! One NVRAM DIMM: the composition LSQ → RMW buffer → AIT → media,
+//! plus its channel's iMC front end.
+
+use crate::ait::Ait;
+use crate::config::VansConfig;
+use crate::imc::Imc;
+use crate::lsq::{CombinedWrite, Lsq};
+use crate::opt::lazy_cache::LazyCache;
+use crate::rmw::Rmw;
+use nvsim_dram::DramModel;
+use nvsim_media::{WearTracker, XpointMedia};
+use nvsim_types::{Addr, ConfigError, Time};
+
+/// A single NVRAM DIMM together with its iMC channel.
+#[derive(Debug)]
+pub struct NvDimm {
+    /// The iMC channel front end.
+    pub imc: Imc,
+    /// The on-DIMM load-store queue.
+    pub lsq: Lsq,
+    /// The RMW buffer.
+    pub rmw: Rmw,
+    /// The AIT (translation + buffer + wear-leveling).
+    pub ait: Ait,
+    /// Optional Lazy cache (case study, §V-C). `None` when disabled.
+    pub lazy: Option<LazyCache>,
+}
+
+impl NvDimm {
+    /// Builds a DIMM from the global configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation errors from the substrates.
+    pub fn new(cfg: &VansConfig) -> Result<Self, ConfigError> {
+        let mut dram_cfg = cfg.on_dimm_dram.clone();
+        // The on-DIMM DRAM serves short accesses; refresh is modeled but
+        // commands need not be recorded unless the user asks.
+        dram_cfg.refresh_enabled = cfg.on_dimm_dram.refresh_enabled;
+        let dram = DramModel::new(dram_cfg)?;
+        let media = XpointMedia::new(cfg.media.clone())?;
+        let wear = WearTracker::new(cfg.wear)?;
+        Ok(NvDimm {
+            imc: Imc::new(cfg.imc),
+            lsq: Lsq::new(cfg.lsq),
+            rmw: Rmw::new(cfg.rmw),
+            ait: Ait::new(cfg.ait, dram, media, wear),
+            lazy: None,
+        })
+    }
+
+    /// Drains one WPQ line into the LSQ (and onward if the LSQ spills).
+    /// Returns `true` if a line was drained.
+    fn drain_one_wpq_line(&mut self, t: Time) -> bool {
+        let Some((addr, arrived)) = self.imc.pop_drain(t) else {
+            return false;
+        };
+        let accepted = self.dimm_write_line(addr, arrived);
+        self.imc.drain_accepted(accepted);
+        true
+    }
+
+    /// Pushes one 64 B line into the LSQ, handling any forced combine
+    /// drain into the RMW/AIT path. Returns the time the LSQ accepted the
+    /// line (which is when the WPQ entry is freed).
+    fn dimm_write_line(&mut self, addr: Addr, t: Time) -> Time {
+        let (accepted, drained) = self.lsq.accept_write(addr, t);
+        if let Some(cw) = drained {
+            // The drain to the RMW stage happens on the spot: the freed
+            // entry is only reusable once the RMW accepted the block, so
+            // the accept time inherits the drain time.
+            let done = self.rmw_write(&cw, accepted, false);
+            return done;
+        }
+        accepted
+    }
+
+    /// The RMW-stage handling of a combined write: merge in SRAM, fetch
+    /// the block from the AIT if a sub-block write misses (the RMW read),
+    /// then write through to the AIT.
+    ///
+    /// With `blocking == false` (the normal drain path) the AIT
+    /// write-through is *posted*: it reserves the AIT/DRAM/media
+    /// resources (providing backpressure to later traffic) but does not
+    /// extend the returned acceptance time. With `blocking == true`
+    /// (the fence path) the returned time covers the AIT write — which is
+    /// how a wear-leveling migration stall becomes visible to a fenced
+    /// overwrite loop (Fig 7b).
+    fn rmw_write(&mut self, cw: &CombinedWrite, t: Time, blocking: bool) -> Time {
+        // Lazy cache intercepts writes to hot lines before they reach the
+        // RMW/AIT path (case study, §V-C).
+        if let Some(lazy) = &mut self.lazy {
+            if let Some(done) = lazy.try_absorb_write(cw.block_addr, cw.bytes(), t) {
+                return done;
+            }
+        }
+        let out = self.rmw.write(cw.block_addr, cw.bytes(), t);
+        let mut cursor = out.sram_done;
+        if out.needs_fill {
+            // Read half of the read-modify-write: always blocking — the
+            // merged block cannot exist before its old data arrives.
+            cursor = self.ait.read(cw.block_addr, self.rmw.entry_bytes(), cursor);
+            self.rmw.fill(cw.block_addr);
+        }
+        // Write through the (merged) block to the AIT.
+        let migrations_before = self.ait.stats().migrations;
+        let wdone = self.ait.write(cw.block_addr, cw.bytes(), cursor);
+        // Feed the Lazy cache from the AIT's wear records (§V-C): a
+        // migration marks the hot wear block's lines lazy-cacheable.
+        if self.ait.stats().migrations > migrations_before {
+            if let Some(lazy) = &mut self.lazy {
+                let block_size = self.ait.wear().config().block_size;
+                let base = Addr::new(cw.block_addr.raw() & !(block_size - 1));
+                lazy.record_migration((0..block_size / 64).map(|i| base + i * 64));
+            }
+        }
+        if blocking {
+            wdone
+        } else {
+            cursor
+        }
+    }
+
+    /// Reads one 64 B line; returns the time data is back at the iMC.
+    fn dimm_read_line(&mut self, addr: Addr, t: Time) -> Time {
+        // Request packet to the DIMM.
+        let arrived = self.imc.bus_packet(t) + self.imc.protocol_overhead();
+        // LSQ fast-forward of dirty data.
+        if self.lsq.read_probe(addr) {
+            let served = arrived + self.lsq_latency();
+            return self.imc.data_packet(served);
+        }
+        // Lazy cache probe (case study).
+        if let Some(lazy) = &mut self.lazy {
+            if let Some(served) = lazy.try_read(addr, arrived) {
+                return self.imc.data_packet(served);
+            }
+        }
+        let out = self.rmw.read(addr, arrived + self.lsq_latency());
+        let mut cursor = out.sram_done;
+        if out.needs_fill {
+            cursor = self.ait.read(addr, self.rmw.entry_bytes(), cursor);
+            self.rmw.fill(addr);
+        }
+        // Data returns over the bus.
+        self.imc.data_packet(cursor)
+    }
+
+    fn lsq_latency(&self) -> Time {
+        // The LSQ probe cost is already modeled by its port on writes; a
+        // read probe shares the port conservatively via a fixed charge.
+        Time::from_ns(5)
+    }
+
+    /// Host-visible read of one cache line at time `t`.
+    pub fn read_line(&mut self, addr: Addr, t: Time) -> Time {
+        let issue = self.imc.allocate_rpq(t + self.imc.core_overhead());
+        let done = self.dimm_read_line(addr, issue);
+        self.imc.complete_read(done);
+        done
+    }
+
+    /// Host-visible store of one cache line at time `t`; returns the time
+    /// the store is durable (in the ADR domain).
+    pub fn write_line(&mut self, addr: Addr, t: Time) -> Time {
+        let issue = t + self.imc.core_overhead();
+        let (durable, must_drain) = self.imc.accept_store(addr, issue);
+        if must_drain {
+            // The queue was full: the store's durability waits until one
+            // line has drained to the DIMM and freed an entry.
+            self.drain_one_wpq_line(issue);
+            return durable.max(self.imc.drain_free_time());
+        }
+        durable
+    }
+
+    /// Fence: drain the whole WPQ and flush the LSQ (the paper's observed
+    /// `mfence` semantics). Returns the time everything reached the AIT.
+    pub fn fence(&mut self, t: Time) -> Time {
+        let pending = self.imc.fence_lines(t);
+        let mut cursor = t;
+        for _ in 0..pending {
+            if !self.drain_one_wpq_line(cursor) {
+                break;
+            }
+            cursor = cursor.max(self.imc.drain_free_time());
+        }
+        // Flush the LSQ into the RMW/AIT path. Fences block on the AIT
+        // writes (which is what exposes wear-leveling stalls, Fig 7b).
+        let drains = self.lsq.flush();
+        let mut done = cursor.max(self.imc.drain_free_time());
+        for cw in drains {
+            done = self.rmw_write(&cw, done, true);
+        }
+        done
+    }
+
+    /// Drains all pending write state (used by `MemoryBackend::drain`).
+    pub fn drain_all(&mut self, t: Time) -> Time {
+        self.fence(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::VansConfig;
+
+    fn dimm() -> NvDimm {
+        NvDimm::new(&VansConfig::optane_1dimm()).expect("valid preset")
+    }
+
+    #[test]
+    fn read_latency_has_three_plateaus() {
+        let mut d = dimm();
+        // Warm the RMW buffer with a block, then read it: fast path.
+        let mut now = Time::ZERO;
+        now = d.read_line(Addr::new(0), now); // miss fills RMW
+        let t_hit = d.read_line(Addr::new(0), now);
+        let rmw_hit_lat = t_hit - now;
+
+        // A fresh block within a page already in the AIT buffer:
+        let t0 = t_hit;
+        let t_ait = d.read_line(Addr::new(512), t0); // same 4KB page
+        let ait_hit_lat = t_ait - t0;
+
+        // A block in a brand-new page: media path.
+        let t1 = t_ait;
+        let t_media = d.read_line(Addr::new(100 * 4096), t1);
+        let media_lat = t_media - t1;
+
+        assert!(
+            rmw_hit_lat < ait_hit_lat && ait_hit_lat < media_lat,
+            "plateaus not ordered: rmw {rmw_hit_lat}, ait {ait_hit_lat}, media {media_lat}"
+        );
+    }
+
+    #[test]
+    fn small_store_is_fast() {
+        let mut d = dimm();
+        let done = d.write_line(Addr::new(0), Time::ZERO);
+        // WPQ insert: core + wpq latency, well under 100ns.
+        assert!(done < Time::from_ns(100), "store took {done}");
+    }
+
+    #[test]
+    fn repeated_store_to_same_line_merges() {
+        let mut d = dimm();
+        let mut now = Time::ZERO;
+        for _ in 0..100 {
+            now = d.write_line(Addr::new(0), now);
+        }
+        assert_eq!(d.imc.stats().wpq_merges, 99);
+        assert_eq!(d.imc.stats().wpq_stalls, 0);
+    }
+
+    #[test]
+    fn wpq_overflow_slows_stores() {
+        let mut d = dimm();
+        let mut now = Time::ZERO;
+        let mut fast = Vec::new();
+        let mut slow = Vec::new();
+        // Stream distinct lines over a large span: eventually WPQ + LSQ
+        // pressure raises store latency.
+        for i in 0..2000u64 {
+            let before = now;
+            now = d.write_line(Addr::new(i * 64 * 97 % (64 << 20)), now);
+            let lat = now - before;
+            if i < 8 {
+                fast.push(lat);
+            } else if i > 1000 {
+                slow.push(lat);
+            }
+        }
+        let fast_avg: f64 = fast.iter().map(|t| t.as_ns_f64()).sum::<f64>() / fast.len() as f64;
+        let slow_avg: f64 = slow.iter().map(|t| t.as_ns_f64()).sum::<f64>() / slow.len() as f64;
+        assert!(
+            slow_avg > fast_avg * 1.5,
+            "steady-state stores ({slow_avg:.1}ns) should exceed initial ({fast_avg:.1}ns)"
+        );
+    }
+
+    #[test]
+    fn fence_drains_everything() {
+        let mut d = dimm();
+        let mut now = Time::ZERO;
+        for i in 0..8u64 {
+            now = d.write_line(Addr::new(i * 64), now);
+        }
+        let done = d.fence(now);
+        assert!(done > now);
+        assert_eq!(d.imc.wpq_occupancy(), 0);
+        assert_eq!(d.lsq.occupancy(), 0);
+        // Fenced data reached the AIT (write-through).
+        assert!(d.ait.stats().dram_accesses > 0);
+    }
+
+    #[test]
+    fn raw_fast_forward_from_lsq() {
+        let mut d = dimm();
+        let mut now = Time::ZERO;
+        // Store enough lines to push data into the LSQ, then read one back.
+        for i in 0..32u64 {
+            now = d.write_line(Addr::new(i * 64), now);
+        }
+        // Force WPQ to drain into LSQ.
+        for _ in 0..16 {
+            d.drain_one_wpq_line(now);
+        }
+        // The drain engine may run ahead of `now`; read once it is quiet.
+        let start = now.max(d.imc.drain_free_time());
+        let before_forwards = d.lsq.stats().read_forwards;
+        let done = d.read_line(Addr::new(0), start);
+        if d.lsq.stats().read_forwards > before_forwards {
+            // Fast-forwarded read is quick.
+            assert!(done - start < Time::from_ns(150), "took {}", done - start);
+        }
+    }
+}

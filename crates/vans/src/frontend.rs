@@ -1,0 +1,225 @@
+//! Full-system-simulator attachment (the paper's gem5 interface).
+//!
+//! VANS "offers an interface to be attached to full-system simulators,
+//! such as gem5" (§IV). Host simulators are tick-driven: they push memory
+//! packets when cores miss their caches and poll for responses on their
+//! own clock. [`SimPort`] adapts the [`MemorySystem`] to that style:
+//!
+//! * [`SimPort::try_send`] — non-blocking packet injection with
+//!   backpressure (a bounded in-flight window, like gem5's port retry
+//!   protocol).
+//! * [`SimPort::tick`] — advance the memory clock to the host's time and
+//!   collect the packets that completed.
+//!
+//! The in-tree trace-driven CPU (`nvsim-cpu`) uses the richer
+//! [`nvsim_types::MemoryBackend`] API directly; `SimPort` exists for
+//! external cycle-driven hosts.
+
+use crate::system::MemorySystem;
+use nvsim_types::{MemoryBackend, ReqId, RequestDesc, Time};
+use std::collections::VecDeque;
+
+/// A completed packet returned by [`SimPort::tick`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Response {
+    /// The host's token for this packet.
+    pub token: u64,
+    /// When the memory system completed it.
+    pub finished_at: Time,
+}
+
+/// Why [`SimPort::try_send`] rejected a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendError {
+    /// The in-flight window is full; retry after a `tick` that retires
+    /// packets (gem5's `retryReq`).
+    Busy,
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendError::Busy => write!(f, "port busy: in-flight window full"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// The tick-driven port adapter.
+///
+/// # Example
+///
+/// ```
+/// use vans::frontend::SimPort;
+/// use vans::{MemorySystem, VansConfig};
+/// use nvsim_types::{Addr, RequestDesc, Time};
+///
+/// let sys = MemorySystem::new(VansConfig::optane_1dimm())?;
+/// let mut port = SimPort::new(sys, 8);
+/// port.try_send(1, RequestDesc::load(Addr::new(0x40))).unwrap();
+/// // The host advances its clock and polls.
+/// let done = port.tick(Time::from_us(10));
+/// assert_eq!(done.len(), 1);
+/// assert_eq!(done[0].token, 1);
+/// # Ok::<(), nvsim_types::ConfigError>(())
+/// ```
+#[derive(Debug)]
+pub struct SimPort {
+    mem: MemorySystem,
+    window: usize,
+    inflight: VecDeque<(u64, ReqId, Time)>,
+}
+
+impl SimPort {
+    /// Wraps a memory system with an in-flight window of `window`
+    /// packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(mem: MemorySystem, window: usize) -> Self {
+        assert!(window > 0, "window must be nonzero");
+        SimPort {
+            mem,
+            window,
+            inflight: VecDeque::with_capacity(window),
+        }
+    }
+
+    /// The wrapped memory system (for counters and configuration).
+    pub fn memory(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// Current number of in-flight packets.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Injects a packet tagged with the host's `token` at the memory
+    /// system's current time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError::Busy`] when the window is full; the host
+    /// should retry after a [`tick`](Self::tick) retires packets.
+    pub fn try_send(&mut self, token: u64, desc: RequestDesc) -> Result<(), SendError> {
+        if self.inflight.len() >= self.window {
+            return Err(SendError::Busy);
+        }
+        let id = self.mem.submit(desc);
+        let done = self.mem.take_completion(id);
+        self.inflight.push_back((token, id, done));
+        Ok(())
+    }
+
+    /// Advances the memory clock to the host time `now` and returns every
+    /// packet that completed at or before it, in completion order.
+    pub fn tick(&mut self, now: Time) -> Vec<Response> {
+        self.mem.skip_to(now);
+        let mut done: Vec<Response> = self
+            .inflight
+            .iter()
+            .filter(|&&(_, _, t)| t <= now)
+            .map(|&(token, _, t)| Response {
+                token,
+                finished_at: t,
+            })
+            .collect();
+        self.inflight.retain(|&(_, _, t)| t > now);
+        done.sort_by_key(|r| r.finished_at);
+        done
+    }
+
+    /// Drains every in-flight packet (end of simulation); returns them in
+    /// completion order together with the final memory time.
+    pub fn drain(&mut self) -> (Vec<Response>, Time) {
+        let mut out: Vec<Response> = self
+            .inflight
+            .drain(..)
+            .map(|(token, _, t)| Response {
+                token,
+                finished_at: t,
+            })
+            .collect();
+        out.sort_by_key(|r| r.finished_at);
+        let end = out
+            .last()
+            .map(|r| r.finished_at)
+            .unwrap_or_else(|| self.mem.now());
+        self.mem.skip_to(end);
+        (out, end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::VansConfig;
+    use nvsim_types::Addr;
+
+    fn port(window: usize) -> SimPort {
+        let sys = MemorySystem::new(VansConfig::optane_1dimm()).expect("valid preset");
+        SimPort::new(sys, window)
+    }
+
+    #[test]
+    fn send_tick_roundtrip() {
+        let mut p = port(4);
+        p.try_send(7, RequestDesc::load(Addr::new(0x40))).unwrap();
+        // Not yet complete at t=0.
+        assert!(p.tick(Time::ZERO).is_empty());
+        let done = p.tick(Time::from_us(5));
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].token, 7);
+        assert!(done[0].finished_at > Time::ZERO);
+        assert_eq!(p.in_flight(), 0);
+    }
+
+    #[test]
+    fn window_backpressure() {
+        let mut p = port(2);
+        p.try_send(1, RequestDesc::load(Addr::new(0))).unwrap();
+        p.try_send(2, RequestDesc::load(Addr::new(64))).unwrap();
+        assert_eq!(
+            p.try_send(3, RequestDesc::load(Addr::new(128))),
+            Err(SendError::Busy)
+        );
+        // Retiring packets frees the window.
+        p.tick(Time::from_us(10));
+        p.try_send(3, RequestDesc::load(Addr::new(128))).unwrap();
+        assert_eq!(p.in_flight(), 1);
+    }
+
+    #[test]
+    fn responses_in_completion_order() {
+        let mut p = port(8);
+        // A slow cold miss then fast repeats of it.
+        p.try_send(1, RequestDesc::load(Addr::new(1 << 26))).unwrap();
+        p.try_send(2, RequestDesc::load(Addr::new(0x40))).unwrap();
+        let done = p.tick(Time::from_us(100));
+        assert_eq!(done.len(), 2);
+        assert!(done[0].finished_at <= done[1].finished_at);
+    }
+
+    #[test]
+    fn drain_returns_everything() {
+        let mut p = port(8);
+        for i in 0..5u64 {
+            p.try_send(i, RequestDesc::nt_store(Addr::new(i * 64)))
+                .unwrap();
+        }
+        let (done, end) = p.drain();
+        assert_eq!(done.len(), 5);
+        assert_eq!(p.in_flight(), 0);
+        assert!(end >= done.last().unwrap().finished_at);
+        assert_eq!(p.memory().now(), end);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_window_panics() {
+        port(0);
+    }
+}

@@ -1,0 +1,304 @@
+//! The integrated memory controller (iMC) front end.
+//!
+//! Models the structures the paper identifies on the host side:
+//!
+//! * The **WPQ** (write pending queue) — 8 × 64 B in the ADR power-fail
+//!   domain. A store is durable once it lands in the WPQ; repeated stores
+//!   to the same line merge; under pressure the oldest line drains to the
+//!   DIMM over the DDR-T bus. An `mfence` drains the entire WPQ — the
+//!   512 B flush granularity LENS measures (Fig 6b).
+//! * The **RPQ** (read pending queue) — bounds outstanding reads per the
+//!   request/grant scheme.
+//! * The **DDR-T bus** — one 64 B packet per `bus_transfer`, plus a fixed
+//!   request/grant protocol overhead per round trip.
+
+use crate::config::ImcConfig;
+use nvsim_types::{Addr, Time};
+use std::collections::VecDeque;
+
+/// Statistics of iMC behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ImcStats {
+    /// Stores that merged into a pending WPQ line.
+    pub wpq_merges: u64,
+    /// Stores that allocated a new WPQ line.
+    pub wpq_allocations: u64,
+    /// Stores that had to wait for a drain because the WPQ was full.
+    pub wpq_stalls: u64,
+    /// Lines drained from the WPQ to the DIMM.
+    pub wpq_drains: u64,
+    /// Reads that waited for a free RPQ entry.
+    pub rpq_stalls: u64,
+    /// Fences processed.
+    pub fences: u64,
+}
+
+/// One pending WPQ line.
+#[derive(Debug, Clone, Copy)]
+struct WpqLine {
+    line: u64,
+}
+
+/// The iMC model for one NVRAM channel.
+///
+/// The iMC does not own the DIMM; drains are performed through a callback
+/// interface: [`Imc::pop_drain`] hands the caller the next line to push
+/// into the DIMM, and the caller reports back the time the DIMM accepted
+/// it. This keeps the iMC/DIMM composition explicit in [`crate::dimm`].
+#[derive(Debug, Clone)]
+pub struct Imc {
+    cfg: ImcConfig,
+    /// Pending WPQ lines in age order.
+    wpq: VecDeque<WpqLine>,
+    /// When the most recent drain was accepted by the DIMM (drain engine
+    /// availability).
+    drain_free: Time,
+    /// Outstanding read completion times (RPQ occupancy), in completion
+    /// order of allocation.
+    rpq: VecDeque<Time>,
+    /// Command/request-path availability (host → DIMM).
+    bus_free: Time,
+    /// Data/response-path availability (DIMM → host).
+    data_bus_free: Time,
+    stats: ImcStats,
+}
+
+impl Imc {
+    /// Creates an iMC channel front end.
+    pub fn new(cfg: ImcConfig) -> Self {
+        Imc {
+            cfg,
+            wpq: VecDeque::new(),
+            drain_free: Time::ZERO,
+            rpq: VecDeque::new(),
+            bus_free: Time::ZERO,
+            data_bus_free: Time::ZERO,
+            stats: ImcStats::default(),
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> ImcStats {
+        self.stats
+    }
+
+    /// Resets statistics (not state).
+    pub fn reset_stats(&mut self) {
+        self.stats = ImcStats::default();
+    }
+
+    /// Current WPQ occupancy in lines.
+    pub fn wpq_occupancy(&self) -> usize {
+        self.wpq.len()
+    }
+
+    /// Reserves the DDR-T command/request path for one 64 B packet
+    /// starting no earlier than `t`; returns the arrival time.
+    pub fn bus_packet(&mut self, t: Time) -> Time {
+        let start = t.max(self.bus_free);
+        let done = start + self.cfg.bus_transfer;
+        self.bus_free = done;
+        done
+    }
+
+    /// Reserves the DDR-T data/response path (DIMM → host) for one 64 B
+    /// packet; returns the arrival time. Separate from the request path,
+    /// so read responses do not block younger requests.
+    pub fn data_packet(&mut self, t: Time) -> Time {
+        let start = t.max(self.data_bus_free);
+        let done = start + self.cfg.bus_transfer;
+        self.data_bus_free = done;
+        done
+    }
+
+    /// Allocates an RPQ entry for a read issued at `t`; returns the time
+    /// the entry is available (stalls if the RPQ is full, modeling the
+    /// request/grant backpressure).
+    ///
+    /// The caller must later call [`Imc::complete_read`] with the read's
+    /// completion time.
+    pub fn allocate_rpq(&mut self, t: Time) -> Time {
+        if self.rpq.len() >= self.cfg.rpq_entries as usize {
+            self.stats.rpq_stalls += 1;
+            let oldest = self.rpq.pop_front().expect("full RPQ is non-empty");
+            let start = t.max(oldest);
+            return start;
+        }
+        t
+    }
+
+    /// Registers the completion time of an in-flight read.
+    pub fn complete_read(&mut self, done: Time) {
+        self.rpq.push_back(done);
+        // Opportunistically retire entries that are long done.
+        while self.rpq.len() > self.cfg.rpq_entries as usize {
+            self.rpq.pop_front();
+        }
+    }
+
+    /// Accepts a 64 B store into the WPQ at time `t`.
+    ///
+    /// Returns `(durable_at, must_drain)` where `durable_at` is when the
+    /// store is in the ADR domain (the store's visible completion) and
+    /// `must_drain` indicates the caller must immediately drain one line
+    /// via [`Imc::pop_drain`] because the queue was full.
+    pub fn accept_store(&mut self, addr: Addr, t: Time) -> (Time, bool) {
+        let line = addr.line_index();
+        if self.wpq.iter().any(|l| l.line == line) {
+            self.stats.wpq_merges += 1;
+            return (t + self.cfg.wpq_latency, false);
+        }
+        let full = self.wpq.len() >= self.cfg.wpq_entries as usize;
+        if full {
+            self.stats.wpq_stalls += 1;
+        }
+        self.wpq.push_back(WpqLine { line });
+        self.stats.wpq_allocations += 1;
+        (t + self.cfg.wpq_latency, full)
+    }
+
+    /// Pops the oldest WPQ line for draining. Returns the line's address
+    /// and the earliest time the drain may start (after the drain engine
+    /// is free and the line has crossed the bus).
+    ///
+    /// The caller pushes the line into the DIMM and then reports the
+    /// acceptance time via [`Imc::drain_accepted`].
+    pub fn pop_drain(&mut self, t: Time) -> Option<(Addr, Time)> {
+        let line = self.wpq.pop_front()?;
+        self.stats.wpq_drains += 1;
+        let start = t.max(self.drain_free);
+        // Engine pacing: one line per `drain_period` minimum (the DDR-T
+        // write-credit rate); backpressure from the DIMM arrives via
+        // `drain_accepted`.
+        self.drain_free = self.drain_free.max(start + self.cfg.drain_period);
+        let arrived = self.bus_packet(start) + self.cfg.protocol_overhead;
+        Some((Addr::new(line.line * 64), arrived))
+    }
+
+    /// Reports that the DIMM accepted the drained line at `t`. The
+    /// request/grant protocol overhead is a latency, not an engine
+    /// occupancy, so the engine may launch the next line `protocol
+    /// overhead` before the previous acceptance.
+    pub fn drain_accepted(&mut self, t: Time) {
+        self.drain_free = self
+            .drain_free
+            .max(t.saturating_sub(self.cfg.protocol_overhead));
+    }
+
+    /// The time the drain engine is next available (the acceptance time of
+    /// the most recent drain).
+    pub fn drain_free_time(&self) -> Time {
+        self.drain_free
+    }
+
+    /// Begins a fence at time `t`: counts it and returns the lines that
+    /// must be drained (all of them, oldest first).
+    pub fn fence_lines(&mut self, _t: Time) -> usize {
+        self.stats.fences += 1;
+        self.wpq.len()
+    }
+
+    /// Charges extra occupancy on the drain engine (a `clwb` forces the
+    /// line's write-back immediately instead of letting the WPQ retire it
+    /// lazily, consuming write-credit slots).
+    pub fn charge_drain(&mut self, at: Time, extra: Time) {
+        self.drain_free = self.drain_free.max(at) + extra;
+    }
+
+    /// Per-request fixed overhead on the CPU side of the iMC.
+    pub fn core_overhead(&self) -> Time {
+        self.cfg.core_overhead
+    }
+
+    /// Fixed request/grant protocol overhead.
+    pub fn protocol_overhead(&self) -> Time {
+        self.cfg.protocol_overhead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn imc() -> Imc {
+        Imc::new(ImcConfig {
+            wpq_entries: 2,
+            rpq_entries: 2,
+            bus_transfer: Time::from_ns(4),
+            protocol_overhead: Time::from_ns(12),
+            core_overhead: Time::from_ns(20),
+            wpq_latency: Time::from_ns(6),
+            drain_period: Time::from_ns(18),
+        })
+    }
+
+    #[test]
+    fn stores_merge_by_line() {
+        let mut m = imc();
+        let (t1, drain1) = m.accept_store(Addr::new(0), Time::ZERO);
+        assert_eq!(t1, Time::from_ns(6));
+        assert!(!drain1);
+        let (_, drain2) = m.accept_store(Addr::new(32), t1); // same line
+        assert!(!drain2);
+        assert_eq!(m.stats().wpq_merges, 1);
+        assert_eq!(m.wpq_occupancy(), 1);
+    }
+
+    #[test]
+    fn full_wpq_requests_drain() {
+        let mut m = imc();
+        m.accept_store(Addr::new(0), Time::ZERO);
+        m.accept_store(Addr::new(64), Time::ZERO);
+        let (_, must_drain) = m.accept_store(Addr::new(128), Time::ZERO);
+        assert!(must_drain);
+        assert_eq!(m.stats().wpq_stalls, 1);
+    }
+
+    #[test]
+    fn drain_pops_oldest_first() {
+        let mut m = imc();
+        m.accept_store(Addr::new(0), Time::ZERO);
+        m.accept_store(Addr::new(64), Time::ZERO);
+        let (addr, arrived) = m.pop_drain(Time::from_ns(10)).unwrap();
+        assert_eq!(addr, Addr::new(0));
+        // bus 4ns + protocol 12ns after start.
+        assert_eq!(arrived, Time::from_ns(10 + 4 + 12));
+        assert_eq!(m.wpq_occupancy(), 1);
+    }
+
+    #[test]
+    fn bus_serializes_packets() {
+        let mut m = imc();
+        let a = m.bus_packet(Time::ZERO);
+        let b = m.bus_packet(Time::ZERO);
+        assert_eq!(a, Time::from_ns(4));
+        assert_eq!(b, Time::from_ns(8));
+    }
+
+    #[test]
+    fn rpq_backpressure() {
+        let mut m = imc();
+        assert_eq!(m.allocate_rpq(Time::ZERO), Time::ZERO);
+        m.complete_read(Time::from_ns(100));
+        m.complete_read(Time::from_ns(200));
+        // Third outstanding read waits for the oldest to complete.
+        let start = m.allocate_rpq(Time::from_ns(10));
+        assert_eq!(start, Time::from_ns(100));
+        assert_eq!(m.stats().rpq_stalls, 1);
+    }
+
+    #[test]
+    fn fence_reports_pending_lines() {
+        let mut m = imc();
+        m.accept_store(Addr::new(0), Time::ZERO);
+        m.accept_store(Addr::new(64), Time::ZERO);
+        assert_eq!(m.fence_lines(Time::ZERO), 2);
+        assert_eq!(m.stats().fences, 1);
+    }
+
+    #[test]
+    fn empty_drain_returns_none() {
+        let mut m = imc();
+        assert!(m.pop_drain(Time::ZERO).is_none());
+    }
+}

@@ -1,0 +1,261 @@
+//! Memory Mode: DRAM as a direct-mapped cache in front of the NVRAM
+//! (§II-A). In this mode the system has no persistence guarantees — the
+//! DRAM absorbs most traffic and the Optane DIMM only sees its misses.
+//!
+//! Modeled after the Cascade Lake implementation: a direct-mapped,
+//! 64 B-line near-memory cache whose tags live with the data in DRAM
+//! (one DRAM access resolves both), write-back and write-allocate.
+
+use crate::config::VansConfig;
+use crate::system::MemorySystem;
+use nvsim_dram::{DramConfig, DramModel};
+use nvsim_types::{
+    Addr, BackendCounters, ConfigError, MemOp, MemoryBackend, ReqId, RequestDesc, Time, CACHE_LINE,
+};
+use std::collections::HashMap;
+
+/// Statistics of the near-memory cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryModeStats {
+    /// Near-memory cache hits.
+    pub hits: u64,
+    /// Misses (NVRAM accesses).
+    pub misses: u64,
+    /// Dirty evictions written back to NVRAM.
+    pub writebacks: u64,
+}
+
+/// A Memory-Mode system: DRAM cache + VANS NVRAM behind it.
+///
+/// # Example
+///
+/// ```
+/// use vans::memory_mode::MemoryModeSystem;
+/// use vans::VansConfig;
+/// use nvsim_types::{Addr, MemoryBackend, RequestDesc};
+///
+/// let mut sys = MemoryModeSystem::new(VansConfig::optane_1dimm())?;
+/// let cold = sys.execute(RequestDesc::load(Addr::new(0x40)));
+/// let t0 = sys.now();
+/// let warm = sys.execute(RequestDesc::load(Addr::new(0x40)));
+/// assert!(warm - t0 < cold, "second access hits the DRAM cache");
+/// # Ok::<(), nvsim_types::ConfigError>(())
+/// ```
+#[derive(Debug)]
+pub struct MemoryModeSystem {
+    nvram: MemorySystem,
+    dram: DramModel,
+    /// Direct-mapped tag array: set index → (tag, dirty).
+    tags: HashMap<u64, (u64, bool)>,
+    /// Number of cache sets (DRAM capacity / 64 B).
+    sets: u64,
+    /// In-flight completions of this wrapper.
+    pending: Vec<(ReqId, Time)>,
+    next_id: u64,
+    stats: MemoryModeStats,
+}
+
+impl MemoryModeSystem {
+    /// Builds a Memory-Mode system: a 1 GB DDR4 near-memory cache per
+    /// DIMM in front of the VANS NVRAM model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation errors.
+    pub fn new(cfg: VansConfig) -> Result<Self, ConfigError> {
+        let nvram = MemorySystem::new(cfg)?;
+        let mut dram_cfg = DramConfig::ddr4_2666_4gb();
+        dram_cfg.name = "near-memory-cache".to_owned();
+        // 1 GB single-channel cache front.
+        dram_cfg.organization.channels = 1;
+        dram_cfg.organization.rows = 8192;
+        let dram = DramModel::new(dram_cfg)?;
+        let sets = dram.config().organization.capacity_bytes() / CACHE_LINE;
+        Ok(MemoryModeSystem {
+            nvram,
+            dram,
+            tags: HashMap::new(),
+            sets,
+            pending: Vec::new(),
+            next_id: 0,
+            stats: MemoryModeStats::default(),
+        })
+    }
+
+    /// Cache statistics.
+    pub fn stats(&self) -> MemoryModeStats {
+        self.stats
+    }
+
+    /// The NVRAM system behind the cache.
+    pub fn nvram(&self) -> &MemorySystem {
+        &self.nvram
+    }
+
+    /// Serves one line; returns the completion time.
+    fn access_line(&mut self, line_addr: Addr, write: bool, now: Time) -> Time {
+        let line = line_addr.line_index();
+        let set = line % self.sets;
+        let tag = line / self.sets;
+        // Tag + data are colocated: one DRAM access resolves the lookup.
+        let dram_done = self.dram.access(line_addr, write, now);
+        match self.tags.get(&set) {
+            Some(&(t, _dirty)) if t == tag => {
+                self.stats.hits += 1;
+                if write {
+                    self.tags.insert(set, (tag, true));
+                }
+                dram_done
+            }
+            resident => {
+                self.stats.misses += 1;
+                // Dirty conflict eviction: write the victim back to NVRAM
+                // (posted — it only occupies the NVRAM write path).
+                if let Some(&(victim_tag, true)) = resident {
+                    self.stats.writebacks += 1;
+                    let victim_addr = Addr::new((victim_tag * self.sets + set) * CACHE_LINE);
+                    self.nvram.skip_to(now);
+                    let id = self
+                        .nvram
+                        .submit(RequestDesc::new(victim_addr, 64, MemOp::NtStore));
+                    let _ = self.nvram.take_completion(id);
+                }
+                // Fetch the line from NVRAM (reads and write-allocates).
+                self.nvram.skip_to(now);
+                let id = self.nvram.submit(RequestDesc::load(line_addr));
+                let filled = self.nvram.take_completion(id);
+                // Install into DRAM (posted).
+                let _ = self.dram.access(line_addr, true, filled);
+                self.tags.insert(set, (tag, write));
+                filled.max(dram_done)
+            }
+        }
+    }
+}
+
+impl MemoryBackend for MemoryModeSystem {
+    fn label(&self) -> String {
+        format!("{}+MemoryMode", self.nvram.label())
+    }
+
+    fn now(&self) -> Time {
+        self.nvram.now()
+    }
+
+    fn submit(&mut self, desc: RequestDesc) -> ReqId {
+        let now = self.now();
+        let done = match desc.op {
+            MemOp::Fence => now, // Memory Mode has no persistence domain.
+            _ => {
+                let write = desc.op.is_write();
+                let first = desc.addr.align_down(CACHE_LINE);
+                let mut done = now;
+                for i in 0..desc.cache_lines() {
+                    done = done.max(self.access_line(first + i * CACHE_LINE, write, now));
+                }
+                done
+            }
+        };
+        self.pending.push((ReqId(self.next_id), done));
+        self.next_id += 1;
+        ReqId(self.next_id - 1)
+    }
+
+    fn take_completion(&mut self, id: ReqId) -> Time {
+        let pos = self
+            .pending
+            .iter()
+            .position(|&(i, _)| i == id)
+            .expect("waited for unknown or already-completed request");
+        self.pending.remove(pos).1
+    }
+
+    fn drain(&mut self) -> Time {
+        let last = self
+            .pending
+            .drain(..)
+            .map(|(_, t)| t)
+            .max()
+            .unwrap_or_else(|| self.now());
+        self.nvram.skip_to(last);
+        self.nvram.drain()
+    }
+
+    fn skip_to(&mut self, t: Time) {
+        self.nvram.skip_to(t);
+    }
+
+    fn counters(&self) -> BackendCounters {
+        self.nvram.counters()
+    }
+
+    fn reset_counters(&mut self) {
+        self.nvram.reset_counters();
+    }
+
+    fn models_persistence_ops(&self) -> bool {
+        false // Memory Mode is volatile.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> MemoryModeSystem {
+        MemoryModeSystem::new(VansConfig::optane_1dimm()).expect("valid preset")
+    }
+
+    #[test]
+    fn second_access_hits_dram() {
+        let mut s = sys();
+        let cold = s.execute(RequestDesc::load(Addr::new(0x40)));
+        let t0 = s.now();
+        let warm = s.execute(RequestDesc::load(Addr::new(0x40)));
+        assert!(warm - t0 < cold, "cold {cold}, warm {}", warm - t0);
+        assert_eq!(s.stats().hits, 1);
+        assert_eq!(s.stats().misses, 1);
+    }
+
+    #[test]
+    fn conflicting_dirty_line_writes_back() {
+        let mut s = sys();
+        let sets = s.sets;
+        // Dirty a line, then touch the conflicting line one tag away.
+        s.execute(RequestDesc::store(Addr::new(0)));
+        s.execute(RequestDesc::load(Addr::new(sets * CACHE_LINE)));
+        assert_eq!(s.stats().writebacks, 1);
+        assert!(s.counters().bus_writes >= 1);
+    }
+
+    #[test]
+    fn fences_are_free_in_memory_mode() {
+        let mut s = sys();
+        let t0 = s.now();
+        let t1 = s.fence();
+        assert_eq!(t0, t1);
+        assert!(!s.models_persistence_ops());
+    }
+
+    #[test]
+    fn hit_rate_reflects_working_set() {
+        let mut s = sys();
+        // Small working set: high hit rate after warmup.
+        for pass in 0..2 {
+            for i in 0..64u64 {
+                s.execute(RequestDesc::load(Addr::new(i * 64)));
+            }
+            if pass == 0 {
+                continue;
+            }
+        }
+        let st = s.stats();
+        assert_eq!(st.misses, 64);
+        assert_eq!(st.hits, 64);
+    }
+
+    #[test]
+    fn label_mentions_memory_mode() {
+        assert!(sys().label().contains("MemoryMode"));
+    }
+}

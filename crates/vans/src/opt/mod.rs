@@ -1,0 +1,9 @@
+//! The paper's two architectural case studies (§V): **Lazy cache** for
+//! write-amplification-heavy cloud workloads and **Pre-translation** for
+//! pointer-chasing read-heavy workloads.
+
+pub mod lazy_cache;
+pub mod pretranslation;
+
+pub use lazy_cache::{LazyCache, LazyCacheConfig};
+pub use pretranslation::{PreTranslation, PreTranslationConfig};

@@ -1,0 +1,441 @@
+//! The top-level memory system: multi-DIMM composition, 4 KB
+//! interleaving, and the [`MemoryBackend`] implementation that LENS, the
+//! CPU model, and the experiment harness drive.
+
+use crate::config::VansConfig;
+use crate::dimm::NvDimm;
+use crate::opt::lazy_cache::{LazyCache, LazyCacheConfig};
+use crate::opt::pretranslation::{PreTranslation, PreTranslationConfig};
+use nvsim_types::{
+    Addr, BackendCounters, ConfigError, MemOp, MemoryBackend, ReqId, RequestDesc, Time, CACHE_LINE,
+};
+use std::collections::HashMap;
+
+/// The VANS memory system.
+///
+/// # Example
+///
+/// ```
+/// use vans::{MemorySystem, VansConfig};
+/// use nvsim_types::{Addr, MemoryBackend, RequestDesc};
+///
+/// let mut sys = MemorySystem::new(VansConfig::optane_1dimm())?;
+/// let done = sys.execute(RequestDesc::nt_store(Addr::new(0x40)));
+/// sys.fence();
+/// assert!(sys.counters().bus_bytes_written >= 64);
+/// # drop(done);
+/// # Ok::<(), nvsim_types::ConfigError>(())
+/// ```
+#[derive(Debug)]
+pub struct MemorySystem {
+    cfg: VansConfig,
+    dimms: Vec<NvDimm>,
+    pretrans: Option<PreTranslation>,
+    now: Time,
+    next_id: u64,
+    completions: HashMap<ReqId, Time>,
+    /// Bus-level traffic counters (host side).
+    bus_reads: u64,
+    bus_writes: u64,
+    bus_bytes_read: u64,
+    bus_bytes_written: u64,
+    fences: u64,
+}
+
+impl MemorySystem {
+    /// Builds a memory system from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first configuration validation error.
+    pub fn new(cfg: VansConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let dimms = (0..cfg.interleave.dimms)
+            .map(|_| NvDimm::new(&cfg))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(MemorySystem {
+            cfg,
+            dimms,
+            pretrans: None,
+            now: Time::ZERO,
+            next_id: 0,
+            completions: HashMap::new(),
+            bus_reads: 0,
+            bus_writes: 0,
+            bus_bytes_read: 0,
+            bus_bytes_written: 0,
+            fences: 0,
+        })
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &VansConfig {
+        &self.cfg
+    }
+
+    /// Enables the Lazy cache case study on every DIMM.
+    pub fn enable_lazy_cache(&mut self, cfg: LazyCacheConfig) {
+        for d in &mut self.dimms {
+            d.lazy = Some(LazyCache::new(cfg));
+        }
+    }
+
+    /// Enables the Pre-translation case study.
+    pub fn enable_pretranslation(&mut self, cfg: PreTranslationConfig) {
+        self.pretrans = Some(PreTranslation::new(cfg));
+    }
+
+    /// Access to the DIMMs (for experiment instrumentation).
+    pub fn dimms(&self) -> &[NvDimm] {
+        &self.dimms
+    }
+
+    /// Mutable access to the DIMMs.
+    pub fn dimms_mut(&mut self) -> &mut [NvDimm] {
+        &mut self.dimms
+    }
+
+    /// Pre-translation statistics, if enabled.
+    pub fn pretranslation_stats(&self) -> Option<crate::opt::pretranslation::PreTranslationStats> {
+        self.pretrans.as_ref().map(|p| p.stats())
+    }
+
+    /// Routes a physical address to `(dimm_index, local_address)` under
+    /// the configured interleaving.
+    pub fn route(&self, addr: Addr) -> (usize, Addr) {
+        let g = self.cfg.interleave.granularity as u64;
+        let n = self.cfg.interleave.dimms as u64;
+        if n == 1 {
+            return (0, addr);
+        }
+        let chunk = addr.raw() / g;
+        let dimm = (chunk % n) as usize;
+        let local = (chunk / n) * g + addr.raw() % g;
+        (dimm, Addr::new(local))
+    }
+
+    /// Computes the completion time of a request submitted at `self.now`.
+    fn process(&mut self, desc: RequestDesc) -> Time {
+        let now = self.now;
+        match desc.op {
+            MemOp::Fence => {
+                self.fences += 1;
+                let mut done = now;
+                for d in &mut self.dimms {
+                    done = done.max(d.fence(now));
+                }
+                done
+            }
+            MemOp::Load => {
+                self.bus_reads += desc.cache_lines();
+                self.bus_bytes_read += desc.size as u64;
+                let mut done = now;
+                let first_line = desc.addr.align_down(CACHE_LINE);
+                for i in 0..desc.cache_lines() {
+                    let line = first_line + i * CACHE_LINE;
+                    let (di, local) = self.route(line);
+                    done = done.max(self.dimms[di].read_line(local, now));
+                }
+                done
+            }
+            MemOp::Store | MemOp::StoreClwb | MemOp::NtStore => {
+                self.bus_writes += desc.cache_lines();
+                self.bus_bytes_written += desc.size as u64;
+                let mut done = now;
+                let first_line = desc.addr.align_down(CACHE_LINE);
+                for i in 0..desc.cache_lines() {
+                    let line = first_line + i * CACHE_LINE;
+                    let (di, local) = self.route(line);
+                    // A regular (cacheable) store performs an implicit
+                    // read-for-ownership before the line can be written
+                    // back; NT stores bypass it. This is what inverts the
+                    // store/NT-store bandwidth ordering vs. PMEP (Fig 1a).
+                    let start = if desc.op == MemOp::Store {
+                        self.bus_reads += 1;
+                        self.bus_bytes_read += CACHE_LINE;
+                        self.dimms[di].read_line(local, now)
+                    } else {
+                        now
+                    };
+                    let mut t = self.dimms[di].write_line(local, start);
+                    if desc.op == MemOp::StoreClwb {
+                        // clwb forces an immediate write-back instead of
+                        // letting the WPQ retire the line lazily: a small
+                        // latency plus extra drain-engine occupancy that
+                        // throttles clwb streams below NT streams
+                        // (Fig 1a's ordering).
+                        t += Time::from_ns(10);
+                        self.dimms[di].imc.charge_drain(start, Time::from_ns(15));
+                    }
+                    done = done.max(t);
+                }
+                done
+            }
+        }
+    }
+}
+
+impl MemoryBackend for MemorySystem {
+    fn label(&self) -> String {
+        self.cfg.name.clone()
+    }
+
+    fn now(&self) -> Time {
+        self.now
+    }
+
+    fn submit(&mut self, desc: RequestDesc) -> ReqId {
+        let id = ReqId(self.next_id);
+        self.next_id += 1;
+        let done = self.process(desc);
+        self.completions.insert(id, done);
+        id
+    }
+
+    fn take_completion(&mut self, id: ReqId) -> Time {
+        self.completions
+            .remove(&id)
+            .expect("waited for unknown or already-completed request")
+    }
+
+    fn drain(&mut self) -> Time {
+        let last = self
+            .completions
+            .drain()
+            .map(|(_, t)| t)
+            .max()
+            .unwrap_or(self.now);
+        self.now = self.now.max(last);
+        self.now
+    }
+
+    fn skip_to(&mut self, t: Time) {
+        self.now = self.now.max(t);
+    }
+
+    fn counters(&self) -> BackendCounters {
+        let mut c = BackendCounters {
+            bus_reads: self.bus_reads,
+            bus_writes: self.bus_writes,
+            bus_bytes_read: self.bus_bytes_read,
+            bus_bytes_written: self.bus_bytes_written,
+            fences: self.fences,
+            ..Default::default()
+        };
+        for d in &self.dimms {
+            let rmw = d.rmw.stats();
+            c.rmw_hits += rmw.read_hits + rmw.write_hits;
+            c.rmw_misses += rmw.read_misses + rmw.write_misses;
+            let ait = d.ait.stats();
+            c.ait_hits += ait.buffer_hits;
+            c.ait_misses += ait.buffer_misses;
+            c.migrations += ait.migrations;
+            c.on_dimm_dram_accesses += ait.dram_accesses;
+            let m = d.ait.media_stats();
+            c.media_bytes_read += m.bytes_read;
+            c.media_bytes_written += m.bytes_written;
+            let lsq = d.lsq.stats();
+            c.lsq_combines += lsq.write_merges + lsq.combined_drains;
+        }
+        c
+    }
+
+    fn reset_counters(&mut self) {
+        self.bus_reads = 0;
+        self.bus_writes = 0;
+        self.bus_bytes_read = 0;
+        self.bus_bytes_written = 0;
+        self.fences = 0;
+        for d in &mut self.dimms {
+            d.rmw.reset_stats();
+            d.ait.reset_stats();
+            d.lsq.reset_stats();
+            d.imc.reset_stats();
+        }
+    }
+
+    fn models_persistence_ops(&self) -> bool {
+        true
+    }
+
+    fn mkpt_lookup(&mut self, paddr: Addr, t: Time) -> Option<(u64, Time)> {
+        let p = self.pretrans.as_mut()?;
+        p.lookup(paddr, t).map(|e| (e.pfn, e.ready_at))
+    }
+
+    fn mkpt_update(&mut self, paddr: Addr, pfn: u64) {
+        if let Some(p) = self.pretrans.as_mut() {
+            p.update(paddr, pfn);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> MemorySystem {
+        MemorySystem::new(VansConfig::optane_1dimm()).expect("valid preset")
+    }
+
+    #[test]
+    fn single_dimm_routing_is_identity() {
+        let s = sys();
+        let (d, local) = s.route(Addr::new(123456));
+        assert_eq!(d, 0);
+        assert_eq!(local, Addr::new(123456));
+    }
+
+    #[test]
+    fn six_dimm_routing_interleaves_4kb_chunks() {
+        let s = MemorySystem::new(VansConfig::optane_6dimm()).unwrap();
+        // First 4KB chunk on DIMM 0, second on DIMM 1, ...
+        assert_eq!(s.route(Addr::new(0)).0, 0);
+        assert_eq!(s.route(Addr::new(4096)).0, 1);
+        assert_eq!(s.route(Addr::new(5 * 4096)).0, 5);
+        assert_eq!(s.route(Addr::new(6 * 4096)).0, 0);
+        // Local addresses are compacted.
+        assert_eq!(s.route(Addr::new(6 * 4096)).1, Addr::new(4096));
+        // Offsets inside a chunk are preserved.
+        assert_eq!(s.route(Addr::new(4096 + 100)).1, Addr::new(100));
+    }
+
+    #[test]
+    fn routing_is_injective_per_dimm() {
+        let s = MemorySystem::new(VansConfig::optane_6dimm()).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            let a = Addr::new(i * 64);
+            let (d, local) = s.route(a);
+            assert!(seen.insert((d, local.raw())), "collision at {a}");
+        }
+    }
+
+    #[test]
+    fn load_roundtrip_advances_time() {
+        let mut s = sys();
+        let t = s.execute(RequestDesc::load(Addr::new(0)));
+        assert!(t > Time::ZERO);
+        assert_eq!(s.now(), t);
+        assert_eq!(s.counters().bus_reads, 1);
+    }
+
+    #[test]
+    fn multi_line_load_touches_all_lines() {
+        let mut s = sys();
+        s.execute(RequestDesc::new(Addr::new(0), 256, MemOp::Load));
+        let c = s.counters();
+        assert_eq!(c.bus_reads, 4);
+        assert_eq!(c.bus_bytes_read, 256);
+    }
+
+    #[test]
+    fn regular_store_pays_rfo() {
+        let mut s = sys();
+        s.execute(RequestDesc::store(Addr::new(0)));
+        let c = s.counters();
+        assert_eq!(c.bus_writes, 1);
+        assert_eq!(c.bus_reads, 1, "RFO read expected");
+        let mut s2 = sys();
+        s2.execute(RequestDesc::nt_store(Addr::new(0)));
+        assert_eq!(s2.counters().bus_reads, 0);
+    }
+
+    #[test]
+    fn nt_store_faster_than_regular_store() {
+        let mut s = sys();
+        let nt = s.execute(RequestDesc::nt_store(Addr::new(0)));
+        let mut s2 = sys();
+        let st = s2.execute(RequestDesc::store(Addr::new(0)));
+        assert!(nt < st, "nt {nt} !< st {st}");
+    }
+
+    #[test]
+    fn fence_completes_pending_writes() {
+        let mut s = sys();
+        for i in 0..8u64 {
+            s.execute(RequestDesc::nt_store(Addr::new(i * 64)));
+        }
+        let t = s.fence();
+        assert!(t >= s.now());
+        assert_eq!(s.counters().fences, 1);
+    }
+
+    #[test]
+    fn pointer_chase_read_plateaus() {
+        // The headline behaviour: reads get slower as the region grows
+        // past each buffer capacity.
+        let mut s = sys();
+        let lat = |s: &mut MemorySystem, region: u64| -> f64 {
+            // One pass to warm, one to measure.
+            for pass in 0..2 {
+                let start = s.now();
+                let lines = region / 64;
+                let mut sum = Time::ZERO;
+                let mut t = start;
+                // Simple strided chase with a large prime stride to avoid
+                // trivial prefetch-like locality.
+                let mut idx = 0u64;
+                for _ in 0..lines {
+                    let a = Addr::new((idx % lines) * 64);
+                    let before = t;
+                    t = s.execute(RequestDesc::load(a));
+                    sum += t - before;
+                    idx += 7919;
+                }
+                if pass == 1 {
+                    return sum.as_ns_f64() / lines as f64;
+                }
+            }
+            unreachable!()
+        };
+        let small = lat(&mut s, 8 * 1024); // fits RMW (16KB)
+        let mut s2 = sys();
+        let medium = lat(&mut s2, 1 << 20); // fits AIT (16MB), misses RMW
+        let mut s3 = sys();
+        let large = lat(&mut s3, 64 << 20); // misses AIT
+        assert!(
+            small < medium && medium < large,
+            "plateaus: small {small:.0} medium {medium:.0} large {large:.0}"
+        );
+    }
+
+    #[test]
+    fn counters_reset() {
+        let mut s = sys();
+        s.execute(RequestDesc::load(Addr::new(0)));
+        s.reset_counters();
+        assert_eq!(s.counters(), BackendCounters::default());
+    }
+
+    #[test]
+    fn pretranslation_disabled_by_default() {
+        let mut s = sys();
+        assert!(s.mkpt_lookup(Addr::new(0), Time::ZERO).is_none());
+        s.mkpt_update(Addr::new(0), 7);
+        assert!(s.mkpt_lookup(Addr::new(0), Time::ZERO).is_none());
+    }
+
+    #[test]
+    fn pretranslation_roundtrip_when_enabled() {
+        let mut s = sys();
+        s.enable_pretranslation(PreTranslationConfig::paper());
+        s.mkpt_update(Addr::new(0x1000), 99);
+        let (pfn, ready) = s.mkpt_lookup(Addr::new(0x1000), Time::ZERO).unwrap();
+        assert_eq!(pfn, 99);
+        assert!(ready > Time::ZERO);
+        assert_eq!(s.pretranslation_stats().unwrap().updates, 1);
+    }
+
+    #[test]
+    fn lazy_cache_enabled_on_all_dimms() {
+        let mut s = MemorySystem::new(VansConfig::optane_6dimm()).unwrap();
+        s.enable_lazy_cache(LazyCacheConfig::paper());
+        assert!(s.dimms().iter().all(|d| d.lazy.is_some()));
+    }
+
+    #[test]
+    fn persistence_ops_modeled() {
+        assert!(sys().models_persistence_ops());
+    }
+}

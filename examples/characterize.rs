@@ -1,0 +1,45 @@
+//! Run the full LENS characterization against VANS and print the Fig-4
+//! style summary: buffer hierarchy, capacities, granularities, wear
+//! policy and bandwidth.
+//!
+//! Run with: `cargo run --release --example characterize`
+//! (takes a few minutes: LENS sweeps regions from 128 B to 256 MB).
+
+use nvsim::lens::probers::{BufferProber, PerfProber, PolicyProber};
+use nvsim::lens::CharacterizationReport;
+use nvsim::prelude::*;
+
+fn main() -> Result<(), nvsim::types::ConfigError> {
+    let fresh = || MemorySystem::new(VansConfig::optane_1dimm()).expect("valid preset");
+    let fresh_interleaved = || MemorySystem::new(VansConfig::optane_6dimm()).expect("valid preset");
+
+    // The policy prober needs enough overwrite iterations to see several
+    // wear-leveling tails (threshold is 14,000 writes).
+    let policy = PolicyProber {
+        overwrite_iterations: 60_000,
+        ..PolicyProber::default()
+    };
+
+    let report = CharacterizationReport::characterize(
+        &BufferProber::default(),
+        &policy,
+        &PerfProber::default(),
+        fresh,
+        Some(fresh_interleaved),
+    );
+
+    println!("{report}");
+
+    // Compare with what VANS was actually configured with.
+    let cfg = VansConfig::optane_1dimm();
+    println!("ground truth (VANS config):");
+    println!("  RMW buffer: {} B", cfg.rmw.capacity_bytes());
+    println!("  AIT buffer: {} B", cfg.ait.capacity_bytes());
+    println!("  WPQ: {} B, LSQ: {} B", cfg.wpq_bytes(), cfg.lsq_bytes());
+    println!(
+        "  wear block: {} B, threshold: {} writes, migration: {}",
+        cfg.wear.block_size, cfg.wear.threshold, cfg.wear.migration_latency
+    );
+    println!("  interleave: {} B", cfg.interleave.granularity);
+    Ok(())
+}

@@ -1,0 +1,103 @@
+//! Case study (paper §V): run the Redis and YCSB workload models on
+//! VANS + the CPU model, show the inefficiencies of Fig 12, then apply
+//! Pre-translation and Lazy cache and measure the improvement (Fig 13).
+//!
+//! Run with: `cargo run --release --example cloud_redis`
+
+use nvsim::prelude::*;
+use nvsim::vans::opt::{LazyCacheConfig, PreTranslationConfig};
+use nvsim::workloads::{Redis, Ycsb};
+
+const INSTRUCTIONS: u64 = 1_500_000;
+
+fn run_redis(pretranslate: bool) -> nvsim_report::Outcome {
+    let mut sys = MemorySystem::new(VansConfig::optane_1dimm()).expect("valid preset");
+    if pretranslate {
+        sys.enable_pretranslation(PreTranslationConfig::paper());
+    }
+    let mut core = Core::new(CoreConfig::cascade_lake_like());
+    let mut w = Redis::new(42);
+    w.set_mkpt(pretranslate);
+    let trace = w.generate(INSTRUCTIONS);
+    let report = core.run(trace.into_iter(), &mut sys);
+    nvsim_report::Outcome {
+        ipc: report.ipc(),
+        read_cpi: report.read_cpi(),
+        rest_cpi: report.rest_cpi(),
+        tlb_mpki: report.tlb_mpki(),
+        exec: report.exec_time,
+        migrations: sys.counters().migrations,
+    }
+}
+
+fn run_ycsb(lazy: bool) -> nvsim_report::Outcome {
+    let mut sys = MemorySystem::new(VansConfig::optane_1dimm()).expect("valid preset");
+    if lazy {
+        sys.enable_lazy_cache(LazyCacheConfig::paper());
+    }
+    let mut core = Core::new(CoreConfig::cascade_lake_like());
+    let mut w = Ycsb::new(42);
+    let trace = w.generate(INSTRUCTIONS);
+    let report = core.run(trace.into_iter(), &mut sys);
+    nvsim_report::Outcome {
+        ipc: report.ipc(),
+        read_cpi: report.read_cpi(),
+        rest_cpi: report.rest_cpi(),
+        tlb_mpki: report.tlb_mpki(),
+        exec: report.exec_time,
+        migrations: sys.counters().migrations,
+    }
+}
+
+mod nvsim_report {
+    use nvsim::prelude::Time;
+
+    #[derive(Debug)]
+    pub struct Outcome {
+        pub ipc: f64,
+        pub read_cpi: f64,
+        pub rest_cpi: f64,
+        pub tlb_mpki: f64,
+        pub exec: Time,
+        pub migrations: u64,
+    }
+}
+
+fn main() {
+    println!("== Redis on VANS (Fig 12a: read CPI dominates) ==");
+    let base = run_redis(false);
+    println!(
+        "  read CPI {:.1} vs rest CPI {:.2} -> {:.1}x; TLB MPKI {:.1}",
+        base.read_cpi,
+        base.rest_cpi,
+        base.read_cpi / base.rest_cpi.max(1e-9),
+        base.tlb_mpki
+    );
+
+    println!("\n== Redis with Pre-translation (Fig 13) ==");
+    let pt = run_redis(true);
+    println!(
+        "  TLB MPKI {:.1} -> {:.1} ({:+.0}%), exec {} -> {} (speedup {:.2}x)",
+        base.tlb_mpki,
+        pt.tlb_mpki,
+        (pt.tlb_mpki / base.tlb_mpki - 1.0) * 100.0,
+        base.exec,
+        pt.exec,
+        base.exec.as_ns_f64() / pt.exec.as_ns_f64()
+    );
+
+    println!("\n== YCSB on VANS (Fig 12b: hot-line wear leveling) ==");
+    let ybase = run_ycsb(false);
+    println!("  migrations {} ; ipc {:.3}", ybase.migrations, ybase.ipc);
+
+    println!("\n== YCSB with Lazy cache (Fig 13) ==");
+    let ylazy = run_ycsb(true);
+    println!(
+        "  migrations {} -> {} ; exec {} -> {} (speedup {:.2}x)",
+        ybase.migrations,
+        ylazy.migrations,
+        ybase.exec,
+        ylazy.exec,
+        ybase.exec.as_ns_f64() / ylazy.exec.as_ns_f64()
+    );
+}

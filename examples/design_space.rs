@@ -1,0 +1,69 @@
+//! Design-space exploration: VANS's modular configuration makes it easy
+//! to ask "what if the DIMM had a different RMW buffer / LSQ / wear
+//! policy?" — the workflow §IV-E describes for adapting VANS to other
+//! NVRAM devices.
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use nvsim::prelude::*;
+
+fn chase_latency(cfg: VansConfig, region: u64) -> f64 {
+    let mut sys = MemorySystem::new(cfg).expect("valid config");
+    PtrChasing::read(region).run(&mut sys).latency_per_cl_ns()
+}
+
+fn write_latency(cfg: VansConfig, region: u64) -> f64 {
+    let mut sys = MemorySystem::new(cfg).expect("valid config");
+    PtrChasing::write(region).run(&mut sys).latency_per_cl_ns()
+}
+
+fn main() {
+    // 1. RMW buffer capacity sweep: the first read knee tracks it.
+    println!("RMW buffer capacity sweep (read latency at two regions):");
+    println!("{:>10} {:>12} {:>12}", "rmw", "64KB region", "1MB region");
+    for entries in [16u32, 64, 256] {
+        let mut cfg = VansConfig::optane_1dimm();
+        cfg.rmw.entries = entries;
+        let cap = cfg.rmw.capacity_bytes();
+        let small = chase_latency(cfg.clone(), 64 << 10);
+        let large = chase_latency(cfg, 1 << 20);
+        println!("{:>9}B {:>10.0}ns {:>10.0}ns", cap, small, large);
+    }
+
+    // 2. LSQ sweep: the write knee follows the LSQ size.
+    println!("\nLSQ capacity sweep (write latency at 2KB/32KB regions):");
+    println!("{:>10} {:>12} {:>12}", "lsq", "2KB region", "32KB region");
+    for entries in [16u32, 64, 256] {
+        let mut cfg = VansConfig::optane_1dimm();
+        cfg.lsq.entries = entries;
+        let cap = cfg.lsq_bytes();
+        let small = write_latency(cfg.clone(), 2 << 10);
+        let large = write_latency(cfg, 32 << 10);
+        println!("{:>9}B {:>10.0}ns {:>10.0}ns", cap, small, large);
+    }
+
+    // 3. Ablation: disable wear-leveling entirely.
+    println!("\nwear-leveling ablation (256B overwrite, 30k iterations):");
+    for enabled in [true, false] {
+        let mut cfg = VansConfig::optane_1dimm();
+        cfg.wear.enabled = enabled;
+        let mut sys = MemorySystem::new(cfg).expect("valid config");
+        let r = Overwrite::small(30_000).run(&mut sys);
+        let t = nvsim::lens::tail_analysis(&r.iter_us);
+        println!(
+            "  wear {}: {} tails, max iteration {:.1} us",
+            if enabled { "on " } else { "off" },
+            t.tail_count,
+            r.iter_us.iter().cloned().fold(0.0f64, f64::max),
+        );
+    }
+
+    // 4. Media capacity does not move the curves (Fig 10a).
+    println!("\nmedia capacity sweep (read latency, 1MB region):");
+    for gb in [2u64, 4, 8, 16] {
+        let mut cfg = VansConfig::optane_1dimm();
+        cfg.media.capacity_bytes = gb << 30;
+        let lat = chase_latency(cfg, 1 << 20);
+        println!("  {gb:>2} GB media: {lat:.0} ns/CL");
+    }
+}

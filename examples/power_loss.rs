@@ -1,0 +1,57 @@
+//! Failure injection: verify the ADR persistence contract.
+//!
+//! On Optane systems, a store is durable the moment it reaches the iMC's
+//! write pending queue — the WPQ sits in the ADR (asynchronous DRAM
+//! refresh) power-fail domain. This example injects a "power loss" at an
+//! arbitrary point and shows which writes the model guarantees:
+//! everything the application fenced, plus everything that had reached
+//! the WPQ, survives; data still in the (volatile) CPU caches would not.
+//!
+//! Run with: `cargo run --release --example power_loss`
+
+use nvsim::prelude::*;
+
+fn main() -> Result<(), nvsim::types::ConfigError> {
+    let mut sys = MemorySystem::new(VansConfig::optane_1dimm())?;
+
+    // Application writes a log record (4 lines), fences, then starts a
+    // second record and "crashes" mid-way.
+    println!("writing record A (4 lines) + fence...");
+    for i in 0..4u64 {
+        sys.execute(RequestDesc::nt_store(Addr::new(0x1000 + i * 64)));
+    }
+    sys.fence();
+    let fenced_at = sys.now();
+    println!("  record A durable at {fenced_at}");
+
+    println!("writing record B (4 lines), NO fence, power loss!");
+    let mut accepted = Vec::new();
+    for i in 0..4u64 {
+        let t = sys.execute(RequestDesc::nt_store(Addr::new(0x2000 + i * 64)));
+        accepted.push((i, t));
+    }
+
+    // Power loss: the ADR domain (WPQ and below) drains on supercap.
+    // In the model this is exactly what `fence` computes: the time by
+    // which everything already inside the ADR domain reaches media-backed
+    // structures.
+    let drain_done = sys.fence();
+    println!("\nADR flush-on-power-fail completes at {drain_done}");
+    println!("guaranteed durable after the crash:");
+    println!("  record A: yes (explicitly fenced before the crash)");
+    for (i, t) in &accepted {
+        println!("  record B line {i}: yes — nt-store reached the WPQ (ADR) at {t}");
+    }
+    println!(
+        "  any plain (cached) stores not yet written back: NO — the CPU \
+         caches are outside the ADR domain"
+    );
+
+    // Sanity counters: everything reached the DIMM.
+    let c = sys.counters();
+    println!(
+        "\ncounters: {} bus writes, {} fences, {} on-DIMM DRAM accesses",
+        c.bus_writes, c.fences, c.on_dimm_dram_accesses
+    );
+    Ok(())
+}

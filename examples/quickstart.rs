@@ -1,0 +1,56 @@
+//! Quickstart: build a VANS memory system, issue requests, and watch the
+//! Optane-characteristic behaviours appear.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use nvsim::prelude::*;
+
+fn main() -> Result<(), nvsim::types::ConfigError> {
+    // 1. A single Optane-like DIMM in App Direct mode.
+    let mut sys = MemorySystem::new(VansConfig::optane_1dimm())?;
+
+    // 2. Individual requests.
+    let t0 = sys.now();
+    let done = sys.execute(RequestDesc::load(Addr::new(0x1000)));
+    println!("first (cold) 64B load: {} ns", (done - t0).as_ns());
+
+    let t1 = sys.now();
+    let done = sys.execute(RequestDesc::load(Addr::new(0x1040)));
+    println!(
+        "second load, same 256B RMW block: {} ns (buffer hit)",
+        (done - t1).as_ns()
+    );
+
+    let t2 = sys.now();
+    let done = sys.execute(RequestDesc::nt_store(Addr::new(0x2000)));
+    println!(
+        "nt-store into the WPQ (ADR domain): {} ns",
+        (done - t2).as_ns()
+    );
+    sys.fence();
+
+    // 3. The three pointer-chasing read plateaus (Fig 1b / 5a).
+    println!("\npointer-chasing read latency per cache line:");
+    for (label, region) in [
+        ("  8KB (fits 16KB RMW buffer)", 8u64 << 10),
+        ("  1MB (fits 16MB AIT buffer)", 1 << 20),
+        (" 64MB (media path)", 64 << 20),
+    ] {
+        let mut fresh = MemorySystem::new(VansConfig::optane_1dimm())?;
+        let lat = PtrChasing::read(region).run(&mut fresh).latency_per_cl_ns();
+        println!("{label}: {lat:.0} ns/CL");
+    }
+
+    // 4. Counters: amplification is directly measurable.
+    let mut fresh = MemorySystem::new(VansConfig::optane_1dimm())?;
+    PtrChasing::read(64 << 20).with_passes(1).run(&mut fresh);
+    let c = fresh.counters();
+    println!(
+        "\n64B random reads over 64MB: media read amplification {:.1}x \
+         (bus {} MB, media {} MB)",
+        c.read_amplification().unwrap_or(0.0),
+        c.bus_bytes_read >> 20,
+        c.media_bytes_read >> 20,
+    );
+    Ok(())
+}
