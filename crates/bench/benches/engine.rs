@@ -20,6 +20,19 @@ fn bench_vans_reads(c: &mut Criterion) {
             sys.execute(RequestDesc::load(addr))
         });
     });
+    // Same workload with a NullSink installed: the tracing layer's
+    // whole cost when nothing consumes the spans. Must stay within a
+    // few percent of `dependent_read`.
+    g.bench_function("dependent_read_nullsink", |b| {
+        let mut sys = MemorySystem::new(VansConfig::optane_1dimm()).unwrap();
+        sys.set_trace_sink(Box::new(nvsim_types::trace::NullSink));
+        let mut i = 0u64;
+        b.iter(|| {
+            let addr = Addr::new((i * 64 * 7919) % (1 << 30));
+            i += 1;
+            sys.execute(RequestDesc::load(addr))
+        });
+    });
     g.bench_function("nt_store", |b| {
         let mut sys = MemorySystem::new(VansConfig::optane_1dimm()).unwrap();
         let mut i = 0u64;

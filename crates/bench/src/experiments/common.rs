@@ -6,12 +6,18 @@ use vans::{MemorySystem, VansConfig};
 
 /// A fresh single-DIMM VANS system.
 pub fn vans_1dimm() -> MemorySystem {
-    MemorySystem::new(VansConfig::optane_1dimm()).expect("valid preset")
+    let cfg = VansConfig::builder().build().expect("valid preset");
+    MemorySystem::new(cfg).expect("valid preset")
 }
 
 /// A fresh six-DIMM interleaved VANS system.
 pub fn vans_6dimm() -> MemorySystem {
-    MemorySystem::new(VansConfig::optane_6dimm()).expect("valid preset")
+    let cfg = VansConfig::builder()
+        .name("VANS-6DIMM")
+        .dimms(6)
+        .build()
+        .expect("valid preset");
+    MemorySystem::new(cfg).expect("valid preset")
 }
 
 /// The standard region sweep used by the latency figures: powers of two
@@ -79,8 +85,7 @@ mod tests {
 
     #[test]
     fn chase_curve_has_one_point_per_region() {
-        let fresh =
-            || FixedLatencyBackend::new(Time::from_ns(100), Time::from_ns(50));
+        let fresh = || FixedLatencyBackend::new(Time::from_ns(100), Time::from_ns(50));
         let regions = [1024u64, 4096];
         let curve = chase_curve(&regions, 64, PtrChaseMode::Read, fresh);
         assert_eq!(curve.len(), 2);

@@ -59,7 +59,8 @@ pub fn fig3a() -> ExpOutput {
         "accuracy (%)",
     );
     let metrics = ["bw-ld", "bw-st", "lat-ld", "lat-st"];
-    let sims: [(&str, fn() -> DramBackend); 3] = [
+    type SimEntry = (&'static str, fn() -> DramBackend);
+    let sims: [SimEntry; 3] = [
         ("DRAMSim2-DDR3", || sim(DramConfig::ddr3_1333())),
         ("Ramulator-DDR4", || sim(DramConfig::ddr4_2666_4gb())),
         ("Ramulator-PCM", || sim(DramConfig::pcm())),

@@ -16,8 +16,7 @@ fn multi_stream(sys: &mut MemorySystem, streams: u32, per_stream: u64, op: MemOp
     let lines = per_stream / CACHE_LINE;
     let window = 10usize; // fill buffers per logical thread
     let mut cursors = vec![0u64; streams as usize];
-    let mut windows: Vec<VecDeque<Time>> =
-        vec![VecDeque::with_capacity(window); streams as usize];
+    let mut windows: Vec<VecDeque<Time>> = vec![VecDeque::with_capacity(window); streams as usize];
     let start = sys.now();
     let mut remaining: u64 = lines * streams as u64;
     let mut s = 0usize;
@@ -32,7 +31,9 @@ fn multi_stream(sys: &mut MemorySystem, streams: u32, per_stream: u64, op: MemOp
         cursors[idx] += 1;
         remaining -= 1;
         let id = sys.submit(RequestDesc::new(addr, CACHE_LINE as u32, op));
-        let done = sys.take_completion(id);
+        let done = sys
+            .try_take_completion(id)
+            .expect("completion of freshly submitted request");
         windows[idx].push_back(done);
         if windows[idx].len() > window {
             let oldest = windows[idx].pop_front().expect("non-empty");

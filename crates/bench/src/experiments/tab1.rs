@@ -28,7 +28,11 @@ pub fn tab1() -> ExpOutput {
             caps.iter().map(|(c, label)| {
                 (
                     label.to_string(),
-                    if tool.capabilities.contains(c) { 1.0 } else { 0.0 },
+                    if tool.capabilities.contains(c) {
+                        1.0
+                    } else {
+                        0.0
+                    },
                 )
             }),
         ));

@@ -14,6 +14,7 @@
 
 pub mod experiments;
 pub mod output;
+pub mod tracecmd;
 
 pub use output::{ExpOutput, Series};
 

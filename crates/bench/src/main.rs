@@ -4,9 +4,10 @@
 //! nvsim-bench list            # show available experiments
 //! nvsim-bench all             # run everything -> results/
 //! nvsim-bench fig5a fig7b     # run specific experiments
+//! nvsim-bench trace fig9a     # per-stage latency attribution -> results/trace/
 //! ```
 
-use nvsim_bench::registry;
+use nvsim_bench::{registry, tracecmd};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -17,6 +18,46 @@ fn main() {
         println!("available experiments (pass ids, or `all`):");
         for id in reg.keys() {
             println!("  {id}");
+        }
+        println!(
+            "traceable (pass `trace <id>`): {}",
+            tracecmd::TRACEABLE.join(" ")
+        );
+        return;
+    }
+    if args[0] == "trace" {
+        let ids = &args[1..];
+        if ids.is_empty() {
+            eprintln!(
+                "usage: nvsim-bench trace <exp>...  (one of: {})",
+                tracecmd::TRACEABLE.join(" ")
+            );
+            std::process::exit(2);
+        }
+        let results_dir = PathBuf::from("results");
+        for id in ids {
+            eprintln!(">> tracing {id} ...");
+            let start = Instant::now();
+            match tracecmd::run_trace(id, &results_dir) {
+                Ok(Some(md)) => {
+                    println!("{md}");
+                    eprintln!(
+                        "<< {id} traced in {:.1}s -> results/trace/",
+                        start.elapsed().as_secs_f64()
+                    );
+                }
+                Ok(None) => {
+                    eprintln!(
+                        "`{id}` is not traceable (one of: {})",
+                        tracecmd::TRACEABLE.join(" ")
+                    );
+                    std::process::exit(2);
+                }
+                Err(e) => {
+                    eprintln!("trace {id} failed: {e}");
+                    std::process::exit(1);
+                }
+            }
         }
         return;
     }

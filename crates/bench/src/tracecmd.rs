@@ -1,0 +1,145 @@
+//! The `trace` subcommand: per-stage latency attribution for an
+//! experiment's access pattern.
+//!
+//! Where the figure experiments report *how long* accesses take, this
+//! command reports *where the time goes*: it replays the experiment's
+//! pointer-chase pattern on each latency plateau with a
+//! [`BreakdownSink`](nvsim_types::trace::BreakdownSink) installed, and
+//! renders the per-stage attribution as markdown + CSV under
+//! `results/trace/`. A short JSONL span dump of the smallest plateau is
+//! written alongside for ad-hoc inspection.
+
+use crate::experiments::common::{vans_1dimm, vans_6dimm};
+use lens::microbench::{PtrChaseMode, PtrChasing};
+use lens::{plateau_stage_breakdowns, PlateauBreakdown};
+use nvsim_types::trace::{JsonlSink, Stage};
+use nvsim_types::MemoryBackend;
+use std::fs;
+use std::io;
+use std::path::Path;
+use vans::{MemorySystem, VansConfig};
+
+/// Experiment ids the `trace` subcommand understands.
+pub const TRACEABLE: &[&str] = &["fig9a", "fig9b"];
+
+fn human_bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{}GB", b >> 30)
+    } else if b >= 1 << 20 {
+        format!("{}MB", b >> 20)
+    } else if b >= 1 << 10 {
+        format!("{}KB", b >> 10)
+    } else {
+        format!("{b}B")
+    }
+}
+
+fn plateau_label(pb: &PlateauBreakdown) -> String {
+    match pb.plateau_capacity {
+        Some(c) => format!("le{}", human_bytes(c)),
+        None => "media".to_owned(),
+    }
+}
+
+fn plateau_title(pb: &PlateauBreakdown) -> String {
+    match pb.plateau_capacity {
+        Some(c) => format!("<={} plateau", human_bytes(c)),
+        None => "beyond the last buffer (raw media)".to_owned(),
+    }
+}
+
+/// Runs the stage-attribution trace for experiment `id`.
+///
+/// Returns `Ok(None)` for ids the subcommand does not know (the caller
+/// reports the usage error); otherwise writes
+/// `results/trace/<id>.md`, one CSV per plateau and a JSONL sample, and
+/// returns the markdown document.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from writing under `results/trace/`.
+pub fn run_trace(id: &str, results_dir: &Path) -> io::Result<Option<String>> {
+    let (fresh, dimms): (fn() -> MemorySystem, u64) = match id {
+        "fig9a" => (vans_1dimm, 1),
+        "fig9b" => (vans_6dimm, 6),
+        _ => return Ok(None),
+    };
+    // The plateaus are set by the read-buffer capacities of the
+    // modeled DIMM: the RMW SRAM (16 KB) and the AIT data buffer
+    // (16 MB in on-DIMM DRAM); beyond both, reads hit raw media.
+    // With 4 KB interleaving the software-visible knees scale with the
+    // DIMM count (Fig 5b), so probe the aggregate capacities.
+    let cfg = VansConfig::optane_1dimm();
+    let capacities = [
+        cfg.rmw.capacity_bytes() * dimms,
+        cfg.ait.capacity_bytes() * dimms,
+    ];
+    let plateaus = plateau_stage_breakdowns(&capacities, PtrChaseMode::Read, fresh);
+
+    let trace_dir = results_dir.join("trace");
+    fs::create_dir_all(&trace_dir)?;
+    let mut md = format!(
+        "# {id}: per-stage read-latency attribution\n\n\
+         Pointer-chasing loads (64 B), one traced steady-state pass per \
+         plateau after an untraced warm pass.\n\n"
+    );
+    for pb in &plateaus {
+        let csv_name = format!("{id}_{}.csv", plateau_label(pb));
+        fs::write(trace_dir.join(&csv_name), pb.breakdown.to_csv())?;
+        md.push_str(&format!(
+            "## {} — chase region {}\n\n{}\n",
+            plateau_title(pb),
+            human_bytes(pb.region),
+            pb.breakdown.to_markdown()
+        ));
+        if let Some(dom) = pb.breakdown.dominant_stage() {
+            let walk_media =
+                pb.breakdown.share(Stage::AitWalk) + pb.breakdown.share(Stage::MediaRead);
+            md.push_str(&format!(
+                "dominant stage: **{dom}** ({:.0}% of attributed time); \
+                 ait_walk+media_read combined: {:.0}% (CSV: `{csv_name}`)\n\n",
+                pb.breakdown.share(dom) * 100.0,
+                walk_media * 100.0
+            ));
+        }
+    }
+
+    // A small per-request span dump of the first plateau, for ad-hoc
+    // inspection (and as the determinism artifact: same build + same
+    // pattern => byte-identical file).
+    let sample_region = 4u64 << 10;
+    let jsonl_path = trace_dir.join(format!("{id}_sample.jsonl"));
+    let mut sys = fresh();
+    let chase = PtrChasing::read(sample_region).with_passes(1);
+    chase.run(&mut sys);
+    sys.set_trace_sink(Box::new(JsonlSink::create(&jsonl_path)?));
+    chase.run(&mut sys);
+    sys.flush_traces()?;
+    md.push_str(&format!(
+        "Per-request spans of a warm {} chase: `{}`\n",
+        human_bytes(sample_region),
+        jsonl_path.display()
+    ));
+
+    fs::write(trace_dir.join(format!("{id}.md")), &md)?;
+    Ok(Some(md))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_ids_are_rejected_without_touching_disk() {
+        let out = run_trace("fig1a", Path::new("/nonexistent-results")).unwrap();
+        assert!(out.is_none());
+    }
+
+    #[test]
+    fn traceable_ids_are_registered_experiments() {
+        let reg = crate::registry();
+        for id in TRACEABLE {
+            assert!(reg.contains_key(id), "{id} missing from registry");
+        }
+    }
+}

@@ -44,4 +44,4 @@ pub use microbench::{
     Overwrite, OverwriteResult, PtrChaseMode, PtrChasing, PtrChasingResult, Stride, StrideResult,
 };
 pub use probers::{BufferProber, BufferReport, PerfProber, PerfReport, PolicyProber, PolicyReport};
-pub use report::CharacterizationReport;
+pub use report::{plateau_stage_breakdowns, CharacterizationReport, PlateauBreakdown};

@@ -294,7 +294,9 @@ impl Stride {
             // Regular stores model an RFO + write inside persistence-aware
             // backends; issue uniformly here.
             let id = mem.submit(desc);
-            let done = mem.take_completion(id);
+            let done = mem
+                .try_take_completion(id)
+                .expect("completion of freshly submitted request");
             window.push_back(done);
             if window.len() > self.max_outstanding as usize {
                 let oldest = window.pop_front().expect("non-empty window");

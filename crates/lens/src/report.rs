@@ -1,11 +1,80 @@
 //! The aggregated characterization report (the content of Fig 4).
 
+use crate::microbench::{PtrChaseMode, PtrChasing};
 use crate::probers::{
     BufferProber, BufferReport, PerfProber, PerfReport, PolicyProber, PolicyReport,
 };
+use nvsim_types::trace::{BreakdownSink, LatencyBreakdown, NullSink};
 use nvsim_types::MemoryBackend;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Stage attribution measured on one latency plateau (the "where does
+/// the time go" companion to the capacity numbers of Fig 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlateauBreakdown {
+    /// Pointer-chase region size probed, in bytes.
+    pub region: u64,
+    /// The detected buffer capacity whose plateau this region sits on,
+    /// or `None` for the region beyond the last buffer (raw media).
+    pub plateau_capacity: Option<u64>,
+    /// Per-stage latency attribution aggregated over the chase.
+    pub breakdown: LatencyBreakdown,
+}
+
+/// Measures per-stage latency attribution on each read plateau.
+///
+/// For every detected capacity `c` this chases a region of `c / 2`
+/// (comfortably inside the plateau), plus one region of `4 * last`
+/// (beyond every buffer). Each probe warms the region with an untraced
+/// pass, then installs a [`BreakdownSink`] and chases again, so the
+/// attribution reflects steady state rather than cold fills.
+///
+/// Returns an empty vector when `capacities` is empty or the backend
+/// does not support tracing (its `set_trace_sink` returns `false`) —
+/// stage attribution is an optional refinement, not a hard LENS
+/// capability.
+pub fn plateau_stage_breakdowns<B, F>(
+    capacities: &[u64],
+    mode: PtrChaseMode,
+    mut fresh: F,
+) -> Vec<PlateauBreakdown>
+where
+    B: MemoryBackend,
+    F: FnMut() -> B,
+{
+    let Some(&last) = capacities.last() else {
+        return Vec::new();
+    };
+    if !fresh().set_trace_sink(Box::new(NullSink)) {
+        return Vec::new();
+    }
+    let mut probes: Vec<(u64, Option<u64>)> = capacities
+        .iter()
+        .map(|&c| ((c / 2).max(512), Some(c)))
+        .collect();
+    probes.push((last.saturating_mul(4), None));
+    probes
+        .into_iter()
+        .filter_map(|(region, plateau_capacity)| {
+            let mut sys = fresh();
+            let chase = match mode {
+                PtrChaseMode::Read => PtrChasing::read(region),
+                PtrChaseMode::Write => PtrChasing::write(region),
+                PtrChaseMode::ReadAfterWrite => PtrChasing::read_after_write(region),
+            }
+            .with_passes(1);
+            chase.run(&mut sys); // warm pass, untraced
+            sys.set_trace_sink(Box::new(BreakdownSink::new()));
+            chase.run(&mut sys); // traced steady-state pass
+            sys.breakdown().map(|breakdown| PlateauBreakdown {
+                region,
+                plateau_capacity,
+                breakdown,
+            })
+        })
+        .collect()
+}
 
 /// Everything LENS learned about a memory system.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -18,6 +87,9 @@ pub struct CharacterizationReport {
     pub policy: PolicyReport,
     /// Performance prober findings.
     pub perf: PerfReport,
+    /// Per-plateau stage attribution for reads (empty when the backend
+    /// does not expose tracing).
+    pub stage_breakdowns: Vec<PlateauBreakdown>,
 }
 
 impl CharacterizationReport {
@@ -40,11 +112,17 @@ impl CharacterizationReport {
         let buffer = buffer_prober.probe_with(&mut fresh);
         let policy = policy_prober.probe_with(&mut fresh, fresh_interleaved);
         let perf = perf_prober.probe_with(&mut fresh, &buffer);
+        let stage_breakdowns = plateau_stage_breakdowns(
+            &buffer.read_buffer_capacities,
+            PtrChaseMode::Read,
+            &mut fresh,
+        );
         CharacterizationReport {
             system,
             buffer,
             policy,
             perf,
+            stage_breakdowns,
         }
     }
 }
@@ -115,6 +193,26 @@ impl fmt::Display for CharacterizationReport {
         writeln!(f, "  single-thread bandwidth:")?;
         for (op, bw) in &self.perf.bandwidth_gbps {
             writeln!(f, "    {op}: {bw:.2} GB/s")?;
+        }
+        if !self.stage_breakdowns.is_empty() {
+            writeln!(f, "  read-latency attribution per plateau:")?;
+            for pb in &self.stage_breakdowns {
+                let plateau = match pb.plateau_capacity {
+                    Some(c) => format!("{} plateau", human_bytes(c)),
+                    None => "beyond last buffer".to_owned(),
+                };
+                if let Some(dom) = pb.breakdown.dominant_stage() {
+                    writeln!(
+                        f,
+                        "    {} (chase {}): dominated by {} ({:.0}% of attributed time, e2e ~{:.0} ns)",
+                        plateau,
+                        human_bytes(pb.region),
+                        dom,
+                        pb.breakdown.share(dom) * 100.0,
+                        pb.breakdown.e2e_mean_ns
+                    )?;
+                }
+            }
         }
         Ok(())
     }

@@ -2,7 +2,8 @@
 
 use nvsim_dram::{DramConfig, DramModel};
 use nvsim_types::{
-    BackendCounters, ConfigError, MemOp, MemoryBackend, ReqId, RequestDesc, Time, CACHE_LINE,
+    BackendCounters, BackendError, ConfigError, MemOp, MemoryBackend, ReqId, RequestDesc, Time,
+    CACHE_LINE,
 };
 use std::collections::HashMap;
 
@@ -113,10 +114,10 @@ impl MemoryBackend for DramBackend {
         id
     }
 
-    fn take_completion(&mut self, id: ReqId) -> Time {
+    fn try_take_completion(&mut self, id: ReqId) -> Result<Time, BackendError> {
         self.completions
             .remove(&id)
-            .expect("waited for unknown or already-completed request")
+            .ok_or(BackendError::UnknownRequest(id))
     }
 
     fn drain(&mut self) -> Time {

@@ -13,7 +13,9 @@
 
 use crate::dram_backend::DramBackend;
 use nvsim_dram::DramConfig;
-use nvsim_types::{BackendCounters, ConfigError, MemOp, MemoryBackend, ReqId, RequestDesc, Time};
+use nvsim_types::{
+    BackendCounters, BackendError, ConfigError, MemOp, MemoryBackend, ReqId, RequestDesc, Time,
+};
 use serde::{Deserialize, Serialize};
 
 /// PMEP emulation parameters.
@@ -116,19 +118,22 @@ impl MemoryBackend for PmepBackend {
         let id = self.inner.submit(desc);
         // Push the completion out by the injected delay (without
         // advancing the clock, so independent requests overlap).
-        let done = self.inner.take_completion(id);
+        let done = self
+            .inner
+            .try_take_completion(id)
+            .expect("completion of freshly submitted request");
         self.pending.push((id, done + extra));
         id
     }
 
-    fn take_completion(&mut self, id: ReqId) -> Time {
+    fn try_take_completion(&mut self, id: ReqId) -> Result<Time, BackendError> {
         let pos = self
             .pending
             .iter()
             .position(|&(i, _)| i == id)
-            .expect("waited for unknown or already-completed request");
+            .ok_or(BackendError::UnknownRequest(id))?;
         let (_, done) = self.pending.remove(pos);
-        done
+        Ok(done)
     }
 
     fn drain(&mut self) -> Time {

@@ -286,7 +286,9 @@ impl Core {
                             );
                             now = done;
                         } else {
-                            let done = mem.take_completion(id);
+                            let done = mem
+                                .try_take_completion(id)
+                                .expect("completion of freshly submitted request");
                             while let Some(&front) = outstanding.front() {
                                 if front <= now {
                                     outstanding.pop_front();
@@ -327,7 +329,9 @@ impl Core {
                         // unless the window is full.
                         mem.skip_to(now);
                         let id = mem.submit(RequestDesc::nt_store(tr.paddr));
-                        let done = mem.take_completion(id);
+                        let done = mem
+                            .try_take_completion(id)
+                            .expect("completion of freshly submitted request");
                         outstanding.push_back(done);
                         if outstanding.len() > self.cfg.max_outstanding as usize {
                             let oldest = outstanding.pop_front().expect("non-empty");
@@ -349,7 +353,9 @@ impl Core {
                             // Write-allocate fetch; overlapped like a load.
                             mem.skip_to(now);
                             let id = mem.submit(RequestDesc::load(tr.paddr));
-                            let done = mem.take_completion(id);
+                            let done = mem
+                                .try_take_completion(id)
+                                .expect("completion of freshly submitted request");
                             outstanding.push_back(done);
                             if outstanding.len() > self.cfg.max_outstanding as usize {
                                 let oldest = outstanding.pop_front().expect("non-empty");
@@ -375,7 +381,7 @@ impl Core {
                         mem.skip_to(now);
                         let id = mem.submit(RequestDesc::new(tr.paddr, 64, MemOp::StoreClwb));
                         // Fire-and-forget: clwb retires asynchronously.
-                        let _ = mem.take_completion(id);
+                        let _ = mem.try_take_completion(id);
                     }
                 }
                 TraceOp::Fence => {
@@ -448,7 +454,7 @@ impl Core {
             mem.skip_to(now);
             let id = mem.submit(RequestDesc::store(wb));
             // Fire-and-forget: the write buffer retires it asynchronously.
-            let _ = mem.take_completion(id);
+            let _ = mem.try_take_completion(id);
         }
     }
 }

@@ -104,8 +104,10 @@ mod tests {
 
     #[test]
     fn row_open_matches_exact_row() {
-        let mut b = Bank::default();
-        b.state = BankState::Active { row: 7 };
+        let b = Bank {
+            state: BankState::Active { row: 7 },
+            ..Bank::default()
+        };
         assert!(b.row_open(7));
         assert!(!b.row_open(8));
     }

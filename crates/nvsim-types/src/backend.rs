@@ -3,8 +3,10 @@
 //! that drives them (LENS probers, the CPU model, trace replay).
 
 use crate::addr::Addr;
+use crate::error::BackendError;
 use crate::request::{MemOp, ReqId, RequestDesc};
 use crate::time::Time;
+use crate::trace::{LatencyBreakdown, TraceSink};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -153,10 +155,23 @@ pub trait MemoryBackend {
     /// for overlap-aware agents (the CPU model's miss window) that issue
     /// younger requests while older ones are still in flight.
     ///
+    /// Returns [`BackendError::UnknownRequest`] if `id` was never
+    /// submitted or its completion was already taken.
+    fn try_take_completion(&mut self, id: ReqId) -> Result<Time, BackendError>;
+
+    /// Infallible variant of
+    /// [`try_take_completion`](MemoryBackend::try_take_completion), for
+    /// drivers whose request bookkeeping makes a miss a logic bug.
+    ///
     /// # Panics
     ///
     /// Panics if `id` was never submitted or was already taken.
-    fn take_completion(&mut self, id: ReqId) -> Time;
+    fn take_completion(&mut self, id: ReqId) -> Time {
+        match self.try_take_completion(id) {
+            Ok(t) => t,
+            Err(e) => panic!("take_completion: {e}"),
+        }
+    }
 
     /// Advances simulated time until request `id` completes; returns the
     /// completion time.
@@ -227,6 +242,22 @@ pub trait MemoryBackend {
     /// Installs or refreshes a pre-translation entry: the pointer stored
     /// at `paddr` targets page frame `pfn`. No-op by default.
     fn mkpt_update(&mut self, _paddr: Addr, _pfn: u64) {}
+
+    /// Installs a trace sink and enables per-stage span collection.
+    ///
+    /// Returns `true` if the backend supports tracing (the sink will
+    /// receive one [`crate::trace::RequestTrace`] per completed request);
+    /// `false` — the default — if it does not, in which case the sink is
+    /// dropped and no spans are ever recorded.
+    fn set_trace_sink(&mut self, _sink: Box<dyn TraceSink>) -> bool {
+        false
+    }
+
+    /// Per-stage latency breakdown aggregated by the installed trace sink,
+    /// if the backend supports tracing and the sink computes one.
+    fn breakdown(&self) -> Option<LatencyBreakdown> {
+        None
+    }
 }
 
 /// Blanket impl so `&mut B` can be passed wherever a backend is expected.
@@ -239,6 +270,9 @@ impl<B: MemoryBackend + ?Sized> MemoryBackend for &mut B {
     }
     fn submit(&mut self, desc: RequestDesc) -> ReqId {
         (**self).submit(desc)
+    }
+    fn try_take_completion(&mut self, id: ReqId) -> Result<Time, BackendError> {
+        (**self).try_take_completion(id)
     }
     fn take_completion(&mut self, id: ReqId) -> Time {
         (**self).take_completion(id)
@@ -266,6 +300,12 @@ impl<B: MemoryBackend + ?Sized> MemoryBackend for &mut B {
     }
     fn mkpt_update(&mut self, paddr: Addr, pfn: u64) {
         (**self).mkpt_update(paddr, pfn)
+    }
+    fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) -> bool {
+        (**self).set_trace_sink(sink)
+    }
+    fn breakdown(&self) -> Option<LatencyBreakdown> {
+        (**self).breakdown()
     }
 }
 
@@ -340,14 +380,14 @@ impl MemoryBackend for FixedLatencyBackend {
         id
     }
 
-    fn take_completion(&mut self, id: ReqId) -> Time {
+    fn try_take_completion(&mut self, id: ReqId) -> Result<Time, BackendError> {
         let pos = self
             .inflight
             .iter()
             .position(|&(i, _)| i == id)
-            .expect("waited for unknown or already-completed request");
+            .ok_or(BackendError::UnknownRequest(id))?;
         let (_, done) = self.inflight.remove(pos);
-        done
+        Ok(done)
     }
 
     fn drain(&mut self) -> Time {
@@ -470,5 +510,33 @@ mod tests {
             b.execute(RequestDesc::load(Addr::new(0)))
         }
         assert_eq!(drive(&mut m), Time::from_ns(100));
+    }
+
+    #[test]
+    fn try_take_completion_reports_unknown_ids() {
+        let mut m = mem();
+        let id = m.submit(RequestDesc::load(Addr::new(0)));
+        assert_eq!(m.try_take_completion(id), Ok(Time::from_ns(100)));
+        assert_eq!(
+            m.try_take_completion(id),
+            Err(crate::error::BackendError::UnknownRequest(id))
+        );
+        assert_eq!(
+            m.try_take_completion(ReqId(999)),
+            Err(crate::error::BackendError::UnknownRequest(ReqId(999)))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not in flight")]
+    fn take_completion_wrapper_panics_on_unknown() {
+        mem().take_completion(ReqId(42));
+    }
+
+    #[test]
+    fn tracing_unsupported_by_default() {
+        let mut m = mem();
+        assert!(!m.set_trace_sink(Box::new(crate::trace::NullSink)));
+        assert!(m.breakdown().is_none());
     }
 }

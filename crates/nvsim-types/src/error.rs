@@ -1,5 +1,6 @@
 //! Error types shared across the workspace.
 
+use crate::request::ReqId;
 use std::error::Error;
 use std::fmt;
 
@@ -45,6 +46,43 @@ impl fmt::Display for ConfigError {
 }
 
 impl Error for ConfigError {}
+
+/// Error returned by fallible backend operations
+/// ([`MemoryBackend::try_take_completion`](crate::MemoryBackend::try_take_completion)).
+///
+/// # Example
+///
+/// ```
+/// use nvsim_types::{error::BackendError, ReqId};
+/// let err = BackendError::UnknownRequest(ReqId(7));
+/// assert!(err.to_string().contains("req#7"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendError {
+    /// The request id was never submitted, or its completion was already
+    /// taken.
+    UnknownRequest(ReqId),
+    /// The backend does not support the requested operation.
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::UnknownRequest(id) => {
+                write!(
+                    f,
+                    "{id} is not in flight (never submitted or already taken)"
+                )
+            }
+            BackendError::Unsupported(what) => {
+                write!(f, "backend does not support {what}")
+            }
+        }
+    }
+}
+
+impl Error for BackendError {}
 
 /// Validates that a value is a power of two, producing a [`ConfigError`]
 /// naming `field` otherwise.
@@ -98,5 +136,14 @@ mod tests {
     fn error_is_std_error() {
         fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
         assert_err::<ConfigError>();
+        assert_err::<BackendError>();
+    }
+
+    #[test]
+    fn backend_error_display() {
+        let e = BackendError::UnknownRequest(ReqId(3));
+        assert!(e.to_string().contains("req#3"));
+        let u = BackendError::Unsupported("tracing");
+        assert!(u.to_string().contains("tracing"));
     }
 }

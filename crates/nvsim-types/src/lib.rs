@@ -9,6 +9,8 @@
 //! * [`MemoryBackend`] — the trait every simulated memory system implements,
 //!   which is what the LENS profiler drives.
 //! * [`stats`] — counters, histograms and running statistics.
+//! * [`trace`] — per-stage latency attribution: [`Stage`], [`StageSpan`],
+//!   [`RequestTrace`] and the [`TraceSink`] family.
 //! * [`rng`] — a deterministic, seedable RNG (SplitMix64 / Xoshiro256++)
 //!   so every simulation in the workspace is reproducible.
 //!
@@ -33,11 +35,16 @@ pub mod request;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use addr::{Addr, VirtAddr, CACHE_LINE, PAGE_SIZE};
 pub use backend::{BackendCounters, MemoryBackend};
-pub use error::ConfigError;
+pub use error::{BackendError, ConfigError};
 pub use request::{MemOp, ReqId, Request, RequestDesc};
 pub use rng::{DetRng, SplitMix64};
 pub use stats::{Histogram, RunningStats};
 pub use time::Time;
+pub use trace::{
+    BreakdownSink, JsonlSink, LatencyBreakdown, NullSink, RequestTrace, SpanRecorder, Stage,
+    StageSpan, TraceSink,
+};

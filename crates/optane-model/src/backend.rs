@@ -9,7 +9,9 @@
 //! the reference knees from it) rather than to re-model the hardware.
 
 use crate::curves::OptaneReference;
-use nvsim_types::{Addr, BackendCounters, MemOp, MemoryBackend, ReqId, RequestDesc, Time};
+use nvsim_types::{
+    Addr, BackendCounters, BackendError, MemOp, MemoryBackend, ReqId, RequestDesc, Time,
+};
 use std::collections::HashMap;
 
 /// The reference machine as a driveable backend.
@@ -123,10 +125,10 @@ impl MemoryBackend for ReferenceBackend {
         id
     }
 
-    fn take_completion(&mut self, id: ReqId) -> Time {
+    fn try_take_completion(&mut self, id: ReqId) -> Result<Time, BackendError> {
         self.completions
             .remove(&id)
-            .expect("waited for unknown or already-completed request")
+            .ok_or(BackendError::UnknownRequest(id))
     }
 
     fn drain(&mut self) -> Time {

@@ -1,0 +1,203 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements exactly the subset `nvsim-cpu`'s trace container uses:
+//! [`BytesMut`] as an append-only build buffer, [`Bytes`] as a cheap
+//! consuming cursor over an immutable byte string, and the [`Buf`] /
+//! [`BufMut`] traits those types implement. Unlike the real crate there
+//! is no refcounted sharing — `freeze` and `copy_to_bytes` copy — which
+//! is irrelevant at trace-encode scale and keeps this shim dependency
+//! free.
+
+use std::ops::Deref;
+
+/// Read-side cursor trait (the used subset of `bytes::Buf`).
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// Whether any bytes are left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Consumes and returns the next byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty.
+    fn get_u8(&mut self) -> u8;
+
+    /// Consumes the next `n` bytes into an owned [`Bytes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` bytes remain.
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes;
+}
+
+/// Write-side trait (the used subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+/// An immutable byte string with a consuming front cursor.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Vec<u8>,
+    start: usize,
+}
+
+impl Bytes {
+    /// An empty byte string.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copies a slice into an owned `Bytes`.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: data.to_vec(),
+            start: 0,
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.has_remaining(), "get_u8 on empty Bytes");
+        let b = self.data[self.start];
+        self.start += 1;
+        b
+    }
+
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.remaining(), "copy_to_bytes past end");
+        let out = Bytes::copy_from_slice(&self.data[self.start..self.start + n]);
+        self.start += n;
+        out
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, start: 0 }
+    }
+}
+
+/// A growable byte buffer for encoding.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            start: 0,
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut b = BytesMut::with_capacity(4);
+        b.put_u8(1);
+        b.put_slice(&[2, 3, 4]);
+        let mut frozen = b.freeze();
+        assert_eq!(frozen.remaining(), 4);
+        assert_eq!(frozen.get_u8(), 1);
+        let rest = frozen.copy_to_bytes(2);
+        assert_eq!(&rest[..], &[2, 3]);
+        assert_eq!(frozen.remaining(), 1);
+        assert!(frozen.has_remaining());
+        assert_eq!(frozen.get_u8(), 4);
+        assert!(!frozen.has_remaining());
+    }
+
+    #[test]
+    fn deref_views_track_cursor() {
+        let mut b = Bytes::copy_from_slice(b"hello");
+        assert_eq!(&b[..2], b"he");
+        b.get_u8();
+        assert_eq!(&b[..], b"ello");
+        assert_eq!(b.to_vec(), b"ello");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn get_on_empty_panics() {
+        Bytes::new().get_u8();
+    }
+}

@@ -1,0 +1,249 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the workspace's benches use —
+//! `Criterion::default().sample_size(..).measurement_time(..)`,
+//! `benchmark_group`, `Throughput`, `bench_function`, `Bencher::iter`,
+//! and the `criterion_group!`/`criterion_main!` macros — backed by a
+//! simple wall-clock runner: per sample, run the closure in adaptively
+//! sized batches until the batch takes a measurable slice of the
+//! measurement budget, then report the mean/min/max ns-per-iteration
+//! across samples. No statistics engine, no HTML reports; output is one
+//! line per benchmark on stdout, which is what the figure-regression
+//! workflow actually consumes.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Benchmark harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let cfg = self.clone();
+        run_one(&cfg, None, id, f);
+        self
+    }
+}
+
+/// A named group sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Annotates per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut cfg = self.criterion.clone();
+        if let Some(n) = self.sample_size {
+            cfg.sample_size = n;
+        }
+        let full = format!("{}/{}", self.name, id);
+        run_one(&cfg, self.throughput, &full, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing buffered).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the benchmark closure; measures the hot loop.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` runs of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Opaque value sink preventing the optimizer from deleting the
+/// measured computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn run_one<F>(cfg: &Criterion, throughput: Option<Throughput>, id: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up + batch sizing: grow the batch until one call of the
+    // closure loop exceeds ~1/sample_size of the measurement budget.
+    let target = cfg.measurement_time.max(Duration::from_millis(10)) / cfg.sample_size as u32;
+    let mut iters: u64 = 1;
+    let warm_deadline = Instant::now() + cfg.warm_up_time;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= target || Instant::now() >= warm_deadline {
+            if b.elapsed < target && b.elapsed > Duration::ZERO {
+                let scale = target.as_nanos() as f64 / b.elapsed.as_nanos().max(1) as f64;
+                iters =
+                    ((iters as f64 * scale).ceil() as u64).clamp(iters, iters.saturating_mul(1000));
+            }
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(cfg.sample_size);
+    for _ in 0..cfg.sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter_ns.push(b.elapsed.as_nanos() as f64 / b.iters.max(1) as f64);
+    }
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    let min = per_iter_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_iter_ns.iter().cloned().fold(0.0f64, f64::max);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean > 0.0 => {
+            format!("  thrpt: {:.3} Melem/s", n as f64 * 1e3 / mean)
+        }
+        Some(Throughput::Bytes(n)) if mean > 0.0 => {
+            format!(
+                "  thrpt: {:.3} MiB/s",
+                n as f64 * 1e9 / mean / (1 << 20) as f64
+            )
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{id:<40} time: [{min:>12.2} ns {mean:>12.2} ns {max:>12.2} ns]{rate}  ({} samples x {iters} iters)",
+        per_iter_ns.len()
+    );
+}
+
+/// Declares a group-runner function over benchmark target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        let mut calls = 0u64;
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Elements(1));
+            g.sample_size(2);
+            g.bench_function("count", |b| b.iter(|| calls += 1));
+            g.finish();
+        }
+        assert!(calls > 0, "benchmark closure never executed");
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! The workspace's crates derive `Serialize`/`Deserialize` to document
+//! which types are serialization-ready, but nothing in-tree drives the
+//! serde data model (no serde_json, no bincode). This shim provides the
+//! two trait names plus no-op derive macros so the workspace builds
+//! without registry access. Swapping the workspace dependency back to
+//! the real `serde` requires no source changes in dependent crates.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+///
+/// The no-op derive does not implement this trait; it only consumes the
+/// `#[derive(Serialize)]` attribute. No in-tree code takes `T: Serialize`
+/// bounds.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`.
+///
+/// See [`Serialize`]; no in-tree code takes `Deserialize` bounds.
+pub trait Deserialize<'de>: Sized {}

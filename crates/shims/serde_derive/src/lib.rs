@@ -1,0 +1,26 @@
+//! No-op stand-ins for the `serde_derive` proc macros.
+//!
+//! The workspace builds in environments without registry access, so the
+//! real `serde`/`serde_derive` crates cannot be fetched. Nothing in-tree
+//! actually serializes through serde's trait machinery (the derives only
+//! document intent and keep the door open for real serialization), so
+//! these derives expand to nothing. No `#[serde(...)]` field or container
+//! attributes exist in the workspace; the `attributes(serde)` declaration
+//! below keeps any future use from becoming a hard error here rather than
+//! in the shim.
+
+use proc_macro::TokenStream;
+
+/// Derives nothing; accepts the same invocation surface as
+/// `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives nothing; accepts the same invocation surface as
+/// `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

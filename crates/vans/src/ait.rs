@@ -10,6 +10,7 @@ use crate::buffer::LruBuffer;
 use crate::config::AitConfig;
 use nvsim_dram::DramModel;
 use nvsim_media::{MediaAddr, WearEvent, WearTracker, XpointMedia};
+use nvsim_types::trace::{SpanRecorder, Stage, StageSpan};
 use nvsim_types::{Addr, Time};
 use std::collections::HashMap;
 
@@ -58,6 +59,8 @@ pub struct Ait {
     /// Physical pages currently stalled behind a migration.
     busy_pages: HashMap<u64, Time>,
     stats: AitStats,
+    /// Per-stage span collection (disabled unless tracing is on).
+    recorder: SpanRecorder,
 }
 
 impl Ait {
@@ -78,7 +81,18 @@ impl Ait {
             next_free_block: capacity / block,
             busy_pages: HashMap::new(),
             stats: AitStats::default(),
+            recorder: SpanRecorder::new(),
         }
+    }
+
+    /// Enables or disables per-stage span collection.
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.recorder.set_enabled(enabled);
+    }
+
+    /// Moves spans recorded since the last drain into `out`.
+    pub fn drain_spans(&mut self, out: &mut Vec<StageSpan>) {
+        self.recorder.drain_into(out);
     }
 
     /// Statistics so far.
@@ -132,6 +146,7 @@ impl Ait {
         } else {
             self.stats.translation_misses += 1;
             done = self.dram_access(page, 0, false, done);
+            self.recorder.record(Stage::AitWalk, t, done);
             self.tcache.touch(page, false);
         }
         let frame = *self.translations.entry(page).or_insert(page);
@@ -145,7 +160,9 @@ impl Ait {
         self.stats.writebacks += 1;
         let frame = *self.translations.entry(page).or_insert(page);
         let media_addr = MediaAddr::new(frame * self.cfg.entry_bytes as u64);
-        self.media.write(media_addr, self.cfg.entry_bytes, t);
+        let done = self.media.write(media_addr, self.cfg.entry_bytes, t);
+        // Posted: overlaps foreground time, so this span does not tile.
+        self.recorder.record(Stage::MediaWrite, t, done);
     }
 
     /// Ensures the page is resident in the data buffer; returns the time
@@ -155,6 +172,7 @@ impl Ait {
             self.stats.buffer_hits += 1;
             // Data access in the on-DIMM DRAM.
             let done = self.dram_access(page, 64, write, t);
+            self.recorder.record(Stage::AitCacheHit, t, done);
             self.buffer.touch(page, write);
             return done;
         }
@@ -165,8 +183,13 @@ impl Ait {
         let fetched = self
             .media
             .read(media_addr, self.cfg.entry_bytes, after_translate);
+        self.recorder
+            .record(Stage::MediaRead, after_translate, fetched);
         // Background install into the DRAM buffer.
-        let _ = self.dram_access(page, 64, true, fetched);
+        let install_done = self.dram_access(page, 64, true, fetched);
+        // Posted: overlaps the data return, so this span does not tile.
+        self.recorder
+            .record(Stage::OnDimmDram, fetched, install_done);
         let (_, evicted) = self.buffer.touch(page, write);
         if let Some(ev) = evicted {
             if ev.dirty {
@@ -196,6 +219,7 @@ impl Ait {
         if let Some(&busy) = self.busy_pages.get(&page) {
             if busy > start {
                 self.stats.stalled_writes += 1;
+                self.recorder.record(Stage::MigrationStall, start, busy);
                 start = busy;
             } else {
                 self.busy_pages.remove(&page);
@@ -229,6 +253,9 @@ impl Ait {
             block_size as u32,
             t,
         ) + self.wear.config().migration_latency;
+        // Posted: the copy runs behind foreground traffic (later writes to
+        // the block see it as a MigrationStall span instead).
+        self.recorder.record(Stage::MediaWrite, t, copy_done);
         // Remap every physical page currently pointing into the hot block
         // and stall writes to it until the migration is done.
         let frame_lo = media_block * ppb;

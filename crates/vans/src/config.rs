@@ -274,6 +274,173 @@ impl VansConfig {
     pub fn lsq_bytes(&self) -> u64 {
         self.lsq.entries as u64 * 64
     }
+
+    /// Starts a fluent builder seeded with the single-DIMM Optane preset.
+    ///
+    /// Unlike mutating a preset in place, [`VansConfigBuilder::build`]
+    /// validates the finished tree, so an inconsistent combination is a
+    /// `Result` at construction rather than a panic deep in the model.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use vans::VansConfig;
+    ///
+    /// let cfg = VansConfig::builder()
+    ///     .name("VANS-2ch")
+    ///     .dimms(2)
+    ///     .rmw_entries(32)
+    ///     .build()?;
+    /// assert_eq!(cfg.interleave.dimms, 2);
+    /// assert_eq!(cfg.rmw.capacity_bytes(), 32 * 256);
+    /// # Ok::<(), nvsim_types::ConfigError>(())
+    /// ```
+    pub fn builder() -> VansConfigBuilder {
+        VansConfigBuilder {
+            cfg: Self::optane_1dimm(),
+        }
+    }
+}
+
+/// Fluent builder for [`VansConfig`], created via [`VansConfig::builder`].
+///
+/// Every setter consumes and returns the builder; [`Self::build`] runs
+/// [`VansConfig::validate`] and returns the first [`ConfigError`] found.
+#[derive(Debug, Clone)]
+pub struct VansConfigBuilder {
+    cfg: VansConfig,
+}
+
+impl VansConfigBuilder {
+    /// Sets the display label.
+    #[must_use]
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.cfg.name = name.into();
+        self
+    }
+
+    /// Replaces the whole iMC section.
+    #[must_use]
+    pub fn imc(mut self, imc: ImcConfig) -> Self {
+        self.cfg.imc = imc;
+        self
+    }
+
+    /// Replaces the whole LSQ section.
+    #[must_use]
+    pub fn lsq(mut self, lsq: LsqConfig) -> Self {
+        self.cfg.lsq = lsq;
+        self
+    }
+
+    /// Replaces the whole RMW-buffer section.
+    #[must_use]
+    pub fn rmw(mut self, rmw: RmwConfig) -> Self {
+        self.cfg.rmw = rmw;
+        self
+    }
+
+    /// Replaces the whole AIT section.
+    #[must_use]
+    pub fn ait(mut self, ait: AitConfig) -> Self {
+        self.cfg.ait = ait;
+        self
+    }
+
+    /// Replaces the on-DIMM DRAM timing.
+    #[must_use]
+    pub fn on_dimm_dram(mut self, dram: DramConfig) -> Self {
+        self.cfg.on_dimm_dram = dram;
+        self
+    }
+
+    /// Replaces the media section.
+    #[must_use]
+    pub fn media(mut self, media: MediaConfig) -> Self {
+        self.cfg.media = media;
+        self
+    }
+
+    /// Replaces the wear-leveling section.
+    #[must_use]
+    pub fn wear(mut self, wear: WearConfig) -> Self {
+        self.cfg.wear = wear;
+        self
+    }
+
+    /// Replaces the interleaving section.
+    #[must_use]
+    pub fn interleave(mut self, il: InterleaveConfig) -> Self {
+        self.cfg.interleave = il;
+        self
+    }
+
+    /// Sets the DIMM count, keeping the 4 KB interleave granularity.
+    #[must_use]
+    pub fn dimms(mut self, dimms: u32) -> Self {
+        self.cfg.interleave.dimms = dimms;
+        self
+    }
+
+    /// Sets the WPQ depth in 64 B lines.
+    #[must_use]
+    pub fn wpq_entries(mut self, entries: u32) -> Self {
+        self.cfg.imc.wpq_entries = entries;
+        self
+    }
+
+    /// Sets the LSQ depth in 64 B lines.
+    #[must_use]
+    pub fn lsq_entries(mut self, entries: u32) -> Self {
+        self.cfg.lsq.entries = entries;
+        self
+    }
+
+    /// Sets the RMW-buffer depth in 256 B entries.
+    #[must_use]
+    pub fn rmw_entries(mut self, entries: u32) -> Self {
+        self.cfg.rmw.entries = entries;
+        self
+    }
+
+    /// Sets the AIT data-buffer depth in 4 KB pages.
+    #[must_use]
+    pub fn ait_buffer_entries(mut self, entries: u32) -> Self {
+        self.cfg.ait.buffer_entries = entries;
+        self
+    }
+
+    /// Sets the AIT translation-cache depth.
+    #[must_use]
+    pub fn translation_cache_entries(mut self, entries: u32) -> Self {
+        self.cfg.ait.translation_cache_entries = entries;
+        self
+    }
+
+    /// Sets the wear-leveling migration threshold (writes per block).
+    #[must_use]
+    pub fn wear_threshold(mut self, threshold: u64) -> Self {
+        self.cfg.wear.threshold = threshold;
+        self
+    }
+
+    /// Sets the media capacity in bytes.
+    #[must_use]
+    pub fn media_capacity_bytes(mut self, bytes: u64) -> Self {
+        self.cfg.media.capacity_bytes = bytes;
+        self
+    }
+
+    /// Validates and returns the finished configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] that [`VansConfig::validate`]
+    /// reports.
+    pub fn build(self) -> Result<VansConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
 }
 
 #[cfg(test)]
@@ -325,5 +492,51 @@ mod tests {
         let mut cfg = VansConfig::optane_1dimm();
         cfg.rmw.entry_bytes = 32;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn builder_defaults_match_the_preset() {
+        let built = VansConfig::builder().build().unwrap();
+        assert_eq!(built, VansConfig::optane_1dimm());
+    }
+
+    #[test]
+    fn builder_setters_compose() {
+        let cfg = VansConfig::builder()
+            .name("custom")
+            .dimms(2)
+            .wpq_entries(4)
+            .lsq_entries(16)
+            .rmw_entries(8)
+            .ait_buffer_entries(512)
+            .translation_cache_entries(16)
+            .wear_threshold(50)
+            .media_capacity_bytes(1 << 30)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.name, "custom");
+        assert_eq!(cfg.interleave.dimms, 2);
+        assert_eq!(cfg.wpq_bytes(), 4 * 64);
+        assert_eq!(cfg.lsq_bytes(), 16 * 64);
+        assert_eq!(cfg.rmw.entries, 8);
+        assert_eq!(cfg.ait.buffer_entries, 512);
+        assert_eq!(cfg.ait.translation_cache_entries, 16);
+        assert_eq!(cfg.wear.threshold, 50);
+        assert_eq!(cfg.media.capacity_bytes, 1 << 30);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_combinations() {
+        let err = VansConfig::builder()
+            .rmw(RmwConfig {
+                entry_bytes: 32,
+                ..RmwConfig::optane_like()
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field(), "rmw.entry_bytes");
+
+        let err = VansConfigBuilder::build(VansConfig::builder().dimms(0)).unwrap_err();
+        assert_eq!(err.field(), "interleave.dimms");
     }
 }

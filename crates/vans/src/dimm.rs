@@ -9,6 +9,7 @@ use crate::opt::lazy_cache::LazyCache;
 use crate::rmw::Rmw;
 use nvsim_dram::DramModel;
 use nvsim_media::{WearTracker, XpointMedia};
+use nvsim_types::trace::{SpanRecorder, Stage, StageSpan};
 use nvsim_types::{Addr, ConfigError, Time};
 
 /// A single NVRAM DIMM together with its iMC channel.
@@ -24,6 +25,8 @@ pub struct NvDimm {
     pub ait: Ait,
     /// Optional Lazy cache (case study, §V-C). `None` when disabled.
     pub lazy: Option<LazyCache>,
+    /// Per-stage span collection (disabled unless tracing is on).
+    trace: SpanRecorder,
 }
 
 impl NvDimm {
@@ -46,7 +49,21 @@ impl NvDimm {
             rmw: Rmw::new(cfg.rmw),
             ait: Ait::new(cfg.ait, dram, media, wear),
             lazy: None,
+            trace: SpanRecorder::new(),
         })
+    }
+
+    /// Enables or disables per-stage span collection on this DIMM (and its
+    /// AIT, which records its own internal spans).
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.trace.set_enabled(enabled);
+        self.ait.set_tracing(enabled);
+    }
+
+    /// Moves spans recorded since the last drain into `out`.
+    pub fn drain_spans(&mut self, out: &mut Vec<StageSpan>) {
+        self.trace.drain_into(out);
+        self.ait.drain_spans(out);
     }
 
     /// Drains one WPQ line into the LSQ (and onward if the LSQ spills).
@@ -65,6 +82,7 @@ impl NvDimm {
     /// line (which is when the WPQ entry is freed).
     fn dimm_write_line(&mut self, addr: Addr, t: Time) -> Time {
         let (accepted, drained) = self.lsq.accept_write(addr, t);
+        self.trace.record(Stage::LsqCombine, t, accepted);
         if let Some(cw) = drained {
             // The drain to the RMW stage happens on the spot: the freed
             // entry is only reusable once the RMW accepted the block, so
@@ -91,10 +109,20 @@ impl NvDimm {
         // RMW/AIT path (case study, §V-C).
         if let Some(lazy) = &mut self.lazy {
             if let Some(done) = lazy.try_absorb_write(cw.block_addr, cw.bytes(), t) {
+                self.trace.record(Stage::LazyCache, t, done);
                 return done;
             }
         }
         let out = self.rmw.write(cw.block_addr, cw.bytes(), t);
+        self.trace.record(
+            if out.hit {
+                Stage::RmwHit
+            } else {
+                Stage::RmwFill
+            },
+            t,
+            out.sram_done,
+        );
         let mut cursor = out.sram_done;
         if out.needs_fill {
             // Read half of the read-modify-write: always blocking — the
@@ -125,25 +153,45 @@ impl NvDimm {
     fn dimm_read_line(&mut self, addr: Addr, t: Time) -> Time {
         // Request packet to the DIMM.
         let arrived = self.imc.bus_packet(t) + self.imc.protocol_overhead();
+        self.trace.record(Stage::DdrTBus, t, arrived);
         // LSQ fast-forward of dirty data.
         if self.lsq.read_probe(addr) {
             let served = arrived + self.lsq_latency();
-            return self.imc.data_packet(served);
+            self.trace.record(Stage::LsqProbe, arrived, served);
+            let ret = self.imc.data_packet(served);
+            self.trace.record(Stage::DdrTBus, served, ret);
+            return ret;
         }
         // Lazy cache probe (case study).
         if let Some(lazy) = &mut self.lazy {
             if let Some(served) = lazy.try_read(addr, arrived) {
-                return self.imc.data_packet(served);
+                self.trace.record(Stage::LazyCache, arrived, served);
+                let ret = self.imc.data_packet(served);
+                self.trace.record(Stage::DdrTBus, served, ret);
+                return ret;
             }
         }
-        let out = self.rmw.read(addr, arrived + self.lsq_latency());
+        let probed = arrived + self.lsq_latency();
+        self.trace.record(Stage::LsqProbe, arrived, probed);
+        let out = self.rmw.read(addr, probed);
+        self.trace.record(
+            if out.hit {
+                Stage::RmwHit
+            } else {
+                Stage::RmwFill
+            },
+            probed,
+            out.sram_done,
+        );
         let mut cursor = out.sram_done;
         if out.needs_fill {
             cursor = self.ait.read(addr, self.rmw.entry_bytes(), cursor);
             self.rmw.fill(addr);
         }
         // Data returns over the bus.
-        self.imc.data_packet(cursor)
+        let ret = self.imc.data_packet(cursor);
+        self.trace.record(Stage::DdrTBus, cursor, ret);
+        ret
     }
 
     fn lsq_latency(&self) -> Time {
@@ -155,6 +203,8 @@ impl NvDimm {
     /// Host-visible read of one cache line at time `t`.
     pub fn read_line(&mut self, addr: Addr, t: Time) -> Time {
         let issue = self.imc.allocate_rpq(t + self.imc.core_overhead());
+        // Core overhead + any RPQ allocation stall, up to the bus issue.
+        self.trace.record(Stage::Rpq, t, issue);
         let done = self.dimm_read_line(addr, issue);
         self.imc.complete_read(done);
         done
@@ -165,12 +215,18 @@ impl NvDimm {
     pub fn write_line(&mut self, addr: Addr, t: Time) -> Time {
         let issue = t + self.imc.core_overhead();
         let (durable, must_drain) = self.imc.accept_store(addr, issue);
-        if must_drain {
+        let durable = if must_drain {
             // The queue was full: the store's durability waits until one
             // line has drained to the DIMM and freed an entry.
             self.drain_one_wpq_line(issue);
-            return durable.max(self.imc.drain_free_time());
-        }
+            durable.max(self.imc.drain_free_time())
+        } else {
+            durable
+        };
+        // WPQ residency: acceptance until the line is in the ADR domain.
+        // Drain work this store triggered records its own LSQ/RMW/AIT
+        // spans, so a traced write does not tile.
+        self.trace.record(Stage::WpqAdr, t, durable);
         durable
     }
 
@@ -192,6 +248,7 @@ impl NvDimm {
         for cw in drains {
             done = self.rmw_write(&cw, done, true);
         }
+        self.trace.record(Stage::Fence, t, done);
         done
     }
 

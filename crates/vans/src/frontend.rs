@@ -109,7 +109,10 @@ impl SimPort {
             return Err(SendError::Busy);
         }
         let id = self.mem.submit(desc);
-        let done = self.mem.take_completion(id);
+        let done = self
+            .mem
+            .try_take_completion(id)
+            .expect("completion of freshly submitted request");
         self.inflight.push_back((token, id, done));
         Ok(())
     }
@@ -196,7 +199,8 @@ mod tests {
     fn responses_in_completion_order() {
         let mut p = port(8);
         // A slow cold miss then fast repeats of it.
-        p.try_send(1, RequestDesc::load(Addr::new(1 << 26))).unwrap();
+        p.try_send(1, RequestDesc::load(Addr::new(1 << 26)))
+            .unwrap();
         p.try_send(2, RequestDesc::load(Addr::new(0x40))).unwrap();
         let done = p.tick(Time::from_us(100));
         assert_eq!(done.len(), 2);

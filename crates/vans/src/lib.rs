@@ -63,6 +63,8 @@ pub mod opt;
 pub mod rmw;
 pub mod system;
 
-pub use config::{AitConfig, ImcConfig, InterleaveConfig, LsqConfig, RmwConfig, VansConfig};
+pub use config::{
+    AitConfig, ImcConfig, InterleaveConfig, LsqConfig, RmwConfig, VansConfig, VansConfigBuilder,
+};
 pub use opt::{LazyCacheConfig, PreTranslationConfig};
 pub use system::MemorySystem;

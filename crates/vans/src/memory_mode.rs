@@ -10,7 +10,8 @@ use crate::config::VansConfig;
 use crate::system::MemorySystem;
 use nvsim_dram::{DramConfig, DramModel};
 use nvsim_types::{
-    Addr, BackendCounters, ConfigError, MemOp, MemoryBackend, ReqId, RequestDesc, Time, CACHE_LINE,
+    Addr, BackendCounters, BackendError, ConfigError, MemOp, MemoryBackend, ReqId, RequestDesc,
+    Time, CACHE_LINE,
 };
 use std::collections::HashMap;
 
@@ -118,12 +119,15 @@ impl MemoryModeSystem {
                     let id = self
                         .nvram
                         .submit(RequestDesc::new(victim_addr, 64, MemOp::NtStore));
-                    let _ = self.nvram.take_completion(id);
+                    let _ = self.nvram.try_take_completion(id);
                 }
                 // Fetch the line from NVRAM (reads and write-allocates).
                 self.nvram.skip_to(now);
                 let id = self.nvram.submit(RequestDesc::load(line_addr));
-                let filled = self.nvram.take_completion(id);
+                let filled = self
+                    .nvram
+                    .try_take_completion(id)
+                    .expect("completion of freshly submitted request");
                 // Install into DRAM (posted).
                 let _ = self.dram.access(line_addr, true, filled);
                 self.tags.insert(set, (tag, write));
@@ -161,13 +165,13 @@ impl MemoryBackend for MemoryModeSystem {
         ReqId(self.next_id - 1)
     }
 
-    fn take_completion(&mut self, id: ReqId) -> Time {
+    fn try_take_completion(&mut self, id: ReqId) -> Result<Time, BackendError> {
         let pos = self
             .pending
             .iter()
             .position(|&(i, _)| i == id)
-            .expect("waited for unknown or already-completed request");
-        self.pending.remove(pos).1
+            .ok_or(BackendError::UnknownRequest(id))?;
+        Ok(self.pending.remove(pos).1)
     }
 
     fn drain(&mut self) -> Time {

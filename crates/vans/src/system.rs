@@ -6,10 +6,13 @@ use crate::config::VansConfig;
 use crate::dimm::NvDimm;
 use crate::opt::lazy_cache::{LazyCache, LazyCacheConfig};
 use crate::opt::pretranslation::{PreTranslation, PreTranslationConfig};
+use nvsim_types::trace::{LatencyBreakdown, RequestTrace, Stage, StageSpan, TraceSink};
 use nvsim_types::{
-    Addr, BackendCounters, ConfigError, MemOp, MemoryBackend, ReqId, RequestDesc, Time, CACHE_LINE,
+    Addr, BackendCounters, BackendError, ConfigError, MemOp, MemoryBackend, ReqId, RequestDesc,
+    Time, CACHE_LINE,
 };
 use std::collections::HashMap;
+use std::io;
 
 /// The VANS memory system.
 ///
@@ -40,6 +43,14 @@ pub struct MemorySystem {
     bus_bytes_read: u64,
     bus_bytes_written: u64,
     fences: u64,
+    /// Trace sink, when tracing is enabled via `set_trace_sink`.
+    sink: Option<Box<dyn TraceSink>>,
+    /// Cached `sink.wants_traces()`: the hot path tests this flag
+    /// instead of making a virtual call per request.
+    tracing: bool,
+    /// System-level spans (pre-translation RLB lookups) waiting to be
+    /// attached to the next submitted request's trace.
+    pending_sys_spans: Vec<StageSpan>,
 }
 
 impl MemorySystem {
@@ -65,7 +76,18 @@ impl MemorySystem {
             bus_bytes_read: 0,
             bus_bytes_written: 0,
             fences: 0,
+            sink: None,
+            tracing: false,
+            pending_sys_spans: Vec::new(),
         })
+    }
+
+    /// Flushes the installed trace sink's buffered output, if any.
+    pub fn flush_traces(&mut self) -> io::Result<()> {
+        match self.sink.as_mut() {
+            Some(sink) => sink.flush(),
+            None => Ok(()),
+        }
     }
 
     /// The configuration in effect.
@@ -187,15 +209,36 @@ impl MemoryBackend for MemorySystem {
     fn submit(&mut self, desc: RequestDesc) -> ReqId {
         let id = ReqId(self.next_id);
         self.next_id += 1;
+        let start = self.now;
         let done = self.process(desc);
         self.completions.insert(id, done);
+        if self.tracing {
+            let mut spans = std::mem::take(&mut self.pending_sys_spans);
+            for d in &mut self.dimms {
+                d.drain_spans(&mut spans);
+            }
+            // Recording order already follows the datapath; sort by start
+            // time so multi-line requests interleave deterministically.
+            spans.sort_by_key(|s| (s.start, s.end, s.stage.index()));
+            let trace = RequestTrace {
+                id,
+                op: desc.op,
+                addr: desc.addr,
+                start,
+                end: done,
+                spans,
+            };
+            if let Some(sink) = &mut self.sink {
+                sink.record(&trace);
+            }
+        }
         id
     }
 
-    fn take_completion(&mut self, id: ReqId) -> Time {
+    fn try_take_completion(&mut self, id: ReqId) -> Result<Time, BackendError> {
         self.completions
             .remove(&id)
-            .expect("waited for unknown or already-completed request")
+            .ok_or(BackendError::UnknownRequest(id))
     }
 
     fn drain(&mut self) -> Time {
@@ -260,13 +303,36 @@ impl MemoryBackend for MemorySystem {
 
     fn mkpt_lookup(&mut self, paddr: Addr, t: Time) -> Option<(u64, Time)> {
         let p = self.pretrans.as_mut()?;
-        p.lookup(paddr, t).map(|e| (e.pfn, e.ready_at))
+        let entry = p.lookup(paddr, t)?;
+        if self.tracing {
+            // Attributed to the *next* submitted request, which is the
+            // dependent load this lookup accelerates.
+            self.pending_sys_spans
+                .push(StageSpan::new(Stage::Rlb, t, entry.ready_at));
+        }
+        Some((entry.pfn, entry.ready_at))
     }
 
     fn mkpt_update(&mut self, paddr: Addr, pfn: u64) {
         if let Some(p) = self.pretrans.as_mut() {
             p.update(paddr, pfn);
         }
+    }
+
+    fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) -> bool {
+        // A sink that wants nothing (NullSink) leaves the datapath
+        // recorders disabled: installing it is how tracing is turned
+        // off without tearing the sink out.
+        self.tracing = sink.wants_traces();
+        for d in &mut self.dimms {
+            d.set_tracing(self.tracing);
+        }
+        self.sink = Some(sink);
+        true
+    }
+
+    fn breakdown(&self) -> Option<LatencyBreakdown> {
+        self.sink.as_ref()?.breakdown()
     }
 }
 
