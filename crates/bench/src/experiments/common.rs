@@ -1,5 +1,6 @@
 //! Shared helpers for experiment modules.
 
+use crate::runner::{Point, PointData};
 use lens::microbench::{PtrChaseMode, PtrChasing};
 use nvsim_types::MemoryBackend;
 use vans::{MemorySystem, VansConfig};
@@ -46,18 +47,58 @@ where
 {
     regions
         .iter()
+        .map(|&r| (r, chase_sample(r, block, mode, &mut fresh())))
+        .collect()
+}
+
+/// Measures one pointer-chasing sample — one region of a
+/// [`chase_curve`] — on a fresh backend. Factored out so the serial
+/// curve and the per-region sweep [`Point`]s run the exact same code.
+pub fn chase_sample<B>(region: u64, block: u64, mode: PtrChaseMode, backend: &mut B) -> f64
+where
+    B: MemoryBackend,
+{
+    let passes = if region <= 16 << 20 { 2 } else { 1 };
+    let mut cfg = match mode {
+        PtrChaseMode::Read => PtrChasing::read(region),
+        PtrChaseMode::Write => PtrChasing::write(region),
+        PtrChaseMode::ReadAfterWrite => PtrChasing::read_after_write(region),
+    };
+    cfg = cfg.with_block(block.max(64)).with_passes(passes);
+    cfg.run(backend).latency_per_cl_ns()
+}
+
+/// Decomposes a [`chase_curve`] into one [`Point`] per region. Each
+/// point builds its own fresh backend (as `chase_curve` already does per
+/// region), so the samples are independent of scheduling; the cost hint
+/// is the number of bytes chased (region × passes).
+pub fn chase_points<B, F>(
+    label_prefix: &str,
+    regions: &[u64],
+    block: u64,
+    mode: PtrChaseMode,
+    fresh: F,
+) -> Vec<Point>
+where
+    B: MemoryBackend,
+    F: Fn() -> B + Clone + Send + 'static,
+{
+    regions
+        .iter()
         .map(|&r| {
+            let fresh = fresh.clone();
             let passes = if r <= 16 << 20 { 2 } else { 1 };
-            let mut cfg = match mode {
-                PtrChaseMode::Read => PtrChasing::read(r),
-                PtrChaseMode::Write => PtrChasing::write(r),
-                PtrChaseMode::ReadAfterWrite => PtrChasing::read_after_write(r),
-            };
-            cfg = cfg.with_block(block.max(64)).with_passes(passes);
-            let lat = cfg.run(&mut fresh()).latency_per_cl_ns();
-            (r, lat)
+            Point::new(format!("{label_prefix}/{r}B"), r * passes, move || {
+                vec![(r, chase_sample(r, block, mode, &mut fresh()))]
+            })
         })
         .collect()
+}
+
+/// Pulls the next `n` single-sample points off a point-data iterator and
+/// rejoins them into a curve (the inverse of [`chase_points`]).
+pub fn take_curve(it: &mut std::vec::IntoIter<PointData>, n: usize) -> Vec<(u64, f64)> {
+    it.by_ref().take(n).flatten().collect()
 }
 
 /// `1 - |sim - ref|/ref` averaged over paired curves, in percent.

@@ -4,8 +4,9 @@
 //! read latency across region sizes. PMEP treats NVRAM as slow DRAM, so
 //! it gets the store ordering backwards and misses the buffer staircase.
 
-use crate::experiments::common::{chase_curve, region_sweep, vans_6dimm};
+use crate::experiments::common::{chase_points, region_sweep, take_curve, vans_6dimm};
 use crate::output::{ExpOutput, Series};
+use crate::runner::Split;
 use lens::microbench::{PtrChaseMode, Stride};
 use nvsim_baselines::{PmepBackend, PmepConfig};
 use nvsim_types::MemOp;
@@ -51,18 +52,14 @@ pub fn fig1a() -> ExpOutput {
     out
 }
 
-/// Fig 1b: pointer-chasing read latency per cache line: PMEP flat, VANS
-/// staircased with knees at 16 KB and 16 MB.
-pub fn fig1b() -> ExpOutput {
+/// Assembles fig 1b from the measured PMEP and VANS curves.
+fn assemble_fig1b(pmep_curve: Vec<(u64, f64)>, vans_curve: Vec<(u64, f64)>) -> ExpOutput {
     let mut out = ExpOutput::new(
         "fig1b",
         "PtrChasing read latency: PMEP vs Optane(VANS,1DIMM)",
         "region (B)",
         "ns per cache line",
     );
-    let regions = region_sweep();
-    let pmep_curve = chase_curve(&regions, 64, PtrChaseMode::Read, pmep);
-    let vans_curve = chase_curve(&regions, 64, PtrChaseMode::Read, super::common::vans_1dimm);
     let pm_span = pmep_curve.iter().map(|&(_, y)| y).fold(f64::MIN, f64::max)
         / pmep_curve.iter().map(|&(_, y)| y).fold(f64::MAX, f64::min);
     let knees = lens::detect_knees(&vans_curve, 1.22);
@@ -74,4 +71,33 @@ pub fn fig1b() -> ExpOutput {
         knees.iter().map(|k| k.capacity).collect::<Vec<_>>()
     ));
     out
+}
+
+/// Fig 1b decomposed into sweep points for the parallel runner.
+pub fn fig1b_split() -> Split {
+    let regions = region_sweep();
+    let n = regions.len();
+    let mut points = chase_points("fig1b/pmep", &regions, 64, PtrChaseMode::Read, pmep);
+    points.extend(chase_points(
+        "fig1b/vans",
+        &regions,
+        64,
+        PtrChaseMode::Read,
+        super::common::vans_1dimm,
+    ));
+    Split {
+        points,
+        finish: Box::new(move |data| {
+            let mut it = data.into_iter();
+            let pmep_curve = take_curve(&mut it, n);
+            let vans_curve = take_curve(&mut it, n);
+            assemble_fig1b(pmep_curve, vans_curve)
+        }),
+    }
+}
+
+/// Fig 1b: pointer-chasing read latency per cache line: PMEP flat, VANS
+/// staircased with knees at 16 KB and 16 MB.
+pub fn fig1b() -> ExpOutput {
+    fig1b_split().run_serial()
 }

@@ -5,6 +5,7 @@
 //! Pre-translation and Both; (e) Pre-translation's TLB MPKI reduction.
 
 use crate::output::{ExpOutput, Series};
+use crate::runner::{Point, Split};
 use nvsim_cpu::{Core, CoreConfig};
 use nvsim_types::Time;
 use nvsim_workloads::cloud::fig13_workloads;
@@ -49,28 +50,49 @@ fn workload_names() -> Vec<String> {
         .collect()
 }
 
-/// Fig 13d: speedups of the three optimization configurations.
-pub fn fig13d() -> ExpOutput {
+/// A relative cost hint for one fig 13 case-study run: each is a fixed
+/// 2 × [`INSTRUCTIONS`] simulation, comparable to a mid-size chase
+/// region, independent of workload or mode.
+const CASE_STUDY_COST: u64 = 48 << 20;
+
+/// One fig 13 run as a sweep point; the sample is `(exec ns, TLB MPKI)`
+/// packed as two pairs.
+fn case_study_point(
+    figid: &str,
+    workload_idx: usize,
+    name: &str,
+    mode: OptMode,
+    tag: &str,
+) -> Point {
+    Point::new(
+        format!("{figid}/{name}/{tag}"),
+        CASE_STUDY_COST,
+        move || {
+            let (t, mpki) = run(42, workload_idx, mode);
+            vec![(0, t.as_ns_f64()), (1, mpki)]
+        },
+    )
+}
+
+/// Assembles fig 13d from per-(workload, mode) exec times; `times[i]` is
+/// workload `i`'s `[Baseline, Lazy, Pretrans, Both]` exec ns.
+fn assemble_fig13d(names: &[String], times: &[[f64; 4]]) -> ExpOutput {
     let mut out = ExpOutput::new(
         "fig13d",
         "case-study speedup over baseline: LazyCache / Pre-translation / Both",
         "workload",
         "speedup",
     );
-    let names = workload_names();
     let mut lazy_pts = Vec::new();
     let mut pt_pts = Vec::new();
     let mut both_pts = Vec::new();
     let mut base_pts = Vec::new();
-    for (i, name) in names.iter().enumerate() {
-        let (base, _) = run(42, i, OptMode::Baseline);
-        let (lazy, _) = run(42, i, OptMode::Lazy);
-        let (pt, _) = run(42, i, OptMode::Pretrans);
-        let (both, _) = run(42, i, OptMode::Both);
+    for (name, t) in names.iter().zip(times) {
+        let [base, lazy, pt, both] = *t;
         base_pts.push((name.clone(), 1.0));
-        lazy_pts.push((name.clone(), base.as_ns_f64() / lazy.as_ns_f64()));
-        pt_pts.push((name.clone(), base.as_ns_f64() / pt.as_ns_f64()));
-        both_pts.push((name.clone(), base.as_ns_f64() / both.as_ns_f64()));
+        lazy_pts.push((name.clone(), base / lazy));
+        pt_pts.push((name.clone(), base / pt));
+        both_pts.push((name.clone(), base / both));
     }
     let avg = |pts: &[(String, f64)]| pts.iter().map(|(_, s)| s).sum::<f64>() / pts.len() as f64;
     let lazy_avg = avg(&lazy_pts);
@@ -86,21 +108,51 @@ pub fn fig13d() -> ExpOutput {
     out
 }
 
-/// Fig 13e: Pre-translation's TLB MPKI reduction.
-pub fn fig13e() -> ExpOutput {
+/// Fig 13d decomposed: one sweep point per (workload, mode) run.
+pub fn fig13d_split() -> Split {
+    let names = workload_names();
+    let modes = [
+        (OptMode::Baseline, "base"),
+        (OptMode::Lazy, "lazy"),
+        (OptMode::Pretrans, "pretrans"),
+        (OptMode::Both, "both"),
+    ];
+    let mut points = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        for (mode, tag) in modes {
+            points.push(case_study_point("fig13d", i, name, mode, tag));
+        }
+    }
+    Split {
+        points,
+        finish: Box::new(move |data| {
+            let times: Vec<[f64; 4]> = data
+                .chunks(4)
+                .map(|c| [c[0][0].1, c[1][0].1, c[2][0].1, c[3][0].1])
+                .collect();
+            assemble_fig13d(&names, &times)
+        }),
+    }
+}
+
+/// Fig 13d: speedups of the three optimization configurations.
+pub fn fig13d() -> ExpOutput {
+    fig13d_split().run_serial()
+}
+
+/// Assembles fig 13e from per-workload `(baseline, pretrans)` MPKI.
+fn assemble_fig13e(names: &[String], mpki: &[[f64; 2]]) -> ExpOutput {
     let mut out = ExpOutput::new(
         "fig13e",
         "Pre-translation TLB MPKI, normalized to baseline",
         "workload",
         "normalized TLB MPKI",
     );
-    let names = workload_names();
     let mut base_pts = Vec::new();
     let mut pt_pts = Vec::new();
     let mut reductions = Vec::new();
-    for (i, name) in names.iter().enumerate() {
-        let (_, base_mpki) = run(42, i, OptMode::Baseline);
-        let (_, pt_mpki) = run(42, i, OptMode::Pretrans);
+    for (name, m) in names.iter().zip(mpki) {
+        let [base_mpki, pt_mpki] = *m;
         let norm = if base_mpki > 0.0 {
             pt_mpki / base_mpki
         } else {
@@ -117,4 +169,38 @@ pub fn fig13e() -> ExpOutput {
         "average TLB MPKI reduction {avg_red:.0}% (paper: 17% on average)"
     ));
     out
+}
+
+/// Fig 13e decomposed: one sweep point per (workload, mode) run.
+pub fn fig13e_split() -> Split {
+    let names = workload_names();
+    let mut points = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        points.push(case_study_point(
+            "fig13e",
+            i,
+            name,
+            OptMode::Baseline,
+            "base",
+        ));
+        points.push(case_study_point(
+            "fig13e",
+            i,
+            name,
+            OptMode::Pretrans,
+            "pretrans",
+        ));
+    }
+    Split {
+        points,
+        finish: Box::new(move |data| {
+            let mpki: Vec<[f64; 2]> = data.chunks(2).map(|c| [c[0][1].1, c[1][1].1]).collect();
+            assemble_fig13e(&names, &mpki)
+        }),
+    }
+}
+
+/// Fig 13e: Pre-translation's TLB MPKI reduction.
+pub fn fig13e() -> ExpOutput {
+    fig13e_split().run_serial()
 }

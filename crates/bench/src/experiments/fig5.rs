@@ -7,24 +7,22 @@
 //! evidence; (d) L2 TLB MPKI stays flat across region sizes, ruling the
 //! TLB out as the cause of the knees.
 
-use crate::experiments::common::{chase_curve, region_sweep, vans_1dimm};
+use crate::experiments::common::{chase_points, region_sweep, take_curve, vans_1dimm};
 use crate::output::{ExpOutput, Series};
+use crate::runner::Split;
 use lens::detect_knees;
 use lens::microbench::PtrChaseMode;
 use nvsim_cpu::{Core, CoreConfig, TraceOp};
 use nvsim_types::{DetRng, VirtAddr};
 
-/// Fig 5a: ld/st latency per CL, 64 B PC-blocks.
-pub fn fig5a() -> ExpOutput {
+/// Assembles fig 5a from the measured ld/st curves.
+fn assemble_fig5a(ld: Vec<(u64, f64)>, st: Vec<(u64, f64)>) -> ExpOutput {
     let mut out = ExpOutput::new(
         "fig5a",
         "ld/st latency per CL (64B PC-block) on VANS",
         "region (B)",
         "ns per cache line",
     );
-    let regions = region_sweep();
-    let ld = chase_curve(&regions, 64, PtrChaseMode::Read, vans_1dimm);
-    let st = chase_curve(&regions, 64, PtrChaseMode::Write, vans_1dimm);
     let ld_knees: Vec<u64> = detect_knees(&ld, 1.22).iter().map(|k| k.capacity).collect();
     let st_knees: Vec<u64> = detect_knees(&st, 1.22).iter().map(|k| k.capacity).collect();
     out.push_series(Series::numeric("ld", ld));
@@ -38,19 +36,47 @@ pub fn fig5a() -> ExpOutput {
     out
 }
 
-/// Fig 5b: the same with 256 B PC-blocks.
-pub fn fig5b() -> ExpOutput {
+/// Fig 5a decomposed into sweep points for the parallel runner.
+pub fn fig5a_split() -> Split {
+    let regions = region_sweep();
+    let n = regions.len();
+    let mut points = chase_points("fig5a/ld", &regions, 64, PtrChaseMode::Read, vans_1dimm);
+    points.extend(chase_points(
+        "fig5a/st",
+        &regions,
+        64,
+        PtrChaseMode::Write,
+        vans_1dimm,
+    ));
+    Split {
+        points,
+        finish: Box::new(move |data| {
+            let mut it = data.into_iter();
+            let ld = take_curve(&mut it, n);
+            let st = take_curve(&mut it, n);
+            assemble_fig5a(ld, st)
+        }),
+    }
+}
+
+/// Fig 5a: ld/st latency per CL, 64 B PC-blocks.
+pub fn fig5a() -> ExpOutput {
+    fig5a_split().run_serial()
+}
+
+/// Assembles fig 5b from the measured 64 B and 256 B curves.
+fn assemble_fig5b(
+    ld64: Vec<(u64, f64)>,
+    ld256: Vec<(u64, f64)>,
+    st256: Vec<(u64, f64)>,
+) -> ExpOutput {
     let mut out = ExpOutput::new(
         "fig5b",
         "ld/st latency per CL (256B PC-block) on VANS",
         "region (B)",
         "ns per cache line",
     );
-    let regions: Vec<u64> = region_sweep().into_iter().filter(|&r| r >= 256).collect();
-    let ld64 = chase_curve(&regions, 64, PtrChaseMode::Read, vans_1dimm);
-    let ld256 = chase_curve(&regions, 256, PtrChaseMode::Read, vans_1dimm);
-    let st256 = chase_curve(&regions, 256, PtrChaseMode::Write, vans_1dimm);
-    let deep = regions.iter().position(|&r| r == 64 << 20).unwrap_or(0);
+    let deep = ld64.iter().position(|&(r, _)| r == 64 << 20).unwrap_or(0);
     let amortized = ld64[deep].1 / ld256[deep].1;
     out.push_series(Series::numeric("ld-256", ld256));
     out.push_series(Series::numeric("st-256", st256));
@@ -60,18 +86,50 @@ pub fn fig5b() -> ExpOutput {
     out
 }
 
-/// Fig 5c: read-after-write roundtrip vs R+W.
-pub fn fig5c() -> ExpOutput {
+/// Fig 5b decomposed into sweep points for the parallel runner.
+pub fn fig5b_split() -> Split {
+    let regions: Vec<u64> = region_sweep().into_iter().filter(|&r| r >= 256).collect();
+    let n = regions.len();
+    let mut points = chase_points("fig5b/ld-64", &regions, 64, PtrChaseMode::Read, vans_1dimm);
+    points.extend(chase_points(
+        "fig5b/ld-256",
+        &regions,
+        256,
+        PtrChaseMode::Read,
+        vans_1dimm,
+    ));
+    points.extend(chase_points(
+        "fig5b/st-256",
+        &regions,
+        256,
+        PtrChaseMode::Write,
+        vans_1dimm,
+    ));
+    Split {
+        points,
+        finish: Box::new(move |data| {
+            let mut it = data.into_iter();
+            let ld64 = take_curve(&mut it, n);
+            let ld256 = take_curve(&mut it, n);
+            let st256 = take_curve(&mut it, n);
+            assemble_fig5b(ld64, ld256, st256)
+        }),
+    }
+}
+
+/// Fig 5b: the same with 256 B PC-blocks.
+pub fn fig5b() -> ExpOutput {
+    fig5b_split().run_serial()
+}
+
+/// Assembles fig 5c from the measured RaW / ld / st curves.
+fn assemble_fig5c(raw: Vec<(u64, f64)>, ld: Vec<(u64, f64)>, st: Vec<(u64, f64)>) -> ExpOutput {
     let mut out = ExpOutput::new(
         "fig5c",
         "RaW roundtrip vs R+W on VANS (inclusive hierarchy evidence)",
         "region (B)",
         "roundtrip ns per cache line",
     );
-    let regions = region_sweep();
-    let raw = chase_curve(&regions, 64, PtrChaseMode::ReadAfterWrite, vans_1dimm);
-    let ld = chase_curve(&regions, 64, PtrChaseMode::Read, vans_1dimm);
-    let st = chase_curve(&regions, 64, PtrChaseMode::Write, vans_1dimm);
     let rpw: Vec<(u64, f64)> = ld
         .iter()
         .zip(&st)
@@ -80,7 +138,7 @@ pub fn fig5c() -> ExpOutput {
     // Small-region RaW >> R+W (fence flush amortized over few accesses);
     // convergence by the LSQ size; no speedup at 16MB (inclusive).
     let small_ratio = raw[0].1 / rpw[0].1;
-    let at_16mb = regions.iter().position(|&r| r == 16 << 20).unwrap();
+    let at_16mb = raw.iter().position(|&(r, _)| r == 16 << 20).unwrap();
     let deep_ratio = raw[at_16mb].1 / rpw[at_16mb].1;
     out.push_series(Series::numeric("RaW", raw));
     out.push_series(Series::numeric("R+W", rpw));
@@ -88,6 +146,48 @@ pub fn fig5c() -> ExpOutput {
         "RaW/R+W = {small_ratio:.1}x at 128B (mfence flushes the LSQ; small requests under-utilize the queues), {deep_ratio:.2}x at 16MB (no parallel fast-forward: buffers form an inclusive hierarchy)"
     ));
     out
+}
+
+/// Fig 5c decomposed into sweep points for the parallel runner.
+pub fn fig5c_split() -> Split {
+    let regions = region_sweep();
+    let n = regions.len();
+    let mut points = chase_points(
+        "fig5c/raw",
+        &regions,
+        64,
+        PtrChaseMode::ReadAfterWrite,
+        vans_1dimm,
+    );
+    points.extend(chase_points(
+        "fig5c/ld",
+        &regions,
+        64,
+        PtrChaseMode::Read,
+        vans_1dimm,
+    ));
+    points.extend(chase_points(
+        "fig5c/st",
+        &regions,
+        64,
+        PtrChaseMode::Write,
+        vans_1dimm,
+    ));
+    Split {
+        points,
+        finish: Box::new(move |data| {
+            let mut it = data.into_iter();
+            let raw = take_curve(&mut it, n);
+            let ld = take_curve(&mut it, n);
+            let st = take_curve(&mut it, n);
+            assemble_fig5c(raw, ld, st)
+        }),
+    }
+}
+
+/// Fig 5c: read-after-write roundtrip vs R+W.
+pub fn fig5c() -> ExpOutput {
+    fig5c_split().run_serial()
 }
 
 /// Fig 5d: L2 TLB MPKI of the load test stays flat across regions.

@@ -5,9 +5,10 @@
 //! overwrite tail; (e) overall accuracy across the four metrics.
 
 use crate::experiments::common::{
-    chase_curve, curve_accuracy_pct, region_sweep, vans_1dimm, vans_6dimm,
+    chase_points, curve_accuracy_pct, region_sweep, take_curve, vans_1dimm, vans_6dimm,
 };
 use crate::output::{ExpOutput, Series};
+use crate::runner::{Point, Split};
 use lens::microbench::{Overwrite, PtrChaseMode, PtrChasing, Stride};
 use lens::tail_analysis;
 use nvsim_types::{MemOp, MemoryBackend};
@@ -29,7 +30,15 @@ fn ref_write_curve(regions: &[u64], dimms: u32) -> Vec<(u64, f64)> {
         .collect()
 }
 
-fn validation_figure(id: &str, dimms: u32) -> ExpOutput {
+/// Assembles the fig 9a/9b output from the measured VANS curves (the
+/// reference curves are analytic and recomputed here). Shared by the
+/// serial and point-decomposed paths so their outputs are identical.
+fn assemble_validation(
+    id: &str,
+    dimms: u32,
+    vans_ld: Vec<(u64, f64)>,
+    vans_st: Vec<(u64, f64)>,
+) -> ExpOutput {
     let mut out = ExpOutput::new(
         id,
         format!(
@@ -39,10 +48,7 @@ fn validation_figure(id: &str, dimms: u32) -> ExpOutput {
         "region (B)",
         "ns per cache line",
     );
-    let regions = region_sweep();
-    let fresh = if dimms > 1 { vans_6dimm } else { vans_1dimm };
-    let vans_ld = chase_curve(&regions, 64, PtrChaseMode::Read, fresh);
-    let vans_st = chase_curve(&regions, 64, PtrChaseMode::Write, fresh);
+    let regions: Vec<u64> = vans_ld.iter().map(|&(r, _)| r).collect();
     let ref_ld = ref_read_curve(&regions, dimms);
     let ref_st = ref_write_curve(&regions, dimms);
     let acc_ld = curve_accuracy_pct(&vans_ld, &ref_ld);
@@ -63,14 +69,59 @@ fn validation_figure(id: &str, dimms: u32) -> ExpOutput {
     out
 }
 
+/// Decomposes a validation figure into one sweep point per
+/// (mode, region) cell.
+fn validation_split(id: &'static str, dimms: u32, regions: Vec<u64>) -> Split {
+    let fresh = if dimms > 1 { vans_6dimm } else { vans_1dimm };
+    let mut points = chase_points(&format!("{id}/ld"), &regions, 64, PtrChaseMode::Read, fresh);
+    points.extend(chase_points(
+        &format!("{id}/st"),
+        &regions,
+        64,
+        PtrChaseMode::Write,
+        fresh,
+    ));
+    let n = regions.len();
+    Split {
+        points,
+        finish: Box::new(move |data| {
+            let mut it = data.into_iter();
+            let ld = take_curve(&mut it, n);
+            let st = take_curve(&mut it, n);
+            assemble_validation(id, dimms, ld, st)
+        }),
+    }
+}
+
+/// Fig 9a decomposed into sweep points for the parallel runner.
+pub fn fig9a_split() -> Split {
+    validation_split("fig9a", 1, region_sweep())
+}
+
+/// A reduced fig 9a (regions capped at `max_region`): the determinism
+/// tests drive the full split/merge/CSV pipeline through it without
+/// paying for the multi-hundred-MB sweeps.
+pub fn fig9a_subset_split(max_region: u64) -> Split {
+    let regions: Vec<u64> = region_sweep()
+        .into_iter()
+        .filter(|&r| r <= max_region)
+        .collect();
+    validation_split("fig9a", 1, regions)
+}
+
 /// Fig 9a: 1-DIMM validation.
 pub fn fig9a() -> ExpOutput {
-    validation_figure("fig9a", 1)
+    fig9a_split().run_serial()
+}
+
+/// Fig 9b decomposed into sweep points for the parallel runner.
+pub fn fig9b_split() -> Split {
+    validation_split("fig9b", 6, region_sweep())
 }
 
 /// Fig 9b: 6-DIMM interleaved validation.
 pub fn fig9b() -> ExpOutput {
-    validation_figure("fig9b", 6)
+    fig9b_split().run_serial()
 }
 
 /// Fig 9c: RMW-buffer read amplification, VANS counters vs reference.
@@ -151,8 +202,8 @@ pub fn fig9d() -> ExpOutput {
     out
 }
 
-/// Fig 9e: overall accuracy across lat-ld / lat-st / bw-ld / bw-st.
-pub fn fig9e() -> ExpOutput {
+/// Assembles fig 9e from the measured latency curves and bandwidths.
+fn assemble_fig9e(ld: Vec<(u64, f64)>, st: Vec<(u64, f64)>, bw_ld: f64, bw_st: f64) -> ExpOutput {
     let mut out = ExpOutput::new(
         "fig9e",
         "VANS overall accuracy vs the Optane reference",
@@ -160,22 +211,9 @@ pub fn fig9e() -> ExpOutput {
         "accuracy (%)",
     );
     let m = OptaneReference::new();
-    let regions = region_sweep();
-    let acc_lat_ld = curve_accuracy_pct(
-        &chase_curve(&regions, 64, PtrChaseMode::Read, vans_1dimm),
-        &ref_read_curve(&regions, 1),
-    );
-    let acc_lat_st = curve_accuracy_pct(
-        &chase_curve(&regions, 64, PtrChaseMode::Write, vans_1dimm),
-        &ref_write_curve(&regions, 1),
-    );
-    let stream = 16u64 << 20;
-    let bw_ld = Stride::sequential(stream, MemOp::Load)
-        .run(&mut vans_6dimm())
-        .bandwidth_gbps();
-    let bw_st = Stride::sequential(stream, MemOp::NtStore)
-        .run(&mut vans_6dimm())
-        .bandwidth_gbps();
+    let regions: Vec<u64> = ld.iter().map(|&(r, _)| r).collect();
+    let acc_lat_ld = curve_accuracy_pct(&ld, &ref_read_curve(&regions, 1));
+    let acc_lat_st = curve_accuracy_pct(&st, &ref_write_curve(&regions, 1));
     let acc_bw_ld = nvsim_types::stats::accuracy(bw_ld, m.bw_load_gbps) * 100.0;
     let acc_bw_st = nvsim_types::stats::accuracy(bw_st, m.bw_nt_store_gbps) * 100.0;
     let mean = (acc_lat_ld + acc_lat_st + acc_bw_ld + acc_bw_st) / 4.0;
@@ -192,4 +230,52 @@ pub fn fig9e() -> ExpOutput {
         "mean accuracy {mean:.1}% (paper reports 86.5% across the same four metrics)"
     ));
     out
+}
+
+/// Fig 9e decomposed: one point per latency region plus one per
+/// bandwidth stream.
+pub fn fig9e_split() -> Split {
+    let regions = region_sweep();
+    let n = regions.len();
+    let mut points = chase_points("fig9e/lat-ld", &regions, 64, PtrChaseMode::Read, vans_1dimm);
+    points.extend(chase_points(
+        "fig9e/lat-st",
+        &regions,
+        64,
+        PtrChaseMode::Write,
+        vans_1dimm,
+    ));
+    let stream = 16u64 << 20;
+    points.push(Point::new("fig9e/bw-ld", stream * 4, move || {
+        vec![(
+            0,
+            Stride::sequential(stream, MemOp::Load)
+                .run(&mut vans_6dimm())
+                .bandwidth_gbps(),
+        )]
+    }));
+    points.push(Point::new("fig9e/bw-st", stream * 4, move || {
+        vec![(
+            0,
+            Stride::sequential(stream, MemOp::NtStore)
+                .run(&mut vans_6dimm())
+                .bandwidth_gbps(),
+        )]
+    }));
+    Split {
+        points,
+        finish: Box::new(move |data| {
+            let mut it = data.into_iter();
+            let ld = take_curve(&mut it, n);
+            let st = take_curve(&mut it, n);
+            let bw_ld = it.next().expect("bw-ld point")[0].1;
+            let bw_st = it.next().expect("bw-st point")[0].1;
+            assemble_fig9e(ld, st, bw_ld, bw_st)
+        }),
+    }
+}
+
+/// Fig 9e: overall accuracy across lat-ld / lat-st / bw-ld / bw-st.
+pub fn fig9e() -> ExpOutput {
+    fig9e_split().run_serial()
 }

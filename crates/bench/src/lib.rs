@@ -14,6 +14,8 @@
 
 pub mod experiments;
 pub mod output;
+pub mod perf;
+pub mod runner;
 pub mod tracecmd;
 
 pub use output::{ExpOutput, Series};
@@ -64,4 +66,43 @@ pub fn registry() -> BTreeMap<&'static str, ExperimentFn> {
     m.insert("ablations", ablations::ablations);
     m.insert("scaling", scaling::scaling);
     m
+}
+
+/// Point decompositions for the sweep-heavy experiments: these dominate
+/// `nvsim-bench all`'s wall clock, so they are the ones worth splitting
+/// across workers. Every other experiment runs as a single
+/// [`runner::Runnable::Whole`] unit.
+pub fn split_registry() -> BTreeMap<&'static str, fn() -> runner::Split> {
+    use experiments::*;
+    let mut m: BTreeMap<&'static str, fn() -> runner::Split> = BTreeMap::new();
+    m.insert("fig1b", fig1::fig1b_split);
+    m.insert("fig5a", fig5::fig5a_split);
+    m.insert("fig5b", fig5::fig5b_split);
+    m.insert("fig5c", fig5::fig5c_split);
+    m.insert("fig9a", fig9::fig9a_split);
+    m.insert("fig9b", fig9::fig9b_split);
+    m.insert("fig9e", fig9::fig9e_split);
+    m.insert("fig13d", fig13::fig13d_split);
+    m.insert("fig13e", fig13::fig13e_split);
+    m
+}
+
+/// Resolves an experiment id to its schedulable form: point-decomposed
+/// where a split exists, whole otherwise. `None` for unknown ids.
+pub fn runnable_for(id: &str) -> Option<runner::Runnable> {
+    if let Some(mk) = split_registry().get(id) {
+        return Some(runner::Runnable::Split(mk()));
+    }
+    registry().get(id).map(|&f| runner::Runnable::Whole(f))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn every_split_id_is_a_registry_id() {
+        let reg = super::registry();
+        for id in super::split_registry().keys() {
+            assert!(reg.contains_key(id), "split for unknown experiment {id}");
+        }
+    }
 }

@@ -1,18 +1,45 @@
 //! The `nvsim-bench` CLI: regenerate the paper's tables and figures.
 //!
 //! ```text
-//! nvsim-bench list            # show available experiments
-//! nvsim-bench all             # run everything -> results/
-//! nvsim-bench fig5a fig7b     # run specific experiments
-//! nvsim-bench trace fig9a     # per-stage latency attribution -> results/trace/
+//! nvsim-bench list               # show available experiments
+//! nvsim-bench all                # run everything -> results/
+//! nvsim-bench all --jobs 4       # same, on 4 workers (byte-identical CSVs)
+//! nvsim-bench fig5a fig7b        # run specific experiments
+//! nvsim-bench trace fig9a        # per-stage latency attribution -> results/trace/
+//! nvsim-bench perf               # engine req/s -> BENCH_engine.json
 //! ```
+//!
+//! Worker count: `--jobs N` wins, then the `NVSIM_JOBS` environment
+//! variable, then the machine's available parallelism. Results are
+//! byte-identical across worker counts (see `runner`).
 
-use nvsim_bench::{registry, tracecmd};
+use nvsim_bench::{registry, runnable_for, runner, tracecmd};
 use std::path::PathBuf;
 use std::time::Instant;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Split `--jobs N` / `--jobs=N` off the positional arguments.
+    let mut jobs_arg: Option<usize> = None;
+    let mut args: Vec<String> = Vec::new();
+    let mut raw = std::env::args().skip(1);
+    while let Some(a) = raw.next() {
+        let value = if a == "--jobs" || a == "-j" {
+            raw.next()
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            Some(v.to_owned())
+        } else {
+            args.push(a);
+            continue;
+        };
+        match value.and_then(|v| v.parse().ok()).filter(|&j| j > 0) {
+            Some(j) => jobs_arg = Some(j),
+            None => {
+                eprintln!("--jobs needs a positive integer");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let reg = registry();
     if args.is_empty() || args[0] == "list" {
         println!("available experiments (pass ids, or `all`):");
@@ -61,26 +88,52 @@ fn main() {
         }
         return;
     }
-    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+    if args[0] == "perf" {
+        let path = PathBuf::from("BENCH_engine.json");
+        eprintln!(">> measuring engine req/s (this takes a minute) ...");
+        let engine = nvsim_bench::perf::engine_micro();
+        for (k, v) in &engine {
+            println!("{k:<36} {v:>14.0}");
+        }
+        if let Err(e) = nvsim_bench::perf::record(&path, "engine", engine) {
+            eprintln!("could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("recorded -> {}", path.display());
+        return;
+    }
+
+    let ran_all = args.iter().any(|a| a == "all");
+    let ids: Vec<&str> = if ran_all {
         reg.keys().copied().collect()
     } else {
         args.iter().map(|s| s.as_str()).collect()
     };
-    let results_dir = PathBuf::from("results");
-    let mut summary = String::from("# nvsim-bench results\n\n");
-    for id in ids {
-        let Some(f) = reg.get(id) else {
+    let mut exps: Vec<(String, runner::Runnable)> = Vec::with_capacity(ids.len());
+    for id in &ids {
+        let Some(r) = runnable_for(id) else {
             eprintln!("unknown experiment `{id}` (try `list`)");
             std::process::exit(2);
         };
-        eprintln!(">> running {id} ...");
-        let start = Instant::now();
-        let out = f();
-        let secs = start.elapsed().as_secs_f64();
+        exps.push(((*id).to_owned(), r));
+    }
+
+    let jobs = runner::resolve_jobs(jobs_arg);
+    eprintln!(
+        ">> running {} experiment(s) on {jobs} worker(s) ...",
+        exps.len()
+    );
+    let start = Instant::now();
+    let progress = |label: &str, secs: f64| eprintln!("<< {label} done in {secs:.1}s");
+    let outputs = runner::run(exps, jobs, Some(&progress));
+    let wall = start.elapsed().as_secs_f64();
+
+    let results_dir = PathBuf::from("results");
+    let mut summary = String::from("# nvsim-bench results\n\n");
+    for out in &outputs {
         println!("{out}");
-        eprintln!("<< {id} done in {secs:.1}s");
         if let Err(e) = out.write_csv(&results_dir) {
-            eprintln!("warning: could not write CSV for {id}: {e}");
+            eprintln!("warning: could not write CSV for {}: {e}", out.id);
         }
         summary.push_str(&format!(
             "## {} — {}\n\n```\n{}\n```\n\n",
@@ -93,5 +146,18 @@ fn main() {
         eprintln!("warning: could not write summary: {e}");
     } else {
         eprintln!("wrote results/summary.md");
+    }
+    eprintln!(
+        "== {} experiment(s) in {wall:.1}s on {jobs} worker(s)",
+        outputs.len()
+    );
+    if ran_all {
+        // Track the runner payoff across PRs (see BENCH_engine.json).
+        let entry = std::collections::BTreeMap::from([(format!("all_jobs{jobs}_wall_s"), wall)]);
+        if let Err(e) =
+            nvsim_bench::perf::record(&PathBuf::from("BENCH_engine.json"), "runner", entry)
+        {
+            eprintln!("warning: could not record wall clock: {e}");
+        }
     }
 }

@@ -1,0 +1,275 @@
+//! `nvsim-bench perf`: a machine-readable perf trajectory.
+//!
+//! Measures requests per second through each simulation substrate (the
+//! same micro-workloads as the criterion `engine` bench, with fixed
+//! deterministic access streams) and records them in `BENCH_engine.json`
+//! at the repo root. `nvsim-bench all --jobs N` additionally records its
+//! wall clock under the `runner` section, so the file tracks both the
+//! single-thread engine trajectory and the parallel-runner payoff
+//! across PRs.
+//!
+//! The file is a flat two-level JSON object (`section -> key -> number`)
+//! written and re-parsed by this module alone — no serde dependency, and
+//! updates merge instead of clobbering other sections.
+
+use nvsim_dram::{DramConfig, DramModel};
+use nvsim_media::{MediaAddr, MediaConfig, XpointMedia};
+use nvsim_types::{Addr, MemoryBackend, RequestDesc, Time};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+use std::time::Instant;
+use vans::{MemorySystem, VansConfig};
+
+/// `section -> key -> value`, the whole content of `BENCH_engine.json`.
+pub type PerfFile = BTreeMap<String, BTreeMap<String, f64>>;
+
+/// Times `iters` calls of `step` and returns calls per second (best of
+/// `samples` runs, after one warm-up run).
+fn reqs_per_sec(iters: u64, samples: u32, mut step: impl FnMut(u64)) -> f64 {
+    let mut best = f64::INFINITY;
+    for s in 0..=samples {
+        let t0 = Instant::now();
+        for i in 0..iters {
+            step(i);
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        if s > 0 {
+            // First run is warm-up.
+            best = best.min(dt);
+        }
+    }
+    iters as f64 / best
+}
+
+/// Runs the engine micro-workloads and returns req/s per substrate.
+pub fn engine_micro() -> BTreeMap<String, f64> {
+    let mut m = BTreeMap::new();
+
+    let mut sys = MemorySystem::new(VansConfig::optane_1dimm()).expect("valid preset");
+    let dep_read = reqs_per_sec(200_000, 3, |i| {
+        sys.execute(RequestDesc::load(Addr::new((i * 64 * 7919) % (1 << 30))));
+    });
+    m.insert("vans_dependent_read_rps".to_owned(), dep_read);
+
+    let mut sys = MemorySystem::new(VansConfig::optane_1dimm()).expect("valid preset");
+    sys.set_trace_sink(Box::new(nvsim_types::trace::NullSink));
+    let dep_read_null = reqs_per_sec(200_000, 3, |i| {
+        sys.execute(RequestDesc::load(Addr::new((i * 64 * 7919) % (1 << 30))));
+    });
+    m.insert("vans_dependent_read_nullsink_rps".to_owned(), dep_read_null);
+    m.insert(
+        "vans_nullsink_overhead_pct".to_owned(),
+        (dep_read / dep_read_null - 1.0) * 100.0,
+    );
+
+    let mut sys = MemorySystem::new(VansConfig::optane_1dimm()).expect("valid preset");
+    m.insert(
+        "vans_nt_store_rps".to_owned(),
+        reqs_per_sec(400_000, 3, |i| {
+            sys.execute(RequestDesc::nt_store(Addr::new((i * 64) % (1 << 24))));
+        }),
+    );
+
+    let mut cfg = DramConfig::ddr4_2666_4gb();
+    cfg.refresh_enabled = false;
+    let mut dram = DramModel::new(cfg).expect("valid preset");
+    let mut now = Time::ZERO;
+    m.insert(
+        "dram_ddr4_access_rps".to_owned(),
+        reqs_per_sec(2_000_000, 3, |i| {
+            now = dram.access(
+                Addr::new((i * 64 * 131) % (1 << 30)),
+                i.is_multiple_of(4),
+                now,
+            );
+        }),
+    );
+
+    let mut media = XpointMedia::new(MediaConfig::optane_like()).expect("valid preset");
+    let mut now = Time::ZERO;
+    m.insert(
+        "media_xpoint_4kb_read_rps".to_owned(),
+        reqs_per_sec(1_000_000, 3, |i| {
+            now = media.read(MediaAddr::new((i * 4096) % (1 << 30)), 4096, now);
+        }),
+    );
+    m
+}
+
+/// Serializes the file content: sorted sections, sorted keys, values
+/// with three decimals — stable formatting so diffs stay readable.
+pub fn to_json(file: &PerfFile) -> String {
+    let mut s = String::from("{\n");
+    let mut first_sec = true;
+    for (sec, entries) in file {
+        if !first_sec {
+            s.push_str(",\n");
+        }
+        first_sec = false;
+        s.push_str(&format!("  \"{sec}\": {{\n"));
+        let mut first = true;
+        for (k, v) in entries {
+            if !first {
+                s.push_str(",\n");
+            }
+            first = false;
+            s.push_str(&format!("    \"{k}\": {v:.3}"));
+        }
+        s.push_str("\n  }");
+    }
+    s.push_str("\n}\n");
+    s
+}
+
+/// Parses content written by [`to_json`] (forgiving about whitespace;
+/// anything unparseable is dropped rather than erroring, so a corrupt
+/// file degrades to a rewrite).
+pub fn from_json(text: &str) -> PerfFile {
+    let mut file = PerfFile::new();
+    let mut chars = text.char_indices().peekable();
+    let mut section: Option<String> = None;
+    let mut pending_key: Option<String> = None;
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => {
+                let start = i + 1;
+                let mut end = start;
+                for (j, d) in chars.by_ref() {
+                    if d == '"' {
+                        end = j;
+                        break;
+                    }
+                }
+                pending_key = Some(text[start..end].to_owned());
+            }
+            '{' => {
+                if let Some(k) = pending_key.take() {
+                    section = Some(k);
+                }
+            }
+            '}' => {
+                section = None;
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let start = i;
+                let mut end = text.len();
+                while let Some(&(j, d)) = chars.peek() {
+                    if d.is_ascii_digit()
+                        || d == '.'
+                        || d == 'e'
+                        || d == 'E'
+                        || d == '-'
+                        || d == '+'
+                    {
+                        chars.next();
+                    } else {
+                        end = j;
+                        break;
+                    }
+                }
+                if let (Some(sec), Some(key)) = (&section, pending_key.take()) {
+                    if let Ok(v) = text[start..end].parse::<f64>() {
+                        file.entry(sec.clone()).or_default().insert(key, v);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    file
+}
+
+/// Reads `path` (empty map when absent), merges `entries` into
+/// `section`, and writes the file back.
+///
+/// # Errors
+///
+/// Propagates write errors (a missing or corrupt existing file is not an
+/// error — it is replaced).
+pub fn record(path: &Path, section: &str, entries: BTreeMap<String, f64>) -> io::Result<()> {
+    let mut file = std::fs::read_to_string(path)
+        .map(|t| from_json(&t))
+        .unwrap_or_default();
+    file.entry(section.to_owned()).or_default().extend(entries);
+    if section == "runner" {
+        annotate_reduction(file.get_mut("runner").expect("just inserted"));
+    }
+    std::fs::write(path, to_json(&file))
+}
+
+/// Derives `all_jobsN_reduction_pct` entries from recorded wall clocks
+/// whenever a single-job reference exists.
+fn annotate_reduction(runner: &mut BTreeMap<String, f64>) {
+    let Some(&base) = runner.get("all_jobs1_wall_s") else {
+        return;
+    };
+    let derived: Vec<(String, f64)> = runner
+        .iter()
+        .filter_map(|(k, &v)| {
+            let jobs = k.strip_prefix("all_jobs")?.strip_suffix("_wall_s")?;
+            if jobs == "1" || base <= 0.0 {
+                return None;
+            }
+            Some((
+                format!("all_jobs{jobs}_reduction_pct"),
+                (1.0 - v / base) * 100.0,
+            ))
+        })
+        .collect();
+    runner.extend(derived);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trips() {
+        let mut file = PerfFile::new();
+        file.entry("engine".to_owned())
+            .or_default()
+            .insert("a_rps".to_owned(), 1234.5);
+        file.entry("runner".to_owned())
+            .or_default()
+            .insert("all_jobs1_wall_s".to_owned(), 600.25);
+        let text = to_json(&file);
+        let back = from_json(&text);
+        assert_eq!(back["engine"]["a_rps"], 1234.5);
+        assert_eq!(back["runner"]["all_jobs1_wall_s"], 600.25);
+    }
+
+    #[test]
+    fn record_merges_sections_and_derives_reduction() {
+        let path = std::env::temp_dir().join("nvsim_perf_record_test.json");
+        std::fs::remove_file(&path).ok();
+        record(
+            &path,
+            "engine",
+            BTreeMap::from([("x_rps".to_owned(), 10.0)]),
+        )
+        .unwrap();
+        record(
+            &path,
+            "runner",
+            BTreeMap::from([("all_jobs1_wall_s".to_owned(), 100.0)]),
+        )
+        .unwrap();
+        record(
+            &path,
+            "runner",
+            BTreeMap::from([("all_jobs4_wall_s".to_owned(), 40.0)]),
+        )
+        .unwrap();
+        let file = from_json(&std::fs::read_to_string(&path).unwrap());
+        assert_eq!(file["engine"]["x_rps"], 10.0);
+        assert!((file["runner"]["all_jobs4_reduction_pct"] - 60.0).abs() < 1e-9);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parser_tolerates_garbage() {
+        assert!(from_json("not json at all").is_empty());
+        assert!(from_json("{\"sec\": {\"k\": }}").is_empty());
+    }
+}

@@ -1,0 +1,417 @@
+//! Work-stealing parallel experiment runner.
+//!
+//! Each registry experiment is either *whole* (one indivisible unit) or
+//! *split* into independent sweep points — a probe-size × region ×
+//! configuration cell that builds its own fresh simulation
+//! ([`MemorySystem`](vans::MemorySystem) instances share nothing), runs
+//! it, and returns `(x, y)` samples. Units execute on a
+//! [`std::thread::scope`] worker pool with per-worker deques and
+//! work-stealing; results are merged **in schedule order**, so the
+//! assembled [`ExpOutput`]s — and therefore the CSV bytes written under
+//! `results/` — are identical for `--jobs 1` and `--jobs N`.
+//!
+//! Determinism argument, in two halves:
+//!
+//! * *Within a point*: a point owns every piece of mutable state it
+//!   touches (fresh backend, fresh RNG seeded by the point's own
+//!   parameters), so its samples do not depend on when or where it runs.
+//! * *Across points*: point results land in a slot vector indexed by
+//!   schedule position; the merge step ([`Split::finish`]) consumes them
+//!   in that order, never in completion order.
+
+use crate::output::ExpOutput;
+use crate::ExperimentFn;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Samples produced by one sweep point: `(x, y)` pairs in sweep order.
+pub type PointData = Vec<(u64, f64)>;
+
+/// The merge step of a [`Split`]: assembles the experiment output from
+/// per-point samples delivered in point-schedule order.
+pub type FinishFn = Box<dyn FnOnce(Vec<PointData>) -> ExpOutput + Send>;
+
+/// A progress callback: `(unit label, wall-clock seconds)`; called from
+/// worker threads as units complete.
+pub type ProgressFn<'a> = &'a (dyn Fn(&str, f64) + Sync);
+
+/// One independently schedulable sweep point.
+pub struct Point {
+    /// Progress label ("fig9a/ld/16MB").
+    pub label: String,
+    /// Relative cost estimate used to seed the worker deques
+    /// largest-first (for chase points: the region size in bytes).
+    pub cost: u64,
+    /// The work. Must build all mutable state it needs from scratch.
+    pub run: Box<dyn FnOnce() -> PointData + Send>,
+}
+
+impl Point {
+    /// Builds a point from a label, cost hint, and closure.
+    pub fn new(
+        label: impl Into<String>,
+        cost: u64,
+        run: impl FnOnce() -> PointData + Send + 'static,
+    ) -> Self {
+        Point {
+            label: label.into(),
+            cost,
+            run: Box::new(run),
+        }
+    }
+}
+
+/// An experiment decomposed into sweep points plus the merge step that
+/// assembles the final output from per-point data (always delivered in
+/// point-schedule order).
+pub struct Split {
+    /// The sweep points, in schedule order.
+    pub points: Vec<Point>,
+    /// Assembles the experiment output; `data[i]` is the result of
+    /// `points[i]`.
+    pub finish: FinishFn,
+}
+
+impl Split {
+    /// Runs every point in schedule order on the calling thread and
+    /// assembles the output. The registry's serial experiment functions
+    /// are thin wrappers around this, so the serial path and the
+    /// parallel path share every line of measurement and assembly code —
+    /// equality of their outputs is structural, not coincidental.
+    pub fn run_serial(self) -> ExpOutput {
+        let data: Vec<PointData> = self.points.into_iter().map(|p| (p.run)()).collect();
+        (self.finish)(data)
+    }
+}
+
+/// How one experiment is scheduled.
+pub enum Runnable {
+    /// One indivisible unit (the default adapter for experiments without
+    /// a point decomposition).
+    Whole(ExperimentFn),
+    /// Point-decomposed.
+    Split(Split),
+}
+
+/// Resolves the number of worker threads: an explicit request wins, then
+/// `NVSIM_JOBS`, then the machine's available parallelism.
+pub fn resolve_jobs(explicit: Option<usize>) -> usize {
+    explicit
+        .or_else(|| {
+            std::env::var("NVSIM_JOBS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        })
+        .filter(|&j| j > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+enum UnitKind {
+    Whole(ExperimentFn),
+    Point(Box<dyn FnOnce() -> PointData + Send>),
+}
+
+/// One schedulable unit: an experiment index plus either the whole
+/// experiment or one of its points.
+struct Unit {
+    exp: usize,
+    slot: usize,
+    cost: u64,
+    label: String,
+    kind: UnitKind,
+}
+
+enum UnitOut {
+    Whole(ExpOutput),
+    Point(PointData),
+}
+
+/// Runs the named experiments on `jobs` workers and returns their
+/// outputs **in input order**. `progress` (if given) is called from
+/// worker threads as units complete, with the unit label and its
+/// wall-clock seconds — completion order is nondeterministic, the
+/// returned outputs are not.
+pub fn run(
+    exps: Vec<(String, Runnable)>,
+    jobs: usize,
+    progress: Option<ProgressFn<'_>>,
+) -> Vec<ExpOutput> {
+    let n_exps = exps.len();
+    let mut units: Vec<Unit> = Vec::new();
+    let mut finishers: Vec<Option<FinishFn>> = Vec::with_capacity(n_exps);
+    let mut points_per_exp: Vec<usize> = Vec::with_capacity(n_exps);
+    for (exp_idx, (id, runnable)) in exps.into_iter().enumerate() {
+        match runnable {
+            Runnable::Whole(f) => {
+                units.push(Unit {
+                    exp: exp_idx,
+                    slot: 0,
+                    // Whole experiments are opaque; schedule them early
+                    // (alongside the largest points) so a long one does
+                    // not start last and dominate the tail.
+                    cost: u64::MAX,
+                    label: id.clone(),
+                    kind: UnitKind::Whole(f),
+                });
+                finishers.push(None);
+                points_per_exp.push(1);
+            }
+            Runnable::Split(split) => {
+                points_per_exp.push(split.points.len());
+                for (slot, p) in split.points.into_iter().enumerate() {
+                    units.push(Unit {
+                        exp: exp_idx,
+                        slot,
+                        cost: p.cost,
+                        label: p.label,
+                        kind: UnitKind::Point(p.run),
+                    });
+                }
+                finishers.push(Some(split.finish));
+            }
+        }
+    }
+
+    let total_units = units.len();
+    // (experiment, slot) of each unit index, for the merge step.
+    let meta: Vec<(usize, usize)> = units.iter().map(|u| (u.exp, u.slot)).collect();
+    let workers = jobs.clamp(1, total_units.max(1));
+
+    // Largest-first seeding over per-worker deques: sort unit indices by
+    // descending cost (stable, so equal-cost units keep schedule order)
+    // and deal them round-robin.
+    let mut order: Vec<usize> = (0..total_units).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(units[i].cost));
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| {
+            Mutex::new(
+                order
+                    .iter()
+                    .skip(w)
+                    .step_by(workers)
+                    .copied()
+                    .collect::<VecDeque<usize>>(),
+            )
+        })
+        .collect();
+
+    // Claimable units and per-unit result slots (distinct units never
+    // contend on the same slot).
+    let units: Vec<Mutex<Option<Unit>>> = units.into_iter().map(|u| Mutex::new(Some(u))).collect();
+    let results: Vec<Mutex<Option<UnitOut>>> = (0..total_units).map(|_| Mutex::new(None)).collect();
+
+    let execute = |idx: usize| {
+        let Some(unit) = units[idx].lock().expect("unit lock").take() else {
+            return;
+        };
+        let started = Instant::now();
+        let out = match unit.kind {
+            UnitKind::Whole(f) => UnitOut::Whole(f()),
+            UnitKind::Point(f) => UnitOut::Point(f()),
+        };
+        if let Some(cb) = progress {
+            cb(&unit.label, started.elapsed().as_secs_f64());
+        }
+        *results[idx].lock().expect("result lock") = Some(out);
+    };
+
+    if workers <= 1 {
+        // Serial fast path: same schedule, no threads.
+        for &idx in &order {
+            execute(idx);
+        }
+    } else {
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                let queues = &queues;
+                let execute = &execute;
+                s.spawn(move || loop {
+                    // Own deque first (front), then steal from the back
+                    // of the longest sibling deque.
+                    let mine = queues[w].lock().expect("queue lock").pop_front();
+                    let idx = mine.or_else(|| {
+                        let mut best: Option<usize> = None;
+                        let mut best_len = 0usize;
+                        for (v, q) in queues.iter().enumerate() {
+                            if v == w {
+                                continue;
+                            }
+                            let len = q.lock().expect("queue lock").len();
+                            if len > best_len {
+                                best_len = len;
+                                best = Some(v);
+                            }
+                        }
+                        best.and_then(|v| queues[v].lock().expect("queue lock").pop_back())
+                    });
+                    match idx {
+                        Some(idx) => execute(idx),
+                        // No unit anywhere: no new work can appear.
+                        None => break,
+                    }
+                });
+            }
+        });
+    }
+
+    // Merge in schedule order: results are indexed by unit, units map to
+    // (experiment, slot) via `meta`, and each finisher receives its
+    // points sorted by slot — execution order never leaks through.
+    let mut point_results: Vec<Vec<Option<PointData>>> = points_per_exp
+        .iter()
+        .map(|&n| (0..n).map(|_| None).collect())
+        .collect();
+    let mut whole: Vec<Option<ExpOutput>> = (0..n_exps).map(|_| None).collect();
+    for (idx, result) in results.into_iter().enumerate() {
+        let (exp, slot) = meta[idx];
+        let out = result
+            .into_inner()
+            .expect("result lock")
+            .expect("every scheduled unit must have completed");
+        match out {
+            UnitOut::Whole(o) => whole[exp] = Some(o),
+            UnitOut::Point(d) => point_results[exp][slot] = Some(d),
+        }
+    }
+    finishers
+        .into_iter()
+        .enumerate()
+        .map(|(exp, fin)| match fin {
+            None => whole[exp].take().expect("whole experiment result"),
+            Some(f) => f(point_results[exp]
+                .iter_mut()
+                .map(|d| d.take().expect("sweep point result"))
+                .collect()),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// A split whose points record `(exp, slot)` and bump a per-point
+    /// execution counter.
+    fn counting_split(
+        exp: usize,
+        n_points: usize,
+        counters: &Arc<Vec<AtomicUsize>>,
+        base: usize,
+    ) -> Split {
+        let points = (0..n_points)
+            .map(|slot| {
+                let counters = Arc::clone(counters);
+                Point::new(
+                    format!("e{exp}/p{slot}"),
+                    ((slot * 37) % 11 + 1) as u64,
+                    move || {
+                        counters[base + slot].fetch_add(1, Ordering::SeqCst);
+                        vec![(slot as u64, exp as f64)]
+                    },
+                )
+            })
+            .collect();
+        Split {
+            points,
+            finish: Box::new(move |data| {
+                let mut out = ExpOutput::new(format!("exp{exp}"), "t", "x", "y");
+                out.push_series(crate::output::Series::numeric(
+                    "pts",
+                    data.into_iter().flatten().collect::<Vec<_>>(),
+                ));
+                out
+            }),
+        }
+    }
+
+    /// Property: for a sweep of shapes and job counts, every scheduled
+    /// point executes exactly once and outputs arrive in input order
+    /// with slots in schedule order.
+    #[test]
+    fn every_point_runs_exactly_once_and_merges_in_order() {
+        for &(n_exps, n_points, jobs) in &[
+            (1usize, 1usize, 1usize),
+            (1, 7, 4),
+            (3, 5, 2),
+            (4, 9, 8),
+            (2, 3, 16), // more workers than units
+            (5, 4, 3),
+        ] {
+            let counters: Arc<Vec<AtomicUsize>> = Arc::new(
+                (0..n_exps * n_points)
+                    .map(|_| AtomicUsize::new(0))
+                    .collect(),
+            );
+            let exps: Vec<(String, Runnable)> = (0..n_exps)
+                .map(|e| {
+                    (
+                        format!("exp{e}"),
+                        Runnable::Split(counting_split(e, n_points, &counters, e * n_points)),
+                    )
+                })
+                .collect();
+            let outs = run(exps, jobs, None);
+            for c in counters.iter() {
+                assert_eq!(c.load(Ordering::SeqCst), 1, "point ran != once");
+            }
+            assert_eq!(outs.len(), n_exps);
+            for (e, out) in outs.iter().enumerate() {
+                assert_eq!(out.id, format!("exp{e}"), "output order broke");
+                let pts = &out.series[0].points;
+                assert_eq!(pts.len(), n_points);
+                for (slot, (x, y)) in pts.iter().enumerate() {
+                    assert_eq!(*x, slot.to_string(), "slot order broke");
+                    assert_eq!(*y, e as f64);
+                }
+            }
+        }
+    }
+
+    /// Whole experiments ride alongside splits and land in input order.
+    #[test]
+    fn whole_and_split_experiments_interleave() {
+        fn whole_out() -> ExpOutput {
+            ExpOutput::new("whole", "t", "x", "y")
+        }
+        let counters: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..4).map(|_| AtomicUsize::new(0)).collect());
+        let exps = vec![
+            (
+                "s0".to_owned(),
+                Runnable::Split(counting_split(0, 4, &counters, 0)),
+            ),
+            ("whole".to_owned(), Runnable::Whole(whole_out)),
+        ];
+        let outs = run(exps, 3, None);
+        assert_eq!(outs[0].id, "exp0");
+        assert_eq!(outs[1].id, "whole");
+    }
+
+    /// `run_serial` and the threaded runner produce identical outputs.
+    #[test]
+    fn serial_and_parallel_agree() {
+        let mk = || {
+            let counters: Arc<Vec<AtomicUsize>> =
+                Arc::new((0..6).map(|_| AtomicUsize::new(0)).collect());
+            counting_split(1, 6, &counters, 0)
+        };
+        let serial = mk().run_serial();
+        let parallel = run(vec![("exp1".to_owned(), Runnable::Split(mk()))], 4, None)
+            .pop()
+            .unwrap();
+        assert_eq!(format!("{serial}"), format!("{parallel}"));
+    }
+
+    #[test]
+    fn resolve_jobs_prefers_explicit() {
+        assert_eq!(resolve_jobs(Some(3)), 3);
+        assert!(resolve_jobs(None) >= 1);
+    }
+}

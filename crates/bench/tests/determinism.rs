@@ -1,0 +1,41 @@
+//! End-to-end determinism of the parallel runner: the CSV bytes written
+//! for a figure must not depend on the worker count.
+
+use nvsim_bench::experiments::fig9;
+use nvsim_bench::runner::{run, Runnable};
+use std::path::PathBuf;
+
+fn out_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("nvsim_determinism_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+/// Runs the fig 9a subset (regions capped at 64 KB so the test stays
+/// fast) at a given worker count and returns the CSV bytes plus the
+/// rendered table.
+fn fig9a_subset_at(jobs: usize, tag: &str) -> (Vec<u8>, String) {
+    let exps = vec![(
+        "fig9a".to_owned(),
+        Runnable::Split(fig9::fig9a_subset_split(64 << 10)),
+    )];
+    let outs = run(exps, jobs, None);
+    assert_eq!(outs.len(), 1);
+    let dir = out_dir(tag);
+    outs[0].write_csv(&dir).expect("write csv");
+    let bytes = std::fs::read(dir.join("fig9a.csv")).expect("read csv");
+    std::fs::remove_dir_all(&dir).ok();
+    (bytes, outs[0].to_string())
+}
+
+#[test]
+fn fig9a_subset_csv_bytes_identical_across_job_counts() {
+    let (csv1, table1) = fig9a_subset_at(1, "j1");
+    let (csv4, table4) = fig9a_subset_at(4, "j4");
+    assert!(!csv1.is_empty());
+    assert_eq!(table1, table4, "rendered tables diverged across jobs");
+    assert_eq!(
+        csv1, csv4,
+        "CSV bytes diverged between --jobs 1 and --jobs 4"
+    );
+}

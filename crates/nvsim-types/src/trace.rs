@@ -225,6 +225,14 @@ impl RequestTrace {
         self.end - self.start
     }
 
+    /// Consumes the trace and returns its span buffer, cleared, so a
+    /// backend assembling one trace per request can reuse a single
+    /// allocation for the lifetime of the simulation.
+    pub fn recycle(mut self) -> Vec<StageSpan> {
+        self.spans.clear();
+        self.spans
+    }
+
     /// Sum of all span durations in picoseconds. Equals
     /// [`total_latency`](Self::total_latency) for requests whose spans tile
     /// (single-line loads); may exceed it for writes that trigger drains.

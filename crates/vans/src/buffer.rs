@@ -5,7 +5,7 @@
 //! Entries are keyed by block index (address / entry size); the caller
 //! owns the granularity conventions.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 
 /// Result of a buffer lookup or insertion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,19 +25,31 @@ pub struct Evicted {
     pub dirty: bool,
 }
 
+/// Slot index sentinel for "no node".
+const NIL: u32 = u32::MAX;
+
 #[derive(Debug, Clone, Copy)]
-struct Entry {
+struct Node {
+    key: u64,
     dirty: bool,
-    /// Monotonic recency stamp; larger = more recent.
-    stamp: u64,
+    prev: u32,
+    next: u32,
 }
 
 /// Fully-associative LRU buffer keyed by `u64` block indices.
 ///
-/// Recency is tracked by a monotone stamp per entry plus an ordered
-/// stamp index, so lookups are O(1) amortized and evictions O(log n) —
-/// important because the AIT buffer (4096 entries) evicts on every
-/// access once a workload's footprint exceeds 16 MB.
+/// Recency is an intrusive doubly-linked list threaded through a slab of
+/// nodes (`prev`/`next` are slot indices), with a `HashMap` from key to
+/// slot. Every operation — lookup, recency reorder, victim selection,
+/// eviction — is O(1); there is no per-access allocation and no ordered
+/// index to rebuild. This matters because the AIT buffer (4096 entries)
+/// evicts on every access once a workload's footprint exceeds 16 MB.
+///
+/// Iteration order ([`keys`](LruBuffer::keys),
+/// [`take_dirty_keys`](LruBuffer::take_dirty_keys),
+/// [`flush_all`](LruBuffer::flush_all)) is most- to least-recently-used,
+/// which is deterministic across runs — a property the parallel
+/// experiment runner's byte-identical-results guarantee relies on.
 ///
 /// # Example
 ///
@@ -54,10 +66,16 @@ struct Entry {
 #[derive(Debug, Clone)]
 pub struct LruBuffer {
     capacity: usize,
-    entries: HashMap<u64, Entry>,
-    /// Recency index: stamp -> key (stamps are unique).
-    order: BTreeMap<u64, u64>,
-    clock: u64,
+    /// Key -> slot index into `slab`.
+    index: HashMap<u64, u32>,
+    /// Node storage; slots are recycled through `free`.
+    slab: Vec<Node>,
+    /// Recycled slot indices (from `invalidate`).
+    free: Vec<u32>,
+    /// Most-recently-used slot, or `NIL` when empty.
+    head: u32,
+    /// Least-recently-used slot, or `NIL` when empty.
+    tail: u32,
     hits: u64,
     misses: u64,
 }
@@ -67,14 +85,20 @@ impl LruBuffer {
     ///
     /// # Panics
     ///
-    /// Panics if `capacity` is zero.
+    /// Panics if `capacity` is zero or exceeds `u32::MAX - 1` slots.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "buffer capacity must be nonzero");
+        assert!(
+            (capacity as u64) < u64::from(u32::MAX),
+            "capacity too large"
+        );
         LruBuffer {
             capacity,
-            entries: HashMap::with_capacity(capacity + 1),
-            order: BTreeMap::new(),
-            clock: 0,
+            index: HashMap::with_capacity(capacity + 1),
+            slab: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
             hits: 0,
             misses: 0,
         }
@@ -82,12 +106,12 @@ impl LruBuffer {
 
     /// Number of resident entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.index.len()
     }
 
     /// True if no entries are resident.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.index.is_empty()
     }
 
     /// Maximum number of entries.
@@ -102,108 +126,214 @@ impl LruBuffer {
 
     /// True if `key` is resident (does not update recency or stats).
     pub fn contains(&self, key: u64) -> bool {
-        self.entries.contains_key(&key)
+        self.index.contains_key(&key)
     }
 
     /// True if `key` is resident and dirty.
     pub fn is_dirty(&self, key: u64) -> bool {
-        self.entries.get(&key).is_some_and(|e| e.dirty)
+        self.index
+            .get(&key)
+            .is_some_and(|&s| self.slab[s as usize].dirty)
+    }
+
+    /// Unlinks `slot` from the recency list (it must be linked).
+    fn unlink(&mut self, slot: u32) {
+        let Node { prev, next, .. } = self.slab[slot as usize];
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slab[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slab[next as usize].prev = prev;
+        }
+    }
+
+    /// Links `slot` at the MRU position.
+    fn push_front(&mut self, slot: u32) {
+        let old_head = self.head;
+        {
+            let n = &mut self.slab[slot as usize];
+            n.prev = NIL;
+            n.next = old_head;
+        }
+        if old_head != NIL {
+            self.slab[old_head as usize].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
     }
 
     /// Accesses `key`, inserting it if absent; `write` marks it dirty.
     /// Returns the hit/miss outcome and, on insertion into a full buffer,
     /// the evicted victim.
     pub fn touch(&mut self, key: u64, write: bool) -> (Lookup, Option<Evicted>) {
-        self.clock += 1;
-        if let Some(e) = self.entries.get_mut(&key) {
-            self.order.remove(&e.stamp);
-            e.stamp = self.clock;
-            e.dirty |= write;
-            self.order.insert(self.clock, key);
+        if let Some(&slot) = self.index.get(&key) {
             self.hits += 1;
+            if self.head != slot {
+                self.unlink(slot);
+                self.push_front(slot);
+            }
+            self.slab[slot as usize].dirty |= write;
             return (Lookup::Hit, None);
         }
         self.misses += 1;
-        let evicted = if self.entries.len() >= self.capacity {
-            let (&stamp, &victim) = self.order.iter().next().expect("full buffer has a victim");
-            self.order.remove(&stamp);
-            let e = self.entries.remove(&victim).expect("victim resident");
-            Some(Evicted {
-                key: victim,
-                dirty: e.dirty,
-            })
-        } else {
-            None
+        // Full: recycle the LRU node in place — no allocation, no rehash
+        // beyond the map insert/remove pair.
+        if self.index.len() >= self.capacity {
+            let victim = self.tail;
+            let node = self.slab[victim as usize];
+            self.unlink(victim);
+            self.index.remove(&node.key);
+            let n = &mut self.slab[victim as usize];
+            n.key = key;
+            n.dirty = write;
+            self.index.insert(key, victim);
+            self.push_front(victim);
+            return (
+                Lookup::Miss,
+                Some(Evicted {
+                    key: node.key,
+                    dirty: node.dirty,
+                }),
+            );
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                let n = &mut self.slab[s as usize];
+                n.key = key;
+                n.dirty = write;
+                s
+            }
+            None => {
+                let s = self.slab.len() as u32;
+                self.slab.push(Node {
+                    key,
+                    dirty: write,
+                    prev: NIL,
+                    next: NIL,
+                });
+                s
+            }
         };
-        self.entries.insert(
-            key,
-            Entry {
-                dirty: write,
-                stamp: self.clock,
-            },
-        );
-        self.order.insert(self.clock, key);
-        (Lookup::Miss, evicted)
+        self.index.insert(key, slot);
+        self.push_front(slot);
+        (Lookup::Miss, None)
     }
 
     /// Removes `key`, returning whether it was dirty.
     pub fn invalidate(&mut self, key: u64) -> Option<bool> {
-        let e = self.entries.remove(&key)?;
-        self.order.remove(&e.stamp);
-        Some(e.dirty)
+        let slot = self.index.remove(&key)?;
+        self.unlink(slot);
+        self.free.push(slot);
+        Some(self.slab[slot as usize].dirty)
     }
 
     /// Clears the dirty bit of `key` (after a write-back).
     pub fn clean(&mut self, key: u64) {
-        if let Some(e) = self.entries.get_mut(&key) {
-            e.dirty = false;
+        if let Some(&slot) = self.index.get(&key) {
+            self.slab[slot as usize].dirty = false;
+        }
+    }
+
+    /// Drains every dirty key (clearing the buffer's dirty state) into
+    /// `out`, in most- to least-recently-used order. The scratch vector is
+    /// cleared first, so callers can reuse one allocation across calls.
+    pub fn take_dirty_keys_into(&mut self, out: &mut Vec<u64>) {
+        out.clear();
+        let mut slot = self.head;
+        while slot != NIL {
+            let n = &mut self.slab[slot as usize];
+            if n.dirty {
+                out.push(n.key);
+                n.dirty = false;
+            }
+            slot = n.next;
         }
     }
 
     /// Drains every dirty key (clearing the buffer's dirty state);
-    /// returns them in unspecified order.
+    /// returns them in most- to least-recently-used order.
+    ///
+    /// Allocates a fresh vector; hot paths should prefer
+    /// [`take_dirty_keys_into`](LruBuffer::take_dirty_keys_into).
     pub fn take_dirty_keys(&mut self) -> Vec<u64> {
         let mut keys = Vec::new();
-        for (k, e) in self.entries.iter_mut() {
-            if e.dirty {
-                keys.push(*k);
-                e.dirty = false;
-            }
-        }
+        self.take_dirty_keys_into(&mut keys);
         keys
     }
 
-    /// Removes every entry; returns the dirty keys.
+    /// Removes every entry, collecting the dirty keys into `out` (cleared
+    /// first) in most- to least-recently-used order.
+    pub fn flush_all_into(&mut self, out: &mut Vec<u64>) {
+        out.clear();
+        let mut slot = self.head;
+        while slot != NIL {
+            let n = self.slab[slot as usize];
+            if n.dirty {
+                out.push(n.key);
+            }
+            slot = n.next;
+        }
+        self.index.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Removes every entry; returns the dirty keys in most- to
+    /// least-recently-used order.
+    ///
+    /// Allocates a fresh vector; hot paths should prefer
+    /// [`flush_all_into`](LruBuffer::flush_all_into).
     pub fn flush_all(&mut self) -> Vec<u64> {
-        let dirty: Vec<u64> = self
-            .entries
-            .iter()
-            .filter(|(_, e)| e.dirty)
-            .map(|(k, _)| *k)
-            .collect();
-        self.entries.clear();
-        self.order.clear();
+        let mut dirty = Vec::new();
+        self.flush_all_into(&mut dirty);
         dirty
     }
 
-    /// Iterates over all resident keys in unspecified order.
-    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
-        self.entries.keys().copied()
+    /// Iterates over all resident keys, most- to least-recently-used.
+    pub fn keys(&self) -> Keys<'_> {
+        Keys {
+            buf: self,
+            slot: self.head,
+        }
     }
 
     /// The least-recently-used resident key, if any.
     pub fn peek_lru(&self) -> Option<u64> {
-        self.lru_key()
-    }
-
-    fn lru_key(&self) -> Option<u64> {
-        self.order.values().next().copied()
+        (self.tail != NIL).then(|| self.slab[self.tail as usize].key)
     }
 
     /// Resets hit/miss statistics.
     pub fn reset_stats(&mut self) {
         self.hits = 0;
         self.misses = 0;
+    }
+}
+
+/// Iterator over resident keys in recency order (MRU first).
+#[derive(Debug)]
+pub struct Keys<'a> {
+    buf: &'a LruBuffer,
+    slot: u32,
+}
+
+impl Iterator for Keys<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.slot == NIL {
+            return None;
+        }
+        let n = &self.buf.slab[self.slot as usize];
+        self.slot = n.next;
+        Some(n.key)
     }
 }
 
@@ -289,11 +419,53 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_clears_previous_contents() {
+        let mut b = LruBuffer::new(4);
+        b.touch(1, true);
+        let mut scratch = vec![99, 98];
+        b.take_dirty_keys_into(&mut scratch);
+        assert_eq!(scratch, vec![1]);
+        b.touch(2, true);
+        b.flush_all_into(&mut scratch);
+        assert_eq!(scratch, vec![2]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn iteration_is_mru_first() {
+        let mut b = LruBuffer::new(4);
+        b.touch(1, false);
+        b.touch(2, false);
+        b.touch(3, false);
+        b.touch(1, false); // 1 becomes MRU
+        let keys: Vec<u64> = b.keys().collect();
+        assert_eq!(keys, vec![1, 3, 2]);
+        assert_eq!(b.peek_lru(), Some(2));
+    }
+
+    #[test]
     fn invalidate_reports_dirtiness() {
         let mut b = LruBuffer::new(4);
         b.touch(5, true);
         assert_eq!(b.invalidate(5), Some(true));
         assert_eq!(b.invalidate(5), None);
+    }
+
+    #[test]
+    fn invalidated_slots_are_recycled() {
+        let mut b = LruBuffer::new(4);
+        for k in 0..4 {
+            b.touch(k, false);
+        }
+        b.invalidate(1);
+        b.invalidate(3);
+        // Reinserting reuses freed slots: the slab never grows past
+        // capacity.
+        b.touch(10, true);
+        b.touch(11, false);
+        assert_eq!(b.len(), 4);
+        assert!(b.contains(10) && b.contains(11));
+        assert!(b.is_dirty(10));
     }
 
     #[test]
@@ -303,6 +475,21 @@ mod tests {
             b.touch(k, k % 2 == 0);
             assert!(b.len() <= 8);
         }
+    }
+
+    #[test]
+    fn eviction_order_follows_recency_under_churn() {
+        let mut b = LruBuffer::new(3);
+        b.touch(1, false);
+        b.touch(2, false);
+        b.touch(3, false);
+        b.touch(2, false); // order (MRU..LRU): 2 3 1
+        let (_, ev) = b.touch(4, false);
+        assert_eq!(ev.unwrap().key, 1);
+        let (_, ev) = b.touch(5, false);
+        assert_eq!(ev.unwrap().key, 3);
+        let (_, ev) = b.touch(6, false);
+        assert_eq!(ev.unwrap().key, 2);
     }
 
     #[test]

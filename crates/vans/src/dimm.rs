@@ -27,6 +27,8 @@ pub struct NvDimm {
     pub lazy: Option<LazyCache>,
     /// Per-stage span collection (disabled unless tracing is on).
     trace: SpanRecorder,
+    /// Reused fence-path scratch for LSQ flush drains.
+    flush_scratch: Vec<CombinedWrite>,
 }
 
 impl NvDimm {
@@ -50,6 +52,7 @@ impl NvDimm {
             ait: Ait::new(cfg.ait, dram, media, wear),
             lazy: None,
             trace: SpanRecorder::new(),
+            flush_scratch: Vec::new(),
         })
     }
 
@@ -243,11 +246,13 @@ impl NvDimm {
         }
         // Flush the LSQ into the RMW/AIT path. Fences block on the AIT
         // writes (which is what exposes wear-leveling stalls, Fig 7b).
-        let drains = self.lsq.flush();
+        let mut drains = std::mem::take(&mut self.flush_scratch);
+        self.lsq.flush_into(&mut drains);
         let mut done = cursor.max(self.imc.drain_free_time());
-        for cw in drains {
-            done = self.rmw_write(&cw, done, true);
+        for cw in &drains {
+            done = self.rmw_write(cw, done, true);
         }
+        self.flush_scratch = drains;
         self.trace.record(Stage::Fence, t, done);
         done
     }

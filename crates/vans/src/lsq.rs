@@ -53,6 +53,9 @@ pub struct Lsq {
     lines: LruBuffer,
     port_free: Time,
     stats: LsqStats,
+    /// Reused per-eviction scratch for combine-block member keys, so the
+    /// drain path allocates nothing in steady state.
+    members: Vec<u64>,
 }
 
 impl Lsq {
@@ -60,6 +63,7 @@ impl Lsq {
     pub fn new(cfg: LsqConfig) -> Self {
         Lsq {
             lines: LruBuffer::new(cfg.entries as usize),
+            members: Vec::with_capacity((cfg.combine_bytes as u64 / CACHE_LINE) as usize),
             cfg,
             port_free: Time::ZERO,
             stats: LsqStats::default(),
@@ -133,31 +137,41 @@ impl Lsq {
         let victim = self.lines.peek_lru().expect("evict from non-empty LSQ");
         let lines_per_block = (self.cfg.combine_bytes as u64 / CACHE_LINE) as u32;
         let block = victim / lines_per_block as u64;
-        let members: Vec<u64> = self
-            .lines
-            .keys()
-            .filter(|&k| k / lines_per_block as u64 == block)
-            .collect();
-        for k in &members {
-            self.lines.invalidate(*k);
+        self.members.clear();
+        for k in self.lines.keys() {
+            if k / lines_per_block as u64 == block {
+                self.members.push(k);
+            }
+        }
+        for &k in &self.members {
+            self.lines.invalidate(k);
         }
         self.stats.drains += 1;
-        if members.len() > 1 {
+        if self.members.len() > 1 {
             self.stats.combined_drains += 1;
         }
         CombinedWrite {
             block_addr: Addr::new(block * self.cfg.combine_bytes as u64),
-            lines: members.len() as u32,
+            lines: self.members.len() as u32,
         }
     }
 
     /// Flushes every resident line (the `mfence` behaviour the paper
-    /// characterizes), returning the combined writes in drain order.
-    pub fn flush(&mut self) -> Vec<CombinedWrite> {
-        let mut out = Vec::new();
+    /// characterizes) into `out` (cleared first) in drain order. Callers
+    /// on the fence path reuse one scratch vector across flushes.
+    pub fn flush_into(&mut self, out: &mut Vec<CombinedWrite>) {
+        out.clear();
         while !self.lines.is_empty() {
             out.push(self.evict_one());
         }
+    }
+
+    /// Flushes every resident line, returning the combined writes in
+    /// drain order. Allocates; hot paths should prefer
+    /// [`flush_into`](Lsq::flush_into).
+    pub fn flush(&mut self) -> Vec<CombinedWrite> {
+        let mut out = Vec::new();
+        self.flush_into(&mut out);
         out
     }
 }

@@ -36,6 +36,13 @@ pub struct MemorySystem {
     pretrans: Option<PreTranslation>,
     now: Time,
     next_id: u64,
+    /// Completion time of the most recently submitted request. The
+    /// dominant driver pattern is submit-then-immediately-wait
+    /// ([`MemoryBackend::execute`]), which this single-entry slot serves
+    /// without ever touching the `completions` map.
+    last_completion: Option<(ReqId, Time)>,
+    /// Older in-flight completions (spilled from `last_completion` when
+    /// several requests overlap).
     completions: HashMap<ReqId, Time>,
     /// Bus-level traffic counters (host side).
     bus_reads: u64,
@@ -51,6 +58,9 @@ pub struct MemorySystem {
     /// System-level spans (pre-translation RLB lookups) waiting to be
     /// attached to the next submitted request's trace.
     pending_sys_spans: Vec<StageSpan>,
+    /// Recycled span buffer for trace assembly (one allocation reused
+    /// across every traced request).
+    trace_scratch: Vec<StageSpan>,
 }
 
 impl MemorySystem {
@@ -70,6 +80,7 @@ impl MemorySystem {
             pretrans: None,
             now: Time::ZERO,
             next_id: 0,
+            last_completion: None,
             completions: HashMap::new(),
             bus_reads: 0,
             bus_writes: 0,
@@ -79,6 +90,7 @@ impl MemorySystem {
             sink: None,
             tracing: false,
             pending_sys_spans: Vec::new(),
+            trace_scratch: Vec::new(),
         })
     }
 
@@ -211,9 +223,14 @@ impl MemoryBackend for MemorySystem {
         self.next_id += 1;
         let start = self.now;
         let done = self.process(desc);
-        self.completions.insert(id, done);
+        // Spill the previous occupant of the fast slot only when requests
+        // actually overlap; execute()-style drivers never reach the map.
+        if let Some((pid, pt)) = self.last_completion.replace((id, done)) {
+            self.completions.insert(pid, pt);
+        }
         if self.tracing {
-            let mut spans = std::mem::take(&mut self.pending_sys_spans);
+            let mut spans = std::mem::take(&mut self.trace_scratch);
+            spans.append(&mut self.pending_sys_spans);
             for d in &mut self.dimms {
                 d.drain_spans(&mut spans);
             }
@@ -231,24 +248,32 @@ impl MemoryBackend for MemorySystem {
             if let Some(sink) = &mut self.sink {
                 sink.record(&trace);
             }
+            self.trace_scratch = trace.recycle();
         }
         id
     }
 
     fn try_take_completion(&mut self, id: ReqId) -> Result<Time, BackendError> {
+        if let Some((lid, lt)) = self.last_completion {
+            if lid == id {
+                self.last_completion = None;
+                return Ok(lt);
+            }
+        }
         self.completions
             .remove(&id)
             .ok_or(BackendError::UnknownRequest(id))
     }
 
     fn drain(&mut self) -> Time {
-        let last = self
-            .completions
-            .drain()
-            .map(|(_, t)| t)
-            .max()
-            .unwrap_or(self.now);
-        self.now = self.now.max(last);
+        let mut last = self.now;
+        if let Some((_, t)) = self.last_completion.take() {
+            last = last.max(t);
+        }
+        if let Some(t) = self.completions.drain().map(|(_, t)| t).max() {
+            last = last.max(t);
+        }
+        self.now = last;
         self.now
     }
 
