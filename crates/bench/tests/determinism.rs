@@ -39,3 +39,58 @@ fn fig9a_subset_csv_bytes_identical_across_job_counts() {
         "CSV bytes diverged between --jobs 1 and --jobs 4"
     );
 }
+
+/// Run-to-run determinism: two fresh executions of the same figure (each
+/// building its backends — and their container seeds — from scratch) must
+/// produce the same CSV bytes. Same-process jobs1-vs-jobsN comparison alone
+/// cannot catch state whose layout differs between backend instances, which
+/// is exactly how nondeterministic container iteration manifests.
+#[test]
+fn fig9a_subset_csv_bytes_identical_across_runs() {
+    let (run1, _) = fig9a_subset_at(2, "r1");
+    let (run2, _) = fig9a_subset_at(2, "r2");
+    assert_eq!(run1, run2, "CSV bytes diverged between identical runs");
+}
+
+/// Regression test for the wear-leveling migration remap: `Ait::migrate`
+/// scans the translation table to remap every page of the hot block, and
+/// each page's fresh media frame depends on its position in that scan.
+/// When the table was a `HashMap`, the scan order — and therefore the
+/// post-migration frame layout and all subsequent media timings — varied
+/// per process. Two fresh systems driven identically must now agree on
+/// every completion time.
+#[test]
+fn vans_migration_remap_is_run_to_run_deterministic() {
+    use nvsim_types::{Addr, MemoryBackend, RequestDesc};
+    use vans::{MemorySystem, VansConfig};
+
+    fn drive() -> (Vec<u64>, u64) {
+        let mut sys = MemorySystem::new(VansConfig::tiny_for_tests()).expect("valid config");
+        let mut times = Vec::new();
+        // Hammer every page of wear block 0 (16 × 4 KB pages) well past the
+        // tiny-config threshold of 100 so several migrations fire, each
+        // remapping a block with many live translations.
+        for i in 0..600u64 {
+            let addr = Addr::new((i % 16) * 4096 + (i * 64) % 4096);
+            times.push(sys.execute(RequestDesc::store(addr)).as_ns());
+        }
+        // Read back across the remapped range: latencies now depend on the
+        // frames the migration scan assigned.
+        for page in 0..32u64 {
+            times.push(
+                sys.execute(RequestDesc::load(Addr::new(page * 4096)))
+                    .as_ns(),
+            );
+        }
+        (times, sys.counters().migrations)
+    }
+
+    let (times_a, migrations_a) = drive();
+    let (times_b, migrations_b) = drive();
+    assert!(
+        migrations_a >= 1,
+        "workload must trigger at least one migration to exercise the remap"
+    );
+    assert_eq!(migrations_a, migrations_b, "migration counts diverged");
+    assert_eq!(times_a, times_b, "completion times diverged between runs");
+}

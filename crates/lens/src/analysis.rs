@@ -135,7 +135,7 @@ pub struct TailAnalysis {
 pub fn tail_analysis(iter_us: &[f64]) -> TailAnalysis {
     assert!(!iter_us.is_empty(), "no iterations to analyze");
     let mut sorted = iter_us.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    sorted.sort_by(f64::total_cmp);
     let median = sorted[sorted.len() / 2];
     let threshold = median * 10.0;
     let tails: Vec<(usize, f64)> = iter_us

@@ -294,13 +294,12 @@ impl Stride {
             // Regular stores model an RFO + write inside persistence-aware
             // backends; issue uniformly here.
             let id = mem.submit(desc);
-            let done = mem
-                .try_take_completion(id)
-                .expect("completion of freshly submitted request");
+            let done = mem.expect_completion(id);
             window.push_back(done);
             if window.len() > self.max_outstanding as usize {
-                let oldest = window.pop_front().expect("non-empty window");
-                mem.skip_to(oldest);
+                if let Some(oldest) = window.pop_front() {
+                    mem.skip_to(oldest);
+                }
             }
         }
         if self.op.is_write() {

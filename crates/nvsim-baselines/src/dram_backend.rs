@@ -5,7 +5,7 @@ use nvsim_types::{
     BackendCounters, BackendError, ConfigError, MemOp, MemoryBackend, ReqId, RequestDesc, Time,
     CACHE_LINE,
 };
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A memory backend that forwards every request straight to a DDR timing
 /// model — the way pre-Optane studies modeled NVRAM ("a slower DRAM").
@@ -33,7 +33,7 @@ pub struct DramBackend {
     controller_latency: Time,
     now: Time,
     next_id: u64,
-    completions: HashMap<ReqId, Time>,
+    completions: BTreeMap<ReqId, Time>,
     counters: BackendCounters,
 }
 
@@ -49,7 +49,7 @@ impl DramBackend {
             controller_latency: Time::from_ns(20),
             now: Time::ZERO,
             next_id: 0,
-            completions: HashMap::new(),
+            completions: BTreeMap::new(),
             counters: BackendCounters::default(),
         })
     }
@@ -121,10 +121,8 @@ impl MemoryBackend for DramBackend {
     }
 
     fn drain(&mut self) -> Time {
-        let last = self
-            .completions
-            .drain()
-            .map(|(_, t)| t)
+        let last = std::mem::take(&mut self.completions)
+            .into_values()
             .max()
             .unwrap_or(self.now);
         self.now = self.now.max(last);

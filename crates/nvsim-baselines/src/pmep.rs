@@ -118,10 +118,7 @@ impl MemoryBackend for PmepBackend {
         let id = self.inner.submit(desc);
         // Push the completion out by the injected delay (without
         // advancing the clock, so independent requests overlap).
-        let done = self
-            .inner
-            .try_take_completion(id)
-            .expect("completion of freshly submitted request");
+        let done = self.inner.expect_completion(id);
         self.pending.push((id, done + extra));
         id
     }

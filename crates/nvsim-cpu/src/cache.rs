@@ -142,8 +142,7 @@ impl Cache {
             set.iter()
                 .enumerate()
                 .min_by_key(|(_, w)| w.stamp)
-                .map(|(i, _)| i)
-                .expect("nonzero ways")
+                .map_or(0, |(i, _)| i)
         });
         let victim = set[victim_idx];
         let writeback = (victim.valid && victim.dirty)

@@ -162,6 +162,8 @@ impl Core {
     /// error to construct a core from an unvalidated ad-hoc config; use
     /// the presets or validate first via [`Core::try_new`]).
     pub fn new(cfg: CoreConfig) -> Self {
+        // nvsim-lint: allow(panic-path) — documented programmer-error panic
+        // on unvalidated configs; simulation drivers use try_new.
         Self::try_new(cfg).expect("invalid core configuration")
     }
 
@@ -286,9 +288,7 @@ impl Core {
                             );
                             now = done;
                         } else {
-                            let done = mem
-                                .try_take_completion(id)
-                                .expect("completion of freshly submitted request");
+                            let done = mem.expect_completion(id);
                             while let Some(&front) = outstanding.front() {
                                 if front <= now {
                                     outstanding.pop_front();
@@ -298,8 +298,7 @@ impl Core {
                             }
                             outstanding.push_back(done);
                             if outstanding.len() > self.cfg.max_outstanding as usize {
-                                let oldest = outstanding.pop_front().expect("non-empty");
-                                if oldest > now {
+                                if let Some(oldest) = outstanding.pop_front().filter(|&o| o > now) {
                                     let stall = oldest - now;
                                     charge(
                                         StallClass::ReadMemory,
@@ -329,13 +328,10 @@ impl Core {
                         // unless the window is full.
                         mem.skip_to(now);
                         let id = mem.submit(RequestDesc::nt_store(tr.paddr));
-                        let done = mem
-                            .try_take_completion(id)
-                            .expect("completion of freshly submitted request");
+                        let done = mem.expect_completion(id);
                         outstanding.push_back(done);
                         if outstanding.len() > self.cfg.max_outstanding as usize {
-                            let oldest = outstanding.pop_front().expect("non-empty");
-                            if oldest > now {
+                            if let Some(oldest) = outstanding.pop_front().filter(|&o| o > now) {
                                 let stall = oldest - now;
                                 charge(
                                     StallClass::WriteMemory,
@@ -353,13 +349,10 @@ impl Core {
                             // Write-allocate fetch; overlapped like a load.
                             mem.skip_to(now);
                             let id = mem.submit(RequestDesc::load(tr.paddr));
-                            let done = mem
-                                .try_take_completion(id)
-                                .expect("completion of freshly submitted request");
+                            let done = mem.expect_completion(id);
                             outstanding.push_back(done);
                             if outstanding.len() > self.cfg.max_outstanding as usize {
-                                let oldest = outstanding.pop_front().expect("non-empty");
-                                if oldest > now {
+                                if let Some(oldest) = outstanding.pop_front().filter(|&o| o > now) {
                                     let stall = oldest - now;
                                     charge(
                                         StallClass::WriteMemory,

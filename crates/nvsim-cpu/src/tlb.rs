@@ -2,7 +2,9 @@
 
 use nvsim_types::{Addr, MemoryBackend, RequestDesc, Time, VirtAddr};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+// nvsim-lint: allow(unordered-map) — see `TlbArray::entries`: keyed lookups
+// only; recency (the only observed order) lives in the `order` BTreeMap.
+use std::collections::{BTreeMap, HashMap};
 
 /// TLB hierarchy configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -74,6 +76,8 @@ pub struct Translation {
 
 #[derive(Debug, Clone, Default)]
 struct TlbArray {
+    // nvsim-lint: allow(unordered-map) — never iterated; the LRU victim is
+    // chosen via the deterministic `order` BTreeMap, not this map.
     entries: HashMap<u64, u64>, // vpn -> stamp
     /// Recency index: stamp -> vpn (stamps are unique), for O(log n)
     /// LRU eviction.
@@ -85,6 +89,7 @@ struct TlbArray {
 impl TlbArray {
     fn new(capacity: usize) -> Self {
         TlbArray {
+            // nvsim-lint: allow(unordered-map) — see field docs: never iterated.
             entries: HashMap::with_capacity(capacity + 1),
             order: std::collections::BTreeMap::new(),
             capacity,
@@ -131,7 +136,7 @@ pub struct TlbHierarchy {
     l1: TlbArray,
     stlb: TlbArray,
     /// Pre-translation entries the NVRAM piggybacked: vpn → install time.
-    prefetched: HashMap<u64, Time>,
+    prefetched: BTreeMap<u64, Time>,
     stats: TlbStats,
 }
 
@@ -142,7 +147,7 @@ impl TlbHierarchy {
             l1: TlbArray::new(cfg.l1_entries as usize),
             stlb: TlbArray::new(cfg.stlb_entries as usize),
             cfg,
-            prefetched: HashMap::new(),
+            prefetched: BTreeMap::new(),
             stats: TlbStats::default(),
         }
     }

@@ -10,7 +10,7 @@
 use crate::command::{CommandKind, CommandRecord};
 use crate::config::DramConfig;
 use nvsim_types::Time;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// A protocol violation found in a command trace.
@@ -123,8 +123,8 @@ impl ProtocolChecker {
         let cwl = self.clocks(t.cwl);
         let burst = self.clocks(t.burst_cycles);
 
-        let mut banks: HashMap<(u32, u32, u32, u32), BankCheck> = HashMap::new();
-        let mut ranks: HashMap<(u32, u32), RankCheck> = HashMap::new();
+        let mut banks: BTreeMap<(u32, u32, u32, u32), BankCheck> = BTreeMap::new();
+        let mut ranks: BTreeMap<(u32, u32), RankCheck> = BTreeMap::new();
         let mut violations = Vec::new();
         let mut last_time: Option<Time> = None;
 

@@ -1,0 +1,95 @@
+//! Checked-in baseline of grandfathered findings.
+//!
+//! Format, one entry per line:
+//! ```text
+//! <rule-id> <path>:<line> — <justification>
+//! ```
+//! Blank lines and `#` comments are ignored. Every entry must carry a
+//! justification; entries without one are reported as malformed and do not
+//! suppress anything. Entries that no longer match any finding are reported
+//! as stale so the file shrinks monotonically toward empty.
+
+use crate::rules::Finding;
+
+#[derive(Debug, Clone)]
+pub struct BaselineEntry {
+    pub rule: String,
+    pub path: String,
+    pub line: u32,
+    pub justified: bool,
+    /// Line number inside the baseline file (for error reporting).
+    pub src_line: u32,
+}
+
+#[derive(Debug, Default)]
+pub struct Baseline {
+    pub entries: Vec<BaselineEntry>,
+    /// Lines that could not be parsed as entries.
+    pub malformed: Vec<(u32, String)>,
+}
+
+/// Parse baseline text. Never fails: unparsable lines land in `malformed`.
+pub fn parse(text: &str) -> Baseline {
+    let mut b = Baseline::default();
+    for (idx, raw) in text.lines().enumerate() {
+        let src_line = (idx + 1) as u32;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((rule, rest)) = line.split_once(' ') else {
+            b.malformed.push((src_line, raw.to_string()));
+            continue;
+        };
+        // `<path>:<line>` then optional `— justification`.
+        let (loc, justification) = match rest.split_once(" — ") {
+            Some((l, j)) => (l.trim(), j.trim()),
+            None => (rest.trim(), ""),
+        };
+        let parsed = loc
+            .rsplit_once(':')
+            .and_then(|(path, num)| num.parse::<u32>().ok().map(|n| (path.to_string(), n)));
+        match parsed {
+            Some((path, line_no)) => b.entries.push(BaselineEntry {
+                rule: rule.to_string(),
+                path,
+                line: line_no,
+                justified: !justification.is_empty(),
+                src_line,
+            }),
+            None => b.malformed.push((src_line, raw.to_string())),
+        }
+    }
+    b
+}
+
+/// Split findings into (new, baselined) and report stale baseline entries.
+/// An entry only suppresses when it is justified.
+pub fn apply(
+    baseline: &Baseline,
+    findings: Vec<Finding>,
+) -> (Vec<Finding>, Vec<Finding>, Vec<&BaselineEntry>) {
+    let mut used = vec![false; baseline.entries.len()];
+    let mut new = Vec::new();
+    let mut grandfathered = Vec::new();
+    for f in findings {
+        let hit = baseline.entries.iter().position(|e| {
+            e.justified && e.rule == f.rule.id() && e.path == f.file && e.line == f.line
+        });
+        match hit {
+            Some(i) => {
+                used[i] = true;
+                grandfathered.push(f);
+            }
+            None => new.push(f),
+        }
+    }
+    let stale = baseline
+        .entries
+        .iter()
+        .zip(&used)
+        .filter(|(e, u)| !**u && e.justified)
+        .map(|(e, _)| e)
+        .collect();
+    (new, grandfathered, stale)
+}

@@ -1,0 +1,389 @@
+//! A minimal Rust lexer: just enough structure to tell identifiers apart
+//! from comments, string/char literals, lifetimes, and numbers, with
+//! accurate 1-based line/column positions.
+//!
+//! This is deliberately not a full Rust grammar. The rule engine only needs
+//! a token stream in which
+//!   * text inside comments and string literals never produces `Ident` tokens,
+//!   * comment bodies are preserved (allow-annotations live there),
+//!   * punctuation is delivered one char at a time so the scoper can match
+//!     braces and attribute brackets.
+
+/// Token classification. `Str` covers string, raw-string, byte-string and
+/// char literals — the rules never look inside literals, they only need to
+/// know the region is not code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `fn`, `r#async`, ...).
+    Ident,
+    /// Line or block comment; `text` holds the body including markers.
+    Comment,
+    /// String / raw string / byte string / char literal.
+    Str,
+    /// Lifetime (`'a`, `'_`, `'static`).
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// Single punctuation character, stored in `text`.
+    Punct,
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// Ident name, comment body, or single punct char. Empty for literals
+    /// and numbers (their content is never inspected).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in chars) of the token's first character.
+    pub col: u32,
+}
+
+impl Tok {
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == ch.len_utf8() && self.text.starts_with(ch)
+    }
+
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    toks: Vec<Tok>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let ch = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if ch == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(ch)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        self.toks.push(Tok {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(ch) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            if ch.is_whitespace() {
+                self.bump();
+            } else if ch == '/' && self.peek(1) == Some('/') {
+                self.line_comment(line, col);
+            } else if ch == '/' && self.peek(1) == Some('*') {
+                self.block_comment(line, col);
+            } else if ch == 'r' && self.raw_string_hashes().is_some() {
+                // Distinguish r"...", r#"..."# from the raw ident r#name and
+                // from ordinary idents starting with `r`.
+                if let Some(hashes) = self.raw_string_hashes() {
+                    self.bump(); // r
+                    self.raw_string_body(hashes, line, col);
+                }
+            } else if ch == 'r'
+                && self.peek(1) == Some('#')
+                && self.peek(2).is_some_and(is_ident_start)
+            {
+                // Raw identifier r#ident.
+                self.bump();
+                self.bump();
+                self.ident(line, col);
+            } else if ch == 'b' && self.peek(1) == Some('"') {
+                self.bump(); // b
+                self.bump(); // "
+                self.string_body(line, col);
+            } else if ch == 'b' && self.peek(1) == Some('\'') {
+                self.bump(); // b
+                self.bump(); // '
+                self.char_body(line, col);
+            } else if ch == 'b' && self.peek(1) == Some('r') {
+                // br"..." / br#"..."# byte raw string.
+                let mut hashes = 0usize;
+                while self.peek(2 + hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(2 + hashes) == Some('"') {
+                    self.bump(); // b
+                    self.bump(); // r
+                    self.raw_string_body(hashes, line, col);
+                } else {
+                    self.ident(line, col);
+                }
+            } else if is_ident_start(ch) {
+                self.ident(line, col);
+            } else if ch == '"' {
+                self.bump();
+                self.string_body(line, col);
+            } else if ch == '\'' {
+                self.quote(line, col);
+            } else if ch.is_ascii_digit() {
+                self.number(line, col);
+            } else {
+                self.bump();
+                self.push(TokKind::Punct, ch.to_string(), line, col);
+            }
+        }
+        self.toks
+    }
+
+    /// If the cursor sits on `r` beginning a raw string (`r"`, `r#"`, ...),
+    /// return the number of hashes; otherwise `None`.
+    fn raw_string_hashes(&self) -> Option<usize> {
+        let mut hashes = 0usize;
+        while self.peek(1 + hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(1 + hashes) == Some('"') {
+            Some(hashes)
+        } else {
+            None
+        }
+    }
+
+    fn line_comment(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::Comment, text, line, col);
+    }
+
+    fn block_comment(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth = depth.saturating_sub(1);
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokKind::Comment, text, line, col);
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::Ident, text, line, col);
+    }
+
+    /// Body of a `"..."` (or `b"..."`) literal; opening quote consumed.
+    fn string_body(&mut self, line: u32, col: u32) {
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                self.bump();
+            } else if c == '"' {
+                break;
+            }
+        }
+        self.push(TokKind::Str, String::new(), line, col);
+    }
+
+    /// Body of a raw string; the `r`/`br` prefix is consumed, the cursor sits
+    /// on the first `#` or the opening quote.
+    fn raw_string_body(&mut self, hashes: usize, line: u32, col: u32) {
+        for _ in 0..hashes {
+            self.bump();
+        }
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut matched = 0usize;
+                while matched < hashes && self.peek(0) == Some('#') {
+                    self.bump();
+                    matched += 1;
+                }
+                if matched == hashes {
+                    break;
+                }
+            }
+        }
+        self.push(TokKind::Str, String::new(), line, col);
+    }
+
+    /// Body of a `'x'` char literal; opening quote consumed.
+    fn char_body(&mut self, line: u32, col: u32) {
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                self.bump();
+            } else if c == '\'' {
+                break;
+            }
+        }
+        self.push(TokKind::Str, String::new(), line, col);
+    }
+
+    /// A `'` that is either a lifetime or a char literal.
+    fn quote(&mut self, line: u32, col: u32) {
+        // `'ident` with no closing quote right after one char is a lifetime:
+        // 'a, 'static, '_. A char literal is 'x' or '\n' or '\u{..}'.
+        let next = self.peek(1);
+        let after = self.peek(2);
+        let is_lifetime = match next {
+            Some(c) if is_ident_start(c) => after != Some('\''),
+            _ => false,
+        };
+        if is_lifetime {
+            self.bump(); // '
+            let mut text = String::from("'");
+            while let Some(c) = self.peek(0) {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                text.push(c);
+                self.bump();
+            }
+            self.push(TokKind::Lifetime, text, line, col);
+        } else {
+            self.bump(); // '
+            self.char_body(line, col);
+        }
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        // Consume digits, `_`, alphanumeric suffixes, and a fractional part —
+        // but stop before `..` so range expressions keep their punctuation.
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                // Exponent sign: 1e-3 / 2.5E+7.
+                if (c == 'e' || c == 'E')
+                    && matches!(self.peek(1), Some('+') | Some('-'))
+                    && self.peek(2).is_some_and(|d| d.is_ascii_digit())
+                {
+                    self.bump();
+                    self.bump();
+                    continue;
+                }
+                self.bump();
+            } else if c == '.'
+                && self.peek(1) != Some('.')
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+            {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Num, String::new(), line, col);
+    }
+}
+
+/// Lex `src` into a token stream. Never fails: unrecognised bytes become
+/// single-char `Punct` tokens, unterminated literals run to end of file.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        toks: Vec::new(),
+    }
+    .run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_idents() {
+        let src = r##"
+            // HashMap in a line comment
+            /* HashMap /* nested */ still comment */
+            let s = "HashMap::new()";
+            let r = r#"HashMap"#;
+            let b = b"HashMap";
+            let real = Vec::new();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "HashMap"), "ids = {ids:?}");
+        assert!(ids.iter().any(|i| i == "Vec"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn raw_ident_and_ranges() {
+        let ids = idents("let r#fn = 0..10;");
+        assert!(ids.iter().any(|i| i == "fn"));
+        let toks = lex("0..10");
+        assert_eq!(
+            toks.iter().filter(|t| t.is_punct('.')).count(),
+            2,
+            "range dots must stay punctuation"
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! `nvsim-lint` — std-only determinism & panic-safety static analyzer for
+//! the nvsim workspace.
+//!
+//! The simulator's reproducibility guarantee (byte-identical `results/` CSVs
+//! for any `--jobs N`, run-to-run) rests on invariants nothing else enforces:
+//! no nondeterministically ordered containers on simulation paths, no wall
+//! clock, no panicking escape hatches on the datapath, full trace coverage.
+//! This crate is a hand-rolled lexer + rule engine (crates.io is unreachable
+//! in the build environment, so no `syn`) that walks workspace sources and
+//! enforces them. See DESIGN.md "Static analysis & determinism invariants"
+//! for the rule catalog.
+
+pub mod baseline;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scope;
+
+pub use rules::{classify, lint_file, lint_sources, FileClass, Finding, Rule, ALL_RULES};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Recursively collect workspace `.rs` files eligible for linting, as
+/// `(workspace-relative path, contents)`, sorted by path for deterministic
+/// reports. Skips `target/`, `.git/`, and anything `classify` rejects.
+pub fn collect_sources(root: &Path) -> io::Result<Vec<(String, String)>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries = fs::read_dir(&dir)?;
+        for entry in entries {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name == ".git" || name == ".claude" {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                let rel = rel_path(root, &path);
+                if classify(&rel) != FileClass::Skip {
+                    let src = fs::read_to_string(&path)?;
+                    files.push((rel, src));
+                }
+            }
+        }
+    }
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(files)
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    // Normalise separators so rules and baselines are platform-stable.
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Lint the workspace rooted at `root` against the baseline file (if any).
+/// Returns the rendered report.
+pub fn lint_workspace(root: &Path, baseline_path: &Path) -> io::Result<report::Report> {
+    let files = collect_sources(root)?;
+    let findings = lint_sources(files.iter().map(|(p, s)| (p.as_str(), s.as_str())));
+    let baseline_text = match fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(e),
+    };
+    let b = baseline::parse(&baseline_text);
+    let (new, grandfathered, stale) = baseline::apply(&b, findings);
+    Ok(report::Report::from_parts(
+        new,
+        grandfathered,
+        &stale,
+        &b.malformed,
+        files.len(),
+    ))
+}
+
+/// Locate the workspace root: walk up from `start` until a directory holding
+/// both `Cargo.toml` and `crates/` is found.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        if d.join("Cargo.toml").is_file() && d.join("crates").is_dir() {
+            return Some(d);
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

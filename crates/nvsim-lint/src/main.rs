@@ -1,0 +1,100 @@
+//! CLI driver: `cargo run -p nvsim-lint [-- --root DIR --baseline FILE --format text|json]`.
+//!
+//! Exit status: 0 when clean (no new findings, no stale/malformed baseline
+//! entries), 1 on findings, 2 on usage or I/O errors. `--format json` also
+//! writes the report to `results/lint.json` under the workspace root so CI
+//! can diff it against the checked-in copy.
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Opts {
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    json: bool,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: None,
+        baseline: None,
+        json: false,
+    };
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = args.next().ok_or("--root requires a path")?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "--baseline" => {
+                let v = args.next().ok_or("--baseline requires a path")?;
+                opts.baseline = Some(PathBuf::from(v));
+            }
+            "--format" => match args.next().as_deref() {
+                Some("text") => opts.json = false,
+                Some("json") => opts.json = true,
+                _ => return Err("--format expects `text` or `json`".to_string()),
+            },
+            "--help" | "-h" => {
+                return Err(
+                    "usage: nvsim-lint [--root DIR] [--baseline FILE] [--format text|json]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("nvsim-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let start = match opts.root {
+        Some(r) => r,
+        None => env::current_dir().unwrap_or_else(|_| PathBuf::from(".")),
+    };
+    let Some(root) = nvsim_lint::find_root(&start) else {
+        eprintln!(
+            "nvsim-lint: could not locate workspace root (Cargo.toml + crates/) above {}",
+            start.display()
+        );
+        return ExitCode::from(2);
+    };
+    let baseline = opts
+        .baseline
+        .unwrap_or_else(|| root.join("lint-baseline.txt"));
+    let report = match nvsim_lint::lint_workspace(&root, &baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("nvsim-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.json {
+        let json = report.render_json();
+        let out_dir = root.join("results");
+        let write =
+            fs::create_dir_all(&out_dir).and_then(|_| fs::write(out_dir.join("lint.json"), &json));
+        if let Err(e) = write {
+            eprintln!("nvsim-lint: failed to write results/lint.json: {e}");
+            return ExitCode::from(2);
+        }
+        print!("{json}");
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

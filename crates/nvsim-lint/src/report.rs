@@ -1,0 +1,149 @@
+//! Deterministic text and JSON rendering of a lint run.
+
+use crate::baseline::BaselineEntry;
+use crate::rules::Finding;
+
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings not covered by the baseline — these fail the run.
+    pub new: Vec<Finding>,
+    /// Findings suppressed by justified baseline entries.
+    pub grandfathered: Vec<Finding>,
+    /// Baseline entries that matched nothing (drift: the file should shrink).
+    pub stale: Vec<(String, String, u32)>,
+    /// Unparsable baseline lines.
+    pub malformed_baseline: Vec<(u32, String)>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    pub fn from_parts(
+        new: Vec<Finding>,
+        grandfathered: Vec<Finding>,
+        stale: &[&BaselineEntry],
+        malformed: &[(u32, String)],
+        files_scanned: usize,
+    ) -> Report {
+        Report {
+            new,
+            grandfathered,
+            stale: stale
+                .iter()
+                .map(|e| (e.rule.clone(), e.path.clone(), e.line))
+                .collect(),
+            malformed_baseline: malformed.to_vec(),
+            files_scanned,
+        }
+    }
+
+    /// Exit-status-relevant failure: any new finding, stale baseline entry,
+    /// or malformed baseline line.
+    pub fn is_clean(&self) -> bool {
+        self.new.is_empty() && self.stale.is_empty() && self.malformed_baseline.is_empty()
+    }
+
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.new {
+            out.push_str(&format!(
+                "{}:{}:{}: [{}] {}\n",
+                f.file,
+                f.line,
+                f.col,
+                f.rule.id(),
+                f.message
+            ));
+        }
+        for (rule, path, line) in &self.stale {
+            out.push_str(&format!(
+                "lint-baseline.txt: stale entry `{rule} {path}:{line}` matches no finding — remove it\n"
+            ));
+        }
+        for (line, text) in &self.malformed_baseline {
+            out.push_str(&format!(
+                "lint-baseline.txt:{line}: malformed baseline entry: {text}\n"
+            ));
+        }
+        out.push_str(&format!(
+            "nvsim-lint: {} file(s) scanned, {} new finding(s), {} grandfathered, {} stale baseline entr(ies)\n",
+            self.files_scanned,
+            self.new.len(),
+            self.grandfathered.len(),
+            self.stale.len()
+        ));
+        out
+    }
+
+    /// Stable JSON (keys in fixed order, findings pre-sorted by the caller).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"new_count\": {},\n", self.new.len()));
+        out.push_str(&format!(
+            "  \"grandfathered_count\": {},\n",
+            self.grandfathered.len()
+        ));
+        out.push_str("  \"findings\": [\n");
+        let render = |f: &Finding, status: &str| {
+            format!(
+                "    {{\"file\": {}, \"line\": {}, \"col\": {}, \"rule\": {}, \"status\": {}, \"message\": {}}}",
+                json_str(&f.file),
+                f.line,
+                f.col,
+                json_str(f.rule.id()),
+                json_str(status),
+                json_str(&f.message)
+            )
+        };
+        let rows: Vec<String> = self
+            .new
+            .iter()
+            .map(|f| render(f, "new"))
+            .chain(self.grandfathered.iter().map(|f| render(f, "baselined")))
+            .collect();
+        out.push_str(&rows.join(",\n"));
+        if !rows.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"stale_baseline\": [\n");
+        let stale_rows: Vec<String> = self
+            .stale
+            .iter()
+            .map(|(rule, path, line)| {
+                format!(
+                    "    {{\"rule\": {}, \"path\": {}, \"line\": {}}}",
+                    json_str(rule),
+                    json_str(path),
+                    line
+                )
+            })
+            .collect();
+        out.push_str(&stale_rows.join(",\n"));
+        if !stale_rows.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (the only non-trivial content is messages).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

@@ -1,0 +1,399 @@
+//! Rule catalog and the per-file / workspace-level checks.
+//!
+//! Rules (see DESIGN.md "Static analysis & determinism invariants"):
+//!   R1 `unordered-map`               — no HashMap/HashSet in simulation code
+//!   R2 `wall-clock`                  — no std::time / Instant / SystemTime
+//!   R3 `panic-path`                  — no .unwrap()/.expect()/panic!-family
+//!   R4 `deprecated-take-completion`  — no calls to the deprecated wrapper
+//!   R5 `stage-coverage`              — every Stage variant has an emission site
+//!      `bad-annotation`              — malformed/unjustified allow annotations
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::scope::{allows, test_mask, Allow};
+
+/// Rule identifiers, ordered as in the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    UnorderedMap,
+    WallClock,
+    PanicPath,
+    DeprecatedTakeCompletion,
+    StageCoverage,
+    BadAnnotation,
+}
+
+pub const ALL_RULES: [Rule; 6] = [
+    Rule::UnorderedMap,
+    Rule::WallClock,
+    Rule::PanicPath,
+    Rule::DeprecatedTakeCompletion,
+    Rule::StageCoverage,
+    Rule::BadAnnotation,
+];
+
+impl Rule {
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::UnorderedMap => "unordered-map",
+            Rule::WallClock => "wall-clock",
+            Rule::PanicPath => "panic-path",
+            Rule::DeprecatedTakeCompletion => "deprecated-take-completion",
+            Rule::StageCoverage => "stage-coverage",
+            Rule::BadAnnotation => "bad-annotation",
+        }
+    }
+
+    pub fn rationale(self) -> &'static str {
+        match self {
+            Rule::UnorderedMap => {
+                "HashMap/HashSet iteration order is randomized per process; any simulated \
+                 quantity derived from it breaks run-to-run CSV reproducibility. Use \
+                 BTreeMap/BTreeSet or a slab, or annotate with a written argument that \
+                 iteration order is never observed."
+            }
+            Rule::WallClock => {
+                "wall-clock time on the simulation path makes simulated cycles depend on \
+                 host load; Instant/SystemTime belong only in bench perf recording and shims"
+            }
+            Rule::PanicPath => {
+                "datapath code must route failures through BackendError/Result; panics tear \
+                 down worker threads mid-experiment and poison partial results"
+            }
+            Rule::DeprecatedTakeCompletion => {
+                "take_completion panics on miss and is deprecated; call try_take_completion \
+                 (or expect_completion for freshly submitted requests) instead"
+            }
+            Rule::StageCoverage => {
+                "a Stage variant with no SpanRecorder emission site is dead attribution: \
+                 per-stage latency breakdowns silently under-report"
+            }
+            Rule::BadAnnotation => {
+                "nvsim-lint annotations must name a known rule and carry a written \
+                 justification; an unexplained allow is indistinguishable from a mistake"
+            }
+        }
+    }
+
+    pub fn from_id(id: &str) -> Option<Rule> {
+        ALL_RULES.iter().copied().find(|r| r.id() == id)
+    }
+}
+
+/// How a file participates in linting, derived from its workspace path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Simulator source: all rules apply.
+    Simulation,
+    /// Bench/examples driver code: wall clock and panics are legitimate
+    /// (perf recording, CLI error handling), but determinism (R1) and the
+    /// deprecation (R4) still apply to the runner/merge paths.
+    Driver,
+    /// Examples: R4 only (they demonstrate the public API).
+    Example,
+    /// Shims, tests, benches: skipped entirely.
+    Skip,
+}
+
+/// Classify a workspace-relative path (`/`-separated).
+pub fn classify(rel: &str) -> FileClass {
+    if !rel.ends_with(".rs") {
+        return FileClass::Skip;
+    }
+    if rel.contains("crates/shims/") {
+        return FileClass::Skip;
+    }
+    // Test and bench trees are exempt from all rules (and from R5 reference
+    // counting: a span emitted only by a test does not make a variant "covered").
+    let in_dir = |d: &str| rel.starts_with(&format!("{d}/")) || rel.contains(&format!("/{d}/"));
+    if in_dir("tests") || in_dir("benches") {
+        return FileClass::Skip;
+    }
+    if in_dir("examples") {
+        return FileClass::Example;
+    }
+    if rel.starts_with("crates/bench/") {
+        return FileClass::Driver;
+    }
+    if rel.starts_with("crates/") || rel.starts_with("src/") {
+        return FileClass::Simulation;
+    }
+    FileClass::Skip
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    pub rule: Rule,
+    pub message: String,
+}
+
+/// Per-file facts feeding the workspace-level R5 check.
+#[derive(Debug, Default)]
+pub struct StageFacts {
+    /// `(variant, line)` pairs from the `enum Stage` definition, if this
+    /// file defines it.
+    pub defined: Vec<(String, u32)>,
+    /// Variants referenced as `Stage::X` in non-test code of a file that
+    /// records spans (contains `SpanRecorder` or `StageSpan::new`).
+    pub emitted: Vec<String>,
+}
+
+/// Path suffix identifying the `Stage` definition file.
+const STAGE_DEF_FILE: &str = "nvsim-types/src/trace.rs";
+
+/// Lint a single file. Returns per-site findings and R5 facts.
+pub fn lint_file(rel: &str, src: &str, class: FileClass) -> (Vec<Finding>, StageFacts) {
+    let mut findings = Vec::new();
+    let mut facts = StageFacts::default();
+    if class == FileClass::Skip {
+        return (findings, facts);
+    }
+    let toks = lex(src);
+    let mask = test_mask(&toks);
+    let allow_list = allows(&toks);
+
+    let allowed = |rule: Rule, line: u32| -> bool {
+        allow_list
+            .iter()
+            .any(|a| a.has_reason && a.rule == rule.id() && a.applies_line == line)
+    };
+    let mut push = |rule: Rule, t: &Tok, msg: String| {
+        if !allowed(rule, t.line) {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: t.line,
+                col: t.col,
+                rule,
+                message: msg,
+            });
+        }
+    };
+
+    let next_code = |mut i: usize| -> Option<&Tok> {
+        loop {
+            i += 1;
+            match toks.get(i) {
+                Some(t) if t.kind == TokKind::Comment => continue,
+                other => return other,
+            }
+        }
+    };
+    let prev_code =
+        |i: usize| -> Option<&Tok> { toks[..i].iter().rev().find(|t| t.kind != TokKind::Comment) };
+
+    // The defining file (trace.rs) references every variant in `Stage::ALL`
+    // and in the recorder impl itself — those are not emission sites.
+    let is_emitter = class == FileClass::Simulation
+        && !rel.ends_with(STAGE_DEF_FILE)
+        && toks
+            .iter()
+            .zip(&mask)
+            .any(|(t, m)| !m && (t.is_ident("SpanRecorder") || t.is_ident("StageSpan")));
+
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Comment || mask[i] {
+            continue;
+        }
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let name = t.text.as_str();
+
+        // R1 — unordered maps.
+        if class != FileClass::Example && (name == "HashMap" || name == "HashSet") {
+            push(
+                Rule::UnorderedMap,
+                t,
+                format!(
+                    "`{name}` on a simulation path: {}",
+                    Rule::UnorderedMap.rationale()
+                ),
+            );
+        }
+
+        // R2 — wall clock (simulation only).
+        if class == FileClass::Simulation {
+            if name == "Instant" || name == "SystemTime" {
+                push(
+                    Rule::WallClock,
+                    t,
+                    format!(
+                        "`{name}` on a simulation path: {}",
+                        Rule::WallClock.rationale()
+                    ),
+                );
+            }
+            if name == "std"
+                && next_code(i).is_some_and(|n| n.is_punct(':'))
+                && toks.get(i + 3).is_some_and(|n| n.is_ident("time"))
+            {
+                push(
+                    Rule::WallClock,
+                    t,
+                    format!("`std::time` import: {}", Rule::WallClock.rationale()),
+                );
+            }
+        }
+
+        // R3 — panic paths (simulation only).
+        if class == FileClass::Simulation {
+            let method_call = |n: &str| {
+                name == n
+                    && prev_code(i).is_some_and(|p| p.is_punct('.'))
+                    && next_code(i).is_some_and(|n| n.is_punct('('))
+            };
+            if method_call("unwrap") || method_call("expect") {
+                push(
+                    Rule::PanicPath,
+                    t,
+                    format!("`.{name}()` on a datapath: {}", Rule::PanicPath.rationale()),
+                );
+            }
+            if matches!(name, "panic" | "unreachable" | "todo" | "unimplemented")
+                && next_code(i).is_some_and(|n| n.is_punct('!'))
+            {
+                push(
+                    Rule::PanicPath,
+                    t,
+                    format!("`{name}!` on a datapath: {}", Rule::PanicPath.rationale()),
+                );
+            }
+        }
+
+        // R4 — deprecated take_completion calls (method position only, so the
+        // definition site `fn take_completion` stays clean).
+        if name == "take_completion" && prev_code(i).is_some_and(|p| p.is_punct('.')) {
+            push(
+                Rule::DeprecatedTakeCompletion,
+                t,
+                format!(
+                    "call to deprecated `take_completion`: {}",
+                    Rule::DeprecatedTakeCompletion.rationale()
+                ),
+            );
+        }
+
+        // R5 facts — references.
+        if is_emitter && name == "Stage" && next_code(i).is_some_and(|n| n.is_punct(':')) {
+            if let Some(variant) = toks.get(i + 3).filter(|v| v.kind == TokKind::Ident) {
+                facts.emitted.push(variant.text.clone());
+            }
+        }
+    }
+
+    // R5 facts — definition.
+    if rel.ends_with(STAGE_DEF_FILE) {
+        facts.defined = stage_variants(&toks);
+    }
+
+    // Malformed / unjustified annotations.
+    for a in &allow_list {
+        annotation_finding(rel, a, &mut findings);
+    }
+
+    (findings, facts)
+}
+
+fn annotation_finding(rel: &str, a: &Allow, findings: &mut Vec<Finding>) {
+    let problem = if a.rule.is_empty() {
+        Some("marker without a parsable `allow(<rule-id>)`".to_string())
+    } else if Rule::from_id(&a.rule).is_none() {
+        Some(format!("unknown rule id `{}`", a.rule))
+    } else if !a.has_reason {
+        Some(format!(
+            "`allow({})` without a written justification (append `— <reason>`)",
+            a.rule
+        ))
+    } else {
+        None
+    };
+    if let Some(p) = problem {
+        findings.push(Finding {
+            file: rel.to_string(),
+            line: a.comment_line,
+            col: 1,
+            rule: Rule::BadAnnotation,
+            message: format!("{p}: {}", Rule::BadAnnotation.rationale()),
+        });
+    }
+}
+
+/// Extract `(variant, line)` pairs from `pub enum Stage { ... }`.
+fn stage_variants(toks: &[Tok]) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let code: Vec<&Tok> = toks.iter().filter(|t| t.kind != TokKind::Comment).collect();
+    let mut i = 0usize;
+    while i + 2 < code.len() {
+        if code[i].is_ident("enum") && code[i + 1].is_ident("Stage") && code[i + 2].is_punct('{') {
+            let mut j = i + 3;
+            let mut depth = 1i32;
+            while j < code.len() && depth > 0 {
+                let t = code[j];
+                if t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct('}') {
+                    depth -= 1;
+                } else if depth == 1
+                    && t.kind == TokKind::Ident
+                    && t.text.chars().next().is_some_and(|c| c.is_uppercase())
+                    && code
+                        .get(j + 1)
+                        .is_some_and(|n| n.is_punct(',') || n.is_punct('}') || n.is_punct('='))
+                {
+                    out.push((t.text.clone(), t.line));
+                }
+                j += 1;
+            }
+            break;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Workspace-level R5: every defined Stage variant must be emitted somewhere.
+pub fn stage_coverage(def_file: &str, facts: &StageFacts, emitted_all: &[String]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (variant, line) in &facts.defined {
+        if !emitted_all.iter().any(|e| e == variant) {
+            out.push(Finding {
+                file: def_file.to_string(),
+                line: *line,
+                col: 1,
+                rule: Rule::StageCoverage,
+                message: format!(
+                    "`Stage::{variant}` has no SpanRecorder emission site: {}",
+                    Rule::StageCoverage.rationale()
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Lint a set of in-memory sources (shared by the CLI workspace walk and the
+/// fixture tests). Paths are workspace-relative, `/`-separated. Findings are
+/// sorted deterministically.
+pub fn lint_sources<'a>(files: impl IntoIterator<Item = (&'a str, &'a str)>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut emitted_all: Vec<String> = Vec::new();
+    let mut stage_def: Option<(String, StageFacts)> = None;
+    for (rel, src) in files {
+        let class = classify(rel);
+        let (mut f, facts) = lint_file(rel, src, class);
+        findings.append(&mut f);
+        emitted_all.extend(facts.emitted.iter().cloned());
+        if !facts.defined.is_empty() {
+            stage_def = Some((rel.to_string(), facts));
+        }
+    }
+    if let Some((def_file, facts)) = &stage_def {
+        findings.extend(stage_coverage(def_file, facts, &emitted_all));
+    }
+    findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    findings
+}

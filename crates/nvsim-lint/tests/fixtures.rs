@@ -1,0 +1,319 @@
+//! Fixture-based rule tests: known-bad and known-clean snippets per rule,
+//! including the tricky cases (matches inside string literals, comments,
+//! `#[cfg(test)]` modules, and behind allow annotations).
+
+use nvsim_lint::rules::{lint_sources, Rule};
+
+const SIM: &str = "crates/vans/src/fixture.rs";
+
+fn rules_at(path: &str, src: &str) -> Vec<(String, u32)> {
+    lint_sources([(path, src)])
+        .into_iter()
+        .map(|f| (f.rule.id().to_string(), f.line))
+        .collect()
+}
+
+fn rule_count(path: &str, src: &str, rule: Rule) -> usize {
+    rules_at(path, src)
+        .iter()
+        .filter(|(r, _)| r == rule.id())
+        .count()
+}
+
+// ---------------------------------------------------------------- R1
+
+#[test]
+fn r1_hashmap_in_sim_crate_is_flagged() {
+    let src = "use std::collections::HashMap;\nstruct S { m: HashMap<u64, u64> }\n";
+    assert_eq!(rule_count(SIM, src, Rule::UnorderedMap), 2);
+}
+
+#[test]
+fn r1_hashset_is_flagged() {
+    let src = "fn f() { let s = std::collections::HashSet::<u64>::new(); }\n";
+    assert_eq!(rule_count(SIM, src, Rule::UnorderedMap), 1);
+}
+
+#[test]
+fn r1_hashmap_in_string_literal_is_clean() {
+    let src = "fn f() -> &'static str { \"HashMap::new() is banned\" }\n";
+    assert_eq!(rule_count(SIM, src, Rule::UnorderedMap), 0);
+}
+
+#[test]
+fn r1_hashmap_in_comment_is_clean() {
+    let src = "// why no HashMap here: iteration order\n/* HashMap /* nested */ */\nfn f() {}\n";
+    assert_eq!(rule_count(SIM, src, Rule::UnorderedMap), 0);
+}
+
+#[test]
+fn r1_hashmap_in_cfg_test_module_is_clean() {
+    let src = "
+fn live() {}
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    #[test]
+    fn t() { let _ = HashMap::<u64, u64>::new(); }
+}
+";
+    assert_eq!(rule_count(SIM, src, Rule::UnorderedMap), 0);
+}
+
+#[test]
+fn r1_allow_annotation_with_reason_suppresses() {
+    let src = "
+// nvsim-lint: allow(unordered-map) — key-indexed lookups only, never iterated
+use std::collections::HashMap;
+struct S {
+    // nvsim-lint: allow(unordered-map) — order recovered via intrusive list
+    m: HashMap<u64, u32>,
+}
+";
+    assert_eq!(rule_count(SIM, src, Rule::UnorderedMap), 0);
+    assert_eq!(rule_count(SIM, src, Rule::BadAnnotation), 0);
+}
+
+#[test]
+fn r1_allow_annotation_without_reason_does_not_suppress() {
+    let src = "// nvsim-lint: allow(unordered-map)\nuse std::collections::HashMap;\n";
+    assert_eq!(rule_count(SIM, src, Rule::UnorderedMap), 1);
+    assert_eq!(rule_count(SIM, src, Rule::BadAnnotation), 1);
+}
+
+#[test]
+fn r1_trailing_allow_annotation_suppresses_same_line() {
+    let src = "use std::collections::HashMap; // nvsim-lint: allow(unordered-map) — lookup only\n";
+    assert_eq!(rule_count(SIM, src, Rule::UnorderedMap), 0);
+}
+
+#[test]
+fn r1_unknown_rule_id_in_annotation_is_flagged() {
+    let src = "// nvsim-lint: allow(no-such-rule) — whatever\nfn f() {}\n";
+    assert_eq!(rule_count(SIM, src, Rule::BadAnnotation), 1);
+}
+
+#[test]
+fn r1_exempt_in_shims_and_tests() {
+    let src = "use std::collections::HashMap;\n";
+    assert_eq!(
+        rule_count("crates/shims/serde/src/lib.rs", src, Rule::UnorderedMap),
+        0
+    );
+    assert_eq!(
+        rule_count("crates/vans/tests/integration.rs", src, Rule::UnorderedMap),
+        0
+    );
+}
+
+#[test]
+fn r1_applies_to_bench_runner_code() {
+    let src = "use std::collections::HashMap;\n";
+    assert_eq!(
+        rule_count("crates/bench/src/runner.rs", src, Rule::UnorderedMap),
+        1
+    );
+}
+
+// ---------------------------------------------------------------- R2
+
+#[test]
+fn r2_instant_in_sim_crate_is_flagged() {
+    let src = "use std::time::Instant;\nfn f() { let _t = Instant::now(); }\n";
+    assert!(rule_count(SIM, src, Rule::WallClock) >= 2);
+}
+
+#[test]
+fn r2_instantiated_in_comment_is_clean() {
+    let src = "// Instantiated lazily; see SystemTime docs.\nfn f() {}\n";
+    assert_eq!(rule_count(SIM, src, Rule::WallClock), 0);
+}
+
+#[test]
+fn r2_bench_is_exempt() {
+    let src = "use std::time::Instant;\nfn f() { let _t = Instant::now(); }\n";
+    assert_eq!(
+        rule_count("crates/bench/src/perf.rs", src, Rule::WallClock),
+        0
+    );
+}
+
+// ---------------------------------------------------------------- R3
+
+#[test]
+fn r3_unwrap_and_expect_calls_are_flagged() {
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() + x.expect(\"msg\") }\n";
+    assert_eq!(rule_count(SIM, src, Rule::PanicPath), 2);
+}
+
+#[test]
+fn r3_panic_family_macros_are_flagged() {
+    let src =
+        "fn f(n: u32) { match n { 0 => panic!(\"boom\"), 1 => unreachable!(), _ => todo!() } }\n";
+    assert_eq!(rule_count(SIM, src, Rule::PanicPath), 3);
+}
+
+#[test]
+fn r3_unwrap_or_and_expect_completion_are_clean() {
+    let src =
+        "fn f(x: Option<u32>, b: &mut B) -> u32 { x.unwrap_or(0) + b.expect_completion(1) }\n";
+    assert_eq!(rule_count(SIM, src, Rule::PanicPath), 0);
+}
+
+#[test]
+fn r3_asserts_are_clean() {
+    let src = "fn f(n: u32) { assert!(n > 0); debug_assert_eq!(n, n); }\n";
+    assert_eq!(rule_count(SIM, src, Rule::PanicPath), 0);
+}
+
+#[test]
+fn r3_test_fn_may_unwrap() {
+    let src = "
+#[test]
+fn t() { Some(1).unwrap(); }
+#[cfg(test)]
+mod tests { fn h() { panic!(\"fine in tests\"); } }
+";
+    assert_eq!(rule_count(SIM, src, Rule::PanicPath), 0);
+}
+
+#[test]
+fn r3_fn_named_unwrap_definition_is_clean() {
+    // Only method-call position `.unwrap(` is flagged.
+    let src = "fn unwrap(x: u32) -> u32 { x }\nfn g() { let _ = unwrap(3); }\n";
+    assert_eq!(rule_count(SIM, src, Rule::PanicPath), 0);
+}
+
+// ---------------------------------------------------------------- R4
+
+#[test]
+fn r4_take_completion_call_is_flagged_everywhere_outside_tests() {
+    let src = "fn f(b: &mut B) { let _ = b.take_completion(7); }\n";
+    assert_eq!(rule_count(SIM, src, Rule::DeprecatedTakeCompletion), 1);
+    assert_eq!(
+        rule_count(
+            "crates/bench/src/main.rs",
+            src,
+            Rule::DeprecatedTakeCompletion
+        ),
+        1
+    );
+    assert_eq!(
+        rule_count("examples/demo.rs", src, Rule::DeprecatedTakeCompletion),
+        1
+    );
+}
+
+#[test]
+fn r4_definition_and_try_variant_are_clean() {
+    let src = "
+trait T {
+    fn take_completion(&mut self, id: u64) -> u64 { 0 }
+}
+fn f(b: &mut B) { let _ = b.try_take_completion(7); }
+";
+    assert_eq!(rule_count(SIM, src, Rule::DeprecatedTakeCompletion), 0);
+}
+
+// ---------------------------------------------------------------- R5
+
+const DEF: &str = "crates/nvsim-types/src/trace.rs";
+const DEF_SRC: &str = "
+pub enum Stage {
+    Rpq,
+    MediaRead,
+}
+pub struct SpanRecorder;
+impl Stage {
+    pub const ALL: [Stage; 2] = [Stage::Rpq, Stage::MediaRead];
+}
+";
+
+#[test]
+fn r5_unemitted_variant_is_flagged_at_definition() {
+    let emitter = "
+use crate::trace::{SpanRecorder, Stage};
+fn f(r: &mut SpanRecorder) { r.record(Stage::Rpq, 0, 1); }
+";
+    let findings = lint_sources([(DEF, DEF_SRC), ("crates/vans/src/imc.rs", emitter)]);
+    let missing: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::StageCoverage)
+        .collect();
+    assert_eq!(missing.len(), 1);
+    assert!(missing[0].message.contains("MediaRead"));
+    assert_eq!(missing[0].file, DEF);
+}
+
+#[test]
+fn r5_full_coverage_is_clean() {
+    let emitter = "
+use crate::trace::{SpanRecorder, Stage};
+fn f(r: &mut SpanRecorder) {
+    r.record(Stage::Rpq, 0, 1);
+    r.record(Stage::MediaRead, 1, 2);
+}
+";
+    let findings = lint_sources([(DEF, DEF_SRC), ("crates/vans/src/imc.rs", emitter)]);
+    assert!(!findings.iter().any(|f| f.rule == Rule::StageCoverage));
+}
+
+#[test]
+fn r5_reference_without_recorder_context_does_not_count() {
+    // A file mentioning Stage::MediaRead without any SpanRecorder/StageSpan
+    // is not an emission site (e.g. a match arm in a formatter).
+    let non_emitter = "
+use crate::trace::Stage;
+fn name(s: Stage) -> &'static str { match s { Stage::MediaRead => \"m\", _ => \"r\" } }
+";
+    let emitter = "
+use crate::trace::{SpanRecorder, Stage};
+fn f(r: &mut SpanRecorder) { r.record(Stage::Rpq, 0, 1); }
+";
+    let findings = lint_sources([
+        (DEF, DEF_SRC),
+        ("crates/vans/src/fmt.rs", non_emitter),
+        ("crates/vans/src/imc.rs", emitter),
+    ]);
+    let missing: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::StageCoverage)
+        .collect();
+    assert_eq!(missing.len(), 1, "MediaRead must still be uncovered");
+}
+
+#[test]
+fn r5_test_only_emission_does_not_count() {
+    let emitter = "
+use crate::trace::{SpanRecorder, Stage};
+fn f(r: &mut SpanRecorder) { r.record(Stage::Rpq, 0, 1); }
+#[cfg(test)]
+mod tests {
+    use super::*;
+    #[test]
+    fn t(r: &mut SpanRecorder) { r.record(Stage::MediaRead, 0, 1); }
+}
+";
+    let findings = lint_sources([(DEF, DEF_SRC), ("crates/vans/src/imc.rs", emitter)]);
+    assert!(findings
+        .iter()
+        .any(|f| f.rule == Rule::StageCoverage && f.message.contains("MediaRead")));
+}
+
+// ---------------------------------------------------------------- output shape
+
+#[test]
+fn findings_are_sorted_and_positioned() {
+    let src = "use std::collections::HashMap;\nfn f(x: Option<u32>) { x.unwrap(); }\n";
+    let findings = lint_sources([(SIM, src)]);
+    assert_eq!(findings.len(), 2);
+    assert_eq!(findings[0].line, 1);
+    assert_eq!(findings[0].col, 23);
+    assert_eq!(findings[1].line, 2);
+    let sorted = {
+        let mut s: Vec<u32> = findings.iter().map(|f| f.line).collect();
+        s.sort_unstable();
+        s
+    };
+    assert_eq!(sorted, vec![1, 2]);
+}

@@ -1,0 +1,23 @@
+//! Live-workspace test: `cargo test` itself enforces the zero-finding
+//! invariant, so a regression cannot land without either fixing it or
+//! adding a justified baseline entry / allow annotation.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_finding_free_against_baseline() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = nvsim_lint::find_root(manifest).expect("workspace root above nvsim-lint");
+    let report =
+        nvsim_lint::lint_workspace(&root, &root.join("lint-baseline.txt")).expect("lint run");
+    assert!(
+        report.files_scanned > 30,
+        "suspiciously few files scanned ({}) — walk broken?",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "nvsim-lint found new findings or baseline drift:\n{}",
+        report.render_text()
+    );
+}

@@ -130,7 +130,7 @@ pub struct XpointMedia {
     bus_free: Time,
     stats: MediaStats,
     /// Lifetime writes per access unit index, kept sparsely.
-    unit_writes: std::collections::HashMap<u64, u64>,
+    unit_writes: std::collections::BTreeMap<u64, u64>,
 }
 
 impl XpointMedia {
@@ -147,7 +147,7 @@ impl XpointMedia {
             die_free: vec![Time::ZERO; dies],
             bus_free: Time::ZERO,
             stats: MediaStats::default(),
-            unit_writes: std::collections::HashMap::new(),
+            unit_writes: std::collections::BTreeMap::new(),
         })
     }
 

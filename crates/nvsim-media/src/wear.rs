@@ -20,7 +20,7 @@ use crate::media::MediaAddr;
 use nvsim_types::error::{require_nonzero, require_power_of_two};
 use nvsim_types::ConfigError;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Wear-leveling configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -108,7 +108,7 @@ struct BlockWear {
 #[derive(Debug, Clone)]
 pub struct WearTracker {
     cfg: WearConfig,
-    blocks: HashMap<u64, BlockWear>,
+    blocks: BTreeMap<u64, BlockWear>,
     total_writes: u64,
     total_migrations: u64,
 }
@@ -123,7 +123,7 @@ impl WearTracker {
         cfg.validate()?;
         Ok(WearTracker {
             cfg,
-            blocks: HashMap::new(),
+            blocks: BTreeMap::new(),
             total_writes: 0,
             total_migrations: 0,
         })

@@ -161,16 +161,39 @@ pub trait MemoryBackend {
 
     /// Infallible variant of
     /// [`try_take_completion`](MemoryBackend::try_take_completion), for
-    /// drivers whose request bookkeeping makes a miss a logic bug.
+    /// drivers whose request bookkeeping makes a miss a logic bug: the
+    /// canonical use is taking the completion of a request the caller has
+    /// just submitted and never detached, which cannot legitimately miss.
+    ///
+    /// This is the one sanctioned panic site for completion bookkeeping;
+    /// datapath code calls this instead of `.expect(..)`-ing the fallible
+    /// variant so the invariant is stated (and audited) in exactly one place.
     ///
     /// # Panics
     ///
     /// Panics if `id` was never submitted or was already taken.
-    fn take_completion(&mut self, id: ReqId) -> Time {
+    fn expect_completion(&mut self, id: ReqId) -> Time {
         match self.try_take_completion(id) {
             Ok(t) => t,
+            // nvsim-lint: allow(panic-path) — the single documented logic-bug
+            // panic backing every infallible completion take; callers that can
+            // miss must use try_take_completion.
             Err(e) => panic!("take_completion: {e}"),
         }
+    }
+
+    /// Former name of [`expect_completion`](MemoryBackend::expect_completion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never submitted or was already taken.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use try_take_completion (or \
+        expect_completion for freshly submitted requests) instead"
+    )]
+    fn take_completion(&mut self, id: ReqId) -> Time {
+        self.expect_completion(id)
     }
 
     /// Advances simulated time until request `id` completes; returns the
@@ -180,7 +203,7 @@ pub trait MemoryBackend {
     ///
     /// Panics if `id` was never submitted or already waited for.
     fn wait_for(&mut self, id: ReqId) -> Time {
-        let done = self.take_completion(id);
+        let done = self.expect_completion(id);
         self.skip_to(done);
         done
     }
@@ -274,8 +297,8 @@ impl<B: MemoryBackend + ?Sized> MemoryBackend for &mut B {
     fn try_take_completion(&mut self, id: ReqId) -> Result<Time, BackendError> {
         (**self).try_take_completion(id)
     }
-    fn take_completion(&mut self, id: ReqId) -> Time {
-        (**self).take_completion(id)
+    fn expect_completion(&mut self, id: ReqId) -> Time {
+        (**self).expect_completion(id)
     }
     fn wait_for(&mut self, id: ReqId) -> Time {
         (**self).wait_for(id)
@@ -530,7 +553,21 @@ mod tests {
     #[test]
     #[should_panic(expected = "not in flight")]
     fn take_completion_wrapper_panics_on_unknown() {
+        #[allow(deprecated)]
         mem().take_completion(ReqId(42));
+    }
+
+    #[test]
+    fn expect_completion_returns_fresh_completions() {
+        let mut m = mem();
+        let id = m.submit(RequestDesc::load(Addr::new(0)));
+        assert_eq!(m.expect_completion(id), Time::from_ns(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in flight")]
+    fn expect_completion_panics_on_unknown() {
+        mem().expect_completion(ReqId(42));
     }
 
     #[test]

@@ -173,8 +173,7 @@ impl Histogram {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in histogram"));
+            self.samples.sort_by(f64::total_cmp);
             self.sorted = true;
         }
     }

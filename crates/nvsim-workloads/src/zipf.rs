@@ -54,10 +54,7 @@ impl Zipfian {
     /// Draws one key rank (0 = most popular).
     pub fn sample(&self, rng: &mut DetRng) -> usize {
         let u = rng.f64();
-        match self
-            .cdf
-            .binary_search_by(|p| p.partial_cmp(&u).expect("no NaN"))
-        {
+        match self.cdf.binary_search_by(|p| p.total_cmp(&u)) {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }

@@ -12,7 +12,7 @@ use crate::curves::OptaneReference;
 use nvsim_types::{
     Addr, BackendCounters, BackendError, MemOp, MemoryBackend, ReqId, RequestDesc, Time,
 };
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The reference machine as a driveable backend.
 #[derive(Debug, Clone)]
@@ -21,14 +21,14 @@ pub struct ReferenceBackend {
     dimms: u32,
     now: Time,
     next_id: u64,
-    completions: HashMap<ReqId, Time>,
+    completions: BTreeMap<ReqId, Time>,
     counters: BackendCounters,
     /// Footprint tracking: lowest/highest line index seen since reset.
     lo_line: Option<u64>,
     hi_line: Option<u64>,
     /// Bytes written per 64 KB block, for tail emulation (the model's
     /// tail period is expressed in 256 B write iterations).
-    block_writes: HashMap<u64, u64>,
+    block_writes: BTreeMap<u64, u64>,
 }
 
 impl ReferenceBackend {
@@ -39,11 +39,11 @@ impl ReferenceBackend {
             dimms,
             now: Time::ZERO,
             next_id: 0,
-            completions: HashMap::new(),
+            completions: BTreeMap::new(),
             counters: BackendCounters::default(),
             lo_line: None,
             hi_line: None,
-            block_writes: HashMap::new(),
+            block_writes: BTreeMap::new(),
         }
     }
 
@@ -60,9 +60,11 @@ impl ReferenceBackend {
 
     fn observe(&mut self, addr: Addr) -> u64 {
         let line = addr.line_index();
-        self.lo_line = Some(self.lo_line.map_or(line, |l| l.min(line)));
-        self.hi_line = Some(self.hi_line.map_or(line, |h| h.max(line)));
-        let span_lines = self.hi_line.unwrap() - self.lo_line.unwrap() + 1;
+        let lo = self.lo_line.map_or(line, |l| l.min(line));
+        let hi = self.hi_line.map_or(line, |h| h.max(line));
+        self.lo_line = Some(lo);
+        self.hi_line = Some(hi);
+        let span_lines = hi - lo + 1;
         span_lines * 64
     }
 
@@ -132,10 +134,8 @@ impl MemoryBackend for ReferenceBackend {
     }
 
     fn drain(&mut self) -> Time {
-        let last = self
-            .completions
-            .drain()
-            .map(|(_, t)| t)
+        let last = std::mem::take(&mut self.completions)
+            .into_values()
             .max()
             .unwrap_or(self.now);
         self.now = self.now.max(last);

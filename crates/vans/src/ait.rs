@@ -12,7 +12,7 @@ use nvsim_dram::DramModel;
 use nvsim_media::{MediaAddr, WearEvent, WearTracker, XpointMedia};
 use nvsim_types::trace::{SpanRecorder, Stage, StageSpan};
 use nvsim_types::{Addr, Time};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Statistics of AIT behaviour.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -46,8 +46,10 @@ pub struct Ait {
     tcache: LruBuffer,
     /// The full translation table: physical page → media frame index.
     /// Resident in on-DIMM DRAM; lookups not covered by `tcache` pay a
-    /// DRAM access.
-    translations: HashMap<u64, u64>,
+    /// DRAM access. Ordered map: [`Ait::migrate`] iterates it and the
+    /// iteration order feeds the post-migration frame assignment, so it
+    /// must be deterministic.
+    translations: BTreeMap<u64, u64>,
     /// On-DIMM DRAM timing model.
     dram: DramModel,
     /// Media array.
@@ -57,7 +59,7 @@ pub struct Ait {
     /// Bump allocator for fresh media wear blocks (in wear-block units).
     next_free_block: u64,
     /// Physical pages currently stalled behind a migration.
-    busy_pages: HashMap<u64, Time>,
+    busy_pages: BTreeMap<u64, Time>,
     stats: AitStats,
     /// Per-stage span collection (disabled unless tracing is on).
     recorder: SpanRecorder,
@@ -72,14 +74,14 @@ impl Ait {
             buffer: LruBuffer::new(cfg.buffer_entries as usize),
             tcache: LruBuffer::new(cfg.translation_cache_entries.max(1) as usize),
             cfg,
-            translations: HashMap::new(),
+            translations: BTreeMap::new(),
             dram,
             media,
             wear,
             // Fresh blocks for migration targets start past the directly
             // mapped region.
             next_free_block: capacity / block,
-            busy_pages: HashMap::new(),
+            busy_pages: BTreeMap::new(),
             stats: AitStats::default(),
             recorder: SpanRecorder::new(),
         }
@@ -257,7 +259,9 @@ impl Ait {
         // the block see it as a MigrationStall span instead).
         self.recorder.record(Stage::MediaWrite, t, copy_done);
         // Remap every physical page currently pointing into the hot block
-        // and stall writes to it until the migration is done.
+        // and stall writes to it until the migration is done. The remapped
+        // frame of each page depends on its position in this scan, so the
+        // scan must visit pages in a deterministic (key) order.
         let frame_lo = media_block * ppb;
         let frame_hi = frame_lo + ppb;
         let affected: Vec<u64> = self

@@ -5,6 +5,8 @@
 //! Entries are keyed by block index (address / entry size); the caller
 //! owns the granularity conventions.
 
+// nvsim-lint: allow(unordered-map) — key→slot index only; LRU order (the
+// only order ever observed) lives in the intrusive slab list below.
 use std::collections::HashMap;
 
 /// Result of a buffer lookup or insertion.
@@ -67,6 +69,8 @@ struct Node {
 pub struct LruBuffer {
     capacity: usize,
     /// Key -> slot index into `slab`.
+    // nvsim-lint: allow(unordered-map) — never iterated; `keys()`/eviction
+    // walk the intrusive list in deterministic MRU→LRU order instead.
     index: HashMap<u64, u32>,
     /// Node storage; slots are recycled through `free`.
     slab: Vec<Node>,
@@ -94,6 +98,7 @@ impl LruBuffer {
         );
         LruBuffer {
             capacity,
+            // nvsim-lint: allow(unordered-map) — see field docs: never iterated.
             index: HashMap::with_capacity(capacity + 1),
             slab: Vec::with_capacity(capacity),
             free: Vec::new(),

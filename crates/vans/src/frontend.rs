@@ -109,10 +109,7 @@ impl SimPort {
             return Err(SendError::Busy);
         }
         let id = self.mem.submit(desc);
-        let done = self
-            .mem
-            .try_take_completion(id)
-            .expect("completion of freshly submitted request");
+        let done = self.mem.expect_completion(id);
         self.inflight.push_back((token, id, done));
         Ok(())
     }

@@ -120,9 +120,9 @@ impl Imc {
     pub fn allocate_rpq(&mut self, t: Time) -> Time {
         if self.rpq.len() >= self.cfg.rpq_entries as usize {
             self.stats.rpq_stalls += 1;
-            let oldest = self.rpq.pop_front().expect("full RPQ is non-empty");
-            let start = t.max(oldest);
-            return start;
+            if let Some(oldest) = self.rpq.pop_front() {
+                return t.max(oldest);
+            }
         }
         t
     }

@@ -122,7 +122,7 @@ impl Lsq {
         }
         // Need a free entry: evict (combine) first if full.
         let drained = if self.lines.len() >= self.cfg.entries as usize {
-            Some(self.evict_one())
+            self.evict_one()
         } else {
             None
         };
@@ -132,9 +132,10 @@ impl Lsq {
     }
 
     /// Evicts the LRU line together with every resident line of its
-    /// combine block (write combining).
-    fn evict_one(&mut self) -> CombinedWrite {
-        let victim = self.lines.peek_lru().expect("evict from non-empty LSQ");
+    /// combine block (write combining). Returns `None` when the LSQ is
+    /// empty.
+    fn evict_one(&mut self) -> Option<CombinedWrite> {
+        let victim = self.lines.peek_lru()?;
         let lines_per_block = (self.cfg.combine_bytes as u64 / CACHE_LINE) as u32;
         let block = victim / lines_per_block as u64;
         self.members.clear();
@@ -150,10 +151,10 @@ impl Lsq {
         if self.members.len() > 1 {
             self.stats.combined_drains += 1;
         }
-        CombinedWrite {
+        Some(CombinedWrite {
             block_addr: Addr::new(block * self.cfg.combine_bytes as u64),
             lines: self.members.len() as u32,
-        }
+        })
     }
 
     /// Flushes every resident line (the `mfence` behaviour the paper
@@ -161,8 +162,8 @@ impl Lsq {
     /// on the fence path reuse one scratch vector across flushes.
     pub fn flush_into(&mut self, out: &mut Vec<CombinedWrite>) {
         out.clear();
-        while !self.lines.is_empty() {
-            out.push(self.evict_one());
+        while let Some(cw) = self.evict_one() {
+            out.push(cw);
         }
     }
 

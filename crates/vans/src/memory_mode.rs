@@ -13,6 +13,9 @@ use nvsim_types::{
     Addr, BackendCounters, BackendError, ConfigError, MemOp, MemoryBackend, ReqId, RequestDesc,
     Time, CACHE_LINE,
 };
+// nvsim-lint: allow(unordered-map) — the tag array is key-indexed only
+// (get/insert by set index, never iterated), so iteration order is never
+// observed; a hash map keeps the potentially multi-million-entry array O(1).
 use std::collections::HashMap;
 
 /// Statistics of the near-memory cache.
@@ -47,6 +50,7 @@ pub struct MemoryModeSystem {
     nvram: MemorySystem,
     dram: DramModel,
     /// Direct-mapped tag array: set index → (tag, dirty).
+    // nvsim-lint: allow(unordered-map) — lookup-only by set index, never iterated.
     tags: HashMap<u64, (u64, bool)>,
     /// Number of cache sets (DRAM capacity / 64 B).
     sets: u64,
@@ -75,6 +79,7 @@ impl MemoryModeSystem {
         Ok(MemoryModeSystem {
             nvram,
             dram,
+            // nvsim-lint: allow(unordered-map) — see field docs: never iterated.
             tags: HashMap::new(),
             sets,
             pending: Vec::new(),
@@ -124,10 +129,7 @@ impl MemoryModeSystem {
                 // Fetch the line from NVRAM (reads and write-allocates).
                 self.nvram.skip_to(now);
                 let id = self.nvram.submit(RequestDesc::load(line_addr));
-                let filled = self
-                    .nvram
-                    .try_take_completion(id)
-                    .expect("completion of freshly submitted request");
+                let filled = self.nvram.expect_completion(id);
                 // Install into DRAM (posted).
                 let _ = self.dram.access(line_addr, true, filled);
                 self.tags.insert(set, (tag, write));

@@ -69,7 +69,8 @@ pub struct LazyCache {
     /// LZ2: 128 B entries keyed by 128 B block index.
     lz2: LruBuffer,
     /// WLB: wear-hot line indices with their migration-derived priority.
-    wlb: std::collections::HashMap<u64, u32>,
+    /// Ordered map so any future iteration (stats, dumps) is deterministic.
+    wlb: std::collections::BTreeMap<u64, u32>,
     stats: LazyCacheStats,
 }
 
@@ -80,7 +81,7 @@ impl LazyCache {
             lz1: LruBuffer::new((cfg.lz1_bytes / CACHE_LINE as u32).max(1) as usize),
             lz2: LruBuffer::new((cfg.lz2_bytes / 128).max(1) as usize),
             cfg,
-            wlb: std::collections::HashMap::new(),
+            wlb: std::collections::BTreeMap::new(),
             stats: LazyCacheStats::default(),
         }
     }

@@ -21,7 +21,7 @@
 use crate::buffer::LruBuffer;
 use nvsim_types::{Addr, Time};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Pre-translation configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -79,8 +79,10 @@ pub struct PreTranslation {
     cfg: PreTranslationConfig,
     /// RLB keyed by the paddr's line index.
     rlb: LruBuffer,
-    /// The full table: paddr line index → pfn.
-    table: HashMap<u64, u64>,
+    /// The full table: paddr line index → pfn. Ordered map: the
+    /// capacity-eviction victim in [`PreTranslation::update`] is chosen by
+    /// iteration order, which must be deterministic.
+    table: BTreeMap<u64, u64>,
     stats: PreTranslationStats,
 }
 
@@ -90,7 +92,7 @@ impl PreTranslation {
         PreTranslation {
             rlb: LruBuffer::new(cfg.rlb_entries.max(1) as usize),
             cfg,
-            table: HashMap::new(),
+            table: BTreeMap::new(),
             stats: PreTranslationStats::default(),
         }
     }
@@ -131,8 +133,10 @@ impl PreTranslation {
         let key = paddr.line_index();
         self.stats.updates += 1;
         if self.table.len() >= self.cfg.table_entries as usize && !self.table.contains_key(&key) {
-            // Table full: drop an arbitrary entry (the table is a cache of
-            // derived state; correctness is preserved by check-before-read).
+            // Table full: drop the smallest-keyed entry (the table is a
+            // cache of derived state; correctness is preserved by
+            // check-before-read, and a deterministic victim keeps simulated
+            // cycles reproducible run-to-run).
             if let Some(&victim) = self.table.keys().next() {
                 self.table.remove(&victim);
                 self.rlb.invalidate(victim);

@@ -11,7 +11,7 @@ use nvsim_types::{
     Addr, BackendCounters, BackendError, ConfigError, MemOp, MemoryBackend, ReqId, RequestDesc,
     Time, CACHE_LINE,
 };
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io;
 
 /// The VANS memory system.
@@ -43,7 +43,7 @@ pub struct MemorySystem {
     last_completion: Option<(ReqId, Time)>,
     /// Older in-flight completions (spilled from `last_completion` when
     /// several requests overlap).
-    completions: HashMap<ReqId, Time>,
+    completions: BTreeMap<ReqId, Time>,
     /// Bus-level traffic counters (host side).
     bus_reads: u64,
     bus_writes: u64,
@@ -81,7 +81,7 @@ impl MemorySystem {
             now: Time::ZERO,
             next_id: 0,
             last_completion: None,
-            completions: HashMap::new(),
+            completions: BTreeMap::new(),
             bus_reads: 0,
             bus_writes: 0,
             bus_bytes_read: 0,
@@ -270,7 +270,7 @@ impl MemoryBackend for MemorySystem {
         if let Some((_, t)) = self.last_completion.take() {
             last = last.max(t);
         }
-        if let Some(t) = self.completions.drain().map(|(_, t)| t).max() {
+        if let Some(t) = std::mem::take(&mut self.completions).into_values().max() {
             last = last.max(t);
         }
         self.now = last;
