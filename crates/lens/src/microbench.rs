@@ -1,6 +1,8 @@
 //! The three LENS microbenchmarks: pointer chasing, overwrite, stride.
 
-use nvsim_types::{Addr, DetRng, MemOp, MemoryBackend, RequestDesc, Time, CACHE_LINE};
+use nvsim_types::{
+    Addr, DetRng, MemOp, MemoryBackend, RequestDesc, Time, CACHE_LINE, CACHE_LINE_U32,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -290,7 +292,7 @@ impl Stride {
         let mut window: VecDeque<_> = VecDeque::new();
         for i in 0..count {
             let addr = Addr::new(self.base + i * self.stride);
-            let desc = RequestDesc::new(addr, CACHE_LINE as u32, self.op);
+            let desc = RequestDesc::new(addr, CACHE_LINE_U32, self.op);
             // Regular stores model an RFO + write inside persistence-aware
             // backends; issue uniformly here.
             let id = mem.submit(desc);

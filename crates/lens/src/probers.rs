@@ -8,6 +8,14 @@ use crate::microbench::{Overwrite, PtrChasing, Stride};
 use nvsim_types::{MemOp, MemoryBackend};
 use serde::{Deserialize, Serialize};
 
+/// Iterations needed to push `scan_bytes` through a `region`-byte window,
+/// floored at 100 for tail statistics and capped at `u32::MAX`: the former
+/// unchecked `as u32` wrapped for scan volumes past ~256 GiB on the
+/// smallest region, collapsing the probe to a handful of iterations.
+fn capped_iterations(scan_bytes: u64, region: u64) -> u32 {
+    u32::try_from((scan_bytes / region.max(1)).max(100)).unwrap_or(u32::MAX)
+}
+
 /// Generates the power-of-two sweep `[lo, hi]`.
 fn sweep(lo: u64, hi: u64) -> Vec<u64> {
     let mut v = Vec::new();
@@ -284,7 +292,7 @@ impl PolicyProber {
         // Fig 7c: fixed data volume across region sizes.
         let mut tail_ratio_by_region = Vec::new();
         for &region in &self.region_sizes {
-            let iterations = (self.scan_bytes / region).max(100) as u32;
+            let iterations = capped_iterations(self.scan_bytes, region);
             let r = Overwrite::region(region, iterations).run(&mut fresh());
             let t = tail_analysis(&r.iter_us);
             // Normalize to per-256B-write ratio so regions are comparable.
@@ -442,5 +450,16 @@ mod tests {
     fn sweep_is_powers_of_two() {
         let s = sweep(128, 1024);
         assert_eq!(s, vec![128, 256, 512, 1024]);
+    }
+
+    #[test]
+    fn iteration_count_saturates_for_huge_scan_volumes() {
+        // Regression: `(scan_bytes / region) as u32` wrapped for scan
+        // volumes past ~256 GiB at region=256, turning an intended
+        // billion-iteration probe into a near-empty one.
+        assert_eq!(capped_iterations(1 << 20, 256), 4096);
+        assert_eq!(capped_iterations(0, 256), 100);
+        assert_eq!(capped_iterations(u64::MAX, 256), u32::MAX);
+        assert_eq!(capped_iterations(1 << 40, 0), u32::MAX);
     }
 }

@@ -227,7 +227,12 @@ impl TlbHierarchy {
             t = mem.execute(RequestDesc::load(Addr::new(pte).align_down(64)));
         }
         let walk_wait = t.saturating_sub(now);
-        let cycles = self.cfg.walk_base_cycles + (walk_wait.as_ns_f64() * 2.2).round() as u32;
+        // f64→u32 `as` rounds toward the saturated bound deterministically,
+        // but the former `+` could overflow u32 on a pathological backend
+        // latency (debug-build panic, release wraparound); saturate instead.
+        // nvsim-lint: allow(cast-truncation) — f64 as u32 saturates, never wraps
+        let walk_cycles = (walk_wait.as_ns_f64() * 2.2).round() as u32;
+        let cycles = self.cfg.walk_base_cycles.saturating_add(walk_cycles);
         self.l1.insert(vpn);
         self.stlb.insert(vpn);
         Translation {
@@ -301,6 +306,19 @@ mod tests {
             m.counters().bus_reads as u32,
             TlbConfig::tiny_for_tests().walk_memory_accesses
         );
+    }
+
+    #[test]
+    fn extreme_walk_latency_saturates_instead_of_overflowing() {
+        // Regression: walk_base_cycles + (wait * 2.2) used plain `+` on
+        // u32, which panics in debug builds (and wraps in release) when a
+        // pathological backend latency pushes the walk cost past u32::MAX.
+        let mut t = tlb();
+        let huge = Time::from_ns(u64::from(u32::MAX) * 4);
+        let mut m = FixedLatencyBackend::new(huge, huge);
+        let a = t.translate(VirtAddr::new(0x9000), Time::ZERO, &mut m);
+        assert!(a.walked);
+        assert_eq!(a.cycles, u32::MAX);
     }
 
     #[test]

@@ -46,6 +46,7 @@ const MAGIC: &[u8; 5] = b"NVTR\x01";
 
 fn put_varint(buf: &mut BytesMut, mut v: u64) {
     loop {
+        // nvsim-lint: allow(cast-truncation) — value is masked to 7 bits
         let byte = (v & 0x7F) as u8;
         v >>= 7;
         if v == 0 {
@@ -200,7 +201,12 @@ pub fn decode(data: &[u8]) -> Result<Vec<TraceOp>, TraceDecodeError> {
         };
         let op = match tag {
             TAG_COMPUTE => TraceOp::Compute {
-                n: get_varint(&mut buf, &mut offset)? as u32,
+                n: u32::try_from(get_varint(&mut buf, &mut offset)?).map_err(|_| {
+                    TraceDecodeError {
+                        offset,
+                        reason: "compute count exceeds u32",
+                    }
+                })?,
             },
             TAG_LOAD => TraceOp::Load {
                 vaddr: addr(&mut buf, &mut offset, &mut prev_addr)?,
@@ -310,6 +316,25 @@ mod tests {
         raw[last] = 99;
         let err = decode(&raw).unwrap_err();
         assert_eq!(err.reason, "unknown op tag");
+    }
+
+    #[test]
+    fn oversized_compute_count_rejected_not_truncated() {
+        // Regression: a compute varint above u32::MAX used to be silently
+        // truncated by an `as u32` cast (e.g. 2^32 decoded as 0 cycles),
+        // corrupting replayed timing instead of failing loudly.
+        let mut raw = Vec::new();
+        raw.extend_from_slice(MAGIC);
+        raw.push(1); // count = 1
+        raw.push(TAG_COMPUTE);
+        let mut v = u64::from(u32::MAX) + 1;
+        while v >= 0x80 {
+            raw.push((v & 0x7F) as u8 | 0x80);
+            v >>= 7;
+        }
+        raw.push(v as u8);
+        let err = decode(&raw).unwrap_err();
+        assert_eq!(err.reason, "compute count exceeds u32");
     }
 
     #[test]

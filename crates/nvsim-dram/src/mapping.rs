@@ -123,7 +123,7 @@ impl AddressMapping {
         let mut d = DecodedAddr::default();
         for &f in &self.order {
             let size = self.field_size(f);
-            let val = (v % size) as u32;
+            let val = (v % size) as u32; // nvsim-lint: allow(cast-truncation) — field sizes are u32 organization parameters, so v % size < 2^32
             v /= size;
             match f {
                 MappingField::Channel => d.channel = val,

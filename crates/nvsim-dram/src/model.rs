@@ -209,6 +209,7 @@ impl DramModel {
                     }
                 }
                 for (pre_at, d) in pres {
+                    // nvsim-lint: allow(cast-truncation) — ch_idx indexes the small configured channel array
                     self.record(pre_at, CommandKind::Precharge, ch_idx as u32, &d);
                 }
                 let end = start + trfc;
@@ -223,7 +224,7 @@ impl DramModel {
                     rank,
                     ..Default::default()
                 };
-                self.record(start, CommandKind::Refresh, ch_idx as u32, &rec);
+                self.record(start, CommandKind::Refresh, ch_idx as u32, &rec); // nvsim-lint: allow(cast-truncation) — ch_idx indexes the small configured channel array
                 self.stats.refreshes += 1;
             }
             self.channels[ch_idx].next_refresh = due + trefi;

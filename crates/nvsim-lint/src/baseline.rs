@@ -32,7 +32,7 @@ pub struct Baseline {
 pub fn parse(text: &str) -> Baseline {
     let mut b = Baseline::default();
     for (idx, raw) in text.lines().enumerate() {
-        let src_line = (idx + 1) as u32;
+        let src_line = u32::try_from(idx + 1).unwrap_or(u32::MAX);
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;

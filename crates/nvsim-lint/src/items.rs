@@ -1,0 +1,531 @@
+//! Brace-matched item-tree parser over the token stream.
+//!
+//! This is the structural layer between the lexer and the semantic rules:
+//! it recovers, per file, the list of function items (free functions, impl
+//! methods, trait methods with default bodies) together with
+//!
+//!   * the owner type (enclosing `impl`/`trait` block), for qualified-call
+//!     resolution,
+//!   * every call site inside each body (`free()`, `.method()`,
+//!     `Type::assoc()`), name-based — no type inference,
+//!   * every potential panic site inside each body (`.unwrap()`,
+//!     `.expect()`, `panic!`-family macros), tagged with whether a
+//!     justified `allow(panic-path)` annotation sanctions it,
+//!   * whether the function is test-only or carries a fn-level
+//!     `allow(panic-reach)` boundary annotation.
+//!
+//! The output feeds the workspace call graph (R7 `panic-reach`) and the
+//! submit-pairing check (R4 `expect-completion-misuse`). The parser is
+//! deliberately conservative: it only needs brace/paren/bracket matching
+//! plus a small angle-bracket matcher for `impl` headers, never a full
+//! grammar. Anything it cannot classify is simply not an item, which
+//! over-approximates the call graph but never crashes.
+
+use crate::lexer::{Tok, TokKind};
+use crate::scope::Allow;
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Callee name (last path segment).
+    pub name: String,
+    /// `Some(Q)` for a `Q::name(..)` qualified call.
+    pub qual: Option<String>,
+    /// True for `.name(..)` method-call position.
+    pub method: bool,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// One potential panic site inside a function body.
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    /// Human-readable form (`".unwrap()"`, `"panic!"`, ...).
+    pub what: String,
+    pub line: u32,
+    pub col: u32,
+    /// True when a justified `allow(panic-path)` annotation covers the
+    /// site's line — the panic is a documented boundary and does not
+    /// propagate through the call graph.
+    pub sanctioned: bool,
+}
+
+/// One parsed function item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Bare function name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type name, if any.
+    pub owner: Option<String>,
+    /// Line of the `fn` keyword (annotation anchor and finding position).
+    pub line: u32,
+    pub col: u32,
+    /// True when the item sits inside a `#[test]`/`#[cfg(test)]` region.
+    pub is_test: bool,
+    /// True when a justified `allow(panic-reach)` annotation anchors to the
+    /// declaration line: the function is a sanctioned panic boundary and
+    /// callers are not flagged for reaching panics through it.
+    pub boundary: bool,
+    pub calls: Vec<Call>,
+    pub panics: Vec<PanicSite>,
+}
+
+impl FnItem {
+    /// `Owner::name` display form.
+    pub fn qual_name(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Keywords that can appear in call-looking position but never name a
+/// workspace function.
+fn is_keyword(name: &str) -> bool {
+    matches!(
+        name,
+        "if" | "while"
+            | "for"
+            | "match"
+            | "return"
+            | "loop"
+            | "in"
+            | "as"
+            | "let"
+            | "else"
+            | "fn"
+            | "impl"
+            | "pub"
+            | "use"
+            | "mod"
+            | "where"
+            | "unsafe"
+            | "dyn"
+            | "ref"
+            | "mut"
+            | "move"
+            | "const"
+            | "static"
+            | "break"
+            | "continue"
+            | "await"
+            | "self"
+            | "Self"
+            | "super"
+            | "crate"
+    )
+}
+
+/// Parse the token stream into function items.
+///
+/// `mask` is the test-region mask from [`crate::scope::test_mask`];
+/// `allow_list` the parsed annotations from [`crate::scope::allows`]. Both
+/// must come from the same token stream.
+pub fn parse_items(toks: &[Tok], mask: &[bool], allow_list: &[Allow]) -> Vec<FnItem> {
+    // Work over code tokens only, but remember original indices so the
+    // test mask can be consulted.
+    let code: Vec<usize> = (0..toks.len())
+        .filter(|&i| toks[i].kind != TokKind::Comment)
+        .collect();
+
+    let sanctions = |line: u32| -> bool {
+        allow_list
+            .iter()
+            .any(|a| a.has_reason && a.rule == "panic-path" && a.applies_line == line)
+    };
+    let boundary_at = |line: u32| -> bool {
+        allow_list
+            .iter()
+            .any(|a| a.has_reason && a.rule == "panic-reach" && a.applies_line == line)
+    };
+
+    let mut fns: Vec<FnItem> = Vec::new();
+    // (brace depth the block was opened at, owner name).
+    let mut owner_stack: Vec<(i32, String)> = Vec::new();
+    // (index into `fns`, brace depth the body was opened at).
+    let mut fn_stack: Vec<(usize, i32)> = Vec::new();
+    let mut depth: i32 = 0;
+    let mut k = 0usize;
+
+    while k < code.len() {
+        let i = code[k];
+        let t = &toks[i];
+
+        if t.is_punct('{') {
+            depth += 1;
+            k += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            depth -= 1;
+            while owner_stack.last().is_some_and(|&(d, _)| d >= depth) {
+                owner_stack.pop();
+            }
+            while fn_stack.last().is_some_and(|&(_, d)| d >= depth) {
+                fn_stack.pop();
+            }
+            k += 1;
+            continue;
+        }
+
+        if t.kind != TokKind::Ident {
+            k += 1;
+            continue;
+        }
+
+        match t.text.as_str() {
+            kw @ ("impl" | "trait") => {
+                if let Some((name, brace_k)) = block_header(toks, &code, k, kw == "trait") {
+                    // Push the owner at the depth the `{` will open; the
+                    // main loop processes the `{` itself.
+                    owner_stack.push((depth, name));
+                    k = brace_k;
+                } else {
+                    k += 1;
+                }
+                continue;
+            }
+            "fn" => {
+                // `fn` in type position (`fn(u32) -> u32`) has `(` next.
+                let name_tok = code.get(k + 1).map(|&j| &toks[j]);
+                if let Some(nt) = name_tok.filter(|nt| nt.kind == TokKind::Ident) {
+                    let item = FnItem {
+                        name: nt.text.clone(),
+                        owner: owner_stack.last().map(|(_, n)| n.clone()),
+                        line: t.line,
+                        col: t.col,
+                        is_test: mask[i],
+                        boundary: boundary_at(t.line),
+                        calls: Vec::new(),
+                        panics: Vec::new(),
+                    };
+                    // Find the body `{` (or terminating `;` for bodyless
+                    // trait declarations) at paren/bracket depth 0.
+                    let mut paren = 0i32;
+                    let mut bracket = 0i32;
+                    let mut j = k + 2;
+                    let mut body = None;
+                    while j < code.len() {
+                        let tt = &toks[code[j]];
+                        if tt.is_punct('(') {
+                            paren += 1;
+                        } else if tt.is_punct(')') {
+                            paren -= 1;
+                        } else if tt.is_punct('[') {
+                            bracket += 1;
+                        } else if tt.is_punct(']') {
+                            bracket -= 1;
+                        } else if paren == 0 && bracket == 0 {
+                            if tt.is_punct(';') {
+                                break;
+                            }
+                            if tt.is_punct('{') {
+                                body = Some(j);
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                    let id = fns.len();
+                    fns.push(item);
+                    match body {
+                        Some(b) => {
+                            fn_stack.push((id, depth));
+                            k = b; // main loop opens the brace
+                        }
+                        None => k = j + 1,
+                    }
+                    continue;
+                }
+            }
+            name => {
+                if let Some(&(fid, _)) = fn_stack.last() {
+                    if !mask[i] {
+                        record_site(toks, &code, k, name, fid, &mut fns, &sanctions);
+                    }
+                }
+            }
+        }
+        k += 1;
+    }
+    fns
+}
+
+/// Record a call or panic site at code-token index `k` against `fns[fid]`.
+fn record_site(
+    toks: &[Tok],
+    code: &[usize],
+    k: usize,
+    name: &str,
+    fid: usize,
+    fns: &mut [FnItem],
+    sanctioned: &dyn Fn(u32) -> bool,
+) {
+    let t = &toks[code[k]];
+    let next = code.get(k + 1).map(|&j| &toks[j]);
+    let prev = k.checked_sub(1).map(|p| &toks[code[p]]);
+
+    // Panic-family macros.
+    if PANIC_MACROS.contains(&name) && next.is_some_and(|n| n.is_punct('!')) {
+        fns[fid].panics.push(PanicSite {
+            what: format!("{name}!"),
+            line: t.line,
+            col: t.col,
+            sanctioned: sanctioned(t.line),
+        });
+        return;
+    }
+
+    if !next.is_some_and(|n| n.is_punct('(')) {
+        return;
+    }
+    let is_method = prev.is_some_and(|p| p.is_punct('.'));
+
+    // `.unwrap()` / `.expect()` panic sites (still recorded as calls too:
+    // a workspace fn named `expect` would shadow, but name resolution only
+    // links to workspace-defined fns).
+    if is_method && (name == "unwrap" || name == "expect") {
+        fns[fid].panics.push(PanicSite {
+            what: format!(".{name}()"),
+            line: t.line,
+            col: t.col,
+            sanctioned: sanctioned(t.line),
+        });
+        return;
+    }
+
+    if is_keyword(name) {
+        return;
+    }
+    // Definition site (`fn name(`) is handled by the caller, not a call.
+    if prev.is_some_and(|p| p.is_ident("fn")) {
+        return;
+    }
+
+    // Qualified call `Q::name(` — look two tokens back for `::` then the
+    // qualifier ident.
+    let qual = if !is_method
+        && k >= 3
+        && toks[code[k - 1]].is_punct(':')
+        && toks[code[k - 2]].is_punct(':')
+        && toks[code[k - 3]].kind == TokKind::Ident
+    {
+        Some(toks[code[k - 3]].text.clone())
+    } else {
+        None
+    };
+
+    fns[fid].calls.push(Call {
+        name: name.to_string(),
+        qual,
+        method: is_method,
+        line: t.line,
+        col: t.col,
+    });
+}
+
+/// Parse an `impl`/`trait` block header starting at code index `k` (the
+/// keyword). Returns `(owner name, code index of the opening brace)`, or
+/// `None` when no block follows (e.g. `impl Trait` in return-type
+/// position, trait alias). For a `trait` the name is the first ident
+/// (supertrait bounds follow it); for an `impl` it is the last path
+/// segment, reset at `for` so `impl Trait for Type` owns `Type`.
+fn block_header(toks: &[Tok], code: &[usize], k: usize, is_trait: bool) -> Option<(String, usize)> {
+    let mut angle = 0i32;
+    let mut last_seg: Option<String> = None;
+    let mut j = k + 1;
+    while j < code.len() {
+        let t = &toks[code[j]];
+        let prev = &toks[code[j - 1]];
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') && !prev.is_punct('-') {
+            // `>` closes a generic list unless it is the `->` arrow head.
+            angle -= 1;
+        } else if angle == 0 {
+            if t.is_punct('{') {
+                return last_seg.map(|n| (n, j));
+            }
+            if t.is_punct(';') {
+                return None;
+            }
+            if t.kind == TokKind::Ident {
+                if is_trait {
+                    if last_seg.is_none() {
+                        last_seg = Some(t.text.clone());
+                    }
+                    j += 1;
+                    continue;
+                }
+                match t.text.as_str() {
+                    // `impl Trait for Type`: the owner is the type.
+                    "for" => last_seg = None,
+                    // Bounds after `where` never rename the owner.
+                    "where" => {
+                        let n = last_seg?;
+                        // Scan on for the brace.
+                        let mut jj = j + 1;
+                        let mut a = 0i32;
+                        while jj < code.len() {
+                            let tt = &toks[code[jj]];
+                            let pp = &toks[code[jj - 1]];
+                            if tt.is_punct('<') {
+                                a += 1;
+                            } else if tt.is_punct('>') && !pp.is_punct('-') {
+                                a -= 1;
+                            } else if a == 0 && tt.is_punct('{') {
+                                return Some((n, jj));
+                            } else if a == 0 && tt.is_punct(';') {
+                                return None;
+                            }
+                            jj += 1;
+                        }
+                        return None;
+                    }
+                    "dyn" | "mut" | "const" | "unsafe" | "impl" => {}
+                    other => last_seg = Some(other.to_string()),
+                }
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::scope::{allows, test_mask};
+
+    fn parse(src: &str) -> Vec<FnItem> {
+        let toks = lex(src);
+        let mask = test_mask(&toks);
+        let al = allows(&toks);
+        parse_items(&toks, &mask, &al)
+    }
+
+    #[test]
+    fn free_fns_and_methods_get_owners() {
+        let src = "
+            fn free() { helper(); }
+            struct S;
+            impl S {
+                fn method(&self) { self.other(); free(); }
+                fn other(&self) {}
+            }
+            impl Clone for S {
+                fn clone(&self) -> S { S }
+            }
+        ";
+        let fns = parse(src);
+        let names: Vec<String> = fns.iter().map(|f| f.qual_name()).collect();
+        assert_eq!(names, ["free", "S::method", "S::other", "S::clone"]);
+        let method = &fns[1];
+        let callees: Vec<&str> = method.calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(callees, ["other", "free"]);
+        assert!(method.calls[0].method);
+        assert!(!method.calls[1].method);
+    }
+
+    #[test]
+    fn generic_impl_headers_resolve_owner() {
+        let src = "
+            impl<B: Backend + ?Sized> Backend for &mut B { fn go(&self) {} }
+            impl<T: Iterator<Item = u8>> Wrapper<T> where T: Clone { fn w(&self) {} }
+        ";
+        let fns = parse(src);
+        assert_eq!(fns[0].owner.as_deref(), Some("B"));
+        assert_eq!(fns[1].owner.as_deref(), Some("Wrapper"));
+    }
+
+    #[test]
+    fn trait_decls_without_bodies_are_bodyless() {
+        let src = "
+            trait T {
+                fn decl(&self) -> u32;
+                fn defaulted(&self) -> u32 { self.decl() }
+            }
+        ";
+        let fns = parse(src);
+        assert_eq!(fns.len(), 2);
+        assert!(fns[0].calls.is_empty());
+        assert_eq!(fns[1].calls[0].name, "decl");
+        assert_eq!(fns[1].owner.as_deref(), Some("T"));
+    }
+
+    #[test]
+    fn panic_sites_and_sanctions_are_recorded() {
+        let src = "
+            fn bad(x: Option<u32>) -> u32 { x.unwrap() }
+            fn ok(x: Option<u32>) -> u32 {
+                match x {
+                    Some(v) => v,
+                    // nvsim-lint: allow(panic-path) — documented boundary
+                    None => panic!(\"boundary\"),
+                }
+            }
+        ";
+        let fns = parse(src);
+        assert_eq!(fns[0].panics.len(), 1);
+        assert!(!fns[0].panics[0].sanctioned);
+        assert_eq!(fns[1].panics.len(), 1);
+        assert!(fns[1].panics[0].sanctioned);
+    }
+
+    #[test]
+    fn qualified_calls_carry_their_qualifier() {
+        let src = "fn f() { Helper::build(); plain(); }";
+        let fns = parse(src);
+        assert_eq!(fns[0].calls[0].qual.as_deref(), Some("Helper"));
+        assert_eq!(fns[0].calls[1].qual, None);
+    }
+
+    #[test]
+    fn test_fns_are_marked() {
+        let src = "
+            fn live() {}
+            #[test]
+            fn t() { Some(1).unwrap(); }
+        ";
+        let fns = parse(src);
+        assert!(!fns[0].is_test);
+        assert!(fns[1].is_test);
+    }
+
+    #[test]
+    fn boundary_annotation_marks_fn() {
+        let src = "
+            // nvsim-lint: allow(panic-reach) — validated at construction
+            fn checked() { inner(); }
+            fn plain() {}
+        ";
+        let fns = parse(src);
+        assert!(fns[0].boundary);
+        assert!(!fns[1].boundary);
+    }
+
+    #[test]
+    fn nested_fn_bodies_attribute_calls_to_innermost() {
+        let src = "
+            fn outer() {
+                fn inner() { deep(); }
+                shallow();
+            }
+        ";
+        let fns = parse(src);
+        let outer = fns.iter().find(|f| f.name == "outer").unwrap();
+        let inner = fns.iter().find(|f| f.name == "inner").unwrap();
+        assert_eq!(
+            outer.calls.iter().map(|c| &c.name).collect::<Vec<_>>(),
+            ["shallow"]
+        );
+        assert_eq!(
+            inner.calls.iter().map(|c| &c.name).collect::<Vec<_>>(),
+            ["deep"]
+        );
+    }
+}

@@ -5,18 +5,24 @@
 //! for any `--jobs N`, run-to-run) rests on invariants nothing else enforces:
 //! no nondeterministically ordered containers on simulation paths, no wall
 //! clock, no panicking escape hatches on the datapath, full trace coverage.
-//! This crate is a hand-rolled lexer + rule engine (crates.io is unreachable
-//! in the build environment, so no `syn`) that walks workspace sources and
-//! enforces them. See DESIGN.md "Static analysis & determinism invariants"
+//! This crate is a hand-rolled lexer + item-tree parser + workspace call
+//! graph + rule engine (crates.io is unreachable in the build environment,
+//! so no `syn`) that walks workspace sources and enforces them — both
+//! token-level rules and interprocedural ones (transitive panic
+//! reachability). See DESIGN.md "Static analysis & determinism invariants"
 //! for the rule catalog.
 
 pub mod baseline;
+pub mod callgraph;
+pub mod items;
 pub mod lexer;
 pub mod report;
 pub mod rules;
 pub mod scope;
 
-pub use rules::{classify, lint_file, lint_sources, FileClass, Finding, Rule, ALL_RULES};
+pub use rules::{
+    classify, lint_file, lint_sources, FileClass, FileFacts, Finding, Rule, ALL_RULES,
+};
 
 use std::fs;
 use std::io;

@@ -54,6 +54,9 @@ impl Report {
                 f.rule.id(),
                 f.message
             ));
+            for link in &f.chain {
+                out.push_str(&format!("    via {link}\n"));
+            }
         }
         for (rule, path, line) in &self.stale {
             out.push_str(&format!(
@@ -76,24 +79,43 @@ impl Report {
     }
 
     /// Stable JSON (keys in fixed order, findings pre-sorted by the caller).
+    ///
+    /// `"schema": 2` — v2 adds the schema marker, the `rules` inventory and
+    /// per-finding `"chain"` call-path evidence (R7). Consumers must treat
+    /// an absent `schema` key as v1.
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\n");
+        out.push_str("  \"schema\": 2,\n");
         out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
         out.push_str(&format!("  \"new_count\": {},\n", self.new.len()));
         out.push_str(&format!(
             "  \"grandfathered_count\": {},\n",
             self.grandfathered.len()
         ));
+        out.push_str("  \"rules\": [");
+        let ids: Vec<String> = crate::rules::ALL_RULES
+            .iter()
+            .map(|r| json_str(r.id()))
+            .collect();
+        out.push_str(&ids.join(", "));
+        out.push_str("],\n");
         out.push_str("  \"findings\": [\n");
         let render = |f: &Finding, status: &str| {
+            let chain = if f.chain.is_empty() {
+                String::new()
+            } else {
+                let links: Vec<String> = f.chain.iter().map(|c| json_str(c)).collect();
+                format!(", \"chain\": [{}]", links.join(", "))
+            };
             format!(
-                "    {{\"file\": {}, \"line\": {}, \"col\": {}, \"rule\": {}, \"status\": {}, \"message\": {}}}",
+                "    {{\"file\": {}, \"line\": {}, \"col\": {}, \"rule\": {}, \"status\": {}, \"message\": {}{}}}",
                 json_str(&f.file),
                 f.line,
                 f.col,
                 json_str(f.rule.id()),
                 json_str(status),
-                json_str(&f.message)
+                json_str(&f.message),
+                chain
             )
         };
         let rows: Vec<String> = self
@@ -140,7 +162,7 @@ fn json_str(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\t' => out.push_str("\\t"),
             '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if u32::from(c) < 0x20 => out.push_str(&format!("\\u{:04x}", u32::from(c))),
             c => out.push(c),
         }
     }

@@ -1,13 +1,23 @@
 //! Rule catalog and the per-file / workspace-level checks.
 //!
 //! Rules (see DESIGN.md "Static analysis & determinism invariants"):
-//!   R1 `unordered-map`               — no HashMap/HashSet in simulation code
-//!   R2 `wall-clock`                  — no std::time / Instant / SystemTime
-//!   R3 `panic-path`                  — no .unwrap()/.expect()/panic!-family
-//!   R4 `deprecated-take-completion`  — no calls to the deprecated wrapper
-//!   R5 `stage-coverage`              — every Stage variant has an emission site
-//!      `bad-annotation`              — malformed/unjustified allow annotations
+//!   R1  `unordered-map`             — no HashMap/HashSet in simulation code
+//!   R2  `wall-clock`                — no std::time / Instant / SystemTime
+//!   R3  `panic-path`                — no .unwrap()/.expect()/panic!-family
+//!   R4  `expect-completion-misuse`  — expect_completion only beside a submit
+//!   R5  `stage-coverage`            — every Stage variant has an emission site
+//!   R7  `panic-reach`               — no transitive path to a panic (call graph)
+//!   R8  `unsafe-undocumented`       — every `unsafe` carries a SAFETY: rationale
+//!   R9  `cast-truncation`           — no narrowing `as` casts on sim paths
+//!   R10 `sync-on-simpath`           — no locks/atomics/threads in simulator crates
+//!       `bad-annotation`            — malformed/unjustified allow annotations
+//!
+//! R1–R3, R8–R10 are token-level per-file checks. R4 and R7 are semantic:
+//! they run over the item tree ([`crate::items`]) and the workspace call
+//! graph ([`crate::callgraph`]).
 
+use crate::callgraph::Graph;
+use crate::items::{parse_items, FnItem};
 use crate::lexer::{lex, Tok, TokKind};
 use crate::scope::{allows, test_mask, Allow};
 
@@ -17,17 +27,25 @@ pub enum Rule {
     UnorderedMap,
     WallClock,
     PanicPath,
-    DeprecatedTakeCompletion,
+    ExpectCompletionMisuse,
     StageCoverage,
+    PanicReach,
+    UnsafeUndocumented,
+    CastTruncation,
+    SyncOnSimPath,
     BadAnnotation,
 }
 
-pub const ALL_RULES: [Rule; 6] = [
+pub const ALL_RULES: [Rule; 10] = [
     Rule::UnorderedMap,
     Rule::WallClock,
     Rule::PanicPath,
-    Rule::DeprecatedTakeCompletion,
+    Rule::ExpectCompletionMisuse,
     Rule::StageCoverage,
+    Rule::PanicReach,
+    Rule::UnsafeUndocumented,
+    Rule::CastTruncation,
+    Rule::SyncOnSimPath,
     Rule::BadAnnotation,
 ];
 
@@ -37,8 +55,12 @@ impl Rule {
             Rule::UnorderedMap => "unordered-map",
             Rule::WallClock => "wall-clock",
             Rule::PanicPath => "panic-path",
-            Rule::DeprecatedTakeCompletion => "deprecated-take-completion",
+            Rule::ExpectCompletionMisuse => "expect-completion-misuse",
             Rule::StageCoverage => "stage-coverage",
+            Rule::PanicReach => "panic-reach",
+            Rule::UnsafeUndocumented => "unsafe-undocumented",
+            Rule::CastTruncation => "cast-truncation",
+            Rule::SyncOnSimPath => "sync-on-simpath",
             Rule::BadAnnotation => "bad-annotation",
         }
     }
@@ -59,13 +81,35 @@ impl Rule {
                 "datapath code must route failures through BackendError/Result; panics tear \
                  down worker threads mid-experiment and poison partial results"
             }
-            Rule::DeprecatedTakeCompletion => {
-                "take_completion panics on miss and is deprecated; call try_take_completion \
-                 (or expect_completion for freshly submitted requests) instead"
+            Rule::ExpectCompletionMisuse => {
+                "expect_completion is only infallible for a request submitted in the same \
+                 function; anywhere else the id may already be taken — use \
+                 try_take_completion and handle the error"
             }
             Rule::StageCoverage => {
                 "a Stage variant with no SpanRecorder emission site is dead attribution: \
                  per-stage latency breakdowns silently under-report"
+            }
+            Rule::PanicReach => {
+                "this function transitively reaches a panic through the call graph; a \
+                 deep panic tears down the experiment exactly like a direct one but is \
+                 invisible to per-site review. Route the failure through Result, or mark \
+                 a reviewed boundary with allow(panic-reach)"
+            }
+            Rule::UnsafeUndocumented => {
+                "every unsafe block/fn/impl needs a `// SAFETY:` comment on the same or \
+                 preceding line stating the invariant that makes it sound; undocumented \
+                 unsafe cannot be audited"
+            }
+            Rule::CastTruncation => {
+                "a narrowing `as` cast silently wraps out-of-range cycle/address counters \
+                 and corrupts simulated results; use try_into/checked conversion or \
+                 annotate with a written bound argument"
+            }
+            Rule::SyncOnSimPath => {
+                "locks, atomics and threads have no place inside the simulator: the model \
+                 is single-threaded by construction and sync primitives smuggle in \
+                 scheduling-dependent behavior; parallelism lives in the bench runner only"
             }
             Rule::BadAnnotation => {
                 "nvsim-lint annotations must name a known rule and carry a written \
@@ -84,9 +128,9 @@ impl Rule {
 pub enum FileClass {
     /// Simulator source: all rules apply.
     Simulation,
-    /// Bench/examples driver code: wall clock and panics are legitimate
-    /// (perf recording, CLI error handling), but determinism (R1) and the
-    /// deprecation (R4) still apply to the runner/merge paths.
+    /// Bench/examples driver code: wall clock, panics, narrowing stat casts
+    /// and the runner's thread pool are legitimate there, but determinism
+    /// (R1), completion discipline (R4) and unsafe hygiene (R8) still apply.
     Driver,
     /// Examples: R4 only (they demonstrate the public API).
     Example,
@@ -128,26 +172,63 @@ pub struct Finding {
     pub col: u32,
     pub rule: Rule,
     pub message: String,
+    /// Call-chain evidence (R7 only): caller first, panic site last.
+    pub chain: Vec<String>,
 }
 
-/// Per-file facts feeding the workspace-level R5 check.
+/// Per-file facts feeding the workspace-level passes (R5 stage coverage and
+/// the R7 call graph).
 #[derive(Debug, Default)]
-pub struct StageFacts {
+pub struct FileFacts {
     /// `(variant, line)` pairs from the `enum Stage` definition, if this
     /// file defines it.
     pub defined: Vec<(String, u32)>,
     /// Variants referenced as `Stage::X` in non-test code of a file that
     /// records spans (contains `SpanRecorder` or `StageSpan::new`).
     pub emitted: Vec<String>,
+    /// Parsed function items (simulation-class files only) for the
+    /// workspace call graph.
+    pub items: Vec<FnItem>,
 }
 
 /// Path suffix identifying the `Stage` definition file.
 const STAGE_DEF_FILE: &str = "nvsim-types/src/trace.rs";
 
-/// Lint a single file. Returns per-site findings and R5 facts.
-pub fn lint_file(rel: &str, src: &str, class: FileClass) -> (Vec<Finding>, StageFacts) {
+/// Path suffix of the completion-bookkeeping module: the one place allowed
+/// to define and wrap `expect_completion` without a paired submit (the
+/// `wait_for` convenience and the blanket `&mut B` forwarder live there).
+const COMPLETION_MODULE: &str = "nvsim-types/src/backend.rs";
+
+/// Sub-64-bit integer type names: an `as` cast to one of these narrows on
+/// every 64-bit target. (`as u64`/`as usize`/`as f64` are widening or
+/// value-preserving for the workspace's u32-and-down sources and are not
+/// flagged; the repo builds 64-bit only.)
+const NARROW_INTS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Synchronization primitives banned inside simulator crates (R10).
+const SYNC_TYPES: [&str; 16] = [
+    "Mutex",
+    "RwLock",
+    "Condvar",
+    "Barrier",
+    "AtomicBool",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicI8",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicIsize",
+    "mpsc",
+];
+
+/// Lint a single file. Returns per-site findings and workspace facts.
+pub fn lint_file(rel: &str, src: &str, class: FileClass) -> (Vec<Finding>, FileFacts) {
     let mut findings = Vec::new();
-    let mut facts = StageFacts::default();
+    let mut facts = FileFacts::default();
     if class == FileClass::Skip {
         return (findings, facts);
     }
@@ -160,14 +241,15 @@ pub fn lint_file(rel: &str, src: &str, class: FileClass) -> (Vec<Finding>, Stage
             .iter()
             .any(|a| a.has_reason && a.rule == rule.id() && a.applies_line == line)
     };
-    let mut push = |rule: Rule, t: &Tok, msg: String| {
-        if !allowed(rule, t.line) {
+    let mut push = |rule: Rule, line: u32, col: u32, msg: String| {
+        if !allowed(rule, line) {
             findings.push(Finding {
                 file: rel.to_string(),
-                line: t.line,
-                col: t.col,
+                line,
+                col,
                 rule,
                 message: msg,
+                chain: Vec::new(),
             });
         }
     };
@@ -183,6 +265,17 @@ pub fn lint_file(rel: &str, src: &str, class: FileClass) -> (Vec<Finding>, Stage
     };
     let prev_code =
         |i: usize| -> Option<&Tok> { toks[..i].iter().rev().find(|t| t.kind != TokKind::Comment) };
+
+    // Last line of each SAFETY: comment, for R8 adjacency (a multi-line
+    // block comment sanctions the line after its *end*).
+    let safety_ends: Vec<u32> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Comment && t.text.contains("SAFETY:"))
+        .map(|t| {
+            let newlines = t.text.matches('\n').count();
+            t.line + u32::try_from(newlines).unwrap_or(u32::MAX)
+        })
+        .collect();
 
     // The defining file (trace.rs) references every variant in `Stage::ALL`
     // and in the recorder impl itself — those are not emission sites.
@@ -206,7 +299,8 @@ pub fn lint_file(rel: &str, src: &str, class: FileClass) -> (Vec<Finding>, Stage
         if class != FileClass::Example && (name == "HashMap" || name == "HashSet") {
             push(
                 Rule::UnorderedMap,
-                t,
+                t.line,
+                t.col,
                 format!(
                     "`{name}` on a simulation path: {}",
                     Rule::UnorderedMap.rationale()
@@ -219,7 +313,8 @@ pub fn lint_file(rel: &str, src: &str, class: FileClass) -> (Vec<Finding>, Stage
             if name == "Instant" || name == "SystemTime" {
                 push(
                     Rule::WallClock,
-                    t,
+                    t.line,
+                    t.col,
                     format!(
                         "`{name}` on a simulation path: {}",
                         Rule::WallClock.rationale()
@@ -232,7 +327,8 @@ pub fn lint_file(rel: &str, src: &str, class: FileClass) -> (Vec<Finding>, Stage
             {
                 push(
                     Rule::WallClock,
-                    t,
+                    t.line,
+                    t.col,
                     format!("`std::time` import: {}", Rule::WallClock.rationale()),
                 );
             }
@@ -248,7 +344,8 @@ pub fn lint_file(rel: &str, src: &str, class: FileClass) -> (Vec<Finding>, Stage
             if method_call("unwrap") || method_call("expect") {
                 push(
                     Rule::PanicPath,
-                    t,
+                    t.line,
+                    t.col,
                     format!("`.{name}()` on a datapath: {}", Rule::PanicPath.rationale()),
                 );
             }
@@ -257,29 +354,108 @@ pub fn lint_file(rel: &str, src: &str, class: FileClass) -> (Vec<Finding>, Stage
             {
                 push(
                     Rule::PanicPath,
-                    t,
+                    t.line,
+                    t.col,
                     format!("`{name}!` on a datapath: {}", Rule::PanicPath.rationale()),
                 );
             }
         }
 
-        // R4 — deprecated take_completion calls (method position only, so the
-        // definition site `fn take_completion` stays clean).
-        if name == "take_completion" && prev_code(i).is_some_and(|p| p.is_punct('.')) {
+        // R8 — undocumented unsafe (simulation + driver; examples have none
+        // by policy review, and shims/tests are skipped anyway).
+        if class != FileClass::Example
+            && name == "unsafe"
+            && !safety_ends
+                .iter()
+                .any(|&end| end == t.line || end + 1 == t.line)
+        {
             push(
-                Rule::DeprecatedTakeCompletion,
-                t,
+                Rule::UnsafeUndocumented,
+                t.line,
+                t.col,
                 format!(
-                    "call to deprecated `take_completion`: {}",
-                    Rule::DeprecatedTakeCompletion.rationale()
+                    "`unsafe` without a SAFETY: comment: {}",
+                    Rule::UnsafeUndocumented.rationale()
                 ),
             );
+        }
+
+        // R9 — narrowing casts (simulation only; driver stat paths exempt).
+        if class == FileClass::Simulation && name == "as" {
+            if let Some(ty) = next_code(i).filter(|n| n.kind == TokKind::Ident) {
+                if NARROW_INTS.contains(&ty.text.as_str()) {
+                    push(
+                        Rule::CastTruncation,
+                        t.line,
+                        t.col,
+                        format!(
+                            "narrowing `as {}` cast: {}",
+                            ty.text,
+                            Rule::CastTruncation.rationale()
+                        ),
+                    );
+                }
+            }
+        }
+
+        // R10 — sync primitives (simulation only; the bench runner's thread
+        // pool is the one sanctioned parallelism site).
+        if class == FileClass::Simulation {
+            if SYNC_TYPES.contains(&name) {
+                push(
+                    Rule::SyncOnSimPath,
+                    t.line,
+                    t.col,
+                    format!(
+                        "`{name}` in a simulator crate: {}",
+                        Rule::SyncOnSimPath.rationale()
+                    ),
+                );
+            }
+            if name == "thread" && next_code(i).is_some_and(|n| n.is_punct(':')) {
+                push(
+                    Rule::SyncOnSimPath,
+                    t.line,
+                    t.col,
+                    format!(
+                        "`thread::` path in a simulator crate: {}",
+                        Rule::SyncOnSimPath.rationale()
+                    ),
+                );
+            }
         }
 
         // R5 facts — references.
         if is_emitter && name == "Stage" && next_code(i).is_some_and(|n| n.is_punct(':')) {
             if let Some(variant) = toks.get(i + 3).filter(|v| v.kind == TokKind::Ident) {
                 facts.emitted.push(variant.text.clone());
+            }
+        }
+    }
+
+    // Item tree: feeds R4 here and the workspace call graph (R7) upstream.
+    facts.items = parse_items(&toks, &mask, &allow_list);
+
+    // R4 — expect_completion outside the completion-bookkeeping module must
+    // sit in a function that submits the request itself; anywhere else the
+    // panic-on-miss contract cannot be locally verified.
+    if !rel.ends_with(COMPLETION_MODULE) {
+        for f in facts.items.iter().filter(|f| !f.is_test) {
+            let submits = f.calls.iter().any(|c| c.name == "submit");
+            if submits {
+                continue;
+            }
+            for c in f.calls.iter().filter(|c| c.name == "expect_completion") {
+                push(
+                    Rule::ExpectCompletionMisuse,
+                    c.line,
+                    c.col,
+                    format!(
+                        "`expect_completion` in `{}` which never submits: {}",
+                        f.qual_name(),
+                        Rule::ExpectCompletionMisuse.rationale()
+                    ),
+                );
             }
         }
     }
@@ -317,6 +493,7 @@ fn annotation_finding(rel: &str, a: &Allow, findings: &mut Vec<Finding>) {
             col: 1,
             rule: Rule::BadAnnotation,
             message: format!("{p}: {}", Rule::BadAnnotation.rationale()),
+            chain: Vec::new(),
         });
     }
 }
@@ -355,7 +532,7 @@ fn stage_variants(toks: &[Tok]) -> Vec<(String, u32)> {
 }
 
 /// Workspace-level R5: every defined Stage variant must be emitted somewhere.
-pub fn stage_coverage(def_file: &str, facts: &StageFacts, emitted_all: &[String]) -> Vec<Finding> {
+pub fn stage_coverage(def_file: &str, facts: &FileFacts, emitted_all: &[String]) -> Vec<Finding> {
     let mut out = Vec::new();
     for (variant, line) in &facts.defined {
         if !emitted_all.iter().any(|e| e == variant) {
@@ -368,6 +545,7 @@ pub fn stage_coverage(def_file: &str, facts: &StageFacts, emitted_all: &[String]
                     "`Stage::{variant}` has no SpanRecorder emission site: {}",
                     Rule::StageCoverage.rationale()
                 ),
+                chain: Vec::new(),
             });
         }
     }
@@ -380,18 +558,39 @@ pub fn stage_coverage(def_file: &str, facts: &StageFacts, emitted_all: &[String]
 pub fn lint_sources<'a>(files: impl IntoIterator<Item = (&'a str, &'a str)>) -> Vec<Finding> {
     let mut findings = Vec::new();
     let mut emitted_all: Vec<String> = Vec::new();
-    let mut stage_def: Option<(String, StageFacts)> = None;
+    let mut stage_def: Option<(String, FileFacts)> = None;
+    let mut graph_files: Vec<(String, Vec<FnItem>)> = Vec::new();
     for (rel, src) in files {
         let class = classify(rel);
-        let (mut f, facts) = lint_file(rel, src, class);
+        let (mut f, mut facts) = lint_file(rel, src, class);
         findings.append(&mut f);
         emitted_all.extend(facts.emitted.iter().cloned());
+        if class == FileClass::Simulation {
+            graph_files.push((rel.to_string(), std::mem::take(&mut facts.items)));
+        }
         if !facts.defined.is_empty() {
             stage_def = Some((rel.to_string(), facts));
         }
     }
     if let Some((def_file, facts)) = &stage_def {
         findings.extend(stage_coverage(def_file, facts, &emitted_all));
+    }
+    // R7 — transitive panic reachability over the workspace call graph.
+    let graph = Graph::build(graph_files);
+    for r in graph.panic_reaches() {
+        findings.push(Finding {
+            file: r.file,
+            line: r.line,
+            col: r.col,
+            rule: Rule::PanicReach,
+            message: format!(
+                "fn `{}` transitively reaches a panic ({} hop(s)): {}",
+                r.name,
+                r.chain.len().saturating_sub(2),
+                Rule::PanicReach.rationale()
+            ),
+            chain: r.chain,
+        });
     }
     findings
         .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));

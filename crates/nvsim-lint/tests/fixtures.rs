@@ -187,32 +187,67 @@ fn r3_fn_named_unwrap_definition_is_clean() {
 // ---------------------------------------------------------------- R4
 
 #[test]
-fn r4_take_completion_call_is_flagged_everywhere_outside_tests() {
-    let src = "fn f(b: &mut B) { let _ = b.take_completion(7); }\n";
-    assert_eq!(rule_count(SIM, src, Rule::DeprecatedTakeCompletion), 1);
+fn r4_expect_completion_without_a_submit_is_flagged_everywhere() {
+    // Taking a completion in a function that never submitted anything
+    // cannot locally justify the panic-on-miss contract.
+    let src = "fn f(b: &mut B, id: u64) -> u64 { b.expect_completion(id) }\n";
+    assert_eq!(rule_count(SIM, src, Rule::ExpectCompletionMisuse), 1);
     assert_eq!(
         rule_count(
             "crates/bench/src/main.rs",
             src,
-            Rule::DeprecatedTakeCompletion
+            Rule::ExpectCompletionMisuse
         ),
         1
     );
     assert_eq!(
-        rule_count("examples/demo.rs", src, Rule::DeprecatedTakeCompletion),
+        rule_count("examples/demo.rs", src, Rule::ExpectCompletionMisuse),
         1
     );
 }
 
 #[test]
-fn r4_definition_and_try_variant_are_clean() {
+fn r4_submit_then_expect_in_same_fn_is_clean() {
     let src = "
-trait T {
-    fn take_completion(&mut self, id: u64) -> u64 { 0 }
+fn f(b: &mut B, d: RequestDesc) -> u64 {
+    let id = b.submit(d);
+    b.expect_completion(id)
 }
-fn f(b: &mut B) { let _ = b.try_take_completion(7); }
 ";
-    assert_eq!(rule_count(SIM, src, Rule::DeprecatedTakeCompletion), 0);
+    assert_eq!(rule_count(SIM, src, Rule::ExpectCompletionMisuse), 0);
+}
+
+#[test]
+fn r4_completion_bookkeeping_module_is_exempt() {
+    // The defining module's wait_for/forwarders legitimately take
+    // completions for requests submitted elsewhere.
+    let src = "
+fn wait_for(b: &mut B, id: u64) -> u64 { b.expect_completion(id) }
+";
+    assert_eq!(
+        rule_count(
+            "crates/nvsim-types/src/backend.rs",
+            src,
+            Rule::ExpectCompletionMisuse
+        ),
+        0
+    );
+    assert_eq!(rule_count(SIM, src, Rule::ExpectCompletionMisuse), 1);
+}
+
+#[test]
+fn r4_test_fns_and_allows_are_respected() {
+    let src = "
+#[cfg(test)]
+mod tests {
+    fn t(b: &mut B) -> u64 { b.expect_completion(1) }
+}
+fn live(b: &mut B) -> u64 {
+    // nvsim-lint: allow(expect-completion-misuse) — id handed over by the caller's submit
+    b.expect_completion(1)
+}
+";
+    assert_eq!(rule_count(SIM, src, Rule::ExpectCompletionMisuse), 0);
 }
 
 // ---------------------------------------------------------------- R5
@@ -298,6 +333,292 @@ mod tests {
     assert!(findings
         .iter()
         .any(|f| f.rule == Rule::StageCoverage && f.message.contains("MediaRead")));
+}
+
+// ---------------------------------------------------------------- R7
+
+#[test]
+fn r7_two_hop_panic_reach_is_caught_with_full_chain() {
+    // The acceptance fixture: a seeded panic two calls away from the
+    // datapath entry point must be reported, with the whole path shown.
+    let src = "
+fn entry() { middle(); }
+fn middle() { leaf(); }
+fn leaf(x: Option<u32>) -> u32 { x.unwrap() }
+";
+    let findings = lint_sources([(SIM, src)]);
+    let reaches: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::PanicReach)
+        .collect();
+    // entry and middle reach; leaf itself is R3's finding, not R7's.
+    assert_eq!(reaches.len(), 2);
+    let entry = reaches
+        .iter()
+        .find(|f| f.message.contains("`entry`"))
+        .unwrap();
+    assert_eq!(entry.chain.len(), 4);
+    assert!(entry.chain[0].contains("fn entry"));
+    assert!(entry.chain[1].contains("fn middle"));
+    assert!(entry.chain[2].contains("fn leaf"));
+    assert!(entry.chain[3].contains(".unwrap()"));
+}
+
+#[test]
+fn r7_sanctioned_root_on_the_same_path_is_not_flagged() {
+    // Same shape, but the middle hop is a reviewed boundary: nothing above
+    // it is reported.
+    let src = "
+fn entry() { middle(); }
+// nvsim-lint: allow(panic-reach) — boundary: ids validated at entry
+fn middle() { leaf(); }
+fn leaf(x: Option<u32>) -> u32 { x.unwrap() }
+";
+    let findings = lint_sources([(SIM, src)]);
+    assert!(!findings.iter().any(|f| f.rule == Rule::PanicReach));
+}
+
+#[test]
+fn r7_call_graph_cycles_terminate_and_report() {
+    let src = "
+fn ping(n: u32) { if n > 0 { pong(n - 1) } }
+fn pong(n: u32) { ping(n); boom() }
+fn boom() { panic!(\"seeded\") }
+";
+    let findings = lint_sources([(SIM, src)]);
+    let reaches: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::PanicReach)
+        .collect();
+    assert_eq!(reaches.len(), 2, "ping and pong both reach boom");
+}
+
+#[test]
+fn r7_ambiguous_trait_dispatch_links_every_impl() {
+    // `.step()` cannot be resolved without types; the conservative graph
+    // must assume the panicking impl is reachable.
+    let src = "
+fn driver(x: &mut dyn Engine) { x.step(); }
+trait Engine { fn step(&mut self); }
+struct Safe;
+impl Engine for Safe { fn step(&mut self) {} }
+struct Risky;
+impl Engine for Risky { fn step(&mut self) { unreachable!() } }
+";
+    let findings = lint_sources([(SIM, src)]);
+    let driver: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::PanicReach && f.message.contains("`driver`"))
+        .collect();
+    assert_eq!(driver.len(), 1);
+    assert!(driver[0].chain.iter().any(|c| c.contains("Risky::step")));
+}
+
+#[test]
+fn r7_expect_completion_root_is_sanctioned_by_name() {
+    let src = "
+fn datapath(b: &mut Backend, d: u64) -> u64 {
+    let id = b.submit(d);
+    b.expect_completion(id)
+}
+impl Backend {
+    fn submit(&mut self, d: u64) -> u64 { d }
+    fn expect_completion(&mut self, id: u64) -> u64 {
+        // nvsim-lint: allow(panic-path) — documented bookkeeping panic
+        self.take(id).expect(\"in flight\")
+    }
+}
+";
+    let findings = lint_sources([(SIM, src)]);
+    assert!(!findings.iter().any(|f| f.rule == Rule::PanicReach));
+}
+
+#[test]
+fn r7_panic_only_reached_from_tests_is_clean() {
+    let src = "
+fn live() { shared(); }
+fn shared() {}
+#[cfg(test)]
+mod tests {
+    fn kaboom() { panic!(\"test-only\") }
+    #[test]
+    fn t() { kaboom(); }
+}
+";
+    let findings = lint_sources([(SIM, src)]);
+    assert!(!findings.iter().any(|f| f.rule == Rule::PanicReach));
+}
+
+#[test]
+fn r7_spans_files_across_the_workspace() {
+    let caller = "fn issue(q: &Queue) { q.push_back_checked(1); }\n";
+    let callee = "
+impl Queue {
+    fn push_back_checked(&self, v: u64) { if v > self.cap { panic!(\"overflow\") } }
+}
+";
+    let findings = lint_sources([
+        ("crates/vans/src/imc.rs", caller),
+        ("crates/vans/src/queue.rs", callee),
+    ]);
+    let reaches: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::PanicReach)
+        .collect();
+    assert_eq!(reaches.len(), 1);
+    assert_eq!(reaches[0].file, "crates/vans/src/imc.rs");
+    assert!(reaches[0]
+        .chain
+        .iter()
+        .any(|c| c.contains("crates/vans/src/queue.rs")));
+}
+
+// ---------------------------------------------------------------- R8
+
+#[test]
+fn r8_bare_unsafe_is_flagged() {
+    let src = "fn f(p: *const u64) -> u64 { unsafe { *p } }\n";
+    assert_eq!(rule_count(SIM, src, Rule::UnsafeUndocumented), 1);
+}
+
+#[test]
+fn r8_safety_comment_placements_sanction() {
+    // Same line, preceding line, and multi-line block comment ending on
+    // the preceding line all count.
+    let src = "
+fn a(p: *const u64) -> u64 {
+    // SAFETY: p is a slab-interior pointer, alive for &self's lifetime
+    unsafe { *p }
+}
+fn b(p: *const u64) -> u64 {
+    /* SAFETY: checked */ unsafe { *p }
+}
+fn c(p: *const u64) -> u64 {
+    /* SAFETY: the caller guarantees
+       alignment and liveness */
+    unsafe { *p }
+}
+";
+    assert_eq!(rule_count(SIM, src, Rule::UnsafeUndocumented), 0);
+}
+
+#[test]
+fn r8_safety_comment_two_lines_up_does_not_sanction() {
+    let src = "
+fn f(p: *const u64) -> u64 {
+    // SAFETY: too far away
+    let _gap = 1;
+    unsafe { *p }
+}
+";
+    assert_eq!(rule_count(SIM, src, Rule::UnsafeUndocumented), 1);
+}
+
+#[test]
+fn r8_applies_to_driver_code_but_not_tests() {
+    let src = "fn f(p: *const u64) -> u64 { unsafe { *p } }\n";
+    assert_eq!(
+        rule_count("crates/bench/src/runner.rs", src, Rule::UnsafeUndocumented),
+        1
+    );
+    let test_src = "
+#[cfg(test)]
+mod tests {
+    fn f(p: *const u64) -> u64 { unsafe { *p } }
+}
+";
+    assert_eq!(rule_count(SIM, test_src, Rule::UnsafeUndocumented), 0);
+}
+
+// ---------------------------------------------------------------- R9
+
+#[test]
+fn r9_narrowing_casts_are_flagged() {
+    let src = "
+fn f(cycles: u64, small: u64) -> u32 {
+    let _b = small as u8;
+    let _h = small as i16;
+    cycles as u32
+}
+";
+    assert_eq!(rule_count(SIM, src, Rule::CastTruncation), 3);
+}
+
+#[test]
+fn r9_widening_and_same_width_casts_are_clean() {
+    let src = "fn f(x: u32, c: char) -> u64 { (x as u64) + (c as u64) + (x as usize as u64) }\n";
+    assert_eq!(rule_count(SIM, src, Rule::CastTruncation), 0);
+}
+
+#[test]
+fn r9_allow_with_bound_argument_suppresses() {
+    let src = "
+fn f(n: u64) -> u32 {
+    // nvsim-lint: allow(cast-truncation) — n is a channel index < 8 by config
+    n as u32
+}
+";
+    assert_eq!(rule_count(SIM, src, Rule::CastTruncation), 0);
+}
+
+#[test]
+fn r9_driver_stat_paths_are_exempt() {
+    let src = "fn f(n: u64) -> u32 { n as u32 }\n";
+    assert_eq!(
+        rule_count(
+            "crates/bench/src/experiments/fig7.rs",
+            src,
+            Rule::CastTruncation
+        ),
+        0
+    );
+}
+
+#[test]
+fn r9_use_renames_are_not_casts() {
+    let src = "use crate::types::Width as u8_width;\nfn f() {}\n";
+    assert_eq!(rule_count(SIM, src, Rule::CastTruncation), 0);
+}
+
+// ---------------------------------------------------------------- R10
+
+#[test]
+fn r10_sync_primitives_in_sim_crates_are_flagged() {
+    let src = "
+use std::sync::Mutex;
+use std::sync::atomic::AtomicU64;
+struct S { m: Mutex<u64>, c: AtomicU64 }
+";
+    assert_eq!(rule_count(SIM, src, Rule::SyncOnSimPath), 4);
+}
+
+#[test]
+fn r10_thread_spawn_is_flagged() {
+    let src = "fn f() { std::thread::spawn(|| {}); }\n";
+    assert_eq!(rule_count(SIM, src, Rule::SyncOnSimPath), 1);
+}
+
+#[test]
+fn r10_bench_runner_is_exempt() {
+    let src = "
+use std::sync::Mutex;
+fn pool() { std::thread::scope(|s| { let _ = s; }); }
+";
+    assert_eq!(
+        rule_count("crates/bench/src/runner.rs", src, Rule::SyncOnSimPath),
+        0
+    );
+}
+
+#[test]
+fn r10_prose_and_variable_names_are_clean() {
+    // `thread` only counts in path position (`thread::`), and comments or
+    // strings never count.
+    let src = "
+// One Mutex per worker would break determinism; see DESIGN.md.
+fn f() -> &'static str { let thread = 1; let _ = thread; \"AtomicU64\" }
+";
+    assert_eq!(rule_count(SIM, src, Rule::SyncOnSimPath), 0);
 }
 
 // ---------------------------------------------------------------- output shape

@@ -3,6 +3,7 @@
 //! adding a justified baseline entry / allow annotation.
 
 use std::path::Path;
+use std::time::Instant;
 
 #[test]
 fn workspace_is_finding_free_against_baseline() {
@@ -19,5 +20,25 @@ fn workspace_is_finding_free_against_baseline() {
         report.is_clean(),
         "nvsim-lint found new findings or baseline drift:\n{}",
         report.render_text()
+    );
+}
+
+/// Self-benchmark: the full semantic analysis (lex + item tree + call
+/// graph + all ten rules over every workspace file) must stay fast enough
+/// to run on every CI push. 5 s is the budget from ISSUE 4; a debug-build
+/// single-CPU container run currently takes well under 1 s.
+#[test]
+fn full_workspace_analysis_stays_under_five_seconds() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = nvsim_lint::find_root(manifest).expect("workspace root above nvsim-lint");
+    let start = Instant::now();
+    let report =
+        nvsim_lint::lint_workspace(&root, &root.join("lint-baseline.txt")).expect("lint run");
+    let elapsed = start.elapsed();
+    assert!(report.files_scanned > 30);
+    assert!(
+        elapsed.as_secs_f64() < 5.0,
+        "full-workspace analysis took {:.2}s (budget 5s)",
+        elapsed.as_secs_f64()
     );
 }

@@ -4,8 +4,12 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Sub};
 
+/// Size of one CPU cache line in bytes, as the `u32` used by request
+/// sizes and line counters. Derive the `u64` form by widening so the two
+/// can never disagree and no site needs a narrowing cast.
+pub const CACHE_LINE_U32: u32 = 64;
 /// Size of one CPU cache line in bytes.
-pub const CACHE_LINE: u64 = 64;
+pub const CACHE_LINE: u64 = CACHE_LINE_U32 as u64;
 /// Size of one base (4 KiB) page in bytes.
 pub const PAGE_SIZE: u64 = 4096;
 

@@ -178,22 +178,8 @@ pub trait MemoryBackend {
             // nvsim-lint: allow(panic-path) — the single documented logic-bug
             // panic backing every infallible completion take; callers that can
             // miss must use try_take_completion.
-            Err(e) => panic!("take_completion: {e}"),
+            Err(e) => panic!("expect_completion: {e}"),
         }
-    }
-
-    /// Former name of [`expect_completion`](MemoryBackend::expect_completion).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `id` was never submitted or was already taken.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use try_take_completion (or \
-        expect_completion for freshly submitted requests) instead"
-    )]
-    fn take_completion(&mut self, id: ReqId) -> Time {
-        self.expect_completion(id)
     }
 
     /// Advances simulated time until request `id` completes; returns the
@@ -548,13 +534,6 @@ mod tests {
             m.try_take_completion(ReqId(999)),
             Err(crate::error::BackendError::UnknownRequest(ReqId(999)))
         );
-    }
-
-    #[test]
-    #[should_panic(expected = "not in flight")]
-    fn take_completion_wrapper_panics_on_unknown() {
-        #[allow(deprecated)]
-        mem().take_completion(ReqId(42));
     }
 
     #[test]

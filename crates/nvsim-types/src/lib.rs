@@ -37,7 +37,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use addr::{Addr, VirtAddr, CACHE_LINE, PAGE_SIZE};
+pub use addr::{Addr, VirtAddr, CACHE_LINE, CACHE_LINE_U32, PAGE_SIZE};
 pub use backend::{BackendCounters, MemoryBackend};
 pub use error::{BackendError, ConfigError};
 pub use request::{MemOp, ReqId, Request, RequestDesc};

@@ -1,6 +1,6 @@
 //! The memory-request vocabulary shared by all simulated memory systems.
 
-use crate::addr::{Addr, CACHE_LINE};
+use crate::addr::{Addr, CACHE_LINE, CACHE_LINE_U32};
 use crate::time::Time;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -127,17 +127,17 @@ impl RequestDesc {
 
     /// Convenience constructor for a 64 B load.
     pub fn load(addr: Addr) -> Self {
-        Self::new(addr, CACHE_LINE as u32, MemOp::Load)
+        Self::new(addr, CACHE_LINE_U32, MemOp::Load)
     }
 
     /// Convenience constructor for a 64 B store.
     pub fn store(addr: Addr) -> Self {
-        Self::new(addr, CACHE_LINE as u32, MemOp::Store)
+        Self::new(addr, CACHE_LINE_U32, MemOp::Store)
     }
 
     /// Convenience constructor for a 64 B non-temporal store.
     pub fn nt_store(addr: Addr) -> Self {
-        Self::new(addr, CACHE_LINE as u32, MemOp::NtStore)
+        Self::new(addr, CACHE_LINE_U32, MemOp::NtStore)
     }
 
     /// Convenience constructor for a fence.

@@ -117,7 +117,7 @@ impl Workload for SpecWorkloadGen {
             // ~60 hot ops per kilo-instruction hit the upper caches.
             let hot_ops: u64 = 60;
             let compute = 1000u64.saturating_sub(cold_ops + hot_ops);
-            out.push(TraceOp::compute(compute as u32));
+            out.push(TraceOp::compute(compute as u32)); // nvsim-lint: allow(cast-truncation) — compute ≤ 1000 by the saturating_sub above
             for h in 0..hot_ops {
                 // 4 KB hot buffer: L1-resident.
                 let v = VirtAddr::new(self.base + (h % 64) * 64);

@@ -252,7 +252,7 @@ impl Ait {
         let copy_done = self.media.copy(
             MediaAddr::new(media_block * block_size),
             MediaAddr::new(new_block * block_size),
-            block_size as u32,
+            block_size as u32, // nvsim-lint: allow(cast-truncation) — wear-block size is a small config constant (pages_per_block · 4 KiB)
             t,
         ) + self.wear.config().migration_latency;
         // Posted: the copy runs behind foreground traffic (later writes to

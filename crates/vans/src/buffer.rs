@@ -215,7 +215,7 @@ impl LruBuffer {
                 s
             }
             None => {
-                let s = self.slab.len() as u32;
+                let s = self.slab.len() as u32; // nvsim-lint: allow(cast-truncation) — slab growth is bounded by the configured buffer capacity, far below u32::MAX (NIL)
                 self.slab.push(Node {
                     key,
                     dirty: write,

@@ -9,7 +9,7 @@
 
 use crate::buffer::LruBuffer;
 use crate::config::LsqConfig;
-use nvsim_types::{Addr, Time, CACHE_LINE};
+use nvsim_types::{Addr, Time, CACHE_LINE_U32};
 
 /// A group of resident lines belonging to one combine block, handed to the
 /// RMW stage as a single (possibly partial) write.
@@ -24,7 +24,7 @@ pub struct CombinedWrite {
 impl CombinedWrite {
     /// Total bytes carried by the drained lines.
     pub fn bytes(&self) -> u32 {
-        self.lines * CACHE_LINE as u32
+        self.lines * CACHE_LINE_U32
     }
 }
 
@@ -63,7 +63,7 @@ impl Lsq {
     pub fn new(cfg: LsqConfig) -> Self {
         Lsq {
             lines: LruBuffer::new(cfg.entries as usize),
-            members: Vec::with_capacity((cfg.combine_bytes as u64 / CACHE_LINE) as usize),
+            members: Vec::with_capacity((cfg.combine_bytes / CACHE_LINE_U32) as usize),
             cfg,
             port_free: Time::ZERO,
             stats: LsqStats::default(),
@@ -136,7 +136,7 @@ impl Lsq {
     /// empty.
     fn evict_one(&mut self) -> Option<CombinedWrite> {
         let victim = self.lines.peek_lru()?;
-        let lines_per_block = (self.cfg.combine_bytes as u64 / CACHE_LINE) as u32;
+        let lines_per_block = self.cfg.combine_bytes / CACHE_LINE_U32;
         let block = victim / lines_per_block as u64;
         self.members.clear();
         for k in self.lines.keys() {
@@ -153,7 +153,7 @@ impl Lsq {
         }
         Some(CombinedWrite {
             block_addr: Addr::new(block * self.cfg.combine_bytes as u64),
-            lines: self.members.len() as u32,
+            lines: self.members.len() as u32, // nvsim-lint: allow(cast-truncation) — members is bounded by lines-per-combine-block (4)
         })
     }
 

@@ -12,7 +12,7 @@
 //! 3 KB the structure is far smaller than the other on-DIMM buffers.
 
 use crate::buffer::LruBuffer;
-use nvsim_types::{Addr, Time, CACHE_LINE};
+use nvsim_types::{Addr, Time, CACHE_LINE, CACHE_LINE_U32};
 use serde::{Deserialize, Serialize};
 
 /// Lazy cache configuration.
@@ -78,7 +78,7 @@ impl LazyCache {
     /// Creates a Lazy cache.
     pub fn new(cfg: LazyCacheConfig) -> Self {
         LazyCache {
-            lz1: LruBuffer::new((cfg.lz1_bytes / CACHE_LINE as u32).max(1) as usize),
+            lz1: LruBuffer::new((cfg.lz1_bytes / CACHE_LINE_U32).max(1) as usize),
             lz2: LruBuffer::new((cfg.lz2_bytes / 128).max(1) as usize),
             cfg,
             wlb: std::collections::BTreeMap::new(),
