@@ -12,6 +12,7 @@
 
 #![warn(missing_docs)]
 
+pub mod crashsweep;
 pub mod experiments;
 pub mod output;
 pub mod perf;

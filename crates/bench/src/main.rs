@@ -7,6 +7,8 @@
 //! nvsim-bench fig5a fig7b        # run specific experiments
 //! nvsim-bench trace fig9a        # per-stage latency attribution -> results/trace/
 //! nvsim-bench perf               # engine req/s -> BENCH_engine.json
+//! nvsim-bench crashsweep         # power-fail injection sweep -> results/crash.csv
+//! nvsim-bench crashsweep --smoke # reduced sweep for CI
 //! ```
 //!
 //! Worker count: `--jobs N` wins, then the `NVSIM_JOBS` environment
@@ -85,6 +87,35 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+        }
+        return;
+    }
+    if args[0] == "crashsweep" {
+        let smoke = args.iter().any(|a| a == "--smoke");
+        nvsim_bench::crashsweep::set_smoke(smoke);
+        let jobs = runner::resolve_jobs(jobs_arg);
+        eprintln!(
+            ">> crash-consistency sweep ({} mode) on {jobs} worker(s) ...",
+            if smoke { "smoke" } else { "full" }
+        );
+        let start = Instant::now();
+        let progress = |label: &str, secs: f64| eprintln!("<< {label} done in {secs:.1}s");
+        let outputs = runner::run(nvsim_bench::crashsweep::runnables(), jobs, Some(&progress));
+        let combined = nvsim_bench::crashsweep::combine(outputs);
+        println!("{combined}");
+        let results_dir = PathBuf::from("results");
+        if let Err(e) = combined.write_csv(&results_dir) {
+            eprintln!("could not write results/crash.csv: {e}");
+            std::process::exit(1);
+        }
+        let mismatches = nvsim_bench::crashsweep::total_mismatches(&combined);
+        eprintln!(
+            "== crashsweep in {:.1}s -> results/crash.csv ({mismatches} oracle mismatch(es))",
+            start.elapsed().as_secs_f64()
+        );
+        if mismatches > 0 {
+            eprintln!("crashsweep FAILED: model and oracle disagree (see reports above)");
+            std::process::exit(1);
         }
         return;
     }

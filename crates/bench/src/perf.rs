@@ -42,25 +42,111 @@ fn reqs_per_sec(iters: u64, samples: u32, mut step: impl FnMut(u64)) -> f64 {
     iters as f64 / best
 }
 
+/// Median of a sample set (mean of the middle pair for even sizes).
+fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(f64::total_cmp);
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) / 2.0
+    }
+}
+
+/// Summary of an interleaved A/B overhead measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadSummary {
+    /// Median of the per-repetition overhead percentages (raw signal).
+    pub median_pct: f64,
+    /// Noise floor: half the min-to-max spread of the per-rep overheads.
+    pub noise_pct: f64,
+    /// True when the median sits inside the noise band — there is no
+    /// resolvable overhead at this measurement's precision.
+    pub within_noise: bool,
+    /// What gets recorded: the median, clamped to 0 inside the noise band
+    /// (noise must not be reported as signal, in either direction).
+    pub reported_pct: f64,
+}
+
+/// Reduces per-repetition overhead percentages (from interleaved A/B
+/// timing) to a reportable figure. A lone timing pair can land anywhere
+/// inside scheduler noise — `BENCH_engine.json` once recorded a -10.97%
+/// "overhead" for the null sink this way — so the median is compared
+/// against the repetitions' own spread and clamped when indistinguishable
+/// from zero.
+pub fn summarize_overhead(per_rep_pct: &[f64]) -> OverheadSummary {
+    let median_pct = median(per_rep_pct);
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &x in per_rep_pct {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    let noise_pct = if per_rep_pct.len() < 2 {
+        f64::INFINITY // a single rep can never resolve a signal
+    } else {
+        (hi - lo) / 2.0
+    };
+    let within_noise = median_pct.abs() <= noise_pct;
+    OverheadSummary {
+        median_pct,
+        noise_pct,
+        within_noise,
+        reported_pct: if within_noise { 0.0 } else { median_pct },
+    }
+}
+
 /// Runs the engine micro-workloads and returns req/s per substrate.
 pub fn engine_micro() -> BTreeMap<String, f64> {
     let mut m = BTreeMap::new();
 
+    // Interleaved A/B: each repetition times the plain system and the
+    // null-sink system back to back, so slow drift (thermal, scheduler)
+    // hits both sides of every per-rep ratio instead of biasing one
+    // whole series.
+    const DEP_ITERS: u64 = 200_000;
+    const REPS: usize = 5;
     let mut sys = MemorySystem::new(VansConfig::optane_1dimm()).expect("valid preset");
-    let dep_read = reqs_per_sec(200_000, 3, |i| {
-        sys.execute(RequestDesc::load(Addr::new((i * 64 * 7919) % (1 << 30))));
-    });
-    m.insert("vans_dependent_read_rps".to_owned(), dep_read);
-
-    let mut sys = MemorySystem::new(VansConfig::optane_1dimm()).expect("valid preset");
-    sys.set_trace_sink(Box::new(nvsim_types::trace::NullSink));
-    let dep_read_null = reqs_per_sec(200_000, 3, |i| {
-        sys.execute(RequestDesc::load(Addr::new((i * 64 * 7919) % (1 << 30))));
-    });
-    m.insert("vans_dependent_read_nullsink_rps".to_owned(), dep_read_null);
+    let mut sys_null = MemorySystem::new(VansConfig::optane_1dimm()).expect("valid preset");
+    sys_null.set_trace_sink(Box::new(nvsim_types::trace::NullSink));
+    let time_dep = |sys: &mut MemorySystem| -> f64 {
+        let t0 = Instant::now();
+        for i in 0..DEP_ITERS {
+            sys.execute(RequestDesc::load(Addr::new((i * 64 * 7919) % (1 << 30))));
+        }
+        t0.elapsed().as_secs_f64()
+    };
+    // One unrecorded warm-up pair.
+    time_dep(&mut sys);
+    time_dep(&mut sys_null);
+    let mut t_plain = Vec::with_capacity(REPS);
+    let mut t_null = Vec::with_capacity(REPS);
+    let mut overheads = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let a = time_dep(&mut sys);
+        let b = time_dep(&mut sys_null);
+        t_plain.push(a);
+        t_null.push(b);
+        overheads.push((b / a - 1.0) * 100.0);
+    }
     m.insert(
-        "vans_nullsink_overhead_pct".to_owned(),
-        (dep_read / dep_read_null - 1.0) * 100.0,
+        "vans_dependent_read_rps".to_owned(),
+        DEP_ITERS as f64 / median(&t_plain),
+    );
+    m.insert(
+        "vans_dependent_read_nullsink_rps".to_owned(),
+        DEP_ITERS as f64 / median(&t_null),
+    );
+    let s = summarize_overhead(&overheads);
+    m.insert("vans_nullsink_overhead_pct".to_owned(), s.reported_pct);
+    m.insert("vans_nullsink_overhead_raw_pct".to_owned(), s.median_pct);
+    m.insert("vans_nullsink_noise_floor_pct".to_owned(), s.noise_pct);
+    m.insert(
+        "vans_nullsink_overhead_within_noise".to_owned(),
+        if s.within_noise { 1.0 } else { 0.0 },
     );
 
     let mut sys = MemorySystem::new(VansConfig::optane_1dimm()).expect("valid preset");
@@ -271,5 +357,39 @@ mod tests {
     fn parser_tolerates_garbage() {
         assert!(from_json("not json at all").is_empty());
         assert!(from_json("{\"sec\": {\"k\": }}").is_empty());
+    }
+
+    #[test]
+    fn overhead_inside_the_noise_band_is_clamped_to_zero() {
+        // Symmetric scatter around zero: pure measurement noise. The
+        // -10.97% class of readings must not survive as signal.
+        let s = summarize_overhead(&[-10.97, 4.2, -1.3, 6.0, 0.5]);
+        assert!(s.within_noise, "{s:?}");
+        assert_eq!(s.reported_pct, 0.0);
+        assert!((s.median_pct - 0.5).abs() < 1e-12, "raw median preserved");
+        assert!((s.noise_pct - (6.0 - -10.97) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_overhead_passes_through_unclamped() {
+        let s = summarize_overhead(&[11.0, 12.5, 11.8, 12.1, 11.4]);
+        assert!(!s.within_noise);
+        assert!((s.reported_pct - 11.8).abs() < 1e-12);
+        assert!((s.noise_pct - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_rep_never_resolves_a_signal() {
+        let s = summarize_overhead(&[42.0]);
+        assert!(s.within_noise);
+        assert_eq!(s.reported_pct, 0.0);
+        assert!(s.noise_pct.is_infinite());
+    }
+
+    #[test]
+    fn median_handles_even_and_odd_sizes() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
     }
 }

@@ -96,19 +96,37 @@ pub enum Runnable {
 
 /// Resolves the number of worker threads: an explicit request wins, then
 /// `NVSIM_JOBS`, then the machine's available parallelism.
+///
+/// An explicit request above the machine's available parallelism is
+/// honored (the units are CPU-bound but a user may want to test the
+/// scheduler) with a one-line warning on stderr.
 pub fn resolve_jobs(explicit: Option<usize>) -> usize {
-    explicit
-        .or_else(|| {
-            std::env::var("NVSIM_JOBS")
-                .ok()
-                .and_then(|v| v.parse().ok())
-        })
-        .filter(|&j| j > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        })
+    let avail = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let requested = explicit.or_else(|| {
+        std::env::var("NVSIM_JOBS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+    });
+    let (jobs, oversubscribed) = resolve_jobs_with(requested, avail);
+    if oversubscribed {
+        eprintln!(
+            "warning: --jobs {jobs} exceeds available parallelism ({avail}); \
+             workers are CPU-bound, extra threads will only contend"
+        );
+    }
+    jobs
+}
+
+/// Pure core of [`resolve_jobs`]: picks the worker count from an explicit
+/// request (or `NVSIM_JOBS`) and the machine's available parallelism, and
+/// reports whether the request oversubscribes the machine.
+fn resolve_jobs_with(requested: Option<usize>, avail: usize) -> (usize, bool) {
+    match requested.filter(|&j| j > 0) {
+        Some(j) => (j, j > avail),
+        None => (avail.max(1), false),
+    }
 }
 
 enum UnitKind {
@@ -413,5 +431,17 @@ mod tests {
     fn resolve_jobs_prefers_explicit() {
         assert_eq!(resolve_jobs(Some(3)), 3);
         assert!(resolve_jobs(None) >= 1);
+    }
+
+    #[test]
+    fn oversubscription_is_honored_but_flagged() {
+        assert_eq!(resolve_jobs_with(Some(16), 8), (16, true));
+        assert_eq!(resolve_jobs_with(Some(8), 8), (8, false));
+        assert_eq!(resolve_jobs_with(Some(2), 8), (2, false));
+        // No request: cap at available parallelism, never warn.
+        assert_eq!(resolve_jobs_with(None, 8), (8, false));
+        assert_eq!(resolve_jobs_with(None, 0), (1, false));
+        // Zero is not a valid request; falls back silently.
+        assert_eq!(resolve_jobs_with(Some(0), 4), (4, false));
     }
 }

@@ -16,8 +16,9 @@
 //! reverse edges, so cycles converge): a function reaches a panic when it
 //! calls one that panics directly or reaches one. Propagation stops at
 //! sanctioned roots: `expect_completion` (the one designed completion
-//! bookkeeping panic) and any function whose declaration carries a
-//! justified `allow(panic-reach)` annotation.
+//! bookkeeping panic), `inject_power_loss` (the clock-freezing
+//! crash-injection boundary), and any function whose declaration carries
+//! a justified `allow(panic-reach)` annotation.
 //!
 //! Directly-panicking functions are *not* reported here — R3 `panic-path`
 //! already flags the site itself. R7 reports the callers R3 is blind to,
@@ -30,7 +31,11 @@ use std::collections::BTreeMap;
 /// `expect_completion` is the designed infallible completion take
 /// (documented in `nvsim-types::backend`); its panic is the stated
 /// invariant, so callers are not flagged for reaching it.
-const SANCTIONED_ROOTS: [&str; 1] = ["expect_completion"];
+/// `inject_power_loss` is the crash-injection boundary
+/// (`vans::system`): it deliberately cuts the run at a frozen clock and
+/// replays the persistence log, so reaches through it are the designed
+/// fault-injection contract, not datapath bugs.
+const SANCTIONED_ROOTS: [&str; 2] = ["expect_completion", "inject_power_loss"];
 
 /// One call-graph node: a function item plus its defining file.
 #[derive(Debug, Clone)]
@@ -289,6 +294,22 @@ mod tests {
             impl B {
                 fn expect_completion(&mut self, id: u64) -> u64 {
                     self.take(id).expect(\"in flight\")
+                }
+            }
+            ",
+        )]);
+        assert!(g.panic_reaches().is_empty());
+    }
+
+    #[test]
+    fn inject_power_loss_is_a_sanctioned_root_by_name() {
+        let g = graph(&[(
+            "crates/vans/src/a.rs",
+            "
+            fn driver(s: &S) { s.inject_power_loss(7); }
+            impl S {
+                fn inject_power_loss(&self, k: u64) -> u64 {
+                    self.cut(k).expect(\"resolvable fault plan\")
                 }
             }
             ",

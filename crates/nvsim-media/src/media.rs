@@ -117,6 +117,16 @@ pub struct MediaStats {
     pub bytes_written: u64,
 }
 
+impl MediaStats {
+    /// Bytes written expressed as 64 B cache lines. The crash-consistency
+    /// layer reports this next to its durable-line counts: media writes
+    /// vastly exceed durable lines because write-backs and wear-leveling
+    /// copies move whole pages and blocks.
+    pub fn lines_written(&self) -> u64 {
+        self.bytes_written / 64
+    }
+}
+
 /// The media array timing model.
 ///
 /// Requests are split into access units; unit `u` is served by die

@@ -1,0 +1,273 @@
+//! Crash-consistency vocabulary: the per-line durability state machine,
+//! persist trace events, fault plans and the crash image they produce.
+//!
+//! The paper's persistence story (§II, Fig 2) is that a store becomes
+//! durable the moment it enters the iMC's write-pending queue, because the
+//! WPQ sits inside the **ADR** (asynchronous DRAM refresh) power-fail
+//! domain: on power loss a supercapacitor drains the WPQ — and everything
+//! below it on the DIMM — to the 3D-XPoint media. These types give that
+//! contract a checkable shape:
+//!
+//! ```text
+//!   Volatile ──(WPQ admission: nt-store / store+clwb)──► InAdrDomain
+//!   InAdrDomain ──(AIT page writeback reaches media)──► OnMedia
+//!   * ──(plain cached store rewrites the line)──► Volatile
+//! ```
+//!
+//! A *plain* store is cacheable: the value stays in the CPU cache and is
+//! lost on power failure, so it demotes the line's durable image back to
+//! `Volatile` (the media may still hold a stale value, but "durable" here
+//! means *the latest written value survives*). An in-flight wear-leveling
+//! migration copies media-to-media and therefore never changes a line's
+//! durability.
+
+use crate::addr::{Addr, CACHE_LINE};
+use crate::time::Time;
+use std::collections::BTreeMap;
+
+/// Where the latest written value of a cache line would survive a power
+/// failure. Ordered by increasing persistence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Durability {
+    /// The latest value lives only in a volatile structure (CPU cache):
+    /// lost on power failure.
+    Volatile,
+    /// The latest value has been admitted to the ADR power-fail domain
+    /// (WPQ or any on-DIMM buffer below it): the supercap drain
+    /// guarantees it reaches media.
+    InAdrDomain,
+    /// The latest value has been written back to the 3D-XPoint media.
+    OnMedia,
+}
+
+impl Durability {
+    /// Short stable label used in trace output and CSVs.
+    pub fn label(self) -> &'static str {
+        match self {
+            Durability::Volatile => "volatile",
+            Durability::InAdrDomain => "adr",
+            Durability::OnMedia => "media",
+        }
+    }
+
+    /// Does this state survive a power failure (given a healthy supercap)?
+    pub fn is_durable(self) -> bool {
+        self >= Durability::InAdrDomain
+    }
+}
+
+/// One durability transition of one cache line, recorded by the model as
+/// the request stream is processed. Forwarded to [`TraceSink::persist`]
+/// (see `trace`) when tracing is enabled.
+///
+/// [`TraceSink::persist`]: crate::trace::TraceSink::persist
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PersistEvent {
+    /// Cache-line index (physical address / 64).
+    pub line: u64,
+    /// State before the transition.
+    pub from: Durability,
+    /// State after the transition.
+    pub to: Durability,
+    /// Simulated time at which the new state holds (for an ADR admission
+    /// this is the WPQ acceptance time the iMC model reports).
+    pub at: Time,
+    /// Global sequence number; totally orders persist events against the
+    /// request log so a crash cut can be replayed retroactively.
+    pub seq: u64,
+    /// When `to == InAdrDomain`: the 1-based ordinal of this WPQ
+    /// insertion (merges included). Zero otherwise.
+    pub insertion: u64,
+}
+
+/// A power-failure injection plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPlan {
+    /// Power is lost at the given simulated time; everything durable by
+    /// then is kept, everything later never happened.
+    AtTime(Time),
+    /// Power is lost immediately after the K-th WPQ insertion (1-based,
+    /// counted across all DIMMs; merges into a pending WPQ line count).
+    AtWpqInsertion(u64),
+    /// Power is lost at a WPQ insertion drawn uniformly from the run's
+    /// insertions by the deterministic [`DetRng`](crate::rng::DetRng)
+    /// seeded with `seed`. Falls back to "now" if nothing was inserted.
+    Probabilistic {
+        /// Seed for the deterministic draw.
+        seed: u64,
+    },
+}
+
+impl FaultPlan {
+    /// Power loss at simulated time `t`.
+    pub fn at_time(t: Time) -> Self {
+        FaultPlan::AtTime(t)
+    }
+
+    /// Power loss right after the `k`-th WPQ insertion (1-based).
+    pub fn at_insertion(k: u64) -> Self {
+        FaultPlan::AtWpqInsertion(k)
+    }
+
+    /// Power loss at a deterministically random WPQ insertion.
+    pub fn probabilistic(seed: u64) -> Self {
+        FaultPlan::Probabilistic { seed }
+    }
+
+    /// Short stable label for CSV rows and reports.
+    pub fn label(&self) -> String {
+        match self {
+            FaultPlan::AtTime(t) => format!("t={}ns", t.as_ns()),
+            FaultPlan::AtWpqInsertion(k) => format!("ins={k}"),
+            FaultPlan::Probabilistic { seed } => format!("seed={seed}"),
+        }
+    }
+}
+
+/// A fault plan resolved against a concrete run: the actual cut point the
+/// crash image was computed at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolvedCut {
+    /// Every transition with `at <= t` is included.
+    Time(Time),
+    /// Every event up to and including the K-th WPQ insertion is
+    /// included (`k == 0` means "before the first insertion").
+    Insertion(u64),
+}
+
+impl ResolvedCut {
+    /// Short stable label for CSV rows and reports.
+    pub fn label(&self) -> String {
+        match self {
+            ResolvedCut::Time(t) => format!("t={}ns", t.as_ns()),
+            ResolvedCut::Insertion(k) => format!("ins={k}"),
+        }
+    }
+}
+
+/// Counters attached to a [`CrashImage`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CrashCounters {
+    /// Lines the tracker has ever seen written.
+    pub tracked_lines: u64,
+    /// Lines whose latest value survives the crash (ADR-drained or
+    /// already on media).
+    pub durable_lines: u64,
+    /// Lines whose latest value is lost (still CPU-cached at the cut).
+    pub volatile_lines: u64,
+    /// Lines that were in the ADR domain at the cut and were drained to
+    /// media on the supercap budget.
+    pub adr_drained_lines: u64,
+    /// Lines already on media at the cut (no drain energy needed).
+    pub media_lines: u64,
+    /// Distinct AIT pages touched by the supercap drain.
+    pub adr_pages_drained: u64,
+    /// Total WPQ insertions the run had performed by the injection call.
+    pub wpq_insertions: u64,
+    /// Live WPQ occupancy (lines) across all DIMMs at the injection call.
+    pub wpq_lines_at_call: u64,
+    /// Live LSQ occupancy (lines) across all DIMMs at the injection call.
+    pub lsq_lines_at_call: u64,
+    /// Live RMW-buffer occupancy (256 B blocks) at the injection call.
+    pub rmw_blocks_at_call: u64,
+    /// Dirty AIT buffer pages across all DIMMs at the injection call.
+    pub ait_dirty_pages_at_call: u64,
+    /// Cache lines' worth of media writes performed by the injection call.
+    pub media_lines_written_at_call: u64,
+    /// Modeled supercap energy (as drain time) the ADR drain consumed.
+    pub supercap_used: Time,
+    /// The configured supercap budget.
+    pub supercap_budget: Time,
+    /// True when the modeled drain exceeded the budget. The drain is
+    /// still applied — the flag is a diagnostic that the configured
+    /// hold-up time would not have covered this image.
+    pub supercap_exceeded: bool,
+}
+
+/// The set of cache lines that survive a power failure, plus bookkeeping.
+///
+/// Produced by `MemorySystem::inject_power_loss` (in the `vans` crate):
+/// the model replays its persist-event log up to the resolved cut, then
+/// applies the supercap drain (every `InAdrDomain` line reaches media).
+/// The image is a pure function of the run's history — computing it does
+/// not disturb the simulation, so many images can be taken from one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashImage {
+    /// The cut point the fault plan resolved to.
+    pub cut: ResolvedCut,
+    /// Post-drain durability per tracked cache line (line index → state).
+    /// After the drain a line is either `Volatile` or `OnMedia`.
+    pub states: BTreeMap<u64, Durability>,
+    /// Summary counters (drain cost, occupancies at the call, etc.).
+    pub counters: CrashCounters,
+}
+
+impl CrashImage {
+    /// Does the latest value written to cache line `line` survive?
+    /// Untracked lines were never written and report `false`.
+    pub fn is_line_durable(&self, line: u64) -> bool {
+        self.states.get(&line).is_some_and(|s| s.is_durable())
+    }
+
+    /// Does the latest value written to the line holding `addr` survive?
+    pub fn is_durable(&self, addr: Addr) -> bool {
+        self.is_line_durable(addr.line_index())
+    }
+
+    /// Iterator over the byte addresses of all surviving lines.
+    pub fn durable_lines(&self) -> impl Iterator<Item = Addr> + '_ {
+        self.states
+            .iter()
+            .filter(|(_, s)| s.is_durable())
+            .map(|(&line, _)| Addr::new(line * CACHE_LINE))
+    }
+
+    /// Number of lines ever written under tracking.
+    pub fn tracked_lines(&self) -> usize {
+        self.states.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durability_orders_by_persistence() {
+        assert!(Durability::Volatile < Durability::InAdrDomain);
+        assert!(Durability::InAdrDomain < Durability::OnMedia);
+        assert!(!Durability::Volatile.is_durable());
+        assert!(Durability::InAdrDomain.is_durable());
+        assert!(Durability::OnMedia.is_durable());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Durability::Volatile.label(), "volatile");
+        assert_eq!(Durability::InAdrDomain.label(), "adr");
+        assert_eq!(Durability::OnMedia.label(), "media");
+        assert_eq!(FaultPlan::at_insertion(3).label(), "ins=3");
+        assert_eq!(FaultPlan::at_time(Time::from_ns(7)).label(), "t=7ns");
+        assert_eq!(FaultPlan::probabilistic(9).label(), "seed=9");
+        assert_eq!(ResolvedCut::Insertion(3).label(), "ins=3");
+    }
+
+    #[test]
+    fn image_queries_cover_tracked_and_untracked_lines() {
+        let mut states = BTreeMap::new();
+        states.insert(4, Durability::OnMedia);
+        states.insert(9, Durability::Volatile);
+        let img = CrashImage {
+            cut: ResolvedCut::Insertion(1),
+            states,
+            counters: CrashCounters::default(),
+        };
+        assert!(img.is_line_durable(4));
+        assert!(img.is_durable(Addr::new(4 * 64 + 63)));
+        assert!(!img.is_line_durable(9), "volatile line must not survive");
+        assert!(!img.is_line_durable(1234), "untracked line never written");
+        let survivors: Vec<Addr> = img.durable_lines().collect();
+        assert_eq!(survivors, vec![Addr::new(256)]);
+        assert_eq!(img.tracked_lines(), 2);
+    }
+}

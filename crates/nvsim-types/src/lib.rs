@@ -13,6 +13,9 @@
 //!   [`RequestTrace`] and the [`TraceSink`] family.
 //! * [`rng`] — a deterministic, seedable RNG (SplitMix64 / Xoshiro256++)
 //!   so every simulation in the workspace is reproducible.
+//! * [`durability`] — crash-consistency vocabulary: the per-line
+//!   [`Durability`] state machine, [`PersistEvent`], [`FaultPlan`] and
+//!   the [`CrashImage`] a power-fail injection produces.
 //!
 //! # Example
 //!
@@ -30,6 +33,7 @@
 
 pub mod addr;
 pub mod backend;
+pub mod durability;
 pub mod error;
 pub mod request;
 pub mod rng;
@@ -39,6 +43,7 @@ pub mod trace;
 
 pub use addr::{Addr, VirtAddr, CACHE_LINE, CACHE_LINE_U32, PAGE_SIZE};
 pub use backend::{BackendCounters, MemoryBackend};
+pub use durability::{CrashCounters, CrashImage, Durability, FaultPlan, PersistEvent, ResolvedCut};
 pub use error::{BackendError, ConfigError};
 pub use request::{MemOp, ReqId, Request, RequestDesc};
 pub use rng::{DetRng, SplitMix64};

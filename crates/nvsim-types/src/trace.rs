@@ -54,6 +54,7 @@
 //! ```
 
 use crate::addr::Addr;
+use crate::durability::PersistEvent;
 use crate::request::{MemOp, ReqId};
 use crate::stats::{Histogram, RunningStats};
 use crate::time::Time;
@@ -357,6 +358,11 @@ pub trait TraceSink: fmt::Debug {
         None
     }
 
+    /// Consumes one durability transition ([`PersistEvent`]). Emitted only
+    /// when the backend has durability tracking enabled; sinks that do not
+    /// care inherit this no-op.
+    fn persist(&mut self, _event: &PersistEvent) {}
+
     /// Flushes any buffered output.
     fn flush(&mut self) -> io::Result<()> {
         Ok(())
@@ -626,6 +632,25 @@ impl<W: io::Write + fmt::Debug> TraceSink for JsonlSink<W> {
         // nvsim-lint: allow(panic-path) — diagnostics-only sink; an IO error
         // here must abort rather than silently truncate the artifact.
         writeln!(self.out, "{}", trace.to_jsonl()).expect("trace JSONL write failed");
+        self.lines += 1;
+    }
+
+    fn persist(&mut self, event: &PersistEvent) {
+        // Same determinism contract as `record`: integer-only values in a
+        // fixed key order, one event per line, interleaved with traces in
+        // emission order.
+        let row = format!(
+            "{{\"persist\":{{\"line\":{},\"from\":\"{}\",\"to\":\"{}\",\"at_ns\":{},\"seq\":{},\"insertion\":{}}}}}",
+            event.line,
+            event.from.label(),
+            event.to.label(),
+            event.at.as_ns(),
+            event.seq,
+            event.insertion
+        );
+        // nvsim-lint: allow(panic-path) — diagnostics-only sink; an IO error
+        // here must abort rather than silently truncate the artifact.
+        writeln!(self.out, "{row}").expect("persist JSONL write failed");
         self.lines += 1;
     }
 

@@ -63,6 +63,11 @@ pub struct Ait {
     stats: AitStats,
     /// Per-stage span collection (disabled unless tracing is on).
     recorder: SpanRecorder,
+    /// When durability tracking is on, every media write-back is logged
+    /// here as `(page index, completion time)` — the OnMedia transition
+    /// source for the crash-consistency layer.
+    persist_enabled: bool,
+    persist_log: Vec<(u64, Time)>,
 }
 
 impl Ait {
@@ -84,6 +89,8 @@ impl Ait {
             busy_pages: BTreeMap::new(),
             stats: AitStats::default(),
             recorder: SpanRecorder::new(),
+            persist_enabled: false,
+            persist_log: Vec::new(),
         }
     }
 
@@ -95,6 +102,30 @@ impl Ait {
     /// Moves spans recorded since the last drain into `out`.
     pub fn drain_spans(&mut self, out: &mut Vec<StageSpan>) {
         self.recorder.drain_into(out);
+    }
+
+    /// Enables or disables media write-back logging for durability
+    /// tracking.
+    pub fn set_persist_tracking(&mut self, enabled: bool) {
+        self.persist_enabled = enabled;
+        if !enabled {
+            self.persist_log.clear();
+        }
+    }
+
+    /// Moves `(page, completion time)` write-back records collected since
+    /// the last drain into `out` (appending).
+    pub fn drain_persist_into(&mut self, out: &mut Vec<(u64, Time)>) {
+        out.append(&mut self.persist_log);
+    }
+
+    /// Number of dirty pages currently resident in the data buffer (lines
+    /// the ADR drain would still have to push to media).
+    pub fn dirty_pages(&self) -> u64 {
+        self.buffer
+            .keys()
+            .filter(|&k| self.buffer.is_dirty(k))
+            .count() as u64
     }
 
     /// Statistics so far.
@@ -165,6 +196,9 @@ impl Ait {
         let done = self.media.write(media_addr, self.cfg.entry_bytes, t);
         // Posted: overlaps foreground time, so this span does not tile.
         self.recorder.record(Stage::MediaWrite, t, done);
+        if self.persist_enabled {
+            self.persist_log.push((page, done));
+        }
     }
 
     /// Ensures the page is resident in the data buffer; returns the time

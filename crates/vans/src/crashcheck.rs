@@ -1,0 +1,276 @@
+//! The durability oracle: an independent replay of the request log
+//! against the ADR persistence contract, diffed against the model's
+//! [`CrashImage`].
+//!
+//! The contract (paper §II, Fig 2) is request-level and deliberately
+//! ignorant of the datapath:
+//!
+//! * the **latest** write to a cache line at or before the crash cut
+//!   determines the line's fate;
+//! * that write survives iff its operation reached the ADR domain —
+//!   `NtStore` or `StoreClwb`. A plain `Store` is cacheable: its value
+//!   stays in the CPU cache and is lost.
+//!
+//! The model, by contrast, derives the same answer from its persist-event
+//! state machine threaded through the iMC, LSQ, RMW, AIT and media
+//! writeback paths, plus the supercap drain. Any disagreement between the
+//! two is a hard failure and is reported with the full request history of
+//! the offending line — that history is exactly what a human needs to
+//! decide which side is wrong.
+
+use crate::persist::LoggedRequest;
+use nvsim_types::{CrashImage, MemOp, ResolvedCut};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// One line where model and oracle disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashMismatch {
+    /// Cache-line index.
+    pub line: u64,
+    /// What the model's crash image claims.
+    pub model_durable: bool,
+    /// What the persistence contract says.
+    pub oracle_durable: bool,
+    /// Every logged request that touched this line, in submission order,
+    /// formatted for the failure report.
+    pub history: Vec<String>,
+}
+
+impl fmt::Display for CrashMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "line {:#x}: model says {}, oracle says {}",
+            self.line * 64,
+            if self.model_durable {
+                "durable"
+            } else {
+                "lost"
+            },
+            if self.oracle_durable {
+                "durable"
+            } else {
+                "lost"
+            },
+        )?;
+        for h in &self.history {
+            writeln!(f, "    {h}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Sequence number an insertion cut resolves to in the request log
+/// (`u64::MAX` when the cut lies beyond the log).
+fn insertion_cut_seq(log: &[LoggedRequest], k: u64) -> u64 {
+    if k == 0 {
+        return 0;
+    }
+    log.iter()
+        .flat_map(|r| r.lines.iter())
+        .find(|l| l.insertion == k)
+        .map_or(u64::MAX, |l| l.seq)
+}
+
+/// Replays the request log against the persistence contract: for every
+/// line written at or before the cut, `true` iff the latest such write
+/// was persistent (`NtStore` / `StoreClwb`).
+pub fn oracle_durable_lines(log: &[LoggedRequest], cut: &ResolvedCut) -> BTreeMap<u64, bool> {
+    let cut_seq = match cut {
+        ResolvedCut::Time(_) => None,
+        ResolvedCut::Insertion(k) => Some(insertion_cut_seq(log, *k)),
+    };
+    let mut out: BTreeMap<u64, bool> = BTreeMap::new();
+    for req in log {
+        let durable = matches!(req.op, MemOp::NtStore | MemOp::StoreClwb);
+        for l in &req.lines {
+            let included = match (cut_seq, cut) {
+                (Some(s), _) => l.seq <= s,
+                (None, ResolvedCut::Time(t)) => l.at <= *t,
+                (None, ResolvedCut::Insertion(_)) => false,
+            };
+            if included {
+                // Later records overwrite earlier ones: latest write wins.
+                out.insert(l.line, durable);
+            }
+        }
+    }
+    out
+}
+
+/// Formats the full request history of `line` for a failure report.
+pub fn line_history(log: &[LoggedRequest], line: u64) -> Vec<String> {
+    let mut out = Vec::new();
+    for req in log {
+        for l in req.lines.iter().filter(|l| l.line == line) {
+            let mut s = format!(
+                "req {} {} addr={:#x} size={} issued={}ns: line {:#x} at={}ns seq={}",
+                req.id.0,
+                req.op.label(),
+                req.addr.raw(),
+                req.size,
+                req.issued.as_ns(),
+                l.line * 64,
+                l.at.as_ns(),
+                l.seq,
+            );
+            if l.insertion > 0 {
+                let _ = write!(s, " wpq-insertion={}", l.insertion);
+            }
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// Diffs the model's crash image against the oracle's replay of the
+/// request log. An empty result means full agreement; every entry is a
+/// hard contract violation carrying the line's request history.
+pub fn diff_image(image: &CrashImage, log: &[LoggedRequest]) -> Vec<CrashMismatch> {
+    let oracle = oracle_durable_lines(log, &image.cut);
+    let mut lines: Vec<u64> = image.states.keys().copied().collect();
+    for &l in oracle.keys() {
+        if !image.states.contains_key(&l) {
+            lines.push(l);
+        }
+    }
+    lines.sort_unstable();
+    lines.dedup();
+
+    let mut out = Vec::new();
+    for line in lines {
+        let model_durable = image.is_line_durable(line);
+        let oracle_durable = oracle.get(&line).copied().unwrap_or(false);
+        if model_durable != oracle_durable {
+            out.push(CrashMismatch {
+                line,
+                model_durable,
+                oracle_durable,
+                history: line_history(log, line),
+            });
+        }
+    }
+    out
+}
+
+/// Renders a mismatch list as one failure report.
+pub fn report(cut: &ResolvedCut, mismatches: &[CrashMismatch]) -> String {
+    let mut s = format!(
+        "durability oracle: {} mismatch(es) at cut {}\n",
+        mismatches.len(),
+        cut.label()
+    );
+    for m in mismatches {
+        let _ = write!(s, "{m}");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::persist::{DrainModel, LiveOccupancy, PersistTracker};
+    use nvsim_types::{Addr, ReqId, RequestDesc, Time};
+
+    fn drain() -> DrainModel {
+        DrainModel {
+            protocol_overhead: Time::from_ns(25),
+            line_cost: Time::from_ns(22),
+            page_cost: Time::from_ns(400),
+            budget: Time::from_ns(100_000),
+            lines_per_page: 64,
+        }
+    }
+
+    /// Drives the tracker with (op, line) pairs and returns it.
+    fn run(ops: &[(MemOp, u64)]) -> PersistTracker {
+        let mut t = PersistTracker::default();
+        t.set_enabled(true);
+        for (i, &(op, line)) in ops.iter().enumerate() {
+            let at = Time::from_ns(10 * (i as u64 + 1));
+            t.begin_request(
+                ReqId(i as u64),
+                &RequestDesc::new(Addr::new(line * 64), 64, op),
+                at,
+            );
+            t.record_store_line(line, op != MemOp::Store, at);
+        }
+        t
+    }
+
+    #[test]
+    fn oracle_agrees_with_model_on_a_mixed_stream() {
+        let t = run(&[
+            (MemOp::NtStore, 1),
+            (MemOp::Store, 2),
+            (MemOp::StoreClwb, 3),
+            (MemOp::Store, 1), // demotes line 1
+            (MemOp::NtStore, 2),
+        ]);
+        for cut in [
+            ResolvedCut::Time(Time::MAX),
+            ResolvedCut::Time(Time::from_ns(25)),
+            ResolvedCut::Insertion(0),
+            ResolvedCut::Insertion(1),
+            ResolvedCut::Insertion(2),
+            ResolvedCut::Insertion(3),
+            ResolvedCut::Insertion(99),
+        ] {
+            let img = t.image(cut, &drain(), LiveOccupancy::default());
+            let diff = diff_image(&img, t.log());
+            assert!(diff.is_empty(), "cut {}: {diff:?}", cut.label());
+        }
+    }
+
+    #[test]
+    fn a_wrong_model_claim_is_a_hard_failure_with_history() {
+        let t = run(&[(MemOp::NtStore, 7), (MemOp::Store, 7)]);
+        let mut img = t.image(
+            ResolvedCut::Time(Time::MAX),
+            &drain(),
+            LiveOccupancy::default(),
+        );
+        // Corrupt the model: claim the demoted line survived.
+        img.states.insert(7, nvsim_types::Durability::OnMedia);
+        let diff = diff_image(&img, t.log());
+        assert_eq!(diff.len(), 1);
+        let m = &diff[0];
+        assert_eq!(m.line, 7);
+        assert!(m.model_durable && !m.oracle_durable);
+        assert_eq!(m.history.len(), 2, "both touches reported: {:?}", m.history);
+        assert!(m.history[0].contains("st-nt"));
+        assert!(m.history[1].contains("st "), "plain store in history");
+        let rep = report(&img.cut, &diff);
+        assert!(rep.contains("1 mismatch"));
+        assert!(rep.contains("model says durable, oracle says lost"));
+    }
+
+    #[test]
+    fn oracle_sees_lines_the_model_dropped() {
+        let t = run(&[(MemOp::NtStore, 4)]);
+        let mut img = t.image(
+            ResolvedCut::Time(Time::MAX),
+            &drain(),
+            LiveOccupancy::default(),
+        );
+        img.states.clear(); // model "forgot" the line entirely
+        let diff = diff_image(&img, t.log());
+        assert_eq!(diff.len(), 1);
+        assert!(!diff[0].model_durable && diff[0].oracle_durable);
+    }
+
+    #[test]
+    fn insertion_cut_orders_plain_stores_by_sequence() {
+        // plain store between two insertions: cut at insertion 1 must
+        // exclude it (it happened later in program order).
+        let t = run(&[(MemOp::NtStore, 1), (MemOp::Store, 2), (MemOp::NtStore, 3)]);
+        let oracle = oracle_durable_lines(t.log(), &ResolvedCut::Insertion(1));
+        assert_eq!(oracle.get(&1), Some(&true));
+        assert_eq!(oracle.get(&2), None, "after-cut store must not appear");
+        assert_eq!(oracle.get(&3), None);
+        let oracle = oracle_durable_lines(t.log(), &ResolvedCut::Insertion(2));
+        assert_eq!(oracle.get(&2), Some(&false), "now inside the cut, lost");
+    }
+}

@@ -69,6 +69,18 @@ impl NvDimm {
         self.ait.drain_spans(out);
     }
 
+    /// Enables or disables durability tracking on this DIMM (the AIT logs
+    /// media write-backs so the system can record OnMedia transitions).
+    pub fn set_persist_tracking(&mut self, enabled: bool) {
+        self.ait.set_persist_tracking(enabled);
+    }
+
+    /// Moves `(page, time)` media write-back records collected since the
+    /// last drain into `out` (appending).
+    pub fn drain_persist_into(&mut self, out: &mut Vec<(u64, Time)>) {
+        self.ait.drain_persist_into(out);
+    }
+
     /// Drains one WPQ line into the LSQ (and onward if the LSQ spills).
     /// Returns `true` if a line was drained.
     fn drain_one_wpq_line(&mut self, t: Time) -> bool {

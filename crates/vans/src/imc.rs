@@ -92,6 +92,13 @@ impl Imc {
         self.wpq.len()
     }
 
+    /// Cache-line indices currently resident in the WPQ, in queue order.
+    /// The crash-consistency layer snapshots these: every line here is
+    /// inside the ADR domain by definition.
+    pub fn wpq_lines(&self) -> impl Iterator<Item = u64> + '_ {
+        self.wpq.iter().map(|l| l.line)
+    }
+
     /// Reserves the DDR-T command/request path for one 64 B packet
     /// starting no earlier than `t`; returns the arrival time.
     pub fn bus_packet(&mut self, t: Time) -> Time {

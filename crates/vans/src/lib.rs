@@ -30,6 +30,12 @@
 //!   duration of a migration and remaps its pages.
 //! * An `mfence` drains the WPQ **and** flushes the LSQ, as the paper's
 //!   characterization shows (§III-C).
+//! * Power-fail injection ([`MemorySystem::inject_power_loss`]) resolves a
+//!   [`nvsim_types::FaultPlan`] against the run, drains exactly the ADR
+//!   domain on a modeled supercap budget, and returns a
+//!   [`nvsim_types::CrashImage`]; the independent [`crashcheck`] oracle
+//!   replays the request log against the persistence contract and must
+//!   agree line-for-line.
 //!
 //! The three latency plateaus of the paper's pointer-chasing reads
 //! (≈100 ns below 16 KB, ≈180 ns below 16 MB, ≈330 ns beyond) and the
@@ -54,12 +60,14 @@
 pub mod ait;
 pub mod buffer;
 pub mod config;
+pub mod crashcheck;
 pub mod dimm;
 pub mod frontend;
 pub mod imc;
 pub mod lsq;
 pub mod memory_mode;
 pub mod opt;
+pub mod persist;
 pub mod rmw;
 pub mod system;
 

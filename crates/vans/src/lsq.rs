@@ -86,6 +86,13 @@ impl Lsq {
         self.lines.len()
     }
 
+    /// Cache-line indices currently resident, MRU first. The
+    /// crash-consistency layer snapshots these: LSQ-resident lines sit
+    /// below the WPQ and are therefore inside the ADR domain.
+    pub fn resident_lines(&self) -> impl Iterator<Item = u64> + '_ {
+        self.lines.keys()
+    }
+
     /// Reserves the lookup port from `t`; returns when the lookup's
     /// result is available. The port itself frees after `occupancy`
     /// (lookups pipeline).

@@ -1,0 +1,448 @@
+//! Durability tracking: the persist-event log, the request log, and the
+//! retroactive crash-image computation.
+//!
+//! When tracking is enabled (`MemorySystem::set_durability_tracking`), the
+//! system appends two parallel histories as it processes requests:
+//!
+//! * a **persist-event log** — one [`PersistEvent`] per durability
+//!   transition of a cache line (ADR admission, media writeback, or
+//!   demotion by a plain cached store), stamped with a global sequence
+//!   number and the simulated time the new state holds;
+//! * a **request log** — one [`LoggedRequest`] per submitted request with
+//!   the per-line admission records ([`LoggedLine`]), stamped with the
+//!   *same* sequence counter.
+//!
+//! A power-failure injection is then *retroactive*: the fault plan is
+//! resolved to a cut (a time or a WPQ-insertion ordinal), the event log is
+//! replayed up to the cut, and the modeled supercap drain upgrades every
+//! line still inside the ADR domain to [`Durability::OnMedia`]. Nothing in
+//! the datapath is mutated and the clock does not advance, so one workload
+//! run can serve arbitrarily many crash images — which is what makes the
+//! `crashsweep` matrix affordable.
+//!
+//! The independent check of all of this lives in [`crate::crashcheck`]:
+//! the oracle derives durability purely from the request log and the
+//! ADR persistence contract, never from the event log's state machine.
+
+use nvsim_types::{
+    Addr, CrashCounters, CrashImage, Durability, MemOp, PersistEvent, ReqId, RequestDesc,
+    ResolvedCut, Time,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One cache line's admission record inside a [`LoggedRequest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoggedLine {
+    /// Cache-line index (physical address / 64).
+    pub line: u64,
+    /// Time the line's new durability state holds (WPQ acceptance for
+    /// persistent stores, processing time for plain stores).
+    pub at: Time,
+    /// Global sequence number shared with the persist-event log.
+    pub seq: u64,
+    /// 1-based WPQ-insertion ordinal for persistent stores, 0 for plain
+    /// cached stores.
+    pub insertion: u64,
+}
+
+/// One submitted request as the durability oracle sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoggedRequest {
+    /// Request id assigned at submission.
+    pub id: ReqId,
+    /// The operation.
+    pub op: MemOp,
+    /// First byte touched.
+    pub addr: Addr,
+    /// Request size in bytes.
+    pub size: u32,
+    /// Submission time.
+    pub issued: Time,
+    /// Per-line admission records (empty for loads and fences).
+    pub lines: Vec<LoggedLine>,
+}
+
+/// Cost model of the supercap-powered ADR drain, derived from the system
+/// configuration at injection time.
+#[derive(Debug, Clone, Copy)]
+pub struct DrainModel {
+    /// One-off DDR-T protocol overhead to switch into drain mode.
+    pub protocol_overhead: Time,
+    /// Per-line cost: bus transfer plus WPQ drain period.
+    pub line_cost: Time,
+    /// Per-AIT-page cost: estimated media write of one page.
+    pub page_cost: Time,
+    /// Configured supercap hold-up budget.
+    pub budget: Time,
+    /// Cache lines per AIT page (entry_bytes / 64).
+    pub lines_per_page: u64,
+}
+
+/// Live datapath occupancies sampled at the injection call (diagnostics
+/// attached to the [`CrashImage`] counters).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LiveOccupancy {
+    /// WPQ lines across all DIMMs.
+    pub wpq_lines: u64,
+    /// LSQ lines across all DIMMs.
+    pub lsq_lines: u64,
+    /// RMW-buffer blocks across all DIMMs.
+    pub rmw_blocks: u64,
+    /// Dirty AIT buffer pages across all DIMMs.
+    pub ait_dirty_pages: u64,
+    /// Cache lines' worth of media bytes written so far.
+    pub media_lines_written: u64,
+}
+
+/// The durability history of one simulation run.
+#[derive(Debug, Default)]
+pub struct PersistTracker {
+    enabled: bool,
+    seq: u64,
+    insertions: u64,
+    events: Vec<PersistEvent>,
+    /// Live per-line states, maintained incrementally with the same rules
+    /// the retroactive replay applies (used to gate media upgrades).
+    states: BTreeMap<u64, Durability>,
+    log: Vec<LoggedRequest>,
+    /// Events already forwarded to the trace sink.
+    forwarded: usize,
+}
+
+impl PersistTracker {
+    /// Is tracking enabled?
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Enables or disables tracking. Enabling starts a fresh history.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        if enabled && !self.enabled {
+            self.seq = 0;
+            self.insertions = 0;
+            self.events.clear();
+            self.states.clear();
+            self.log.clear();
+            self.forwarded = 0;
+        }
+        self.enabled = enabled;
+    }
+
+    /// Total WPQ insertions recorded so far (merges included).
+    pub fn insertions(&self) -> u64 {
+        self.insertions
+    }
+
+    /// The full persist-event log.
+    pub fn events(&self) -> &[PersistEvent] {
+        &self.events
+    }
+
+    /// The full request log.
+    pub fn log(&self) -> &[LoggedRequest] {
+        &self.log
+    }
+
+    /// Opens a request-log entry; subsequent line records attach to it.
+    pub fn begin_request(&mut self, id: ReqId, desc: &RequestDesc, issued: Time) {
+        self.log.push(LoggedRequest {
+            id,
+            op: desc.op,
+            addr: desc.addr,
+            size: desc.size,
+            issued,
+            lines: Vec::new(),
+        });
+    }
+
+    /// Records one cache line of a store request. `persistent` is true for
+    /// nt-stores and store+clwb (durable at WPQ acceptance); false for
+    /// plain cached stores, which demote the line's durable image to
+    /// [`Durability::Volatile`] — the media may retain a *stale* value,
+    /// but the latest written value lives only in the CPU cache.
+    pub fn record_store_line(&mut self, line: u64, persistent: bool, at: Time) {
+        self.seq += 1;
+        let (to, insertion) = if persistent {
+            self.insertions += 1;
+            (Durability::InAdrDomain, self.insertions)
+        } else {
+            (Durability::Volatile, 0)
+        };
+        let from = self
+            .states
+            .get(&line)
+            .copied()
+            .unwrap_or(Durability::Volatile);
+        self.events.push(PersistEvent {
+            line,
+            from,
+            to,
+            at,
+            seq: self.seq,
+            insertion,
+        });
+        self.states.insert(line, to);
+        if let Some(req) = self.log.last_mut() {
+            req.lines.push(LoggedLine {
+                line,
+                at,
+                seq: self.seq,
+                insertion,
+            });
+        }
+    }
+
+    /// Records that the media now holds `line` (an AIT page writeback
+    /// covered it). Upgrades only lines currently inside the ADR domain: a
+    /// `Volatile` line in a written-back page stays volatile, because the
+    /// page carries a stale copy of that line (the latest value never left
+    /// the CPU cache). Lines never written under tracking are ignored.
+    pub fn record_media_line(&mut self, line: u64, at: Time) {
+        if self.states.get(&line) != Some(&Durability::InAdrDomain) {
+            return;
+        }
+        self.seq += 1;
+        self.events.push(PersistEvent {
+            line,
+            from: Durability::InAdrDomain,
+            to: Durability::OnMedia,
+            at,
+            seq: self.seq,
+            insertion: 0,
+        });
+        self.states.insert(line, Durability::OnMedia);
+    }
+
+    /// Returns the events recorded since the last call and marks them
+    /// forwarded (used to stream [`PersistEvent`]s to the trace sink).
+    pub fn unforwarded_events(&mut self) -> &[PersistEvent] {
+        let from = self.forwarded;
+        self.forwarded = self.events.len();
+        &self.events[from..]
+    }
+
+    /// Sequence number the cut resolves to: events with `seq` up to and
+    /// including it are part of the crash image. `u64::MAX` when the cut
+    /// lies beyond the recorded history.
+    fn cut_seq(&self, cut: &ResolvedCut) -> Option<u64> {
+        match cut {
+            ResolvedCut::Time(_) => None,
+            ResolvedCut::Insertion(0) => Some(0),
+            ResolvedCut::Insertion(k) => Some(
+                self.events
+                    .iter()
+                    .find(|e| e.insertion == *k)
+                    .map_or(u64::MAX, |e| e.seq),
+            ),
+        }
+    }
+
+    /// Computes the crash image at `cut`: replays the event log up to the
+    /// cut, then applies the supercap drain (every line still inside the
+    /// ADR domain reaches media). Read-only — the tracker, and therefore
+    /// the simulation, are untouched.
+    pub fn image(&self, cut: ResolvedCut, drain: &DrainModel, live: LiveOccupancy) -> CrashImage {
+        let cut_seq = self.cut_seq(&cut);
+        let mut states: BTreeMap<u64, Durability> = BTreeMap::new();
+        for ev in &self.events {
+            let included = match (cut_seq, &cut) {
+                (Some(s), _) => ev.seq <= s,
+                (None, ResolvedCut::Time(t)) => ev.at <= *t,
+                // cut_seq is Some for every Insertion cut.
+                (None, ResolvedCut::Insertion(_)) => false,
+            };
+            if included {
+                states.insert(ev.line, ev.to);
+            }
+        }
+
+        // Supercap drain: everything inside the ADR domain reaches media.
+        let mut drained_lines = 0u64;
+        let mut drained_pages: BTreeSet<u64> = BTreeSet::new();
+        let mut media_lines = 0u64;
+        let mut volatile_lines = 0u64;
+        for (&line, state) in states.iter_mut() {
+            match *state {
+                Durability::InAdrDomain => {
+                    drained_lines += 1;
+                    drained_pages.insert(line / drain.lines_per_page.max(1));
+                    *state = Durability::OnMedia;
+                }
+                Durability::OnMedia => media_lines += 1,
+                Durability::Volatile => volatile_lines += 1,
+            }
+        }
+        let used_ns = drain.protocol_overhead.as_ns()
+            + drained_lines * drain.line_cost.as_ns()
+            + drained_pages.len() as u64 * drain.page_cost.as_ns();
+        let supercap_used = Time::from_ns(used_ns);
+
+        let counters = CrashCounters {
+            tracked_lines: states.len() as u64,
+            durable_lines: drained_lines + media_lines,
+            volatile_lines,
+            adr_drained_lines: drained_lines,
+            media_lines,
+            adr_pages_drained: drained_pages.len() as u64,
+            wpq_insertions: self.insertions,
+            wpq_lines_at_call: live.wpq_lines,
+            lsq_lines_at_call: live.lsq_lines,
+            rmw_blocks_at_call: live.rmw_blocks,
+            ait_dirty_pages_at_call: live.ait_dirty_pages,
+            media_lines_written_at_call: live.media_lines_written,
+            supercap_used,
+            supercap_budget: drain.budget,
+            supercap_exceeded: supercap_used > drain.budget,
+        };
+        CrashImage {
+            cut,
+            states,
+            counters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain() -> DrainModel {
+        DrainModel {
+            protocol_overhead: Time::from_ns(25),
+            line_cost: Time::from_ns(22),
+            page_cost: Time::from_ns(400),
+            budget: Time::from_ns(100_000),
+            lines_per_page: 64,
+        }
+    }
+
+    fn tracker_with(seq: &[(u64, bool)]) -> PersistTracker {
+        let mut t = PersistTracker::default();
+        t.set_enabled(true);
+        t.begin_request(
+            ReqId(0),
+            &RequestDesc::new(Addr::new(0), 64, MemOp::NtStore),
+            Time::ZERO,
+        );
+        for (i, &(line, persistent)) in seq.iter().enumerate() {
+            t.record_store_line(line, persistent, Time::from_ns(10 * (i as u64 + 1)));
+        }
+        t
+    }
+
+    #[test]
+    fn enabling_clears_history() {
+        let mut t = tracker_with(&[(1, true)]);
+        assert_eq!(t.insertions(), 1);
+        t.set_enabled(false);
+        t.set_enabled(true);
+        assert_eq!(t.insertions(), 0);
+        assert!(t.events().is_empty());
+        assert!(t.log().is_empty());
+    }
+
+    #[test]
+    fn plain_store_demotes_a_durable_line() {
+        let t = tracker_with(&[(5, true), (5, false)]);
+        let img = t.image(
+            ResolvedCut::Time(Time::MAX),
+            &drain(),
+            LiveOccupancy::default(),
+        );
+        assert!(!img.is_line_durable(5), "latest value is cache-only");
+        // Cut between the two stores: the nt-store's value survives.
+        let img = t.image(
+            ResolvedCut::Time(Time::from_ns(10)),
+            &drain(),
+            LiveOccupancy::default(),
+        );
+        assert!(img.is_line_durable(5));
+    }
+
+    #[test]
+    fn insertion_cut_includes_exactly_the_prefix() {
+        let t = tracker_with(&[(1, true), (2, true), (3, true)]);
+        let img = t.image(
+            ResolvedCut::Insertion(2),
+            &drain(),
+            LiveOccupancy::default(),
+        );
+        assert!(img.is_line_durable(1));
+        assert!(img.is_line_durable(2));
+        assert!(!img.is_line_durable(3), "third insertion is after the cut");
+        assert_eq!(img.counters.adr_drained_lines, 2);
+        // Insertion 0 = before anything.
+        let img = t.image(
+            ResolvedCut::Insertion(0),
+            &drain(),
+            LiveOccupancy::default(),
+        );
+        assert_eq!(img.tracked_lines(), 0);
+        // Beyond the history = everything.
+        let img = t.image(
+            ResolvedCut::Insertion(99),
+            &drain(),
+            LiveOccupancy::default(),
+        );
+        assert_eq!(img.counters.adr_drained_lines, 3);
+    }
+
+    #[test]
+    fn media_upgrade_skips_stale_volatile_lines() {
+        let mut t = tracker_with(&[(1, true), (2, false)]);
+        // Page writeback covers both lines; only the ADR-resident one
+        // upgrades — line 2's media copy is stale.
+        t.record_media_line(1, Time::from_ns(100));
+        t.record_media_line(2, Time::from_ns(100));
+        t.record_media_line(77, Time::from_ns(100)); // never written: ignored
+        let img = t.image(
+            ResolvedCut::Time(Time::MAX),
+            &drain(),
+            LiveOccupancy::default(),
+        );
+        assert_eq!(img.states.get(&1), Some(&Durability::OnMedia));
+        assert_eq!(img.states.get(&2), Some(&Durability::Volatile));
+        assert!(!img.states.contains_key(&77));
+        assert_eq!(img.counters.media_lines, 1);
+        assert_eq!(img.counters.adr_drained_lines, 0);
+    }
+
+    #[test]
+    fn supercap_accounting_charges_lines_and_pages() {
+        // Two ADR lines in the same AIT page, one in another page.
+        let t = tracker_with(&[(1, true), (2, true), (200, true)]);
+        let img = t.image(
+            ResolvedCut::Time(Time::MAX),
+            &drain(),
+            LiveOccupancy::default(),
+        );
+        assert_eq!(img.counters.adr_drained_lines, 3);
+        assert_eq!(img.counters.adr_pages_drained, 2);
+        assert_eq!(
+            img.counters.supercap_used,
+            Time::from_ns(25 + 3 * 22 + 2 * 400)
+        );
+        assert!(!img.counters.supercap_exceeded);
+        // A starved budget flips the flag but still drains.
+        let tight = DrainModel {
+            budget: Time::from_ns(10),
+            ..drain()
+        };
+        let img = t.image(
+            ResolvedCut::Time(Time::MAX),
+            &tight,
+            LiveOccupancy::default(),
+        );
+        assert!(img.counters.supercap_exceeded);
+        assert_eq!(img.counters.durable_lines, 3);
+    }
+
+    #[test]
+    fn unforwarded_events_stream_once() {
+        let mut t = tracker_with(&[(1, true), (2, true)]);
+        assert_eq!(t.unforwarded_events().len(), 2);
+        assert!(t.unforwarded_events().is_empty());
+        t.record_store_line(3, true, Time::from_ns(99));
+        assert_eq!(t.unforwarded_events().len(), 1);
+    }
+}

@@ -6,10 +6,11 @@ use crate::config::VansConfig;
 use crate::dimm::NvDimm;
 use crate::opt::lazy_cache::{LazyCache, LazyCacheConfig};
 use crate::opt::pretranslation::{PreTranslation, PreTranslationConfig};
+use crate::persist::{DrainModel, LiveOccupancy, LoggedRequest, PersistTracker};
 use nvsim_types::trace::{LatencyBreakdown, RequestTrace, Stage, StageSpan, TraceSink};
 use nvsim_types::{
-    Addr, BackendCounters, BackendError, ConfigError, MemOp, MemoryBackend, ReqId, RequestDesc,
-    Time, CACHE_LINE,
+    Addr, BackendCounters, BackendError, ConfigError, CrashImage, DetRng, FaultPlan, MemOp,
+    MemoryBackend, ReqId, RequestDesc, ResolvedCut, Time, CACHE_LINE, CACHE_LINE_U32,
 };
 use std::collections::BTreeMap;
 use std::io;
@@ -61,6 +62,13 @@ pub struct MemorySystem {
     /// Recycled span buffer for trace assembly (one allocation reused
     /// across every traced request).
     trace_scratch: Vec<StageSpan>,
+    /// Durability history (persist events + request log), populated only
+    /// while `set_durability_tracking(true)` is in effect.
+    persist: PersistTracker,
+    /// Recycled scratch for draining per-DIMM media write-back records.
+    persist_scratch: Vec<(u64, Time)>,
+    /// Modeled supercap hold-up budget for the ADR drain on power loss.
+    supercap_budget: Time,
 }
 
 impl MemorySystem {
@@ -91,6 +99,13 @@ impl MemorySystem {
             tracing: false,
             pending_sys_spans: Vec::new(),
             trace_scratch: Vec::new(),
+            persist: PersistTracker::default(),
+            persist_scratch: Vec::new(),
+            // Generous default: host supercap plus the DIMM's own energy
+            // store (real ADR hold-up is tens to hundreds of µs; our ADR
+            // domain also covers the on-DIMM buffers, so the budget
+            // represents the combined reserve).
+            supercap_budget: Time::from_us(200),
         })
     }
 
@@ -148,6 +163,126 @@ impl MemorySystem {
         (dimm, Addr::new(local))
     }
 
+    /// Inverse of [`route`](MemorySystem::route): maps a DIMM-local
+    /// address back to the physical address it interleaves from.
+    pub fn unroute(&self, dimm: usize, local: Addr) -> Addr {
+        let g = self.cfg.interleave.granularity as u64;
+        let n = self.cfg.interleave.dimms as u64;
+        if n == 1 {
+            return local;
+        }
+        let chunk = (local.raw() / g) * n + dimm as u64;
+        Addr::new(chunk * g + local.raw() % g)
+    }
+
+    /// Enables or disables per-line durability tracking. Enabling starts a
+    /// fresh history (persist-event log + request log); the tracked run
+    /// can then be crash-tested any number of times with
+    /// [`inject_power_loss`](MemorySystem::inject_power_loss).
+    pub fn set_durability_tracking(&mut self, enabled: bool) {
+        self.persist.set_enabled(enabled);
+        for d in &mut self.dimms {
+            d.set_persist_tracking(enabled);
+        }
+    }
+
+    /// Is durability tracking enabled?
+    pub fn durability_tracking(&self) -> bool {
+        self.persist.enabled()
+    }
+
+    /// The request log recorded under durability tracking (what the
+    /// [`crate::crashcheck`] oracle replays).
+    pub fn request_log(&self) -> &[LoggedRequest] {
+        self.persist.log()
+    }
+
+    /// Total WPQ insertions recorded under durability tracking.
+    pub fn wpq_insertions(&self) -> u64 {
+        self.persist.insertions()
+    }
+
+    /// The modeled supercap hold-up budget for the power-loss ADR drain.
+    pub fn supercap_budget(&self) -> Time {
+        self.supercap_budget
+    }
+
+    /// Overrides the supercap hold-up budget.
+    pub fn set_supercap_budget(&mut self, budget: Time) {
+        self.supercap_budget = budget;
+    }
+
+    /// Injects a power failure and returns the resulting [`CrashImage`].
+    ///
+    /// The simulated clock is frozen at the cut: the fault plan is
+    /// resolved against the run's history (a probabilistic plan draws its
+    /// WPQ-insertion cut here, deterministically from its seed), the
+    /// persist-event log is replayed up to the cut, and the modeled
+    /// supercap drains exactly the ADR domain — every line admitted to
+    /// the WPQ or below it reaches media, everything still in the CPU
+    /// cache is lost. The datapath itself is untouched and `now` does not
+    /// advance, so the same run can be probed at many cut points and even
+    /// continued afterwards.
+    ///
+    /// Requires durability tracking; without it the image is empty.
+    pub fn inject_power_loss(&self, plan: &FaultPlan) -> CrashImage {
+        let cut = match plan {
+            FaultPlan::AtTime(t) => ResolvedCut::Time(*t),
+            FaultPlan::AtWpqInsertion(k) => ResolvedCut::Insertion(*k),
+            FaultPlan::Probabilistic { seed } => {
+                let total = self.persist.insertions();
+                if total == 0 {
+                    ResolvedCut::Time(self.now)
+                } else {
+                    let mut rng = DetRng::seed_from(*seed);
+                    ResolvedCut::Insertion(rng.range_u64(1, total + 1))
+                }
+            }
+        };
+        let lines_per_page = (self.cfg.ait.entry_bytes / CACHE_LINE_U32) as u64;
+        // Per-page drain cost: writing one AIT page to media, estimated as
+        // die write latency per access unit plus the internal bus move.
+        let page_units = (self.cfg.ait.entry_bytes / self.cfg.media.access_unit).max(1) as u64;
+        let page_cost = Time::from_ns(self.cfg.media.write_latency.as_ns() * page_units)
+            + self.cfg.media.bus_time(self.cfg.ait.entry_bytes as u64);
+        let drain = DrainModel {
+            protocol_overhead: self.cfg.imc.protocol_overhead,
+            line_cost: self.cfg.imc.bus_transfer + self.cfg.imc.drain_period,
+            page_cost,
+            budget: self.supercap_budget,
+            lines_per_page,
+        };
+        let mut live = LiveOccupancy::default();
+        for d in &self.dimms {
+            live.wpq_lines += d.imc.wpq_occupancy() as u64;
+            live.lsq_lines += d.lsq.occupancy() as u64;
+            live.rmw_blocks += d.rmw.occupancy() as u64;
+            live.ait_dirty_pages += d.ait.dirty_pages();
+            live.media_lines_written += d.ait.media_stats().lines_written();
+        }
+        self.persist.image(cut, &drain, live)
+    }
+
+    /// Collects the media write-back records the DIMMs logged during the
+    /// last request and turns them into OnMedia transitions (page → lines,
+    /// unrouted back to physical addresses).
+    fn collect_persist_writebacks(&mut self) {
+        let lines_per_page = (self.cfg.ait.entry_bytes / CACHE_LINE_U32) as u64;
+        let entry_bytes = self.cfg.ait.entry_bytes as u64;
+        for di in 0..self.dimms.len() {
+            self.persist_scratch.clear();
+            self.dimms[di].drain_persist_into(&mut self.persist_scratch);
+            for i in 0..self.persist_scratch.len() {
+                let (page, at) = self.persist_scratch[i];
+                for li in 0..lines_per_page {
+                    let local = Addr::new(page * entry_bytes + li * CACHE_LINE);
+                    let phys = self.unroute(di, local);
+                    self.persist.record_media_line(phys.line_index(), at);
+                }
+            }
+        }
+    }
+
     /// Computes the completion time of a request submitted at `self.now`.
     fn process(&mut self, desc: RequestDesc) -> Time {
         let now = self.now;
@@ -192,6 +327,18 @@ impl MemorySystem {
                         now
                     };
                     let mut t = self.dimms[di].write_line(local, start);
+                    if self.persist.enabled() {
+                        // `t` is the WPQ acceptance time `write_line`
+                        // reports — the ADR admission instant for
+                        // persistent stores. A plain cacheable store
+                        // demotes the line's durable image instead (the
+                        // latest value stays in the CPU cache).
+                        self.persist.record_store_line(
+                            line.line_index(),
+                            desc.op != MemOp::Store,
+                            t,
+                        );
+                    }
                     if desc.op == MemOp::StoreClwb {
                         // clwb forces an immediate write-back instead of
                         // letting the WPQ retire the line lazily: a small
@@ -222,7 +369,22 @@ impl MemoryBackend for MemorySystem {
         let id = ReqId(self.next_id);
         self.next_id += 1;
         let start = self.now;
+        if self.persist.enabled() {
+            self.persist.begin_request(id, &desc, start);
+        }
         let done = self.process(desc);
+        if self.persist.enabled() {
+            // Media write-backs triggered while processing (dirty AIT
+            // evictions, fence flushes) are OnMedia transitions.
+            self.collect_persist_writebacks();
+            if self.tracing {
+                if let Some(sink) = &mut self.sink {
+                    for ev in self.persist.unforwarded_events() {
+                        sink.persist(ev);
+                    }
+                }
+            }
+        }
         // Spill the previous occupant of the fast slot only when requests
         // actually overlap; execute()-style drivers never reach the map.
         if let Some((pid, pt)) = self.last_completion.replace((id, done)) {
@@ -528,5 +690,90 @@ mod tests {
     #[test]
     fn persistence_ops_modeled() {
         assert!(sys().models_persistence_ops());
+    }
+
+    #[test]
+    fn unroute_inverts_route() {
+        let s = MemorySystem::new(VansConfig::optane_6dimm()).unwrap();
+        for i in 0..5000u64 {
+            let a = Addr::new(i * 64 + (i % 64));
+            let (d, local) = s.route(a);
+            assert_eq!(s.unroute(d, local), a, "addr {a}");
+        }
+        let s1 = sys();
+        assert_eq!(s1.unroute(0, Addr::new(777)), Addr::new(777));
+    }
+
+    #[test]
+    fn power_loss_image_matches_contract_end_to_end() {
+        let mut s = sys();
+        s.set_durability_tracking(true);
+        for i in 0..4u64 {
+            s.execute(RequestDesc::nt_store(Addr::new(0x1000 + i * 64)));
+        }
+        s.execute(RequestDesc::store(Addr::new(0x8000)));
+        s.execute(RequestDesc::new(Addr::new(0x9000), 64, MemOp::StoreClwb));
+        let img = s.inject_power_loss(&FaultPlan::at_time(s.now()));
+        assert!(img.is_durable(Addr::new(0x1000)), "nt-store reached WPQ");
+        assert!(img.is_durable(Addr::new(0x9000)), "clwb'd store durable");
+        assert!(!img.is_durable(Addr::new(0x8000)), "cached store is lost");
+        assert_eq!(img.counters.wpq_insertions, 5);
+        // Every line still sitting in the WPQ whose latest write was a
+        // persistent store is ADR-resident → durable. (A plain store also
+        // crosses the WPQ in the timing model, but its *latest value*
+        // stays in the CPU cache, so it is exempt.)
+        let plain_line = Addr::new(0x8000).line_index();
+        for line in s.dimms()[0].imc.wpq_lines() {
+            if line != plain_line {
+                assert!(img.is_line_durable(line), "WPQ line {line} must survive");
+            }
+        }
+        let diff = crate::crashcheck::diff_image(&img, s.request_log());
+        assert!(
+            diff.is_empty(),
+            "{}",
+            crate::crashcheck::report(&img.cut, &diff)
+        );
+        // Injection froze the clock and left the run reusable.
+        let now = s.now();
+        let img2 = s.inject_power_loss(&FaultPlan::at_time(now));
+        assert_eq!(img, img2);
+        assert_eq!(s.now(), now);
+        s.execute(RequestDesc::nt_store(Addr::new(0x8000)));
+        assert!(s
+            .inject_power_loss(&FaultPlan::at_time(s.now()))
+            .is_durable(Addr::new(0x8000)));
+    }
+
+    #[test]
+    fn probabilistic_plan_resolves_deterministically() {
+        let mut s = sys();
+        s.set_durability_tracking(true);
+        for i in 0..10u64 {
+            s.execute(RequestDesc::nt_store(Addr::new(i * 64)));
+        }
+        let a = s.inject_power_loss(&FaultPlan::probabilistic(42));
+        let b = s.inject_power_loss(&FaultPlan::probabilistic(42));
+        assert_eq!(a.cut, b.cut, "same seed, same cut");
+        match a.cut {
+            ResolvedCut::Insertion(k) => assert!((1..=10).contains(&k)),
+            other => panic!("expected an insertion cut, got {other:?}"),
+        }
+        // No insertions: falls back to a cut at `now`.
+        let mut empty = sys();
+        empty.set_durability_tracking(true);
+        empty.execute(RequestDesc::load(Addr::new(0)));
+        let img = empty.inject_power_loss(&FaultPlan::probabilistic(7));
+        assert_eq!(img.cut, ResolvedCut::Time(empty.now()));
+        assert_eq!(img.tracked_lines(), 0);
+    }
+
+    #[test]
+    fn tracking_disabled_yields_an_empty_image() {
+        let mut s = sys();
+        s.execute(RequestDesc::nt_store(Addr::new(0)));
+        let img = s.inject_power_loss(&FaultPlan::at_time(s.now()));
+        assert_eq!(img.tracked_lines(), 0);
+        assert!(s.request_log().is_empty());
     }
 }

@@ -1,57 +1,93 @@
 //! Failure injection: verify the ADR persistence contract.
 //!
-//! On Optane systems, a store is durable the moment it reaches the iMC's
-//! write pending queue — the WPQ sits in the ADR (asynchronous DRAM
-//! refresh) power-fail domain. This example injects a "power loss" at an
-//! arbitrary point and shows which writes the model guarantees:
-//! everything the application fenced, plus everything that had reached
-//! the WPQ, survives; data still in the (volatile) CPU caches would not.
+//! On Optane systems, a persistent store (nt-store, or store + clwb) is
+//! durable the moment it reaches the iMC's write pending queue — the WPQ
+//! sits in the ADR (asynchronous DRAM refresh) power-fail domain. Plain
+//! stores are *not* durable: their latest value lives in the volatile CPU
+//! caches, outside ADR.
+//!
+//! This example turns on durability tracking, writes three log records,
+//! injects a power loss mid-run with [`MemorySystem::inject_power_loss`],
+//! and *asserts* the contract against the returned crash image and the
+//! independent `crashcheck` oracle — it is a checked example, not a
+//! narration.
 //!
 //! Run with: `cargo run --release --example power_loss`
 
 use nvsim::prelude::*;
+use nvsim::vans::crashcheck;
 
 fn main() -> Result<(), nvsim::types::ConfigError> {
     let mut sys = MemorySystem::new(VansConfig::optane_1dimm())?;
+    sys.set_durability_tracking(true);
 
-    // Application writes a log record (4 lines), fences, then starts a
-    // second record and "crashes" mid-way.
-    println!("writing record A (4 lines) + fence...");
+    // Record A: 4 nt-store lines, explicitly fenced.
+    println!("writing record A (4 nt-store lines) + fence...");
     for i in 0..4u64 {
         sys.execute(RequestDesc::nt_store(Addr::new(0x1000 + i * 64)));
     }
-    sys.fence();
+    sys.execute(RequestDesc::fence());
     let fenced_at = sys.now();
-    println!("  record A durable at {fenced_at}");
+    println!("  record A fenced at {fenced_at}");
 
-    println!("writing record B (4 lines), NO fence, power loss!");
-    let mut accepted = Vec::new();
+    // Record B: 4 nt-store lines, NO fence — but each one was accepted
+    // into the WPQ, which is all ADR needs.
+    println!("writing record B (4 nt-store lines), no fence...");
     for i in 0..4u64 {
-        let t = sys.execute(RequestDesc::nt_store(Addr::new(0x2000 + i * 64)));
-        accepted.push((i, t));
+        sys.execute(RequestDesc::nt_store(Addr::new(0x2000 + i * 64)));
     }
 
-    // Power loss: the ADR domain (WPQ and below) drains on supercap.
-    // In the model this is exactly what `fence` computes: the time by
-    // which everything already inside the ADR domain reaches media-backed
-    // structures.
-    let drain_done = sys.fence();
-    println!("\nADR flush-on-power-fail completes at {drain_done}");
-    println!("guaranteed durable after the crash:");
-    println!("  record A: yes (explicitly fenced before the crash)");
-    for (i, t) in &accepted {
-        println!("  record B line {i}: yes — nt-store reached the WPQ (ADR) at {t}");
+    // Record C: 4 plain (cached) stores. The timing model routes them
+    // through the WPQ too, but architecturally their latest value sits in
+    // the CPU caches — they must NOT survive.
+    println!("writing record C (4 plain stores, cacheable)...");
+    for i in 0..4u64 {
+        sys.execute(RequestDesc::store(Addr::new(0x3000 + i * 64)));
     }
+
+    // Power loss NOW. The injection is read-only: it resolves the fault
+    // plan against the run's persistence log, drains exactly the ADR
+    // domain on the modeled supercap, and returns the surviving image.
+    let image = sys.inject_power_loss(&FaultPlan::at_time(sys.now()));
+    println!("\npower loss at {} — crash image:", sys.now());
     println!(
-        "  any plain (cached) stores not yet written back: NO — the CPU \
-         caches are outside the ADR domain"
+        "  {} lines tracked, {} durable, {} lost (volatile)",
+        image.counters.tracked_lines, image.counters.durable_lines, image.counters.volatile_lines
+    );
+    println!(
+        "  supercap drain: {} of {} budget (exceeded: {})",
+        image.counters.supercap_used,
+        image.counters.supercap_budget,
+        image.counters.supercap_exceeded
     );
 
-    // Sanity counters: everything reached the DIMM.
-    let c = sys.counters();
-    println!(
-        "\ncounters: {} bus writes, {} fences, {} on-DIMM DRAM accesses",
-        c.bus_writes, c.fences, c.on_dimm_dram_accesses
+    // The contract, asserted.
+    for i in 0..4u64 {
+        assert!(
+            image.is_durable(Addr::new(0x1000 + i * 64)),
+            "record A line {i} was fenced before the crash — must be durable"
+        );
+        assert!(
+            image.is_durable(Addr::new(0x2000 + i * 64)),
+            "record B line {i} reached the WPQ (ADR domain) — must be durable"
+        );
+        assert!(
+            !image.is_durable(Addr::new(0x3000 + i * 64)),
+            "record C line {i} is a plain cached store — must be lost"
+        );
+    }
+    println!("  record A: durable (fenced)");
+    println!("  record B: durable (accepted into the WPQ = ADR domain)");
+    println!("  record C: LOST (plain stores live in the volatile CPU caches)");
+
+    // The independent oracle replays the request log against the
+    // persistence contract; any disagreement with the model is a bug.
+    let mismatches = crashcheck::diff_image(&image, sys.request_log());
+    assert!(
+        mismatches.is_empty(),
+        "durability oracle disagrees:\n{}",
+        crashcheck::report(&image.cut, &mismatches)
     );
+    println!("\ndurability oracle agrees with the model on every line");
     Ok(())
 }

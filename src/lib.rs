@@ -49,7 +49,8 @@ pub mod prelude {
     };
     pub use nvsim_cpu::{Core, CoreConfig, TraceOp};
     pub use nvsim_types::{
-        Addr, BackendCounters, MemOp, MemoryBackend, RequestDesc, Time, VirtAddr,
+        Addr, BackendCounters, CrashImage, Durability, FaultPlan, MemOp, MemoryBackend,
+        RequestDesc, ResolvedCut, Time, VirtAddr,
     };
     pub use nvsim_workloads::Workload;
     pub use optane_model::OptaneReference;

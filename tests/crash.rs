@@ -1,0 +1,186 @@
+//! Crash-consistency integration tests: deterministic fault-plan matrix
+//! and property-style random plans, all validated against the
+//! `crashcheck` durability oracle.
+//!
+//! The model side (WPQ admission = ADR durability, plain-store demotion,
+//! media write-back upgrades) and the oracle side (replay of the request
+//! log against the persistence contract) are implemented independently;
+//! these tests drive both from the public facade and require them to
+//! agree line-for-line on every image.
+
+use nvsim::prelude::*;
+use nvsim::types::DetRng;
+use nvsim::vans::crashcheck;
+
+/// Builds a system with tracking on and a mixed write history:
+/// fenced nt-stores, unfenced nt-stores, store+clwb pairs, plain stores,
+/// and straddling 128 B nt-stores that exercise the RMW path.
+fn mixed_history() -> MemorySystem {
+    let mut sys = MemorySystem::new(VansConfig::optane_1dimm()).expect("valid preset");
+    sys.set_durability_tracking(true);
+    for i in 0..8u64 {
+        sys.execute(RequestDesc::nt_store(Addr::new(0x1000 + i * 64)));
+    }
+    sys.execute(RequestDesc::fence());
+    for i in 0..8u64 {
+        sys.execute(RequestDesc::store(Addr::new(0x9000 + i * 64)));
+        sys.execute(RequestDesc::new(
+            Addr::new(0x5000 + i * 64),
+            64,
+            MemOp::StoreClwb,
+        ));
+    }
+    for k in 0..4u64 {
+        sys.execute(RequestDesc::new(
+            Addr::new(0x2_0000 + k * 256 + 192),
+            128,
+            MemOp::NtStore,
+        ));
+    }
+    for i in 0..8u64 {
+        sys.execute(RequestDesc::nt_store(Addr::new(0x3_0000 + i * 64)));
+    }
+    sys
+}
+
+fn assert_oracle_agrees(sys: &MemorySystem, plan: &FaultPlan) -> CrashImage {
+    let image = sys.inject_power_loss(plan);
+    let mismatches = crashcheck::diff_image(&image, sys.request_log());
+    assert!(
+        mismatches.is_empty(),
+        "oracle disagrees for plan {}:\n{}",
+        plan.label(),
+        crashcheck::report(&image.cut, &mismatches)
+    );
+    image
+}
+
+#[test]
+fn deterministic_fault_plan_matrix_agrees_with_oracle() {
+    let sys = mixed_history();
+    let total = sys.wpq_insertions();
+    assert!(total > 0, "history must admit lines into the WPQ");
+    let now = sys.now();
+
+    // Insertion cuts across the whole admission sequence, including the
+    // degenerate before-anything cut and the final one.
+    for k in 0..=total {
+        let image = assert_oracle_agrees(&sys, &FaultPlan::at_insertion(k));
+        if k == 0 {
+            assert_eq!(image.counters.durable_lines, 0, "cut before any admission");
+        }
+    }
+    // Time cuts across the run, including t=0 and t=now.
+    for pct in [0u64, 10, 25, 50, 75, 90, 100] {
+        let t = Time::from_ps(now.as_ps() * pct / 100);
+        assert_oracle_agrees(&sys, &FaultPlan::at_time(t));
+    }
+
+    // The full-history image honors the per-op contract.
+    let image = assert_oracle_agrees(&sys, &FaultPlan::at_time(now));
+    for i in 0..8u64 {
+        assert!(image.is_durable(Addr::new(0x1000 + i * 64)), "fenced nt");
+        assert!(image.is_durable(Addr::new(0x5000 + i * 64)), "store+clwb");
+        assert!(image.is_durable(Addr::new(0x3_0000 + i * 64)), "tail nt");
+        assert!(
+            !image.is_durable(Addr::new(0x9000 + i * 64)),
+            "plain stores stay volatile"
+        );
+    }
+}
+
+#[test]
+fn insertion_cuts_grow_monotonically() {
+    let sys = mixed_history();
+    let total = sys.wpq_insertions();
+    let mut prev = 0u64;
+    for k in 0..=total {
+        let image = sys.inject_power_loss(&FaultPlan::at_insertion(k));
+        assert!(
+            image.counters.durable_lines >= prev,
+            "durable set shrank between insertion cuts {} and {k}",
+            k - 1
+        );
+        prev = image.counters.durable_lines;
+    }
+}
+
+#[test]
+fn random_fault_plans_agree_with_oracle() {
+    // Property-style: DetRng drives both random write histories and
+    // random fault plans; every image must match the oracle.
+    let mut rng = DetRng::seed_from(0x5EED_CA5E);
+    for round in 0..6u64 {
+        let mut sys = MemorySystem::new(VansConfig::optane_1dimm()).expect("valid preset");
+        sys.set_durability_tracking(true);
+        let n_reqs = rng.range_u64(5, 40);
+        for _ in 0..n_reqs {
+            let addr = Addr::new(rng.range_u64(0, 512) * 64);
+            match rng.index(4) {
+                0 => sys.execute(RequestDesc::nt_store(addr)),
+                1 => sys.execute(RequestDesc::store(addr)),
+                2 => sys.execute(RequestDesc::new(addr, 64, MemOp::StoreClwb)),
+                _ => sys.execute(RequestDesc::fence()),
+            };
+        }
+        let total = sys.wpq_insertions();
+        for _ in 0..8 {
+            let plan = match rng.index(3) {
+                0 => FaultPlan::at_insertion(rng.range_u64(0, total + 2)),
+                1 => FaultPlan::at_time(Time::from_ps(
+                    rng.range_u64(0, sys.now().as_ps().max(1) + 1),
+                )),
+                _ => FaultPlan::probabilistic(rng.next_u64()),
+            };
+            assert_oracle_agrees(&sys, &plan);
+        }
+        assert!(round < 6);
+    }
+}
+
+#[test]
+fn images_are_repeatable_and_injection_is_read_only() {
+    let mut sys = mixed_history();
+    let plan = FaultPlan::probabilistic(42);
+    let a = sys.inject_power_loss(&plan);
+    let b = sys.inject_power_loss(&plan);
+    assert_eq!(a.cut, b.cut);
+    assert_eq!(a.counters.durable_lines, b.counters.durable_lines);
+    assert_eq!(
+        a.durable_lines().collect::<Vec<_>>(),
+        b.durable_lines().collect::<Vec<_>>()
+    );
+
+    // Injection froze nothing: the clock did not advance, and the run
+    // can continue and be re-cut afterwards.
+    let before = sys.now();
+    let _ = sys.inject_power_loss(&plan);
+    assert_eq!(sys.now(), before, "inject_power_loss must not advance time");
+    sys.execute(RequestDesc::nt_store(Addr::new(0x7_0000)));
+    let later = sys.inject_power_loss(&FaultPlan::at_time(sys.now()));
+    assert!(later.is_durable(Addr::new(0x7_0000)));
+    let mismatches = crashcheck::diff_image(&later, sys.request_log());
+    assert!(mismatches.is_empty());
+}
+
+#[test]
+fn two_dimm_interleaving_round_trips_through_the_oracle() {
+    let cfg = VansConfig::builder()
+        .dimms(2)
+        .build()
+        .expect("valid 2-DIMM config");
+    let mut sys = MemorySystem::new(cfg).expect("valid 2-DIMM config");
+    sys.set_durability_tracking(true);
+    // Lines spread across several 4 KB interleave granules on both DIMMs.
+    for i in 0..24u64 {
+        sys.execute(RequestDesc::nt_store(Addr::new(0x10_0000 + i * 4032)));
+    }
+    sys.execute(RequestDesc::fence());
+    let image = assert_oracle_agrees(&sys, &FaultPlan::at_time(sys.now()));
+    for i in 0..24u64 {
+        assert!(
+            image.is_durable(Addr::new(0x10_0000 + i * 4032)),
+            "fenced nt-store {i} on interleaved DIMMs must be durable"
+        );
+    }
+}
