@@ -25,7 +25,9 @@ fn bench_vans_reads(c: &mut Criterion) {
     // few percent of `dependent_read`.
     g.bench_function("dependent_read_nullsink", |b| {
         let mut sys = MemorySystem::new(VansConfig::optane_1dimm()).unwrap();
-        sys.set_trace_sink(Box::new(nvsim_types::trace::NullSink));
+        sys.configure_session(
+            nvsim_types::SessionOptions::new().trace_sink(Box::new(nvsim_types::trace::NullSink)),
+        );
         let mut i = 0u64;
         b.iter(|| {
             let addr = Addr::new((i * 64 * 7919) % (1 << 30));

@@ -7,7 +7,7 @@
 //! power-loss points over the finished run: WPQ-insertion cuts, wall-clock
 //! cuts, and deterministic probabilistic plans. For every cut the model's
 //! [`CrashImage`](nvsim_types::CrashImage) is diffed against the
-//! [`crashcheck`](vans::crashcheck) oracle; any disagreement is a hard
+//! [`crashcheck`](mod@vans::crashcheck) oracle; any disagreement is a hard
 //! failure reported with the full request history of the offending line.
 //!
 //! The sweep rides on the parallel runner as
@@ -17,7 +17,7 @@
 
 use crate::output::{ExpOutput, Series};
 use crate::ExperimentFn;
-use nvsim_types::{Addr, FaultPlan, MemOp, MemoryBackend, RequestDesc};
+use nvsim_types::{Addr, FaultPlan, MemOp, MemoryBackend, RequestDesc, SessionOptions};
 use std::sync::OnceLock;
 use vans::{crashcheck, MemorySystem, VansConfig};
 
@@ -185,7 +185,7 @@ fn sweep(pattern: &str, sys: &MemorySystem) -> ExpOutput {
 
 fn tracked_system(cfg: VansConfig) -> MemorySystem {
     let mut sys = MemorySystem::new(cfg).expect("valid crashsweep config");
-    sys.set_durability_tracking(true);
+    sys.configure_session(SessionOptions::new().durability_tracking(true));
     sys
 }
 

@@ -17,6 +17,8 @@ pub mod experiments;
 pub mod output;
 pub mod perf;
 pub mod runner;
+pub mod sampling;
+pub mod snapsmoke;
 pub mod tracecmd;
 
 pub use output::{ExpOutput, Series};

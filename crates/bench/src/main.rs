@@ -9,6 +9,7 @@
 //! nvsim-bench perf               # engine req/s -> BENCH_engine.json
 //! nvsim-bench crashsweep         # power-fail injection sweep -> results/crash.csv
 //! nvsim-bench crashsweep --smoke # reduced sweep for CI
+//! nvsim-bench snapsmoke          # checkpoint determinism smoke -> results/snapsmoke.csv
 //! ```
 //!
 //! Worker count: `--jobs N` wins, then the `NVSIM_JOBS` environment
@@ -115,6 +116,31 @@ fn main() {
         );
         if mismatches > 0 {
             eprintln!("crashsweep FAILED: model and oracle disagree (see reports above)");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if args[0] == "snapsmoke" {
+        let jobs = runner::resolve_jobs(jobs_arg);
+        eprintln!(">> checkpoint determinism smoke on {jobs} worker(s) ...");
+        let start = Instant::now();
+        let progress = |label: &str, secs: f64| eprintln!("<< {label} done in {secs:.1}s");
+        let out = runner::run(nvsim_bench::snapsmoke::runnables(), jobs, Some(&progress))
+            .pop()
+            .expect("snapsmoke produces one output");
+        println!("{out}");
+        let results_dir = PathBuf::from("results");
+        if let Err(e) = out.write_csv(&results_dir) {
+            eprintln!("could not write results/snapsmoke.csv: {e}");
+            std::process::exit(1);
+        }
+        let failures = nvsim_bench::snapsmoke::total_failures(&out);
+        eprintln!(
+            "== snapsmoke in {:.1}s -> results/snapsmoke.csv ({failures} round-trip failure(s))",
+            start.elapsed().as_secs_f64()
+        );
+        if failures > 0 {
+            eprintln!("snapsmoke FAILED: restore-then-run diverged from straight-through");
             std::process::exit(1);
         }
         return;

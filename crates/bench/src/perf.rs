@@ -111,7 +111,9 @@ pub fn engine_micro() -> BTreeMap<String, f64> {
     const REPS: usize = 5;
     let mut sys = MemorySystem::new(VansConfig::optane_1dimm()).expect("valid preset");
     let mut sys_null = MemorySystem::new(VansConfig::optane_1dimm()).expect("valid preset");
-    sys_null.set_trace_sink(Box::new(nvsim_types::trace::NullSink));
+    sys_null.configure_session(
+        nvsim_types::SessionOptions::new().trace_sink(Box::new(nvsim_types::trace::NullSink)),
+    );
     let time_dep = |sys: &mut MemorySystem| -> f64 {
         let t0 = Instant::now();
         for i in 0..DEP_ITERS {

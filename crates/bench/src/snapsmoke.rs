@@ -1,0 +1,157 @@
+//! The checkpoint determinism smoke (`nvsim-bench snapsmoke`): fast
+//! enough for CI, covering both halves of the snapshot contract.
+//!
+//! 1. **Round-trip**: every [`BackendKind`] is driven through a fig 9a
+//!    style pointer-chase subset (mixed loads / stores / nt-stores /
+//!    fences over a 64 MB region), cut mid-flight, and the restored
+//!    copy must finish with byte-identical counters and a byte-identical
+//!    final snapshot vs the straight-through original.
+//! 2. **Sampled windows**: a smoke-sized [`SampledRun`] schedules its
+//!    detailed windows as independent runner points; CI runs the whole
+//!    smoke at `--jobs 1` and `--jobs 2` and compares the CSV bytes.
+//!
+//! Any round-trip mismatch makes [`total_failures`] nonzero and the CLI
+//! exit with an error.
+
+use crate::output::{ExpOutput, Series};
+use crate::runner::{Point, Runnable, Split};
+use crate::sampling::{SampleTarget, SampledRun, SamplingPlan, COL_NS_PER_INSTR};
+use nvsim::backends::build_backend;
+use nvsim_cpu::{Core, CoreConfig};
+use nvsim_types::{Addr, BackendConfig, BackendKind, DetRng, MemOp, MemoryBackend, RequestDesc};
+use nvsim_workloads::FioWrite;
+use vans::{MemorySystem, VansConfig};
+
+/// Requests per chase phase (before and after the cut).
+const PHASE_OPS: u64 = 1_500;
+
+/// Drives one deterministic chase phase: the op stream is a pure
+/// function of `phase`, so a restored backend replays the identical
+/// continuation the straight-through copy sees.
+fn chase_phase(b: &mut dyn MemoryBackend, phase: u64) {
+    let mut rng = DetRng::seed_from(0x9a ^ phase);
+    for i in 0..PHASE_OPS {
+        let addr = Addr::new(rng.range_u64(0, (64 << 20) / 64) * 64);
+        match i % 5 {
+            0 => {
+                b.execute(RequestDesc::new(addr, 64, MemOp::Store));
+            }
+            1 => {
+                b.execute(RequestDesc::new(addr, 64, MemOp::NtStore));
+            }
+            2 => {
+                b.execute(RequestDesc::new(addr, 32, MemOp::StoreClwb));
+            }
+            _ => {
+                b.execute(RequestDesc::load(addr));
+            }
+        }
+        if i % 97 == 0 {
+            b.fence();
+        }
+    }
+}
+
+/// Round-trips one backend kind; returns `(ok, bus_reads)` where `ok`
+/// requires counters *and* final snapshot blobs to match byte-for-byte.
+fn roundtrip(kind: BackendKind) -> (bool, f64) {
+    let cfg = BackendConfig::default();
+    let mut straight = build_backend(kind, &cfg).expect("default config builds every kind");
+    chase_phase(straight.as_mut(), 1);
+    let blob = straight
+        .save_snapshot()
+        .expect("every built-in backend supports snapshots");
+    let mut restored = build_backend(kind, &cfg).expect("default config builds every kind");
+    restored
+        .restore_snapshot(&blob)
+        .expect("blob restores into an identically configured backend");
+    chase_phase(straight.as_mut(), 2);
+    chase_phase(restored.as_mut(), 2);
+    let ok = straight.counters() == restored.counters()
+        && straight.save_snapshot() == restored.save_snapshot();
+    (ok, straight.counters().bus_reads as f64)
+}
+
+/// The smoke as one split: a round-trip point per backend kind plus the
+/// windows of a smoke-sized sampled run.
+pub fn runnables() -> Vec<(String, Runnable)> {
+    let mut points: Vec<Point> = BackendKind::ALL
+        .iter()
+        .map(|&kind| {
+            Point::new(format!("snapsmoke/{kind}"), 1 << 20, move || {
+                let (ok, reads) = roundtrip(kind);
+                vec![(0, if ok { 1.0 } else { 0.0 }), (1, reads)]
+            })
+        })
+        .collect();
+    points.extend(
+        SampledRun::new("snapsmoke/sampled", SamplingPlan::smoke(), || {
+            SampleTarget {
+                system: Box::new(
+                    MemorySystem::new(VansConfig::optane_1dimm()).expect("valid preset"),
+                ),
+                core: Core::new(CoreConfig::cascade_lake_like()),
+                workload: Box::new(FioWrite::new(9)),
+            }
+        })
+        .into_points(2 << 20),
+    );
+    let split = Split {
+        points,
+        finish: Box::new(|data| {
+            let kinds = BackendKind::ALL;
+            let mut ok_pts = Vec::new();
+            let mut read_pts = Vec::new();
+            for (kind, d) in kinds.iter().zip(&data) {
+                ok_pts.push((kind.to_string(), d[0].1));
+                read_pts.push((kind.to_string(), d[1].1));
+            }
+            let mut out = ExpOutput::new(
+                "snapsmoke",
+                "checkpoint determinism smoke: per-kind round-trips + sampled windows",
+                "backend / window",
+                "ok (1) / value",
+            );
+            out.push_series(Series::categorical("roundtrip ok", ok_pts));
+            out.push_series(Series::categorical("bus reads", read_pts));
+            out.push_series(Series::categorical(
+                "sampled ns/instr",
+                data[kinds.len()..]
+                    .iter()
+                    .enumerate()
+                    .map(|(k, d)| (format!("w{k}"), d[COL_NS_PER_INSTR].1))
+                    .collect::<Vec<_>>(),
+            ));
+            let failures = data[..kinds.len()].iter().filter(|d| d[0].1 < 1.0).count();
+            out.note(format!(
+                "{} backend kinds round-tripped, {failures} failure(s)",
+                kinds.len()
+            ));
+            out
+        }),
+    };
+    vec![("snapsmoke".to_owned(), Runnable::Split(split))]
+}
+
+/// Number of failed round-trips recorded in the smoke output.
+pub fn total_failures(out: &ExpOutput) -> usize {
+    out.series
+        .iter()
+        .find(|s| s.label == "roundtrip ok")
+        .map(|s| s.points.iter().filter(|(_, ok)| *ok < 1.0).count())
+        .unwrap_or(usize::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner;
+
+    #[test]
+    fn smoke_passes_and_is_jobs_invariant() {
+        let one = runner::run(runnables(), 1, None).pop().expect("one output");
+        assert_eq!(total_failures(&one), 0, "{one}");
+        let two = runner::run(runnables(), 2, None).pop().expect("one output");
+        assert_eq!(format!("{one}"), format!("{two}"));
+    }
+}

@@ -13,7 +13,7 @@ use crate::experiments::common::{vans_1dimm, vans_6dimm};
 use lens::microbench::{PtrChaseMode, PtrChasing};
 use lens::{plateau_stage_breakdowns, PlateauBreakdown};
 use nvsim_types::trace::{JsonlSink, Stage};
-use nvsim_types::MemoryBackend;
+use nvsim_types::{MemoryBackend, SessionOptions};
 use std::fs;
 use std::io;
 use std::path::Path;
@@ -112,7 +112,9 @@ pub fn run_trace(id: &str, results_dir: &Path) -> io::Result<Option<String>> {
     let mut sys = fresh();
     let chase = PtrChasing::read(sample_region).with_passes(1);
     chase.run(&mut sys);
-    sys.set_trace_sink(Box::new(JsonlSink::create(&jsonl_path)?));
+    sys.configure_session(
+        SessionOptions::new().trace_sink(Box::new(JsonlSink::create(&jsonl_path)?)),
+    );
     chase.run(&mut sys);
     sys.flush_traces()?;
     md.push_str(&format!(

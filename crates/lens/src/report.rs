@@ -5,7 +5,7 @@ use crate::probers::{
     BufferProber, BufferReport, PerfProber, PerfReport, PolicyProber, PolicyReport,
 };
 use nvsim_types::trace::{BreakdownSink, LatencyBreakdown, NullSink};
-use nvsim_types::MemoryBackend;
+use nvsim_types::{MemoryBackend, SessionOptions};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -31,7 +31,7 @@ pub struct PlateauBreakdown {
 /// attribution reflects steady state rather than cold fills.
 ///
 /// Returns an empty vector when `capacities` is empty or the backend
-/// does not support tracing (its `set_trace_sink` returns `false`) —
+/// does not support tracing (its `configure_session` returns `false`) —
 /// stage attribution is an optional refinement, not a hard LENS
 /// capability.
 pub fn plateau_stage_breakdowns<B, F>(
@@ -46,7 +46,7 @@ where
     let Some(&last) = capacities.last() else {
         return Vec::new();
     };
-    if !fresh().set_trace_sink(Box::new(NullSink)) {
+    if !fresh().configure_session(SessionOptions::new().trace_sink(Box::new(NullSink))) {
         return Vec::new();
     }
     let mut probes: Vec<(u64, Option<u64>)> = capacities
@@ -65,7 +65,7 @@ where
             }
             .with_passes(1);
             chase.run(&mut sys); // warm pass, untraced
-            sys.set_trace_sink(Box::new(BreakdownSink::new()));
+            sys.configure_session(SessionOptions::new().trace_sink(Box::new(BreakdownSink::new())));
             chase.run(&mut sys); // traced steady-state pass
             sys.breakdown().map(|breakdown| PlateauBreakdown {
                 region,

@@ -1,6 +1,9 @@
 //! A conventional DRAM-simulator backend (DRAMSim2/Ramulator style).
 
 use nvsim_dram::{DramConfig, DramModel};
+use nvsim_types::snapshot::{
+    restore_blob, save_blob, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter,
+};
 use nvsim_types::{
     BackendCounters, BackendError, ConfigError, MemOp, MemoryBackend, ReqId, RequestDesc, Time,
     CACHE_LINE,
@@ -139,6 +142,54 @@ impl MemoryBackend for DramBackend {
 
     fn reset_counters(&mut self) {
         self.counters = BackendCounters::default();
+    }
+
+    fn save_snapshot(&self) -> Option<Vec<u8>> {
+        Some(save_blob(self))
+    }
+
+    fn restore_snapshot(&mut self, blob: &[u8]) -> Result<bool, SnapshotError> {
+        restore_blob(self, blob)?;
+        Ok(true)
+    }
+}
+
+/// Section tag of [`DramBackend`] snapshots.
+const SECTION_DRAM_BACKEND: u16 = 0x61;
+
+impl Snapshot for DramBackend {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section(SECTION_DRAM_BACKEND);
+        self.dram.save(w);
+        w.put_time(self.controller_latency);
+        w.put_time(self.now);
+        w.put_u64(self.next_id);
+        w.put_usize(self.completions.len());
+        for (&id, &t) in &self.completions {
+            w.put_u64(id.0);
+            w.put_time(t);
+        }
+        self.counters.save(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.expect_section(SECTION_DRAM_BACKEND)?;
+        self.dram.restore(r)?;
+        self.controller_latency = r.get_time()?;
+        self.now = r.get_time()?;
+        self.next_id = r.get_u64()?;
+        let n = r.get_usize()?;
+        if n > r.remaining() {
+            return Err(r.invalid("completion count exceeds the blob"));
+        }
+        self.completions.clear();
+        for _ in 0..n {
+            let id = ReqId(r.get_u64()?);
+            let t = r.get_time()?;
+            self.completions.insert(id, t);
+        }
+        self.counters.restore(r)?;
+        Ok(())
     }
 }
 

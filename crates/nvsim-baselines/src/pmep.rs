@@ -13,6 +13,9 @@
 
 use crate::dram_backend::DramBackend;
 use nvsim_dram::DramConfig;
+use nvsim_types::snapshot::{
+    restore_blob, save_blob, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter,
+};
 use nvsim_types::{
     BackendCounters, BackendError, ConfigError, MemOp, MemoryBackend, ReqId, RequestDesc, Time,
 };
@@ -155,6 +158,52 @@ impl MemoryBackend for PmepBackend {
     fn reset_counters(&mut self) {
         self.inner.reset_counters();
     }
+
+    fn save_snapshot(&self) -> Option<Vec<u8>> {
+        Some(save_blob(self))
+    }
+
+    fn restore_snapshot(&mut self, blob: &[u8]) -> Result<bool, SnapshotError> {
+        restore_blob(self, blob)?;
+        Ok(true)
+    }
+}
+
+/// Section tag of [`PmepBackend`] snapshots.
+const SECTION_PMEP: u16 = 0x62;
+
+impl Snapshot for PmepBackend {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section(SECTION_PMEP);
+        self.inner.save(w);
+        for &t in &self.throttle_free {
+            w.put_time(t);
+        }
+        w.put_usize(self.pending.len());
+        for &(id, t) in &self.pending {
+            w.put_u64(id.0);
+            w.put_time(t);
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.expect_section(SECTION_PMEP)?;
+        self.inner.restore(r)?;
+        for t in &mut self.throttle_free {
+            *t = r.get_time()?;
+        }
+        let n = r.get_usize()?;
+        if n > r.remaining() {
+            return Err(r.invalid("pending-completion count exceeds the blob"));
+        }
+        self.pending.clear();
+        for _ in 0..n {
+            let id = ReqId(r.get_u64()?);
+            let t = r.get_time()?;
+            self.pending.push((id, t));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -218,5 +267,24 @@ mod tests {
         let t0 = sim.now();
         let t1 = sim.fence();
         assert!(t1 - t0 < Time::from_ns(5));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_continues_identically() {
+        let mut a = pmep();
+        for i in 0..100u64 {
+            a.execute(RequestDesc::new(Addr::new(i * 64), 64, MemOp::NtStore));
+            a.execute(RequestDesc::load(Addr::new(i * 4096)));
+        }
+        let blob = a.save_snapshot().expect("pmep supports snapshots");
+        let mut b = pmep();
+        b.restore_snapshot(&blob).expect("same configuration");
+        for i in 0..50u64 {
+            let ta = a.execute(RequestDesc::new(Addr::new(i * 128), 64, MemOp::StoreClwb));
+            let tb = b.execute(RequestDesc::new(Addr::new(i * 128), 64, MemOp::StoreClwb));
+            assert_eq!(ta, tb);
+        }
+        assert_eq!(a.counters(), b.counters());
+        assert_eq!(a.save_snapshot(), b.save_snapshot());
     }
 }

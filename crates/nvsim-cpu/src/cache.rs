@@ -1,6 +1,7 @@
 //! Set-associative caches and the three-level hierarchy of Table V.
 
 use nvsim_types::error::{require_nonzero, require_power_of_two};
+use nvsim_types::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use nvsim_types::{Addr, ConfigError, CACHE_LINE};
 use serde::{Deserialize, Serialize};
 
@@ -176,6 +177,49 @@ impl Cache {
     }
 }
 
+/// Section tag of [`Cache`] snapshots.
+const SECTION_CACHE: u16 = 0x40;
+
+impl Snapshot for Cache {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section(SECTION_CACHE);
+        w.put_usize(self.sets.len());
+        w.put_u32(self.cfg.ways);
+        for set in &self.sets {
+            for way in set {
+                w.put_u64(way.tag);
+                w.put_bool(way.valid);
+                w.put_bool(way.dirty);
+                w.put_u64(way.stamp);
+            }
+        }
+        w.put_u64(self.clock);
+        w.put_u64(self.hits);
+        w.put_u64(self.misses);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.expect_section(SECTION_CACHE)?;
+        let sets = r.get_usize()?;
+        let ways = r.get_u32()?;
+        if sets != self.sets.len() || ways != self.cfg.ways {
+            return Err(r.invalid("cache geometry differs from this configuration"));
+        }
+        for set in &mut self.sets {
+            for way in set {
+                way.tag = r.get_u64()?;
+                way.valid = r.get_bool()?;
+                way.dirty = r.get_bool()?;
+                way.stamp = r.get_u64()?;
+            }
+        }
+        self.clock = r.get_u64()?;
+        self.hits = r.get_u64()?;
+        self.misses = r.get_u64()?;
+        Ok(())
+    }
+}
+
 /// Configuration of the full hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HierarchyConfig {
@@ -328,6 +372,21 @@ impl CacheHierarchy {
         self.l1.reset_stats();
         self.l2.reset_stats();
         self.l3.reset_stats();
+    }
+}
+
+impl Snapshot for CacheHierarchy {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.l1.save(w);
+        self.l2.save(w);
+        self.l3.save(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.l1.restore(r)?;
+        self.l2.restore(r)?;
+        self.l3.restore(r)?;
+        Ok(())
     }
 }
 

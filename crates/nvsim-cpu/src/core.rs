@@ -3,6 +3,7 @@
 use crate::cache::{CacheHierarchy, HierarchyConfig};
 use crate::tlb::{TlbConfig, TlbHierarchy};
 use crate::trace::{OpClass, TraceOp};
+use nvsim_types::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use nvsim_types::time::Freq;
 use nvsim_types::{Addr, ConfigError, MemOp, MemoryBackend, RequestDesc, Time};
 use serde::{Deserialize, Serialize};
@@ -450,6 +451,94 @@ impl Core {
             let _ = mem.try_take_completion(id);
         }
     }
+
+    /// Functional warming (SMARTS fast-forward): replays the trace
+    /// against the caches, TLBs, and the backend's *warm* path. All
+    /// residency, recency, and wear-heat state advances exactly as in a
+    /// detailed run, but no cycle or port accounting happens — neither
+    /// the core clock nor the backend clock moves. Returns the number of
+    /// instructions warmed.
+    pub fn warm_run<B, I>(&mut self, trace: I, mem: &mut B) -> u64
+    where
+        B: MemoryBackend,
+        I: Iterator<Item = TraceOp>,
+    {
+        let mut instructions = 0u64;
+        let mut prev_mkpt: Option<Addr> = None;
+        for op in trace {
+            instructions += op.instructions();
+            match op {
+                TraceOp::Compute { .. } => {}
+                TraceOp::Load { vaddr, mkpt, .. } => {
+                    let paddr = self.tlb.warm_translate(vaddr, mem);
+                    let acc = self.caches.access(paddr, false);
+                    self.warm_spill(&acc.writebacks, mem);
+                    // The mkpt *learning* path is pure table state; keep
+                    // it warm. The *usage* path (piggybacked TLB install)
+                    // is timing-coupled and left to detailed windows.
+                    if mkpt {
+                        if let Some(prev) = prev_mkpt {
+                            mem.mkpt_update(prev, vaddr.page_index());
+                        }
+                        prev_mkpt = Some(paddr);
+                    }
+                    if acc.llc_miss {
+                        mem.warm_access(&RequestDesc::load(paddr));
+                    }
+                }
+                TraceOp::Store {
+                    vaddr,
+                    non_temporal,
+                } => {
+                    let paddr = self.tlb.warm_translate(vaddr, mem);
+                    if non_temporal {
+                        mem.warm_access(&RequestDesc::nt_store(paddr));
+                    } else {
+                        let acc = self.caches.access(paddr, true);
+                        if acc.llc_miss {
+                            // Write-allocate fetch.
+                            mem.warm_access(&RequestDesc::load(paddr));
+                        }
+                        self.warm_spill(&acc.writebacks, mem);
+                    }
+                }
+                TraceOp::Clwb { vaddr } => {
+                    let paddr = self.tlb.warm_translate(vaddr, mem);
+                    if self.caches.flush_line(paddr) {
+                        mem.warm_access(&RequestDesc::new(paddr, 64, MemOp::StoreClwb));
+                    }
+                }
+                TraceOp::Fence => {
+                    mem.warm_access(&RequestDesc::fence());
+                }
+            }
+        }
+        instructions
+    }
+
+    fn warm_spill<B: MemoryBackend>(&mut self, writebacks: &[Option<Addr>; 3], mem: &mut B) {
+        if let Some(wb) = writebacks[2] {
+            mem.warm_access(&RequestDesc::store(wb));
+        }
+    }
+}
+
+/// Section tag of [`Core`] snapshots.
+const SECTION_CORE: u16 = 0x42;
+
+impl Snapshot for Core {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section(SECTION_CORE);
+        self.caches.save(w);
+        self.tlb.save(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.expect_section(SECTION_CORE)?;
+        self.caches.restore(r)?;
+        self.tlb.restore(r)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -576,5 +665,62 @@ mod tests {
         let r = report.llc_miss_rate();
         assert!((0.0..=1.0).contains(&r));
         assert!(report.llc_references > 0);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_continues_identically() {
+        let mut a = Core::new(CoreConfig::tiny_for_tests());
+        let mut ma = mem();
+        let warmup = (0..400u64).map(|i| TraceOp::load(VirtAddr::new((i * 7919 * 64) % (1 << 18))));
+        a.run(warmup, &mut ma);
+        let blob = nvsim_types::snapshot::save_blob(&a);
+        let mut b = Core::new(CoreConfig::tiny_for_tests());
+        nvsim_types::snapshot::restore_blob(&mut b, &blob).expect("same configuration");
+        let tail =
+            |()| (0..200u64).map(|i| TraceOp::load(VirtAddr::new((i * 31 * 64) % (1 << 18))));
+        let mut mb = mem();
+        mb.skip_to(ma.now());
+        let ra = a.run(tail(()), &mut ma);
+        let rb = b.run(tail(()), &mut mb);
+        assert_eq!(ra.llc_misses, rb.llc_misses);
+        assert_eq!(ra.tlb_walks, rb.tlb_walks);
+        assert_eq!(ra.cycles, rb.cycles);
+        assert_eq!(
+            nvsim_types::snapshot::save_blob(&a),
+            nvsim_types::snapshot::save_blob(&b)
+        );
+    }
+
+    #[test]
+    fn snapshot_rejects_different_geometry() {
+        let a = Core::new(CoreConfig::tiny_for_tests());
+        let blob = nvsim_types::snapshot::save_blob(&a);
+        let mut b = Core::new(CoreConfig::cascade_lake_like());
+        let err = nvsim_types::snapshot::restore_blob(&mut b, &blob).unwrap_err();
+        assert!(err.to_string().contains("geometry"), "got: {err}");
+    }
+
+    #[test]
+    fn warm_run_matches_detailed_residency() {
+        // After identical access streams, a warmed core and a detailed
+        // core must agree on cache/TLB contents: the next detailed run
+        // sees the same hits and misses.
+        let stream =
+            |()| (0..600u64).map(|i| TraceOp::load(VirtAddr::new((i * 127 * 64) % (1 << 18))));
+        let mut warm = Core::new(CoreConfig::tiny_for_tests());
+        let mut mw = mem();
+        let warmed = warm.warm_run(stream(()), &mut mw);
+        assert_eq!(warmed, 600);
+        assert_eq!(mw.now(), Time::ZERO, "warming never advances the clock");
+        let mut detailed = Core::new(CoreConfig::tiny_for_tests());
+        let mut md = mem();
+        detailed.run(stream(()), &mut md);
+        // Replay a probe window on both.
+        let probe =
+            |()| (0..200u64).map(|i| TraceOp::load(VirtAddr::new((i * 127 * 64) % (1 << 18))));
+        let rw = warm.run(probe(()), &mut mw);
+        let rd = detailed.run(probe(()), &mut md);
+        assert_eq!(rw.llc_misses, rd.llc_misses);
+        assert_eq!(rw.tlb_walks, rd.tlb_walks);
     }
 }

@@ -1,5 +1,6 @@
 //! TLBs, the page walker, and the Pre-translation integration.
 
+use nvsim_types::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use nvsim_types::{Addr, MemoryBackend, RequestDesc, Time, VirtAddr};
 use serde::{Deserialize, Serialize};
 // nvsim-lint: allow(unordered-map) — see `TlbArray::entries`: keyed lookups
@@ -124,6 +125,42 @@ impl TlbArray {
     }
 }
 
+impl Snapshot for TlbArray {
+    fn save(&self, w: &mut SnapshotWriter) {
+        // `order` is stamp → vpn with unique stamps: saving it alone
+        // reconstructs `entries` exactly.
+        w.put_usize(self.order.len());
+        for (&stamp, &vpn) in &self.order {
+            w.put_u64(stamp);
+            w.put_u64(vpn);
+        }
+        w.put_u64(self.clock);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let n = r.get_usize()?;
+        if n > r.remaining() {
+            return Err(r.invalid("TLB entry count exceeds the blob"));
+        }
+        if n > self.capacity {
+            return Err(r.invalid("TLB entry count exceeds this configuration's capacity"));
+        }
+        self.entries.clear();
+        self.order.clear();
+        for _ in 0..n {
+            let stamp = r.get_u64()?;
+            let vpn = r.get_u64()?;
+            self.entries.insert(vpn, stamp);
+            self.order.insert(stamp, vpn);
+        }
+        if self.entries.len() != n {
+            return Err(r.invalid("duplicate VPNs in TLB snapshot"));
+        }
+        self.clock = r.get_u64()?;
+        Ok(())
+    }
+}
+
 /// L1 DTLB + STLB with a page walker that issues real memory reads, plus
 /// the Pre-translation (`mkpt`) fast path.
 ///
@@ -240,6 +277,77 @@ impl TlbHierarchy {
             cycles,
             walked: true,
         }
+    }
+
+    /// Functional-warming translation: updates TLB residency and recency
+    /// exactly as [`translate`](Self::translate) would, but page walks
+    /// issue *warm* memory accesses (no timing) instead of timed loads.
+    pub fn warm_translate<B: MemoryBackend>(&mut self, vaddr: VirtAddr, mem: &mut B) -> Addr {
+        let vpn = vaddr.page_index();
+        let paddr = Self::page_mapping(vaddr);
+        if self.l1.lookup(vpn) {
+            self.stats.l1_hits += 1;
+            if self.prefetched.remove(&vpn).is_some() {
+                self.stats.pretranslated += 1;
+            }
+            return paddr;
+        }
+        if self.stlb.lookup(vpn) {
+            self.stats.stlb_hits += 1;
+            self.l1.insert(vpn);
+            return paddr;
+        }
+        self.stats.walks += 1;
+        for level in 0..self.cfg.walk_memory_accesses {
+            let pte = (1u64 << 40) + ((vpn >> (9 * level)) * 8) % (1 << 30);
+            mem.warm_access(&RequestDesc::load(Addr::new(pte).align_down(64)));
+        }
+        self.l1.insert(vpn);
+        self.stlb.insert(vpn);
+        paddr
+    }
+}
+
+/// Section tag of [`TlbHierarchy`] snapshots.
+const SECTION_TLB: u16 = 0x41;
+
+impl Snapshot for TlbHierarchy {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section(SECTION_TLB);
+        self.l1.save(w);
+        self.stlb.save(w);
+        w.put_usize(self.prefetched.len());
+        for (&vpn, &at) in &self.prefetched {
+            w.put_u64(vpn);
+            w.put_time(at);
+        }
+        w.put_u64(self.stats.l1_hits);
+        w.put_u64(self.stats.stlb_hits);
+        w.put_u64(self.stats.walks);
+        w.put_u64(self.stats.pretranslated);
+        w.put_u64(self.stats.stale_pretranslations);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.expect_section(SECTION_TLB)?;
+        self.l1.restore(r)?;
+        self.stlb.restore(r)?;
+        let n = r.get_usize()?;
+        if n > r.remaining() {
+            return Err(r.invalid("pre-translation entry count exceeds the blob"));
+        }
+        self.prefetched.clear();
+        for _ in 0..n {
+            let vpn = r.get_u64()?;
+            let at = r.get_time()?;
+            self.prefetched.insert(vpn, at);
+        }
+        self.stats.l1_hits = r.get_u64()?;
+        self.stats.stlb_hits = r.get_u64()?;
+        self.stats.walks = r.get_u64()?;
+        self.stats.pretranslated = r.get_u64()?;
+        self.stats.stale_pretranslations = r.get_u64()?;
+        Ok(())
     }
 }
 

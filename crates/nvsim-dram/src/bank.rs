@@ -1,5 +1,6 @@
 //! Per-bank and per-rank timing state machines.
 
+use nvsim_types::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use nvsim_types::Time;
 
 /// State of one DRAM bank.
@@ -57,6 +58,68 @@ impl Bank {
     /// True if `row` is currently open in this bank.
     pub fn row_open(&self, row: u32) -> bool {
         matches!(self.state, BankState::Active { row: r } if r == row)
+    }
+}
+
+impl Snapshot for Bank {
+    fn save(&self, w: &mut SnapshotWriter) {
+        match self.state {
+            BankState::Precharged => w.put_u8(0),
+            BankState::Active { row } => {
+                w.put_u8(1);
+                w.put_u32(row);
+            }
+        }
+        w.put_time(self.next_act);
+        w.put_time(self.next_read);
+        w.put_time(self.next_write);
+        w.put_time(self.next_pre);
+        w.put_time(self.last_act);
+        w.put_u64(self.row_hits);
+        w.put_u64(self.row_misses);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.state = match r.get_u8()? {
+            0 => BankState::Precharged,
+            1 => BankState::Active { row: r.get_u32()? },
+            _ => return Err(r.invalid("unknown bank state tag")),
+        };
+        self.next_act = r.get_time()?;
+        self.next_read = r.get_time()?;
+        self.next_write = r.get_time()?;
+        self.next_pre = r.get_time()?;
+        self.last_act = r.get_time()?;
+        self.row_hits = r.get_u64()?;
+        self.row_misses = r.get_u64()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for RankWindow {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.put_usize(self.act_times.len());
+        for &t in &self.act_times {
+            w.put_time(t);
+        }
+        w.put_time(self.next_act_rank);
+        w.put_time(self.next_any);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let n = r.get_usize()?;
+        // `record_act` bounds the window to 8 entries; anything larger is
+        // not a state this struct can produce.
+        if n > 8 {
+            return Err(r.invalid("ACT window larger than its 8-entry bound"));
+        }
+        self.act_times.clear();
+        for _ in 0..n {
+            self.act_times.push(r.get_time()?);
+        }
+        self.next_act_rank = r.get_time()?;
+        self.next_any = r.get_time()?;
+        Ok(())
     }
 }
 

@@ -12,6 +12,7 @@ use crate::bank::{Bank, BankState, RankWindow};
 use crate::command::{CommandKind, CommandRecord};
 use crate::config::{DramConfig, SchedulerPolicy};
 use crate::mapping::{AddressMapping, DecodedAddr};
+use nvsim_types::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use nvsim_types::{Addr, ConfigError, Time};
 
 /// Aggregate statistics exposed by the DRAM model.
@@ -391,6 +392,80 @@ impl DramModel {
     }
 }
 
+/// Section tag of [`DramModel`] snapshots.
+const SECTION_DRAM: u16 = 0x10;
+
+impl Snapshot for Channel {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.put_usize(self.banks.len());
+        for bank in &self.banks {
+            bank.save(w);
+        }
+        w.put_usize(self.ranks.len());
+        for rank in &self.ranks {
+            rank.save(w);
+        }
+        w.put_time(self.data_bus_free);
+        w.put_time(self.cmd_bus_free);
+        w.put_time(self.last_write_data_end);
+        w.put_time(self.next_refresh);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        if r.get_usize()? != self.banks.len() {
+            return Err(r.invalid("bank count differs from this organization"));
+        }
+        for bank in &mut self.banks {
+            bank.restore(r)?;
+        }
+        if r.get_usize()? != self.ranks.len() {
+            return Err(r.invalid("rank count differs from this organization"));
+        }
+        for rank in &mut self.ranks {
+            rank.restore(r)?;
+        }
+        self.data_bus_free = r.get_time()?;
+        self.cmd_bus_free = r.get_time()?;
+        self.last_write_data_end = r.get_time()?;
+        self.next_refresh = r.get_time()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for DramModel {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section(SECTION_DRAM);
+        w.put_usize(self.channels.len());
+        for ch in &self.channels {
+            ch.save(w);
+        }
+        w.put_u64(self.stats.reads);
+        w.put_u64(self.stats.writes);
+        w.put_u64(self.stats.row_hits);
+        w.put_u64(self.stats.row_misses);
+        w.put_u64(self.stats.refreshes);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.expect_section(SECTION_DRAM)?;
+        if r.get_usize()? != self.channels.len() {
+            return Err(r.invalid("channel count differs from this organization"));
+        }
+        for ch in &mut self.channels {
+            ch.restore(r)?;
+        }
+        self.stats.reads = r.get_u64()?;
+        self.stats.writes = r.get_u64()?;
+        self.stats.row_hits = r.get_u64()?;
+        self.stats.row_misses = r.get_u64()?;
+        self.stats.refreshes = r.get_u64()?;
+        // The recorded command trace is a diagnostic artifact, not
+        // simulation state; a restored model starts with an empty trace.
+        self.trace.clear();
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -523,6 +598,41 @@ mod tests {
         let span = b_done.max(a_done) - Time::ZERO;
         let serial = (a_done - Time::ZERO) * 2;
         assert!(span < serial, "bank parallelism should overlap accesses");
+    }
+
+    #[test]
+    fn snapshot_restore_continues_identically() {
+        use nvsim_types::snapshot::{restore_blob, save_blob};
+        let mut m = model();
+        let mut now = Time::ZERO;
+        for i in 0..50u64 {
+            now = m.access(Addr::new(i * 64 * 97 % (1 << 24)), i % 3 == 0, now);
+        }
+        let blob = save_blob(&m);
+        let mut copy = model();
+        restore_blob(&mut copy, &blob).unwrap();
+        assert_eq!(copy.stats(), m.stats());
+        for i in 0..50u64 {
+            let a = Addr::new(i * 64 * 131 % (1 << 24));
+            let t1 = m.access(a, i % 2 == 0, now);
+            let t2 = copy.access(a, i % 2 == 0, now);
+            assert_eq!(t1, t2, "divergence at access {i}");
+            now = t1;
+        }
+        assert_eq!(save_blob(&m), save_blob(&copy));
+    }
+
+    #[test]
+    fn snapshot_rejects_wrong_organization() {
+        use nvsim_types::snapshot::{restore_blob, save_blob};
+        let m = model();
+        let blob = save_blob(&m);
+        let mut other_cfg = DramConfig::ddr4_2666_4gb();
+        other_cfg.refresh_enabled = false;
+        other_cfg.organization.channels *= 2;
+        if let Ok(mut other) = DramModel::new(other_cfg) {
+            assert!(restore_blob(&mut other, &blob).is_err());
+        }
     }
 
     #[test]

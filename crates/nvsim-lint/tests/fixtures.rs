@@ -638,3 +638,73 @@ fn findings_are_sorted_and_positioned() {
     };
     assert_eq!(sorted, vec![1, 2]);
 }
+
+// ------------------------------------------------- Snapshot impls (R3/R7)
+
+#[test]
+fn snapshot_restore_that_panics_is_flagged() {
+    // The checkpoint contract: `Snapshot::restore` returns a
+    // `SnapshotError` on malformed blobs, it never panics. A restore
+    // that unwraps is a seeded violation R3 must catch on sim paths.
+    let src = "
+impl Snapshot for Lsq {
+    fn save(&self, w: &mut SnapshotWriter) { w.put_u64(self.head); }
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.head = r.get_u64().unwrap();
+        Ok(())
+    }
+}
+";
+    assert_eq!(rule_count(SIM, src, Rule::PanicPath), 1);
+}
+
+#[test]
+fn snapshot_restore_reaching_a_panicking_helper_is_flagged() {
+    // R7's call graph: the panic hides one hop below restore.
+    let src = "
+impl Snapshot for Rmw {
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.slots = decode_slots(r);
+        Ok(())
+    }
+}
+fn decode_slots(r: &mut SnapshotReader<'_>) -> u64 {
+    r.get_u64().expect(\"slot count\")
+}
+";
+    let findings = lint_sources([(SIM, src)]);
+    let reaches: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::PanicReach && f.message.contains("Rmw::restore"))
+        .collect();
+    assert_eq!(
+        reaches.len(),
+        1,
+        "restore must be reported for transitively reaching the panic"
+    );
+    assert!(
+        reaches[0].chain.iter().any(|c| c.contains("decode_slots")),
+        "the evidence chain must walk through the panicking helper"
+    );
+}
+
+#[test]
+fn snapshot_restore_returning_errors_is_clean() {
+    // The idiomatic shape every in-tree Snapshot impl follows: propagate
+    // reader errors with `?`, validate counts, no panic anywhere.
+    let src = "
+impl Snapshot for Imc {
+    fn save(&self, w: &mut SnapshotWriter) { w.put_u64(self.next); }
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let n = r.get_usize()?;
+        if n > r.remaining() {
+            return Err(r.invalid(\"count exceeds the blob\"));
+        }
+        self.next = r.get_u64()?;
+        Ok(())
+    }
+}
+";
+    assert_eq!(rule_count(SIM, src, Rule::PanicPath), 0);
+    assert_eq!(rule_count(SIM, src, Rule::PanicReach), 0);
+}

@@ -1,6 +1,7 @@
 //! Die-level media timing model.
 
 use nvsim_types::error::{require_nonzero, require_power_of_two};
+use nvsim_types::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use nvsim_types::{ConfigError, Time};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -236,6 +237,55 @@ impl XpointMedia {
     }
 }
 
+/// Section tag of [`XpointMedia`] snapshots.
+const SECTION_MEDIA: u16 = 0x20;
+
+impl Snapshot for XpointMedia {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section(SECTION_MEDIA);
+        w.put_usize(self.die_free.len());
+        for &t in &self.die_free {
+            w.put_time(t);
+        }
+        w.put_time(self.bus_free);
+        w.put_u64(self.stats.units_read);
+        w.put_u64(self.stats.units_written);
+        w.put_u64(self.stats.bytes_read);
+        w.put_u64(self.stats.bytes_written);
+        w.put_usize(self.unit_writes.len());
+        for (&unit, &count) in &self.unit_writes {
+            w.put_u64(unit);
+            w.put_u64(count);
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.expect_section(SECTION_MEDIA)?;
+        if r.get_usize()? != self.die_free.len() {
+            return Err(r.invalid("die count differs from this configuration"));
+        }
+        for t in &mut self.die_free {
+            *t = r.get_time()?;
+        }
+        self.bus_free = r.get_time()?;
+        self.stats.units_read = r.get_u64()?;
+        self.stats.units_written = r.get_u64()?;
+        self.stats.bytes_read = r.get_u64()?;
+        self.stats.bytes_written = r.get_u64()?;
+        let n = r.get_usize()?;
+        if n > r.remaining() {
+            return Err(r.invalid("unit-writes count exceeds payload"));
+        }
+        self.unit_writes.clear();
+        for _ in 0..n {
+            let unit = r.get_u64()?;
+            let count = r.get_u64()?;
+            self.unit_writes.insert(unit, count);
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -344,5 +394,51 @@ mod tests {
         assert_eq!(a.block_index(65536), 1);
         assert_eq!(a.offset(28).raw(), 65536 + 128);
         assert_eq!(MediaAddr::new(0x40).to_string(), "ma:0x40");
+    }
+
+    #[test]
+    fn snapshot_restore_continues_identically() {
+        let mut live = media();
+        for i in 0..40u64 {
+            let addr = MediaAddr::new(i * 256);
+            if i % 3 == 0 {
+                live.write(addr, 64, Time::from_ns(i * 10));
+            } else {
+                live.read(addr, 64, Time::from_ns(i * 10));
+            }
+        }
+        let mut w = SnapshotWriter::new();
+        live.save(&mut w);
+        let blob = w.into_bytes();
+
+        let mut restored = media();
+        let mut r = SnapshotReader::new(&blob);
+        restored.restore(&mut r).unwrap();
+        r.finish().unwrap();
+
+        for i in 0..40u64 {
+            let addr = MediaAddr::new((i % 7) * 512);
+            let a = live.write(addr, 128, Time::from_ns(5000 + i * 7));
+            let b = restored.write(addr, 128, Time::from_ns(5000 + i * 7));
+            assert_eq!(a, b);
+        }
+        assert_eq!(live.stats().bytes_written, restored.stats().bytes_written);
+        assert_eq!(
+            live.unit_write_count(MediaAddr::new(0)),
+            restored.unit_write_count(MediaAddr::new(0))
+        );
+    }
+
+    #[test]
+    fn snapshot_rejects_wrong_die_count() {
+        let mut w = SnapshotWriter::new();
+        media().save(&mut w);
+        let blob = w.into_bytes();
+
+        let mut cfg = MediaConfig::optane_like();
+        cfg.dies *= 2;
+        let mut other = XpointMedia::new(cfg).unwrap();
+        let mut r = SnapshotReader::new(&blob);
+        assert!(other.restore(&mut r).is_err());
     }
 }

@@ -18,6 +18,7 @@
 
 use crate::media::MediaAddr;
 use nvsim_types::error::{require_nonzero, require_power_of_two};
+use nvsim_types::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use nvsim_types::ConfigError;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -193,6 +194,47 @@ impl WearTracker {
     }
 }
 
+/// Section tag of [`WearTracker`] snapshots.
+const SECTION_WEAR: u16 = 0x21;
+
+impl Snapshot for WearTracker {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section(SECTION_WEAR);
+        w.put_u64(self.total_writes);
+        w.put_u64(self.total_migrations);
+        w.put_usize(self.blocks.len());
+        for (&block, entry) in &self.blocks {
+            w.put_u64(block);
+            w.put_u64(entry.hot);
+            w.put_u64(entry.epoch);
+            w.put_u64(entry.migrations);
+            w.put_u64(entry.lifetime_writes);
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.expect_section(SECTION_WEAR)?;
+        self.total_writes = r.get_u64()?;
+        self.total_migrations = r.get_u64()?;
+        let n = r.get_usize()?;
+        if n > r.remaining() {
+            return Err(r.invalid("wear-block count exceeds payload"));
+        }
+        self.blocks.clear();
+        for _ in 0..n {
+            let block = r.get_u64()?;
+            let entry = BlockWear {
+                hot: r.get_u64()?,
+                epoch: r.get_u64()?,
+                migrations: r.get_u64()?,
+                lifetime_writes: r.get_u64()?,
+            };
+            self.blocks.insert(block, entry);
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,5 +352,34 @@ mod tests {
         let mut cfg = WearConfig::optane_like();
         cfg.threshold = 0;
         assert!(WearTracker::new(cfg).is_err());
+    }
+
+    #[test]
+    fn snapshot_restore_continues_identically() {
+        let mut live = tracker(100);
+        hammer(
+            &mut live,
+            &[MediaAddr::new(0), MediaAddr::new(1 << 20)],
+            130,
+        );
+
+        let mut w = SnapshotWriter::new();
+        live.save(&mut w);
+        let blob = w.into_bytes();
+
+        let mut restored = tracker(100);
+        let mut r = SnapshotReader::new(&blob);
+        restored.restore(&mut r).unwrap();
+        r.finish().unwrap();
+
+        let (ma, _) = hammer(&mut live, &[MediaAddr::new(0)], 300);
+        let (mb, _) = hammer(&mut restored, &[MediaAddr::new(0)], 300);
+        assert_eq!(ma, mb);
+        assert_eq!(live.total_writes(), restored.total_writes());
+        assert_eq!(live.total_migrations(), restored.total_migrations());
+        assert_eq!(
+            live.block_writes(MediaAddr::new(0)),
+            restored.block_writes(MediaAddr::new(0))
+        );
     }
 }

@@ -5,10 +5,208 @@
 use crate::addr::Addr;
 use crate::error::BackendError;
 use crate::request::{MemOp, ReqId, RequestDesc};
+use crate::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::time::Time;
 use crate::trace::{LatencyBreakdown, TraceSink};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// The memory-system models the workspace can construct by name.
+///
+/// Used with [`BackendConfig`] and the facade crate's `build_backend`
+/// factory so drivers (the sampled-simulation runner, `nvsim-serve`)
+/// can pick a backend from a string instead of hard-wiring constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum BackendKind {
+    /// The VANS NVRAM simulator (App-Direct mode).
+    Vans,
+    /// VANS fronted by the on-DIMM DRAM cache (Memory mode).
+    VansMemoryMode,
+    /// The analytical Optane reference machine (validation target).
+    OptaneReference,
+    /// DDR4 DRAM timing baseline.
+    DramDdr4,
+    /// DDR3 DRAM timing baseline.
+    DramDdr3,
+    /// Ramulator-style PCM baseline.
+    RamulatorPcm,
+    /// The PMEP (persistent-memory emulation platform) baseline.
+    Pmep,
+    /// A fixed-latency stub (tests and driver plumbing).
+    FixedLatency,
+}
+
+impl BackendKind {
+    /// Every constructible kind, in a stable order.
+    pub const ALL: [BackendKind; 8] = [
+        BackendKind::Vans,
+        BackendKind::VansMemoryMode,
+        BackendKind::OptaneReference,
+        BackendKind::DramDdr4,
+        BackendKind::DramDdr3,
+        BackendKind::RamulatorPcm,
+        BackendKind::Pmep,
+        BackendKind::FixedLatency,
+    ];
+
+    /// The canonical name (`vans`, `memory-mode`, `optane`, `ddr4`,
+    /// `ddr3`, `pcm`, `pmep`, `fixed`) this kind parses from.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Vans => "vans",
+            BackendKind::VansMemoryMode => "memory-mode",
+            BackendKind::OptaneReference => "optane",
+            BackendKind::DramDdr4 => "ddr4",
+            BackendKind::DramDdr3 => "ddr3",
+            BackendKind::RamulatorPcm => "pcm",
+            BackendKind::Pmep => "pmep",
+            BackendKind::FixedLatency => "fixed",
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for BackendKind {
+    type Err = crate::error::ConfigError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        BackendKind::ALL
+            .into_iter()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| {
+                crate::error::ConfigError::new(
+                    "backend.kind",
+                    "unknown backend name (expected vans | memory-mode | optane | ddr4 | ddr3 | pcm | pmep | fixed)",
+                )
+            })
+    }
+}
+
+/// Knobs shared by every backend the factory can build. Kind-specific
+/// detail (DDR timings, media latencies) comes from each model's own
+/// presets; this struct only carries the cross-cutting choices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BackendConfig {
+    /// NVDIMM count for interleaved kinds (VANS and the Optane
+    /// reference accept 1 or 6; others ignore it).
+    pub dimms: u32,
+    /// Read latency for [`BackendKind::FixedLatency`].
+    pub fixed_read_latency: Time,
+    /// Write latency for [`BackendKind::FixedLatency`].
+    pub fixed_write_latency: Time,
+}
+
+impl Default for BackendConfig {
+    fn default() -> Self {
+        BackendConfig {
+            dimms: 1,
+            fixed_read_latency: Time::from_ns(100),
+            fixed_write_latency: Time::from_ns(300),
+        }
+    }
+}
+
+impl BackendConfig {
+    /// The default configuration with a different DIMM count.
+    pub fn with_dimms(dimms: u32) -> Self {
+        BackendConfig {
+            dimms,
+            ..Default::default()
+        }
+    }
+}
+
+/// Session-scoped options applied to a backend in one call.
+///
+/// Replaces the grown family of toggle setters (`set_trace_sink`,
+/// `set_durability_tracking`, ...): build the options once and hand them
+/// to [`MemoryBackend::configure_session`]. Unset fields leave the
+/// backend's current setting untouched.
+///
+/// # Example
+///
+/// ```
+/// use nvsim_types::backend::SessionOptions;
+///
+/// let opts = SessionOptions::new()
+///     .durability_tracking(true)
+///     .snapshot_interval(1_000_000);
+/// assert_eq!(opts.durability_tracking_requested(), Some(true));
+/// ```
+#[derive(Default)]
+pub struct SessionOptions {
+    trace_sink: Option<Box<dyn TraceSink>>,
+    durability_tracking: Option<bool>,
+    snapshot_interval: Option<u64>,
+}
+
+impl fmt::Debug for SessionOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SessionOptions")
+            .field("trace_sink", &self.trace_sink.is_some())
+            .field("durability_tracking", &self.durability_tracking)
+            .field("snapshot_interval", &self.snapshot_interval)
+            .finish()
+    }
+}
+
+impl SessionOptions {
+    /// An empty options object (applies nothing).
+    pub fn new() -> Self {
+        SessionOptions::default()
+    }
+
+    /// Installs a trace sink (enables per-stage span collection if the
+    /// sink wants traces).
+    #[must_use]
+    pub fn trace_sink(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.trace_sink = Some(sink);
+        self
+    }
+
+    /// Enables or disables per-line durability tracking.
+    #[must_use]
+    pub fn durability_tracking(mut self, enabled: bool) -> Self {
+        self.durability_tracking = Some(enabled);
+        self
+    }
+
+    /// Requests an automatic checkpoint every `instructions` committed
+    /// instructions (consumed by sampling drivers; backends just store
+    /// it).
+    #[must_use]
+    pub fn snapshot_interval(mut self, instructions: u64) -> Self {
+        self.snapshot_interval = Some(instructions);
+        self
+    }
+
+    /// Takes the trace sink out of the options, if one was set.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.trace_sink.take()
+    }
+
+    /// Whether a trace sink is (still) present.
+    pub fn has_trace_sink(&self) -> bool {
+        self.trace_sink.is_some()
+    }
+
+    /// The requested durability-tracking change, if any.
+    pub fn durability_tracking_requested(&self) -> Option<bool> {
+        self.durability_tracking
+    }
+
+    /// The requested snapshot interval, if any.
+    pub fn snapshot_interval_requested(&self) -> Option<u64> {
+        self.snapshot_interval
+    }
+}
 
 /// Event and traffic counters every backend exposes.
 ///
@@ -252,14 +450,33 @@ pub trait MemoryBackend {
     /// at `paddr` targets page frame `pfn`. No-op by default.
     fn mkpt_update(&mut self, _paddr: Addr, _pfn: u64) {}
 
+    /// Applies session-scoped options (trace sink, durability tracking,
+    /// snapshot interval) in one call.
+    ///
+    /// Returns `true` if every *requested* option is supported by this
+    /// backend; `false` if at least one was ignored (e.g. a trace sink
+    /// handed to a model without span recording). Unset options never
+    /// affect the result. The default implementation supports nothing.
+    fn configure_session(&mut self, opts: SessionOptions) -> bool {
+        let mut opts = opts;
+        let unsupported = opts.take_trace_sink().is_some()
+            || opts.durability_tracking_requested().is_some()
+            || opts.snapshot_interval_requested().is_some();
+        !unsupported
+    }
+
     /// Installs a trace sink and enables per-stage span collection.
     ///
     /// Returns `true` if the backend supports tracing (the sink will
     /// receive one [`crate::trace::RequestTrace`] per completed request);
-    /// `false` — the default — if it does not, in which case the sink is
-    /// dropped and no spans are ever recorded.
-    fn set_trace_sink(&mut self, _sink: Box<dyn TraceSink>) -> bool {
-        false
+    /// `false` if it does not, in which case the sink is dropped and no
+    /// spans are ever recorded.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use configure_session(SessionOptions::new().trace_sink(..)) instead"
+    )]
+    fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) -> bool {
+        self.configure_session(SessionOptions::new().trace_sink(sink))
     }
 
     /// Per-stage latency breakdown aggregated by the installed trace sink,
@@ -267,6 +484,32 @@ pub trait MemoryBackend {
     fn breakdown(&self) -> Option<LatencyBreakdown> {
         None
     }
+
+    /// Serializes the backend's full mutable state into a framed snapshot
+    /// blob (see [`crate::snapshot`]), or `None` if this backend does not
+    /// support checkpointing.
+    fn save_snapshot(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores state previously captured by
+    /// [`save_snapshot`](MemoryBackend::save_snapshot) on an identically
+    /// configured instance. Returns `Ok(true)` on success, `Ok(false)` if
+    /// this backend does not support checkpointing (the default).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] if the blob is malformed, has an
+    /// unsupported version, or does not match this configuration.
+    fn restore_snapshot(&mut self, _blob: &[u8]) -> Result<bool, SnapshotError> {
+        Ok(false)
+    }
+
+    /// Functional-warming access: updates stateful structures (buffers,
+    /// recency, wear heat) the way `desc` would, **without** any timing,
+    /// queueing or counter accounting. The sampled-simulation driver uses
+    /// this between detailed windows. No-op by default.
+    fn warm_access(&mut self, _desc: &RequestDesc) {}
 }
 
 /// Blanket impl so `&mut B` can be passed wherever a backend is expected.
@@ -310,11 +553,51 @@ impl<B: MemoryBackend + ?Sized> MemoryBackend for &mut B {
     fn mkpt_update(&mut self, paddr: Addr, pfn: u64) {
         (**self).mkpt_update(paddr, pfn)
     }
+    fn configure_session(&mut self, opts: SessionOptions) -> bool {
+        (**self).configure_session(opts)
+    }
+    #[allow(deprecated)]
     fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) -> bool {
         (**self).set_trace_sink(sink)
     }
     fn breakdown(&self) -> Option<LatencyBreakdown> {
         (**self).breakdown()
+    }
+    fn save_snapshot(&self) -> Option<Vec<u8>> {
+        (**self).save_snapshot()
+    }
+    fn restore_snapshot(&mut self, blob: &[u8]) -> Result<bool, SnapshotError> {
+        (**self).restore_snapshot(blob)
+    }
+    fn warm_access(&mut self, desc: &RequestDesc) {
+        (**self).warm_access(desc)
+    }
+}
+
+impl Snapshot for BackendCounters {
+    fn save(&self, w: &mut SnapshotWriter) {
+        for (_, v) in self.as_map() {
+            w.put_u64(v);
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        // Same alphabetical order as `as_map`.
+        self.ait_hits = r.get_u64()?;
+        self.ait_misses = r.get_u64()?;
+        self.bus_bytes_read = r.get_u64()?;
+        self.bus_bytes_written = r.get_u64()?;
+        self.bus_reads = r.get_u64()?;
+        self.bus_writes = r.get_u64()?;
+        self.fences = r.get_u64()?;
+        self.lsq_combines = r.get_u64()?;
+        self.media_bytes_read = r.get_u64()?;
+        self.media_bytes_written = r.get_u64()?;
+        self.migrations = r.get_u64()?;
+        self.on_dimm_dram_accesses = r.get_u64()?;
+        self.rmw_hits = r.get_u64()?;
+        self.rmw_misses = r.get_u64()?;
+        Ok(())
     }
 }
 
@@ -420,6 +703,50 @@ impl MemoryBackend for FixedLatencyBackend {
 
     fn reset_counters(&mut self) {
         self.counters = BackendCounters::default();
+    }
+
+    fn save_snapshot(&self) -> Option<Vec<u8>> {
+        Some(crate::snapshot::save_blob(self))
+    }
+
+    fn restore_snapshot(&mut self, blob: &[u8]) -> Result<bool, SnapshotError> {
+        crate::snapshot::restore_blob(self, blob)?;
+        Ok(true)
+    }
+}
+
+/// Section tag of [`FixedLatencyBackend`] snapshots.
+const SECTION_FIXED_LATENCY: u16 = 0x0F;
+
+impl Snapshot for FixedLatencyBackend {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section(SECTION_FIXED_LATENCY);
+        w.put_time(self.now);
+        w.put_u64(self.next_id);
+        w.put_usize(self.inflight.len());
+        for &(id, done) in &self.inflight {
+            w.put_u64(id.0);
+            w.put_time(done);
+        }
+        self.counters.save(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.expect_section(SECTION_FIXED_LATENCY)?;
+        self.now = r.get_time()?;
+        self.next_id = r.get_u64()?;
+        let n = r.get_usize()?;
+        if n > r.remaining() {
+            return Err(r.invalid("in-flight count exceeds payload"));
+        }
+        self.inflight.clear();
+        self.inflight.reserve(n);
+        for _ in 0..n {
+            let id = ReqId(r.get_u64()?);
+            let done = r.get_time()?;
+            self.inflight.push((id, done));
+        }
+        self.counters.restore(r)
     }
 }
 
@@ -552,7 +879,59 @@ mod tests {
     #[test]
     fn tracing_unsupported_by_default() {
         let mut m = mem();
-        assert!(!m.set_trace_sink(Box::new(crate::trace::NullSink)));
+        assert!(!m
+            .configure_session(SessionOptions::new().trace_sink(Box::new(crate::trace::NullSink))));
         assert!(m.breakdown().is_none());
+        // The deprecated setter stays as a thin wrapper for one release.
+        #[allow(deprecated)]
+        {
+            assert!(!m.set_trace_sink(Box::new(crate::trace::NullSink)));
+        }
+    }
+
+    #[test]
+    fn empty_session_options_always_apply() {
+        let mut m = mem();
+        assert!(m.configure_session(SessionOptions::new()));
+        assert!(!m.configure_session(SessionOptions::new().durability_tracking(true)));
+    }
+
+    #[test]
+    fn backend_kind_parses_all_names() {
+        for kind in BackendKind::ALL {
+            assert_eq!(kind.name().parse::<BackendKind>().unwrap(), kind);
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert!("nope".parse::<BackendKind>().is_err());
+    }
+
+    #[test]
+    fn fixed_latency_snapshot_roundtrips_midflight() {
+        let mut m = mem();
+        m.execute(RequestDesc::load(Addr::new(0)));
+        let pending = m.submit(RequestDesc::store(Addr::new(64)));
+        let blob = m.save_snapshot().unwrap();
+        let mut copy = mem();
+        assert!(copy.restore_snapshot(&blob).unwrap());
+        assert_eq!(copy.now(), m.now());
+        assert_eq!(copy.counters(), m.counters());
+        assert_eq!(
+            copy.try_take_completion(pending),
+            m.try_take_completion(pending)
+        );
+        // Subsequent execution is identical.
+        assert_eq!(
+            copy.execute(RequestDesc::load(Addr::new(128))),
+            m.execute(RequestDesc::load(Addr::new(128)))
+        );
+    }
+
+    #[test]
+    fn fixed_latency_snapshot_rejects_garbage() {
+        let mut m = mem();
+        assert!(m.restore_snapshot(b"definitely not a snapshot").is_err());
+        let mut blob = m.save_snapshot().unwrap();
+        blob[4] = 9;
+        assert!(m.restore_snapshot(&blob).is_err());
     }
 }

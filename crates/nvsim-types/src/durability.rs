@@ -22,6 +22,7 @@
 //! durability.
 
 use crate::addr::{Addr, CACHE_LINE};
+use crate::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::time::Time;
 use std::collections::BTreeMap;
 
@@ -53,6 +54,26 @@ impl Durability {
     /// Does this state survive a power failure (given a healthy supercap)?
     pub fn is_durable(self) -> bool {
         self >= Durability::InAdrDomain
+    }
+}
+
+impl Snapshot for Durability {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.put_u8(match self {
+            Durability::Volatile => 0,
+            Durability::InAdrDomain => 1,
+            Durability::OnMedia => 2,
+        });
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        *self = match r.get_u8()? {
+            0 => Durability::Volatile,
+            1 => Durability::InAdrDomain,
+            2 => Durability::OnMedia,
+            _ => return Err(r.invalid("unknown durability tag")),
+        };
+        Ok(())
     }
 }
 

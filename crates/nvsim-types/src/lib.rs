@@ -37,16 +37,18 @@ pub mod durability;
 pub mod error;
 pub mod request;
 pub mod rng;
+pub mod snapshot;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use addr::{Addr, VirtAddr, CACHE_LINE, CACHE_LINE_U32, PAGE_SIZE};
-pub use backend::{BackendCounters, MemoryBackend};
+pub use backend::{BackendConfig, BackendCounters, BackendKind, MemoryBackend, SessionOptions};
 pub use durability::{CrashCounters, CrashImage, Durability, FaultPlan, PersistEvent, ResolvedCut};
 pub use error::{BackendError, ConfigError};
 pub use request::{MemOp, ReqId, Request, RequestDesc};
 pub use rng::{DetRng, SplitMix64};
+pub use snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 pub use stats::{Histogram, RunningStats};
 pub use time::Time;
 pub use trace::{

@@ -1,6 +1,7 @@
 //! The memory-request vocabulary shared by all simulated memory systems.
 
 use crate::addr::{Addr, CACHE_LINE, CACHE_LINE_U32};
+use crate::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::time::Time;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -85,6 +86,30 @@ impl MemOp {
 impl fmt::Display for MemOp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.label())
+    }
+}
+
+impl Snapshot for MemOp {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.put_u8(match self {
+            MemOp::Load => 0,
+            MemOp::Store => 1,
+            MemOp::StoreClwb => 2,
+            MemOp::NtStore => 3,
+            MemOp::Fence => 4,
+        });
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        *self = match r.get_u8()? {
+            0 => MemOp::Load,
+            1 => MemOp::Store,
+            2 => MemOp::StoreClwb,
+            3 => MemOp::NtStore,
+            4 => MemOp::Fence,
+            _ => return Err(r.invalid("unknown memory-op tag")),
+        };
+        Ok(())
     }
 }
 

@@ -21,6 +21,9 @@
 use crate::zipf::Zipfian;
 use crate::Workload;
 use nvsim_cpu::TraceOp;
+use nvsim_types::snapshot::{
+    restore_blob, save_blob, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter,
+};
 use nvsim_types::{DetRng, VirtAddr};
 
 /// Common alias: virtual heap base for cloud workloads.
@@ -124,6 +127,14 @@ impl Workload for Redis {
         }
         out
     }
+    fn save_state(&self) -> Option<Vec<u8>> {
+        Some(save_blob(self))
+    }
+
+    fn restore_state(&mut self, blob: &[u8]) -> Result<bool, SnapshotError> {
+        restore_blob(self, blob)?;
+        Ok(true)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -224,6 +235,14 @@ impl Workload for Ycsb {
         }
         out
     }
+    fn save_state(&self) -> Option<Vec<u8>> {
+        Some(save_blob(self))
+    }
+
+    fn restore_state(&mut self, blob: &[u8]) -> Result<bool, SnapshotError> {
+        restore_blob(self, blob)?;
+        Ok(true)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -304,6 +323,14 @@ impl Workload for Tpcc {
         }
         out
     }
+    fn save_state(&self) -> Option<Vec<u8>> {
+        Some(save_blob(self))
+    }
+
+    fn restore_state(&mut self, blob: &[u8]) -> Result<bool, SnapshotError> {
+        restore_blob(self, blob)?;
+        Ok(true)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -354,6 +381,14 @@ impl Workload for FioWrite {
             emitted += 31;
         }
         out
+    }
+    fn save_state(&self) -> Option<Vec<u8>> {
+        Some(save_blob(self))
+    }
+
+    fn restore_state(&mut self, blob: &[u8]) -> Result<bool, SnapshotError> {
+        restore_blob(self, blob)?;
+        Ok(true)
     }
 }
 
@@ -421,6 +456,14 @@ impl Workload for PmdkHashMap {
             }
         }
         out
+    }
+    fn save_state(&self) -> Option<Vec<u8>> {
+        Some(save_blob(self))
+    }
+
+    fn restore_state(&mut self, blob: &[u8]) -> Result<bool, SnapshotError> {
+        restore_blob(self, blob)?;
+        Ok(true)
     }
 }
 
@@ -509,6 +552,126 @@ impl Workload for PmdkLinkedList {
             }
         }
         out
+    }
+    fn save_state(&self) -> Option<Vec<u8>> {
+        Some(save_blob(self))
+    }
+
+    fn restore_state(&mut self, blob: &[u8]) -> Result<bool, SnapshotError> {
+        restore_blob(self, blob)?;
+        Ok(true)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint state
+// ---------------------------------------------------------------------
+//
+// Only *cursor* state is captured (RNG, stream positions, mkpt flag);
+// structural parameters fixed at construction (footprints, chain lengths,
+// Zipfian tables) are re-derived by the constructor and validated where
+// cheap. Section tags 0x50–0x55.
+
+const SECTION_REDIS: u16 = 0x50;
+const SECTION_YCSB: u16 = 0x51;
+const SECTION_TPCC: u16 = 0x52;
+const SECTION_FIO: u16 = 0x53;
+const SECTION_PMDK_HASHMAP: u16 = 0x54;
+const SECTION_PMDK_LINKEDLIST: u16 = 0x55;
+
+impl Snapshot for Redis {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section(SECTION_REDIS);
+        self.rng.save(w);
+        w.put_bool(self.mkpt);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.expect_section(SECTION_REDIS)?;
+        self.rng.restore(r)?;
+        self.mkpt = r.get_bool()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for Ycsb {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section(SECTION_YCSB);
+        self.rng.save(w);
+        w.put_bool(self.mkpt);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.expect_section(SECTION_YCSB)?;
+        self.rng.restore(r)?;
+        self.mkpt = r.get_bool()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for Tpcc {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section(SECTION_TPCC);
+        self.rng.save(w);
+        w.put_bool(self.mkpt);
+        w.put_u64(self.log_cursor);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.expect_section(SECTION_TPCC)?;
+        self.rng.restore(r)?;
+        self.mkpt = r.get_bool()?;
+        self.log_cursor = r.get_u64()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for FioWrite {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section(SECTION_FIO);
+        w.put_u64(self.cursor);
+        w.put_bool(self.mkpt);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.expect_section(SECTION_FIO)?;
+        let cursor = r.get_u64()?;
+        if cursor >= self.span_lines {
+            return Err(r.invalid("stream cursor beyond this configuration's span"));
+        }
+        self.cursor = cursor;
+        self.mkpt = r.get_bool()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for PmdkHashMap {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section(SECTION_PMDK_HASHMAP);
+        self.rng.save(w);
+        w.put_bool(self.mkpt);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.expect_section(SECTION_PMDK_HASHMAP)?;
+        self.rng.restore(r)?;
+        self.mkpt = r.get_bool()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for PmdkLinkedList {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section(SECTION_PMDK_LINKEDLIST);
+        self.rng.save(w);
+        w.put_bool(self.mkpt);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.expect_section(SECTION_PMDK_LINKEDLIST)?;
+        self.rng.restore(r)?;
+        self.mkpt = r.get_bool()?;
+        Ok(())
     }
 }
 
@@ -693,5 +856,35 @@ mod tests {
         let mut a = Redis::new(9);
         let mut b = Redis::new(9);
         assert_eq!(a.generate(20_000), b.generate(20_000));
+    }
+
+    #[test]
+    fn all_fig13_workloads_checkpoint_mid_stream() {
+        for mut w in fig13_workloads(3) {
+            // Advance, checkpoint, then compare continuations.
+            w.generate(50_000);
+            let blob = w.save_state().unwrap_or_else(|| {
+                panic!("{} must support checkpointing", w.name());
+            });
+            let mut fresh = fig13_workloads(3)
+                .into_iter()
+                .find(|f| f.name() == w.name())
+                .unwrap();
+            assert!(fresh.restore_state(&blob).unwrap(), "{}", w.name());
+            assert_eq!(
+                w.generate(20_000),
+                fresh.generate(20_000),
+                "{}: restored generator must continue the identical trace",
+                w.name()
+            );
+        }
+    }
+
+    #[test]
+    fn restore_rejects_cross_workload_blobs() {
+        let redis = Redis::new(1);
+        let blob = redis.save_state().unwrap();
+        let mut ycsb = Ycsb::new(1);
+        assert!(ycsb.restore_state(&blob).is_err());
     }
 }

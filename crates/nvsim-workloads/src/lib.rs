@@ -26,6 +26,7 @@ pub use spec::SpecWorkloadGen;
 pub use zipf::Zipfian;
 
 use nvsim_cpu::TraceOp;
+use nvsim_types::snapshot::SnapshotError;
 
 /// A workload that can produce an instruction trace of roughly
 /// `instructions` retired instructions.
@@ -49,4 +50,23 @@ pub trait Workload {
     /// Enables or disables `mkpt` marking (a source-code modification in
     /// the paper; a flag here).
     fn set_mkpt(&mut self, _enabled: bool) {}
+
+    /// Saves the generator's cursor state (RNG, stream cursors) so that a
+    /// restored copy continues the *identical* trace. Returns `None` when
+    /// the workload does not support checkpointing.
+    fn save_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores cursor state captured by [`save_state`](Workload::save_state).
+    /// Returns `Ok(false)` when the workload does not support
+    /// checkpointing (state is untouched).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] when the blob is malformed or was
+    /// saved by a different workload type.
+    fn restore_state(&mut self, _blob: &[u8]) -> Result<bool, SnapshotError> {
+        Ok(false)
+    }
 }

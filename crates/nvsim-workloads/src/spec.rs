@@ -11,6 +11,9 @@
 
 use crate::Workload;
 use nvsim_cpu::TraceOp;
+use nvsim_types::snapshot::{
+    restore_blob, save_blob, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter,
+};
 use nvsim_types::{DetRng, VirtAddr};
 use serde::{Deserialize, Serialize};
 
@@ -139,6 +142,34 @@ impl Workload for SpecWorkloadGen {
             }
         }
         out
+    }
+    fn save_state(&self) -> Option<Vec<u8>> {
+        Some(save_blob(self))
+    }
+
+    fn restore_state(&mut self, blob: &[u8]) -> Result<bool, SnapshotError> {
+        restore_blob(self, blob)?;
+        Ok(true)
+    }
+}
+
+/// Section tag of [`SpecWorkloadGen`] snapshots.
+const SECTION_SPEC: u16 = 0x56;
+
+impl Snapshot for SpecWorkloadGen {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section(SECTION_SPEC);
+        self.rng.save(w);
+        w.put_u64(self.cursor);
+        w.put_f64(self.mpki_acc);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.expect_section(SECTION_SPEC)?;
+        self.rng.restore(r)?;
+        self.cursor = r.get_u64()?;
+        self.mpki_acc = r.get_f64()?;
+        Ok(())
     }
 }
 

@@ -9,6 +9,9 @@
 //! the reference knees from it) rather than to re-model the hardware.
 
 use crate::curves::OptaneReference;
+use nvsim_types::snapshot::{
+    restore_blob, save_blob, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter,
+};
 use nvsim_types::{
     Addr, BackendCounters, BackendError, MemOp, MemoryBackend, ReqId, RequestDesc, Time,
 };
@@ -157,6 +160,96 @@ impl MemoryBackend for ReferenceBackend {
     fn models_persistence_ops(&self) -> bool {
         true
     }
+
+    fn save_snapshot(&self) -> Option<Vec<u8>> {
+        Some(save_blob(self))
+    }
+
+    fn restore_snapshot(&mut self, blob: &[u8]) -> Result<bool, SnapshotError> {
+        restore_blob(self, blob)?;
+        Ok(true)
+    }
+
+    fn warm_access(&mut self, desc: &RequestDesc) {
+        // The analytical model's only history is the footprint window and
+        // the per-block write totals; advance those without timing.
+        match desc.op {
+            MemOp::Fence => {}
+            MemOp::Load => {
+                self.observe(desc.addr);
+            }
+            _ => {
+                self.observe(desc.addr);
+                let block = desc.addr.raw() / (64 << 10);
+                *self.block_writes.entry(block).or_insert(0) += desc.size as u64;
+            }
+        }
+    }
+}
+
+/// Section tag of [`ReferenceBackend`] snapshots.
+const SECTION_REFERENCE: u16 = 0x60;
+
+impl Snapshot for ReferenceBackend {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section(SECTION_REFERENCE);
+        w.put_u32(self.dimms);
+        w.put_time(self.now);
+        w.put_u64(self.next_id);
+        w.put_usize(self.completions.len());
+        for (&id, &t) in &self.completions {
+            w.put_u64(id.0);
+            w.put_time(t);
+        }
+        self.counters.save(w);
+        w.put_bool(self.lo_line.is_some());
+        w.put_u64(self.lo_line.unwrap_or(0));
+        w.put_bool(self.hi_line.is_some());
+        w.put_u64(self.hi_line.unwrap_or(0));
+        w.put_usize(self.block_writes.len());
+        for (&block, &bytes) in &self.block_writes {
+            w.put_u64(block);
+            w.put_u64(bytes);
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.expect_section(SECTION_REFERENCE)?;
+        let dimms = r.get_u32()?;
+        if dimms != self.dimms {
+            return Err(r.invalid("DIMM count differs from this configuration"));
+        }
+        self.now = r.get_time()?;
+        self.next_id = r.get_u64()?;
+        let n = r.get_usize()?;
+        if n > r.remaining() {
+            return Err(r.invalid("completion count exceeds the blob"));
+        }
+        self.completions.clear();
+        for _ in 0..n {
+            let id = ReqId(r.get_u64()?);
+            let t = r.get_time()?;
+            self.completions.insert(id, t);
+        }
+        self.counters.restore(r)?;
+        let has_lo = r.get_bool()?;
+        let lo = r.get_u64()?;
+        self.lo_line = has_lo.then_some(lo);
+        let has_hi = r.get_bool()?;
+        let hi = r.get_u64()?;
+        self.hi_line = has_hi.then_some(hi);
+        let b = r.get_usize()?;
+        if b > r.remaining() {
+            return Err(r.invalid("block-write count exceeds the blob"));
+        }
+        self.block_writes.clear();
+        for _ in 0..b {
+            let block = r.get_u64()?;
+            let bytes = r.get_u64()?;
+            self.block_writes.insert(block, bytes);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -226,5 +319,36 @@ mod tests {
         b.fence();
         let c = b.counters();
         assert_eq!((c.bus_reads, c.bus_writes, c.fences), (1, 1, 1));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_continues_identically() {
+        let mut a = backend();
+        for i in 0..50u64 {
+            a.execute(RequestDesc::load(Addr::new(i * 4096)));
+            a.execute(RequestDesc::nt_store(Addr::new(i * 256)));
+        }
+        let blob = a.save_snapshot().expect("reference supports snapshots");
+        let mut b = backend();
+        b.restore_snapshot(&blob).expect("same configuration");
+        for i in 0..30u64 {
+            let ta = a.execute(RequestDesc::nt_store(Addr::new(i * 512)));
+            let tb = b.execute(RequestDesc::nt_store(Addr::new(i * 512)));
+            assert_eq!(ta, tb);
+        }
+        assert_eq!(a.counters(), b.counters());
+        assert_eq!(a.save_snapshot(), b.save_snapshot());
+    }
+
+    #[test]
+    fn warm_access_advances_footprint_without_time() {
+        let mut warm = backend();
+        warm.warm_access(&RequestDesc::load(Addr::new(0)));
+        warm.warm_access(&RequestDesc::load(Addr::new(128 << 20)));
+        assert_eq!(warm.now(), Time::ZERO);
+        // The widened footprint now makes the first timed read slow.
+        let t0 = warm.now();
+        let t1 = warm.execute(RequestDesc::load(Addr::new(64)));
+        assert!(t1 - t0 > Time::from_ns(250));
     }
 }

@@ -10,6 +10,7 @@ use crate::buffer::LruBuffer;
 use crate::config::AitConfig;
 use nvsim_dram::DramModel;
 use nvsim_media::{MediaAddr, WearEvent, WearTracker, XpointMedia};
+use nvsim_types::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use nvsim_types::trace::{SpanRecorder, Stage, StageSpan};
 use nvsim_types::{Addr, Time};
 use std::collections::BTreeMap;
@@ -279,7 +280,6 @@ impl Ait {
     fn migrate(&mut self, media_block: u64, _trigger_page: u64, t: Time) {
         self.stats.migrations += 1;
         let block_size = self.wear.config().block_size;
-        let ppb = self.pages_per_block();
         let new_block = self.next_free_block;
         self.next_free_block += 1;
         // Timed media copy of the whole wear block.
@@ -292,10 +292,16 @@ impl Ait {
         // Posted: the copy runs behind foreground traffic (later writes to
         // the block see it as a MigrationStall span instead).
         self.recorder.record(Stage::MediaWrite, t, copy_done);
-        // Remap every physical page currently pointing into the hot block
-        // and stall writes to it until the migration is done. The remapped
-        // frame of each page depends on its position in this scan, so the
-        // scan must visit pages in a deterministic (key) order.
+        self.remap_block(media_block, new_block, Some(copy_done));
+    }
+
+    /// Remaps every physical page pointing into `media_block` onto
+    /// `new_block`, optionally stalling writes to those pages until
+    /// `stall_until`. The remapped frame of each page depends on its
+    /// position in this scan, so the scan must visit pages in a
+    /// deterministic (key) order.
+    fn remap_block(&mut self, media_block: u64, new_block: u64, stall_until: Option<Time>) {
+        let ppb = self.pages_per_block();
         let frame_lo = media_block * ppb;
         let frame_hi = frame_lo + ppb;
         let affected: Vec<u64> = self
@@ -312,14 +318,147 @@ impl Ait {
         for (i, page) in all.iter().enumerate() {
             self.translations
                 .insert(*page, new_block * ppb + (i as u64 % ppb));
-            self.busy_pages.insert(*page, copy_done);
+            if let Some(busy) = stall_until {
+                self.busy_pages.insert(*page, busy);
+            }
             self.tcache.invalidate(*page);
+        }
+    }
+
+    /// Functional-warming access: updates buffer/translation-cache
+    /// recency, translation records and wear heat the way a timed access
+    /// would — including performing any triggered wear-leveling remap —
+    /// **without** advancing DRAM, media or port timing. The sampled
+    /// simulation drives this during fast-forward so a detailed window
+    /// starts from realistically warm state.
+    pub fn warm(&mut self, addr: Addr, write: bool) {
+        let page = self.page_of(addr);
+        if self.buffer.contains(page) {
+            self.stats.buffer_hits += 1;
+            self.buffer.touch(page, write);
+        } else {
+            self.stats.buffer_misses += 1;
+            if self.tcache.contains(page) {
+                self.stats.translation_hits += 1;
+            } else {
+                self.stats.translation_misses += 1;
+            }
+            self.tcache.touch(page, false);
+            self.translations.entry(page).or_insert(page);
+            // Dirty evictions are dropped without a timed write-back;
+            // warming only tracks residency, not media traffic.
+            let _ = self.buffer.touch(page, write);
+        }
+        if write {
+            self.busy_pages.remove(&page);
+            let frame = *self.translations.entry(page).or_insert(page);
+            let offset = addr.raw() % self.cfg.entry_bytes as u64;
+            let media_addr = MediaAddr::new(frame * self.cfg.entry_bytes as u64 + offset);
+            if let WearEvent::Migrate { block } = self.wear.record_write(media_addr) {
+                self.stats.migrations += 1;
+                let new_block = self.next_free_block;
+                self.next_free_block += 1;
+                self.remap_block(block, new_block, None);
+            }
         }
     }
 
     /// Hit/miss counters of the data buffer.
     pub fn buffer_hit_miss(&self) -> (u64, u64) {
         self.buffer.hit_miss()
+    }
+}
+
+/// Section tag of [`Ait`] snapshots.
+const SECTION_AIT: u16 = 0x33;
+
+impl Snapshot for Ait {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section(SECTION_AIT);
+        self.buffer.save(w);
+        self.tcache.save(w);
+        w.put_usize(self.translations.len());
+        for (&page, &frame) in &self.translations {
+            w.put_u64(page);
+            w.put_u64(frame);
+        }
+        self.dram.save(w);
+        self.media.save(w);
+        self.wear.save(w);
+        w.put_u64(self.next_free_block);
+        w.put_usize(self.busy_pages.len());
+        for (&page, &busy) in &self.busy_pages {
+            w.put_u64(page);
+            w.put_time(busy);
+        }
+        w.put_u64(self.stats.buffer_hits);
+        w.put_u64(self.stats.buffer_misses);
+        w.put_u64(self.stats.translation_hits);
+        w.put_u64(self.stats.translation_misses);
+        w.put_u64(self.stats.migrations);
+        w.put_u64(self.stats.writebacks);
+        w.put_u64(self.stats.dram_accesses);
+        w.put_u64(self.stats.stalled_writes);
+        w.put_bool(self.persist_enabled);
+        w.put_usize(self.persist_log.len());
+        for &(page, at) in &self.persist_log {
+            w.put_u64(page);
+            w.put_time(at);
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.expect_section(SECTION_AIT)?;
+        self.buffer.restore(r)?;
+        self.tcache.restore(r)?;
+        let n = r.get_usize()?;
+        if n > r.remaining() {
+            return Err(r.invalid("translation count exceeds payload"));
+        }
+        self.translations.clear();
+        for _ in 0..n {
+            let page = r.get_u64()?;
+            let frame = r.get_u64()?;
+            self.translations.insert(page, frame);
+        }
+        self.dram.restore(r)?;
+        self.media.restore(r)?;
+        self.wear.restore(r)?;
+        self.next_free_block = r.get_u64()?;
+        let n = r.get_usize()?;
+        if n > r.remaining() {
+            return Err(r.invalid("busy-page count exceeds payload"));
+        }
+        self.busy_pages.clear();
+        for _ in 0..n {
+            let page = r.get_u64()?;
+            let busy = r.get_time()?;
+            self.busy_pages.insert(page, busy);
+        }
+        self.stats.buffer_hits = r.get_u64()?;
+        self.stats.buffer_misses = r.get_u64()?;
+        self.stats.translation_hits = r.get_u64()?;
+        self.stats.translation_misses = r.get_u64()?;
+        self.stats.migrations = r.get_u64()?;
+        self.stats.writebacks = r.get_u64()?;
+        self.stats.dram_accesses = r.get_u64()?;
+        self.stats.stalled_writes = r.get_u64()?;
+        self.persist_enabled = r.get_bool()?;
+        let n = r.get_usize()?;
+        if n > r.remaining() {
+            return Err(r.invalid("persist-log count exceeds payload"));
+        }
+        self.persist_log.clear();
+        for _ in 0..n {
+            let page = r.get_u64()?;
+            let at = r.get_time()?;
+            self.persist_log.push((page, at));
+        }
+        // Undrained trace spans are diagnostics of the *saving* run; a
+        // restored AIT starts with an empty recorder.
+        let mut discard = Vec::new();
+        self.recorder.drain_into(&mut discard);
+        Ok(())
     }
 }
 

@@ -5,6 +5,7 @@
 //! Entries are keyed by block index (address / entry size); the caller
 //! owns the granularity conventions.
 
+use nvsim_types::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 // nvsim-lint: allow(unordered-map) — key→slot index only; LRU order (the
 // only order ever observed) lives in the intrusive slab list below.
 use std::collections::HashMap;
@@ -322,6 +323,52 @@ impl LruBuffer {
     }
 }
 
+impl Snapshot for LruBuffer {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.hits);
+        w.put_u64(self.misses);
+        w.put_usize(self.index.len());
+        // (key, dirty) pairs MRU→LRU; restore replays them LRU→MRU so the
+        // rebuilt recency list is identical.
+        let mut slot = self.head;
+        while slot != NIL {
+            let n = &self.slab[slot as usize];
+            w.put_u64(n.key);
+            w.put_bool(n.dirty);
+            slot = n.next;
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let hits = r.get_u64()?;
+        let misses = r.get_u64()?;
+        let n = r.get_usize()?;
+        if n > self.capacity {
+            return Err(r.invalid("resident count exceeds this buffer's capacity"));
+        }
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            entries.push((r.get_u64()?, r.get_bool()?));
+        }
+        self.index.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        for &(key, dirty) in entries.iter().rev() {
+            self.touch(key, dirty);
+        }
+        if self.index.len() != n {
+            return Err(r.invalid("duplicate keys in buffer snapshot"));
+        }
+        // The rebuild went through `touch`, which perturbed the counters;
+        // the saved lifetime statistics win.
+        self.hits = hits;
+        self.misses = misses;
+        Ok(())
+    }
+}
+
 /// Iterator over resident keys in recency order (MRU first).
 #[derive(Debug)]
 pub struct Keys<'a> {
@@ -501,5 +548,47 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_capacity_panics() {
         LruBuffer::new(0);
+    }
+
+    #[test]
+    fn snapshot_preserves_recency_dirt_and_stats() {
+        let mut b = LruBuffer::new(4);
+        b.touch(1, true);
+        b.touch(2, false);
+        b.touch(3, true);
+        b.touch(1, false); // MRU..LRU: 1 3 2; 1 and 3 dirty
+        let mut w = SnapshotWriter::new();
+        b.save(&mut w);
+        let blob = w.into_bytes();
+
+        let mut restored = LruBuffer::new(4);
+        restored.touch(99, true); // pre-existing state must be replaced
+        let mut r = SnapshotReader::new(&blob);
+        restored.restore(&mut r).unwrap();
+        r.finish().unwrap();
+
+        assert_eq!(
+            restored.keys().collect::<Vec<_>>(),
+            b.keys().collect::<Vec<_>>()
+        );
+        assert_eq!(restored.hit_miss(), b.hit_miss());
+        assert!(restored.is_dirty(1) && restored.is_dirty(3));
+        assert!(!restored.is_dirty(2));
+        assert_eq!(restored.peek_lru(), Some(2));
+        assert!(!restored.contains(99));
+    }
+
+    #[test]
+    fn snapshot_rejects_overfull_blob() {
+        let mut b = LruBuffer::new(8);
+        for k in 0..6 {
+            b.touch(k, false);
+        }
+        let mut w = SnapshotWriter::new();
+        b.save(&mut w);
+        let blob = w.into_bytes();
+        let mut small = LruBuffer::new(2);
+        let mut r = SnapshotReader::new(&blob);
+        assert!(small.restore(&mut r).is_err());
     }
 }

@@ -9,6 +9,7 @@ use crate::opt::lazy_cache::LazyCache;
 use crate::rmw::Rmw;
 use nvsim_dram::DramModel;
 use nvsim_media::{WearTracker, XpointMedia};
+use nvsim_types::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use nvsim_types::trace::{SpanRecorder, Stage, StageSpan};
 use nvsim_types::{Addr, ConfigError, Time};
 
@@ -272,6 +273,106 @@ impl NvDimm {
     /// Drains all pending write state (used by `MemoryBackend::drain`).
     pub fn drain_all(&mut self, t: Time) -> Time {
         self.fence(t)
+    }
+
+    /// Warms the RMW/AIT path with one combined write, without timing.
+    fn warm_combined(&mut self, cw: &CombinedWrite) {
+        if let Some(lazy) = &mut self.lazy {
+            if lazy
+                .try_absorb_write(cw.block_addr, cw.bytes(), Time::ZERO)
+                .is_some()
+            {
+                return;
+            }
+        }
+        let missed = self.rmw.warm(cw.block_addr);
+        if missed && cw.bytes() < self.rmw.entry_bytes() {
+            // Read half of the read-modify-write warms the AIT too.
+            self.ait.warm(cw.block_addr, false);
+        }
+        let migrations_before = self.ait.stats().migrations;
+        self.ait.warm(cw.block_addr, true);
+        if self.ait.stats().migrations > migrations_before {
+            if let Some(lazy) = &mut self.lazy {
+                let block_size = self.ait.wear().config().block_size;
+                let base = Addr::new(cw.block_addr.raw() & !(block_size - 1));
+                lazy.record_migration((0..block_size / 64).map(|i| base + i * 64));
+            }
+        }
+    }
+
+    /// Functional-warming access of one 64 B line: updates every stateful
+    /// structure on the DIMM (LSQ residency, RMW blocks, AIT buffer,
+    /// translations, wear heat, Lazy cache) the way the timed path would,
+    /// without advancing any clock or port reservation. Warm-mode writes
+    /// land directly in the LSQ — the WPQ is a pure timing structure.
+    pub fn warm_line(&mut self, addr: Addr, write: bool) {
+        if write {
+            if let Some(cw) = self.lsq.warm_write(addr) {
+                self.warm_combined(&cw);
+            }
+        } else {
+            if self.lsq.read_probe(addr) {
+                return;
+            }
+            if let Some(lazy) = &mut self.lazy {
+                if lazy.try_read(addr, Time::ZERO).is_some() {
+                    return;
+                }
+            }
+            if self.rmw.warm(addr) {
+                self.ait.warm(addr, false);
+            }
+        }
+    }
+
+    /// Functional-warming fence: flushes LSQ residency down the warm
+    /// RMW/AIT path (the WPQ holds no warm state to drain).
+    pub fn warm_fence(&mut self) {
+        let mut drains = std::mem::take(&mut self.flush_scratch);
+        self.lsq.flush_into(&mut drains);
+        for cw in &drains {
+            self.warm_combined(cw);
+        }
+        self.flush_scratch = drains;
+    }
+}
+
+/// Section tag of [`NvDimm`] snapshots.
+const SECTION_DIMM: u16 = 0x34;
+
+impl Snapshot for NvDimm {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section(SECTION_DIMM);
+        self.imc.save(w);
+        self.lsq.save(w);
+        self.rmw.save(w);
+        self.ait.save(w);
+        match &self.lazy {
+            Some(lazy) => {
+                w.put_bool(true);
+                lazy.save(w);
+            }
+            None => w.put_bool(false),
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.expect_section(SECTION_DIMM)?;
+        self.imc.restore(r)?;
+        self.lsq.restore(r)?;
+        self.rmw.restore(r)?;
+        self.ait.restore(r)?;
+        let had_lazy = r.get_bool()?;
+        match (had_lazy, self.lazy.as_mut()) {
+            (true, Some(lazy)) => lazy.restore(r)?,
+            (false, None) => {}
+            _ => return Err(r.invalid("Lazy-cache presence differs from this configuration")),
+        }
+        // Undrained spans belong to the saving run's diagnostics.
+        let mut discard = Vec::new();
+        self.trace.drain_into(&mut discard);
+        Ok(())
     }
 }
 

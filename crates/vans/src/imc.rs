@@ -13,6 +13,7 @@
 //!   request/grant protocol overhead per round trip.
 
 use crate::config::ImcConfig;
+use nvsim_types::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use nvsim_types::{Addr, Time};
 use std::collections::VecDeque;
 
@@ -220,6 +221,62 @@ impl Imc {
     /// Fixed request/grant protocol overhead.
     pub fn protocol_overhead(&self) -> Time {
         self.cfg.protocol_overhead
+    }
+}
+
+/// Section tag of [`Imc`] snapshots.
+const SECTION_IMC: u16 = 0x32;
+
+impl Snapshot for Imc {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section(SECTION_IMC);
+        w.put_usize(self.wpq.len());
+        for l in &self.wpq {
+            w.put_u64(l.line);
+        }
+        w.put_time(self.drain_free);
+        w.put_usize(self.rpq.len());
+        for &t in &self.rpq {
+            w.put_time(t);
+        }
+        w.put_time(self.bus_free);
+        w.put_time(self.data_bus_free);
+        w.put_u64(self.stats.wpq_merges);
+        w.put_u64(self.stats.wpq_allocations);
+        w.put_u64(self.stats.wpq_stalls);
+        w.put_u64(self.stats.wpq_drains);
+        w.put_u64(self.stats.rpq_stalls);
+        w.put_u64(self.stats.fences);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.expect_section(SECTION_IMC)?;
+        let n = r.get_usize()?;
+        if n > r.remaining() {
+            return Err(r.invalid("WPQ line count exceeds payload"));
+        }
+        self.wpq.clear();
+        for _ in 0..n {
+            self.wpq.push_back(WpqLine { line: r.get_u64()? });
+        }
+        self.drain_free = r.get_time()?;
+        let n = r.get_usize()?;
+        if n > r.remaining() {
+            return Err(r.invalid("RPQ entry count exceeds payload"));
+        }
+        self.rpq.clear();
+        for _ in 0..n {
+            self.rpq.push_back(r.get_time()?);
+        }
+        self.bus_free = r.get_time()?;
+        self.data_bus_free = r.get_time()?;
+        self.stats.wpq_merges = r.get_u64()?;
+        self.stats.wpq_allocations = r.get_u64()?;
+        self.stats.wpq_stalls = r.get_u64()?;
+        self.stats.wpq_drains = r.get_u64()?;
+        self.stats.rpq_stalls = r.get_u64()?;
+        self.stats.fences = r.get_u64()?;
+        Ok(())
     }
 }
 

@@ -9,6 +9,7 @@
 
 use crate::buffer::LruBuffer;
 use crate::config::LsqConfig;
+use nvsim_types::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use nvsim_types::{Addr, Time, CACHE_LINE_U32};
 
 /// A group of resident lines belonging to one combine block, handed to the
@@ -164,6 +165,27 @@ impl Lsq {
         })
     }
 
+    /// Functional-warming write: updates residency, recency and combine
+    /// state the way [`accept_write`](Lsq::accept_write) would, without
+    /// touching the port reservation. Returns the forced combine drain,
+    /// if any, so the caller can warm the downstream RMW/AIT path.
+    pub fn warm_write(&mut self, addr: Addr) -> Option<CombinedWrite> {
+        let key = addr.line_index();
+        if self.lines.contains(key) {
+            self.lines.touch(key, true);
+            self.stats.write_merges += 1;
+            return None;
+        }
+        let drained = if self.lines.len() >= self.cfg.entries as usize {
+            self.evict_one()
+        } else {
+            None
+        };
+        self.lines.touch(key, true);
+        self.stats.allocations += 1;
+        drained
+    }
+
     /// Flushes every resident line (the `mfence` behaviour the paper
     /// characterizes) into `out` (cleared first) in drain order. Callers
     /// on the fence path reuse one scratch vector across flushes.
@@ -181,6 +203,34 @@ impl Lsq {
         let mut out = Vec::new();
         self.flush_into(&mut out);
         out
+    }
+}
+
+/// Section tag of [`Lsq`] snapshots.
+const SECTION_LSQ: u16 = 0x30;
+
+impl Snapshot for Lsq {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section(SECTION_LSQ);
+        self.lines.save(w);
+        w.put_time(self.port_free);
+        w.put_u64(self.stats.write_merges);
+        w.put_u64(self.stats.allocations);
+        w.put_u64(self.stats.drains);
+        w.put_u64(self.stats.combined_drains);
+        w.put_u64(self.stats.read_forwards);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.expect_section(SECTION_LSQ)?;
+        self.lines.restore(r)?;
+        self.port_free = r.get_time()?;
+        self.stats.write_merges = r.get_u64()?;
+        self.stats.allocations = r.get_u64()?;
+        self.stats.drains = r.get_u64()?;
+        self.stats.combined_drains = r.get_u64()?;
+        self.stats.read_forwards = r.get_u64()?;
+        Ok(())
     }
 }
 

@@ -12,6 +12,7 @@
 //! 3 KB the structure is far smaller than the other on-DIMM buffers.
 
 use crate::buffer::LruBuffer;
+use nvsim_types::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use nvsim_types::{Addr, Time, CACHE_LINE, CACHE_LINE_U32};
 use serde::{Deserialize, Serialize};
 
@@ -147,6 +148,47 @@ impl LazyCache {
             return Some(t + self.cfg.lz2_latency);
         }
         None
+    }
+}
+
+/// Section tag of [`LazyCache`] snapshots.
+const SECTION_LAZY: u16 = 0x37;
+
+impl Snapshot for LazyCache {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section(SECTION_LAZY);
+        self.lz1.save(w);
+        self.lz2.save(w);
+        w.put_usize(self.wlb.len());
+        for (&line, &priority) in &self.wlb {
+            w.put_u64(line);
+            w.put_u32(priority);
+        }
+        w.put_u64(self.stats.absorbed_writes);
+        w.put_u64(self.stats.passed_writes);
+        w.put_u64(self.stats.lz1_read_hits);
+        w.put_u64(self.stats.lz2_read_hits);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.expect_section(SECTION_LAZY)?;
+        self.lz1.restore(r)?;
+        self.lz2.restore(r)?;
+        let n = r.get_usize()?;
+        if n > r.remaining() {
+            return Err(r.invalid("WLB entry count exceeds payload"));
+        }
+        self.wlb.clear();
+        for _ in 0..n {
+            let line = r.get_u64()?;
+            let priority = r.get_u32()?;
+            self.wlb.insert(line, priority);
+        }
+        self.stats.absorbed_writes = r.get_u64()?;
+        self.stats.passed_writes = r.get_u64()?;
+        self.stats.lz1_read_hits = r.get_u64()?;
+        self.stats.lz2_read_hits = r.get_u64()?;
+        Ok(())
     }
 }
 

@@ -19,6 +19,7 @@
 //! walk confirms or repairs it (modeled in `nvsim-cpu`).
 
 use crate::buffer::LruBuffer;
+use nvsim_types::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use nvsim_types::{Addr, Time};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -151,6 +152,45 @@ impl PreTranslation {
         let key = paddr.line_index();
         self.table.remove(&key);
         self.rlb.invalidate(key);
+    }
+}
+
+/// Section tag of [`PreTranslation`] snapshots.
+const SECTION_PRETRANS: u16 = 0x38;
+
+impl Snapshot for PreTranslation {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section(SECTION_PRETRANS);
+        self.rlb.save(w);
+        w.put_usize(self.table.len());
+        for (&key, &pfn) in &self.table {
+            w.put_u64(key);
+            w.put_u64(pfn);
+        }
+        w.put_u64(self.stats.rlb_hits);
+        w.put_u64(self.stats.table_hits);
+        w.put_u64(self.stats.misses);
+        w.put_u64(self.stats.updates);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.expect_section(SECTION_PRETRANS)?;
+        self.rlb.restore(r)?;
+        let n = r.get_usize()?;
+        if n > r.remaining() {
+            return Err(r.invalid("pre-translation table count exceeds payload"));
+        }
+        self.table.clear();
+        for _ in 0..n {
+            let key = r.get_u64()?;
+            let pfn = r.get_u64()?;
+            self.table.insert(key, pfn);
+        }
+        self.stats.rlb_hits = r.get_u64()?;
+        self.stats.table_hits = r.get_u64()?;
+        self.stats.misses = r.get_u64()?;
+        self.stats.updates = r.get_u64()?;
+        Ok(())
     }
 }
 

@@ -1,7 +1,8 @@
 //! Durability tracking: the persist-event log, the request log, and the
 //! retroactive crash-image computation.
 //!
-//! When tracking is enabled (`MemorySystem::set_durability_tracking`), the
+//! When tracking is enabled (`SessionOptions::durability_tracking` via
+//! `MemoryBackend::configure_session`), the
 //! system appends two parallel histories as it processes requests:
 //!
 //! * a **persist-event log** — one [`PersistEvent`] per durability
@@ -24,6 +25,7 @@
 //! the oracle derives durability purely from the request log and the
 //! ADR persistence contract, never from the event log's state machine.
 
+use nvsim_types::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use nvsim_types::{
     Addr, CrashCounters, CrashImage, Durability, MemOp, PersistEvent, ReqId, RequestDesc,
     ResolvedCut, Time,
@@ -299,6 +301,128 @@ impl PersistTracker {
             states,
             counters,
         }
+    }
+}
+
+/// Section tag of [`PersistTracker`] snapshots.
+const SECTION_PERSIST: u16 = 0x36;
+
+impl Snapshot for PersistTracker {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section(SECTION_PERSIST);
+        w.put_bool(self.enabled);
+        w.put_u64(self.seq);
+        w.put_u64(self.insertions);
+        w.put_usize(self.forwarded);
+        w.put_usize(self.events.len());
+        for ev in &self.events {
+            w.put_u64(ev.line);
+            ev.from.save(w);
+            ev.to.save(w);
+            w.put_time(ev.at);
+            w.put_u64(ev.seq);
+            w.put_u64(ev.insertion);
+        }
+        w.put_usize(self.states.len());
+        for (&line, state) in &self.states {
+            w.put_u64(line);
+            state.save(w);
+        }
+        w.put_usize(self.log.len());
+        for req in &self.log {
+            w.put_u64(req.id.0);
+            req.op.save(w);
+            w.put_u64(req.addr.raw());
+            w.put_u32(req.size);
+            w.put_time(req.issued);
+            w.put_usize(req.lines.len());
+            for l in &req.lines {
+                w.put_u64(l.line);
+                w.put_time(l.at);
+                w.put_u64(l.seq);
+                w.put_u64(l.insertion);
+            }
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.expect_section(SECTION_PERSIST)?;
+        self.enabled = r.get_bool()?;
+        self.seq = r.get_u64()?;
+        self.insertions = r.get_u64()?;
+        self.forwarded = r.get_usize()?;
+        let n = r.get_usize()?;
+        if n > r.remaining() {
+            return Err(r.invalid("persist-event count exceeds payload"));
+        }
+        self.events.clear();
+        for _ in 0..n {
+            let line = r.get_u64()?;
+            let mut from = Durability::Volatile;
+            from.restore(r)?;
+            let mut to = Durability::Volatile;
+            to.restore(r)?;
+            let at = r.get_time()?;
+            let seq = r.get_u64()?;
+            let insertion = r.get_u64()?;
+            self.events.push(PersistEvent {
+                line,
+                from,
+                to,
+                at,
+                seq,
+                insertion,
+            });
+        }
+        if self.forwarded > self.events.len() {
+            return Err(r.invalid("forwarded cursor past the event log"));
+        }
+        let n = r.get_usize()?;
+        if n > r.remaining() {
+            return Err(r.invalid("line-state count exceeds payload"));
+        }
+        self.states.clear();
+        for _ in 0..n {
+            let line = r.get_u64()?;
+            let mut state = Durability::Volatile;
+            state.restore(r)?;
+            self.states.insert(line, state);
+        }
+        let n = r.get_usize()?;
+        if n > r.remaining() {
+            return Err(r.invalid("request-log count exceeds payload"));
+        }
+        self.log.clear();
+        for _ in 0..n {
+            let id = ReqId(r.get_u64()?);
+            let mut op = MemOp::Load;
+            op.restore(r)?;
+            let addr = Addr::new(r.get_u64()?);
+            let size = r.get_u32()?;
+            let issued = r.get_time()?;
+            let m = r.get_usize()?;
+            if m > r.remaining() {
+                return Err(r.invalid("logged-line count exceeds payload"));
+            }
+            let mut lines = Vec::with_capacity(m);
+            for _ in 0..m {
+                lines.push(LoggedLine {
+                    line: r.get_u64()?,
+                    at: r.get_time()?,
+                    seq: r.get_u64()?,
+                    insertion: r.get_u64()?,
+                });
+            }
+            self.log.push(LoggedRequest {
+                id,
+                op,
+                addr,
+                size,
+                issued,
+                lines,
+            });
+        }
+        Ok(())
     }
 }
 

@@ -13,6 +13,7 @@
 
 use crate::buffer::{Lookup, LruBuffer};
 use crate::config::RmwConfig;
+use nvsim_types::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use nvsim_types::{Addr, Time};
 
 /// What the RMW stage needs from the next level (the AIT) to complete an
@@ -161,9 +162,50 @@ impl Rmw {
         debug_assert_eq!(res, Lookup::Miss, "fill of an already-resident block");
     }
 
+    /// Functional-warming touch of the block containing `addr`: updates
+    /// residency and recency without port timing or fill accounting.
+    /// Returns `true` when the block was absent (the timed path would
+    /// have fetched it from the AIT).
+    pub fn warm(&mut self, addr: Addr) -> bool {
+        let key = self.key(addr);
+        let hit = self.blocks.contains(key);
+        self.blocks.touch(key, false);
+        !hit
+    }
+
     /// Occupied entries.
     pub fn occupancy(&self) -> usize {
         self.blocks.len()
+    }
+}
+
+/// Section tag of [`Rmw`] snapshots.
+const SECTION_RMW: u16 = 0x31;
+
+impl Snapshot for Rmw {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section(SECTION_RMW);
+        self.blocks.save(w);
+        w.put_time(self.port_free);
+        w.put_u64(self.stats.read_hits);
+        w.put_u64(self.stats.read_misses);
+        w.put_u64(self.stats.write_hits);
+        w.put_u64(self.stats.write_misses);
+        w.put_u64(self.stats.rmw_fills);
+        w.put_u64(self.stats.fill_bytes);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.expect_section(SECTION_RMW)?;
+        self.blocks.restore(r)?;
+        self.port_free = r.get_time()?;
+        self.stats.read_hits = r.get_u64()?;
+        self.stats.read_misses = r.get_u64()?;
+        self.stats.write_hits = r.get_u64()?;
+        self.stats.write_misses = r.get_u64()?;
+        self.stats.rmw_fills = r.get_u64()?;
+        self.stats.fill_bytes = r.get_u64()?;
+        Ok(())
     }
 }
 

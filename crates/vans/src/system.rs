@@ -7,10 +7,14 @@ use crate::dimm::NvDimm;
 use crate::opt::lazy_cache::{LazyCache, LazyCacheConfig};
 use crate::opt::pretranslation::{PreTranslation, PreTranslationConfig};
 use crate::persist::{DrainModel, LiveOccupancy, LoggedRequest, PersistTracker};
+use nvsim_types::snapshot::{
+    restore_blob, save_blob, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter,
+};
 use nvsim_types::trace::{LatencyBreakdown, RequestTrace, Stage, StageSpan, TraceSink};
 use nvsim_types::{
     Addr, BackendCounters, BackendError, ConfigError, CrashImage, DetRng, FaultPlan, MemOp,
-    MemoryBackend, ReqId, RequestDesc, ResolvedCut, Time, CACHE_LINE, CACHE_LINE_U32,
+    MemoryBackend, ReqId, RequestDesc, ResolvedCut, SessionOptions, Time, CACHE_LINE,
+    CACHE_LINE_U32,
 };
 use std::collections::BTreeMap;
 use std::io;
@@ -51,7 +55,7 @@ pub struct MemorySystem {
     bus_bytes_read: u64,
     bus_bytes_written: u64,
     fences: u64,
-    /// Trace sink, when tracing is enabled via `set_trace_sink`.
+    /// Trace sink, when tracing is enabled via `configure_session`.
     sink: Option<Box<dyn TraceSink>>,
     /// Cached `sink.wants_traces()`: the hot path tests this flag
     /// instead of making a virtual call per request.
@@ -63,12 +67,16 @@ pub struct MemorySystem {
     /// across every traced request).
     trace_scratch: Vec<StageSpan>,
     /// Durability history (persist events + request log), populated only
-    /// while `set_durability_tracking(true)` is in effect.
+    /// while durability tracking is enabled via `configure_session`.
     persist: PersistTracker,
     /// Recycled scratch for draining per-DIMM media write-back records.
     persist_scratch: Vec<(u64, Time)>,
     /// Modeled supercap hold-up budget for the ADR drain on power loss.
     supercap_budget: Time,
+    /// Requested snapshot cadence (instructions between automatic
+    /// checkpoints), set via [`SessionOptions::snapshot_interval`]. The
+    /// system itself does not count instructions; drivers read this back.
+    snapshot_interval: Option<u64>,
 }
 
 impl MemorySystem {
@@ -106,6 +114,7 @@ impl MemorySystem {
             // domain also covers the on-DIMM buffers, so the budget
             // represents the combined reserve).
             supercap_budget: Time::from_us(200),
+            snapshot_interval: None,
         })
     }
 
@@ -179,11 +188,29 @@ impl MemorySystem {
     /// fresh history (persist-event log + request log); the tracked run
     /// can then be crash-tested any number of times with
     /// [`inject_power_loss`](MemorySystem::inject_power_loss).
+    #[deprecated(
+        since = "0.6.0",
+        note = "use configure_session(SessionOptions::new().durability_tracking(..)) instead"
+    )]
     pub fn set_durability_tracking(&mut self, enabled: bool) {
+        self.configure_session(SessionOptions::new().durability_tracking(enabled));
+    }
+
+    /// The durability-tracking application shared by
+    /// [`configure_session`](MemoryBackend::configure_session) and the
+    /// deprecated setter.
+    fn apply_durability_tracking(&mut self, enabled: bool) {
         self.persist.set_enabled(enabled);
         for d in &mut self.dimms {
             d.set_persist_tracking(enabled);
         }
+    }
+
+    /// The snapshot cadence requested via
+    /// [`SessionOptions::snapshot_interval`], if any. The system does not
+    /// count instructions itself; sampling drivers read this back.
+    pub fn snapshot_interval(&self) -> Option<u64> {
+        self.snapshot_interval
     }
 
     /// Is durability tracking enabled?
@@ -506,20 +533,155 @@ impl MemoryBackend for MemorySystem {
         }
     }
 
-    fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) -> bool {
-        // A sink that wants nothing (NullSink) leaves the datapath
-        // recorders disabled: installing it is how tracing is turned
-        // off without tearing the sink out.
-        self.tracing = sink.wants_traces();
-        for d in &mut self.dimms {
-            d.set_tracing(self.tracing);
+    fn configure_session(&mut self, mut opts: SessionOptions) -> bool {
+        if let Some(sink) = opts.take_trace_sink() {
+            // A sink that wants nothing (NullSink) leaves the datapath
+            // recorders disabled: installing it is how tracing is turned
+            // off without tearing the sink out.
+            self.tracing = sink.wants_traces();
+            for d in &mut self.dimms {
+                d.set_tracing(self.tracing);
+            }
+            self.sink = Some(sink);
         }
-        self.sink = Some(sink);
+        if let Some(enabled) = opts.durability_tracking_requested() {
+            self.apply_durability_tracking(enabled);
+        }
+        if let Some(interval) = opts.snapshot_interval_requested() {
+            self.snapshot_interval = Some(interval);
+        }
         true
+    }
+
+    fn save_snapshot(&self) -> Option<Vec<u8>> {
+        Some(save_blob(self))
+    }
+
+    fn restore_snapshot(&mut self, blob: &[u8]) -> Result<bool, SnapshotError> {
+        restore_blob(self, blob)?;
+        Ok(true)
+    }
+
+    fn warm_access(&mut self, desc: &RequestDesc) {
+        match desc.op {
+            MemOp::Fence => {
+                for d in &mut self.dimms {
+                    d.warm_fence();
+                }
+            }
+            MemOp::Load => {
+                let first_line = desc.addr.align_down(CACHE_LINE);
+                for i in 0..desc.cache_lines() {
+                    let line = first_line + i * CACHE_LINE;
+                    let (di, local) = self.route(line);
+                    self.dimms[di].warm_line(local, false);
+                }
+            }
+            MemOp::Store | MemOp::StoreClwb | MemOp::NtStore => {
+                let first_line = desc.addr.align_down(CACHE_LINE);
+                for i in 0..desc.cache_lines() {
+                    let line = first_line + i * CACHE_LINE;
+                    let (di, local) = self.route(line);
+                    if desc.op == MemOp::Store {
+                        // The implicit read-for-ownership warms read state.
+                        self.dimms[di].warm_line(local, false);
+                    }
+                    self.dimms[di].warm_line(local, true);
+                }
+            }
+        }
     }
 
     fn breakdown(&self) -> Option<LatencyBreakdown> {
         self.sink.as_ref()?.breakdown()
+    }
+}
+
+/// Section tag of [`MemorySystem`] snapshots.
+const SECTION_SYSTEM: u16 = 0x35;
+
+impl Snapshot for MemorySystem {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section(SECTION_SYSTEM);
+        w.put_time(self.now);
+        w.put_u64(self.next_id);
+        match self.last_completion {
+            Some((id, t)) => {
+                w.put_bool(true);
+                w.put_u64(id.0);
+                w.put_time(t);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_usize(self.completions.len());
+        for (&id, &t) in &self.completions {
+            w.put_u64(id.0);
+            w.put_time(t);
+        }
+        w.put_u64(self.bus_reads);
+        w.put_u64(self.bus_writes);
+        w.put_u64(self.bus_bytes_read);
+        w.put_u64(self.bus_bytes_written);
+        w.put_u64(self.fences);
+        w.put_time(self.supercap_budget);
+        w.put_usize(self.dimms.len());
+        for d in &self.dimms {
+            d.save(w);
+        }
+        match &self.pretrans {
+            Some(p) => {
+                w.put_bool(true);
+                p.save(w);
+            }
+            None => w.put_bool(false),
+        }
+        self.persist.save(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.expect_section(SECTION_SYSTEM)?;
+        self.now = r.get_time()?;
+        self.next_id = r.get_u64()?;
+        self.last_completion = if r.get_bool()? {
+            let id = ReqId(r.get_u64()?);
+            let t = r.get_time()?;
+            Some((id, t))
+        } else {
+            None
+        };
+        let n = r.get_usize()?;
+        if n > r.remaining() {
+            return Err(r.invalid("completion count exceeds payload"));
+        }
+        self.completions.clear();
+        for _ in 0..n {
+            let id = ReqId(r.get_u64()?);
+            let t = r.get_time()?;
+            self.completions.insert(id, t);
+        }
+        self.bus_reads = r.get_u64()?;
+        self.bus_writes = r.get_u64()?;
+        self.bus_bytes_read = r.get_u64()?;
+        self.bus_bytes_written = r.get_u64()?;
+        self.fences = r.get_u64()?;
+        self.supercap_budget = r.get_time()?;
+        if r.get_usize()? != self.dimms.len() {
+            return Err(r.invalid("DIMM count differs from this configuration"));
+        }
+        for d in &mut self.dimms {
+            d.restore(r)?;
+        }
+        let had_pretrans = r.get_bool()?;
+        match (had_pretrans, self.pretrans.as_mut()) {
+            (true, Some(p)) => p.restore(r)?,
+            (false, None) => {}
+            _ => return Err(r.invalid("pre-translation presence differs from this configuration")),
+        }
+        self.persist.restore(r)?;
+        // Session plumbing (sink, tracing, scratch buffers) belongs to
+        // the restoring session, not the snapshot.
+        self.pending_sys_spans.clear();
+        Ok(())
     }
 }
 
@@ -707,7 +869,7 @@ mod tests {
     #[test]
     fn power_loss_image_matches_contract_end_to_end() {
         let mut s = sys();
-        s.set_durability_tracking(true);
+        s.configure_session(SessionOptions::new().durability_tracking(true));
         for i in 0..4u64 {
             s.execute(RequestDesc::nt_store(Addr::new(0x1000 + i * 64)));
         }
@@ -748,7 +910,7 @@ mod tests {
     #[test]
     fn probabilistic_plan_resolves_deterministically() {
         let mut s = sys();
-        s.set_durability_tracking(true);
+        s.configure_session(SessionOptions::new().durability_tracking(true));
         for i in 0..10u64 {
             s.execute(RequestDesc::nt_store(Addr::new(i * 64)));
         }
@@ -761,7 +923,7 @@ mod tests {
         }
         // No insertions: falls back to a cut at `now`.
         let mut empty = sys();
-        empty.set_durability_tracking(true);
+        empty.configure_session(SessionOptions::new().durability_tracking(true));
         empty.execute(RequestDesc::load(Addr::new(0)));
         let img = empty.inject_power_loss(&FaultPlan::probabilistic(7));
         assert_eq!(img.cut, ResolvedCut::Time(empty.now()));
@@ -775,5 +937,112 @@ mod tests {
         let img = s.inject_power_loss(&FaultPlan::at_time(s.now()));
         assert_eq!(img.tracked_lines(), 0);
         assert!(s.request_log().is_empty());
+    }
+
+    /// Drives `s` through a deterministic mixed workload of `n` requests
+    /// starting at seed offset `phase`.
+    fn drive(s: &mut MemorySystem, phase: u64, n: u64) {
+        let mut rng = DetRng::seed_from(0x5eed ^ phase);
+        for i in 0..n {
+            let addr = Addr::new((rng.next_u64() % 4096) * 64);
+            match (phase + i) % 5 {
+                0 => drop(s.execute(RequestDesc::load(addr))),
+                1 => drop(s.execute(RequestDesc::store(addr))),
+                2 => drop(s.execute(RequestDesc::nt_store(addr))),
+                3 => drop(s.execute(RequestDesc::new(addr, 32, MemOp::StoreClwb))),
+                _ => drop(s.fence()),
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_continues_identically() {
+        let mut a = sys();
+        drive(&mut a, 0, 400);
+        // Mid-flight: leave pending WPQ/LSQ state by not fencing.
+        let blob = a.save_snapshot().expect("vans supports snapshots");
+        let mut b = sys();
+        b.restore_snapshot(&blob).expect("restore into same config");
+        assert_eq!(a.now(), b.now());
+        assert_eq!(a.counters(), b.counters());
+        // Subsequent execution must be byte-identical.
+        drive(&mut a, 1000, 400);
+        drive(&mut b, 1000, 400);
+        assert_eq!(a.now(), b.now());
+        assert_eq!(a.counters(), b.counters());
+        assert_eq!(a.save_snapshot(), b.save_snapshot());
+    }
+
+    #[test]
+    fn snapshot_roundtrip_covers_case_studies_and_persist() {
+        let mut a = MemorySystem::new(VansConfig::optane_6dimm()).unwrap();
+        a.enable_lazy_cache(LazyCacheConfig::paper());
+        a.enable_pretranslation(PreTranslationConfig::paper());
+        a.configure_session(SessionOptions::new().durability_tracking(true));
+        drive(&mut a, 3, 600);
+        let blob = a.save_snapshot().unwrap();
+        let mut b = MemorySystem::new(VansConfig::optane_6dimm()).unwrap();
+        b.enable_lazy_cache(LazyCacheConfig::paper());
+        b.enable_pretranslation(PreTranslationConfig::paper());
+        b.restore_snapshot(&blob).unwrap();
+        assert!(b.durability_tracking(), "tracking state travels");
+        drive(&mut a, 77, 300);
+        drive(&mut b, 77, 300);
+        assert_eq!(a.counters(), b.counters());
+        let ia = a.inject_power_loss(&FaultPlan::probabilistic(9));
+        let ib = b.inject_power_loss(&FaultPlan::probabilistic(9));
+        assert_eq!(ia.cut, ib.cut);
+        assert_eq!(ia.tracked_lines(), ib.tracked_lines());
+        assert_eq!(a.save_snapshot(), b.save_snapshot());
+    }
+
+    #[test]
+    fn snapshot_rejects_structural_mismatch() {
+        let mut a = MemorySystem::new(VansConfig::optane_6dimm()).unwrap();
+        drive(&mut a, 0, 50);
+        let blob = a.save_snapshot().unwrap();
+        let mut wrong = sys(); // 1 DIMM, blob has 6
+        let err = wrong.restore_snapshot(&blob).unwrap_err();
+        assert!(err.to_string().contains("DIMM count"), "got: {err}");
+        let mut no_pretrans = MemorySystem::new(VansConfig::optane_6dimm()).unwrap();
+        a.enable_pretranslation(PreTranslationConfig::paper());
+        let blob2 = a.save_snapshot().unwrap();
+        let err2 = no_pretrans.restore_snapshot(&blob2).unwrap_err();
+        assert!(err2.to_string().contains("pre-translation"), "got: {err2}");
+    }
+
+    #[test]
+    fn warm_access_tracks_detailed_residency() {
+        // Functional warming must leave the same *residency* state as the
+        // timed path (clocks and port times excepted).
+        let mut warm = sys();
+        let mut timed = sys();
+        let mut rng = DetRng::seed_from(77);
+        for i in 0..300u64 {
+            let addr = Addr::new((rng.next_u64() % 1024) * 64);
+            match i % 4 {
+                0 => {
+                    warm.warm_access(&RequestDesc::load(addr));
+                    timed.execute(RequestDesc::load(addr));
+                }
+                1 => {
+                    warm.warm_access(&RequestDesc::nt_store(addr));
+                    timed.execute(RequestDesc::nt_store(addr));
+                }
+                2 => {
+                    warm.warm_access(&RequestDesc::store(addr));
+                    timed.execute(RequestDesc::store(addr));
+                }
+                _ => {
+                    warm.warm_access(&RequestDesc::fence());
+                    timed.fence();
+                }
+            }
+        }
+        assert_eq!(warm.now(), Time::ZERO, "warming never advances the clock");
+        let (wd, td) = (&warm.dimms()[0], &timed.dimms()[0]);
+        assert_eq!(wd.lsq.occupancy(), td.lsq.occupancy());
+        assert_eq!(wd.rmw.occupancy(), td.rmw.occupancy());
+        assert_eq!(wd.ait.stats().migrations, td.ait.stats().migrations);
     }
 }

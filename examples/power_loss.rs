@@ -19,7 +19,7 @@ use nvsim::vans::crashcheck;
 
 fn main() -> Result<(), nvsim::types::ConfigError> {
     let mut sys = MemorySystem::new(VansConfig::optane_1dimm())?;
-    sys.set_durability_tracking(true);
+    sys.configure_session(SessionOptions::new().durability_tracking(true));
 
     // Record A: 4 nt-store lines, explicitly fenced.
     println!("writing record A (4 nt-store lines) + fence...");

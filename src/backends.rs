@@ -1,0 +1,105 @@
+//! The backend factory: every memory-system model in the workspace,
+//! constructible by [`BackendKind`].
+//!
+//! Drivers that iterate over backends (the sampled-simulation runner,
+//! experiment matrices, the property-test sweep) call [`build_backend`]
+//! instead of hard-wiring one constructor per model. The factory is the
+//! single place that knows which preset each kind maps to, so adding a
+//! backend touches exactly one match arm.
+
+use nvsim_baselines::{DramBackend, PmepBackend, PmepConfig};
+use nvsim_dram::DramConfig;
+use nvsim_types::backend::FixedLatencyBackend;
+use nvsim_types::{BackendConfig, BackendKind, ConfigError, MemoryBackend};
+use optane_model::OptaneReference;
+use vans::memory_mode::MemoryModeSystem;
+use vans::{MemorySystem, VansConfig};
+
+/// Maps a DIMM count onto the two VANS presets.
+fn vans_config(dimms: u32) -> Result<VansConfig, ConfigError> {
+    match dimms {
+        1 => Ok(VansConfig::optane_1dimm()),
+        6 => Ok(VansConfig::optane_6dimm()),
+        _ => Err(ConfigError::new(
+            "backend.dimms",
+            "the VANS presets support 1 or 6 DIMMs",
+        )),
+    }
+}
+
+/// Builds any backend the workspace provides.
+///
+/// # Example
+///
+/// ```
+/// use nvsim::backends::build_backend;
+/// use nvsim::prelude::*;
+///
+/// for kind in BackendKind::ALL {
+///     let mut b = build_backend(kind, &BackendConfig::default())?;
+///     b.execute(RequestDesc::load(Addr::new(0x40)));
+///     assert!(b.now() > Time::ZERO);
+/// }
+/// # Ok::<(), nvsim::types::ConfigError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns the underlying configuration validation error, e.g. an
+/// unsupported DIMM count for the VANS presets.
+pub fn build_backend(
+    kind: BackendKind,
+    cfg: &BackendConfig,
+) -> Result<Box<dyn MemoryBackend>, ConfigError> {
+    Ok(match kind {
+        BackendKind::Vans => Box::new(MemorySystem::new(vans_config(cfg.dimms)?)?),
+        BackendKind::VansMemoryMode => Box::new(MemoryModeSystem::new(vans_config(cfg.dimms)?)?),
+        BackendKind::OptaneReference => Box::new(optane_model::ReferenceBackend::new(
+            OptaneReference::new(),
+            cfg.dimms,
+        )),
+        BackendKind::DramDdr4 => Box::new(DramBackend::new(DramConfig::ddr4_2666_4gb())?),
+        BackendKind::DramDdr3 => Box::new(DramBackend::new(DramConfig::ddr3_1333())?),
+        BackendKind::RamulatorPcm => Box::new(DramBackend::new(DramConfig::pcm())?),
+        BackendKind::Pmep => Box::new(PmepBackend::new(PmepConfig::paper())?),
+        BackendKind::FixedLatency => Box::new(FixedLatencyBackend::new(
+            cfg.fixed_read_latency,
+            cfg.fixed_write_latency,
+        )),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvsim_types::{Addr, RequestDesc};
+
+    #[test]
+    fn every_kind_builds_and_serves() {
+        for kind in BackendKind::ALL {
+            let mut b = build_backend(kind, &BackendConfig::default())
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            b.execute(RequestDesc::load(Addr::new(0x40)));
+            b.execute(RequestDesc::nt_store(Addr::new(0x80)));
+            assert!(b.counters().bus_reads >= 1, "{kind}");
+        }
+    }
+
+    #[test]
+    fn six_dimm_vans_builds() {
+        let b = build_backend(BackendKind::Vans, &BackendConfig::with_dimms(6)).unwrap();
+        assert!(b.label().contains("VANS") || !b.label().is_empty());
+    }
+
+    #[test]
+    fn unsupported_dimm_count_rejected() {
+        assert!(build_backend(BackendKind::Vans, &BackendConfig::with_dimms(3)).is_err());
+    }
+
+    #[test]
+    fn kind_roundtrips_through_names() {
+        for kind in BackendKind::ALL {
+            assert_eq!(kind.name().parse::<BackendKind>().unwrap(), kind);
+        }
+    }
+}

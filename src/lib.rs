@@ -31,6 +31,8 @@
 
 #![warn(missing_docs)]
 
+pub mod backends;
+
 pub use lens;
 pub use nvsim_baselines as baselines;
 pub use nvsim_cpu as cpu;
@@ -49,8 +51,8 @@ pub mod prelude {
     };
     pub use nvsim_cpu::{Core, CoreConfig, TraceOp};
     pub use nvsim_types::{
-        Addr, BackendCounters, CrashImage, Durability, FaultPlan, MemOp, MemoryBackend,
-        RequestDesc, ResolvedCut, Time, VirtAddr,
+        Addr, BackendConfig, BackendCounters, BackendKind, CrashImage, Durability, FaultPlan,
+        MemOp, MemoryBackend, RequestDesc, ResolvedCut, SessionOptions, Time, VirtAddr,
     };
     pub use nvsim_workloads::Workload;
     pub use optane_model::OptaneReference;

@@ -17,7 +17,7 @@ use nvsim::vans::crashcheck;
 /// and straddling 128 B nt-stores that exercise the RMW path.
 fn mixed_history() -> MemorySystem {
     let mut sys = MemorySystem::new(VansConfig::optane_1dimm()).expect("valid preset");
-    sys.set_durability_tracking(true);
+    sys.configure_session(SessionOptions::new().durability_tracking(true));
     for i in 0..8u64 {
         sys.execute(RequestDesc::nt_store(Addr::new(0x1000 + i * 64)));
     }
@@ -112,7 +112,7 @@ fn random_fault_plans_agree_with_oracle() {
     let mut rng = DetRng::seed_from(0x5EED_CA5E);
     for round in 0..6u64 {
         let mut sys = MemorySystem::new(VansConfig::optane_1dimm()).expect("valid preset");
-        sys.set_durability_tracking(true);
+        sys.configure_session(SessionOptions::new().durability_tracking(true));
         let n_reqs = rng.range_u64(5, 40);
         for _ in 0..n_reqs {
             let addr = Addr::new(rng.range_u64(0, 512) * 64);
@@ -170,7 +170,7 @@ fn two_dimm_interleaving_round_trips_through_the_oracle() {
         .build()
         .expect("valid 2-DIMM config");
     let mut sys = MemorySystem::new(cfg).expect("valid 2-DIMM config");
-    sys.set_durability_tracking(true);
+    sys.configure_session(SessionOptions::new().durability_tracking(true));
     // Lines spread across several 4 KB interleave granules on both DIMMs.
     for i in 0..24u64 {
         sys.execute(RequestDesc::nt_store(Addr::new(0x10_0000 + i * 4032)));

@@ -58,7 +58,7 @@ proptest! {
     ) {
         let mut sys = MemorySystem::new(VansConfig::tiny_for_tests()).unwrap();
         let sink = SharedSink::default();
-        prop_assert!(sys.set_trace_sink(Box::new(sink.clone())));
+        prop_assert!(sys.configure_session(SessionOptions::new().trace_sink(Box::new(sink.clone()))));
         for line in lines {
             sys.execute(RequestDesc::load(Addr::new(line * 64)));
         }
@@ -95,7 +95,9 @@ fn jsonl_dump_is_deterministic() {
     let dump = || {
         let buf = SharedBuf::default();
         let mut sys = MemorySystem::new(VansConfig::tiny_for_tests()).unwrap();
-        assert!(sys.set_trace_sink(Box::new(JsonlSink::new(buf.clone()))));
+        assert!(sys.configure_session(
+            SessionOptions::new().trace_sink(Box::new(JsonlSink::new(buf.clone())))
+        ));
         PtrChasing::read(64 << 10).with_passes(2).run(&mut sys);
         sys.flush_traces().unwrap();
         Rc::try_unwrap(buf.0)
@@ -145,7 +147,7 @@ fn breakdown_sink_attribution_is_complete_for_loads() {
     // exactly 1 (the tiling property aggregated): check BreakdownSink's
     // accounting against the e2e histogram.
     let mut sys = MemorySystem::new(VansConfig::tiny_for_tests()).unwrap();
-    assert!(sys.set_trace_sink(Box::new(BreakdownSink::new())));
+    assert!(sys.configure_session(SessionOptions::new().trace_sink(Box::new(BreakdownSink::new()))));
     PtrChasing::read(32 << 10).with_passes(1).run(&mut sys);
     let b = sys.breakdown().expect("breakdown available");
     assert!(b.requests > 0);
