@@ -18,6 +18,7 @@ pub mod output;
 pub mod perf;
 pub mod runner;
 pub mod sampling;
+pub mod servebench;
 pub mod snapsmoke;
 pub mod tracecmd;
 

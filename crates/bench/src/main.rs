@@ -10,6 +10,9 @@
 //! nvsim-bench crashsweep         # power-fail injection sweep -> results/crash.csv
 //! nvsim-bench crashsweep --smoke # reduced sweep for CI
 //! nvsim-bench snapsmoke          # checkpoint determinism smoke -> results/snapsmoke.csv
+//! nvsim-bench serve-bench        # service load gen -> BENCH_serve.json
+//! nvsim-bench serve-bench --smoke# same, CI-sized
+//! nvsim-bench serve-smoke        # service determinism byte-compare (workers 1 vs 2)
 //! ```
 //!
 //! Worker count: `--jobs N` wins, then the `NVSIM_JOBS` environment
@@ -142,6 +145,46 @@ fn main() {
         if failures > 0 {
             eprintln!("snapsmoke FAILED: restore-then-run diverged from straight-through");
             std::process::exit(1);
+        }
+        return;
+    }
+    if args[0] == "serve-bench" {
+        let smoke = args.iter().any(|a| a == "--smoke");
+        let shape = if smoke {
+            nvsim_bench::servebench::LoadShape::smoke()
+        } else {
+            nvsim_bench::servebench::LoadShape::full()
+        };
+        let path = PathBuf::from("BENCH_serve.json");
+        for workers in [1usize, 8] {
+            eprintln!(
+                ">> serve closed loop ({} shape) on {workers} worker(s) ...",
+                if smoke { "smoke" } else { "full" }
+            );
+            let entries = nvsim_bench::servebench::closed_loop(workers, shape);
+            for (k, v) in &entries {
+                println!("{k:<32} {v:>14.1}");
+            }
+            if let Err(e) = nvsim_bench::perf::record(&path, "serve", entries) {
+                eprintln!("could not write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+        eprintln!("recorded -> {}", path.display());
+        return;
+    }
+    if args[0] == "serve-smoke" {
+        eprintln!(">> serve determinism smoke (workers 1 vs 2) ...");
+        let start = Instant::now();
+        match nvsim_bench::servebench::smoke_bytes_match() {
+            Ok(frames) => eprintln!(
+                "== serve-smoke in {:.1}s: {frames} response frames byte-identical",
+                start.elapsed().as_secs_f64()
+            ),
+            Err(e) => {
+                eprintln!("serve-smoke FAILED: {e}");
+                std::process::exit(1);
+            }
         }
         return;
     }

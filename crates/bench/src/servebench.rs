@@ -1,0 +1,231 @@
+//! `nvsim-bench serve-bench` / `serve-smoke`: load and determinism
+//! drivers for the `nvsim-serve` service layer.
+//!
+//! * **serve-bench** runs a closed-loop load generator: a fleet of
+//!   sessions (cycling through every [`BackendKind`]) is opened over the
+//!   wire protocol, then driven in rounds — each round enqueues one
+//!   batch per session and flushes, timing the full
+//!   encode → ingest → execute → respond round trip. Reported figures
+//!   are sessions/s, requests/s and the p50/p99 round-trip latency,
+//!   recorded into `BENCH_serve.json` per worker count.
+//! * **serve-smoke** replays one workload script (including saves,
+//!   migration and fault injection) at `workers = 1` and `workers = 2`
+//!   and byte-compares the response streams — the service determinism
+//!   contract, cheap enough for CI.
+
+use nvsim::backends::build_server;
+use nvsim::serve::protocol::{Command, OpenOptions, Response};
+use nvsim::serve::{decode_responses, ServerConfig};
+use nvsim_types::{Addr, BackendKind, DetRng, FaultPlan, Histogram, MemOp, RequestDesc};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Size of one closed-loop run.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadShape {
+    /// Concurrent sessions (cycled over [`BackendKind::ALL`]).
+    pub sessions: u64,
+    /// Rounds of one-batch-per-session flushes.
+    pub rounds: u64,
+    /// Requests per batch.
+    pub batch: u64,
+}
+
+impl LoadShape {
+    /// The recorded benchmark size.
+    pub fn full() -> Self {
+        LoadShape {
+            sessions: 16,
+            rounds: 12,
+            batch: 64,
+        }
+    }
+
+    /// A CI-sized run (same code path, ~1/10 the requests).
+    pub fn smoke() -> Self {
+        LoadShape {
+            sessions: 8,
+            rounds: 4,
+            batch: 32,
+        }
+    }
+}
+
+/// One deterministic mixed batch, a pure function of `(sid, round)`.
+fn batch_for(sid: u64, round: u64, len: u64) -> Vec<RequestDesc> {
+    let mut rng = DetRng::seed_from(0x5e7e ^ (sid << 16) ^ round);
+    (0..len)
+        .map(|i| {
+            let addr = Addr::new(rng.range_u64(0, (16 << 20) / 64) * 64);
+            match i % 4 {
+                0 => RequestDesc::new(addr, 64, MemOp::Store),
+                1 => RequestDesc::new(addr, 64, MemOp::NtStore),
+                2 if i % 12 == 2 => RequestDesc::fence(),
+                _ => RequestDesc::load(addr),
+            }
+        })
+        .collect()
+}
+
+fn open_cmd(sid: u64) -> Command {
+    Command::Open {
+        sid,
+        kind: BackendKind::ALL[(sid as usize) % BackendKind::ALL.len()],
+        dimms: 1,
+        opts: OpenOptions::default(),
+    }
+}
+
+fn encode(cmds: &[Command]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for c in cmds {
+        c.encode_frame(&mut buf);
+    }
+    buf
+}
+
+/// Runs the closed loop on `workers` workers and returns the figures
+/// recorded under `BENCH_serve.json`.
+///
+/// # Panics
+///
+/// Panics if the service rejects its own generated script or answers a
+/// command with an error frame — both would invalidate the measurement.
+pub fn closed_loop(workers: usize, shape: LoadShape) -> BTreeMap<String, f64> {
+    let mut server = build_server(ServerConfig::with_workers(workers));
+    let mut lat_us = Histogram::new();
+    let check = |reply: &[u8]| {
+        for r in decode_responses(reply).expect("service answers well-formed frames") {
+            assert!(
+                !matches!(r, Response::Error { .. }),
+                "service error under load: {r:?}"
+            );
+        }
+    };
+
+    let t0 = Instant::now();
+    let opens: Vec<Command> = (0..shape.sessions).map(open_cmd).collect();
+    check(&server.run_script(&encode(&opens)).expect("valid opens"));
+
+    for round in 0..shape.rounds {
+        let cmds: Vec<Command> = (0..shape.sessions)
+            .map(|sid| Command::Batch {
+                sid,
+                reqs: batch_for(sid, round, shape.batch),
+            })
+            .collect();
+        let script = encode(&cmds);
+        let r0 = Instant::now();
+        let reply = server.run_script(&script).expect("valid batches");
+        lat_us.push(r0.elapsed().as_secs_f64() * 1e6);
+        check(&reply);
+    }
+
+    let closes: Vec<Command> = (0..shape.sessions)
+        .map(|sid| Command::Close { sid })
+        .collect();
+    check(&server.run_script(&encode(&closes)).expect("valid closes"));
+    let wall = t0.elapsed().as_secs_f64();
+
+    let requests = (shape.sessions * shape.rounds * shape.batch) as f64;
+    BTreeMap::from([
+        (
+            format!("jobs{workers}_sessions_per_s"),
+            shape.sessions as f64 / wall,
+        ),
+        (format!("jobs{workers}_requests_per_s"), requests / wall),
+        (
+            format!("jobs{workers}_round_p50_us"),
+            lat_us.percentile(50.0),
+        ),
+        (
+            format!("jobs{workers}_round_p99_us"),
+            lat_us.percentile(99.0),
+        ),
+        (format!("jobs{workers}_wall_s"), wall),
+    ])
+}
+
+/// The smoke script: every command shape the service exposes, across a
+/// handful of sessions.
+fn smoke_script() -> Vec<u8> {
+    let mut cmds: Vec<Command> = (0..6).map(open_cmd).collect();
+    for round in 0..2u64 {
+        for sid in 0..6u64 {
+            cmds.push(Command::Batch {
+                sid,
+                reqs: batch_for(sid, 100 + round, 24),
+            });
+        }
+        if round == 0 {
+            cmds.push(Command::Save { sid: 1 });
+            cmds.push(Command::Migrate { sid: 2 });
+            cmds.push(Command::Fault {
+                sid: 0,
+                plan: FaultPlan::at_insertion(8),
+            });
+        }
+    }
+    cmds.extend((0..6u64).map(|sid| Command::Close { sid }));
+    encode(&cmds)
+}
+
+/// Replays the smoke script (every command shape, six sessions) at
+/// `workers = 1` and `workers = 2`.
+///
+/// # Errors
+///
+/// Returns a description of the divergence when the two response
+/// streams are not byte-identical.
+pub fn smoke_bytes_match() -> Result<usize, String> {
+    let script = smoke_script();
+    let run = |workers: usize| {
+        build_server(ServerConfig::with_workers(workers))
+            .run_script(&script)
+            .map_err(|e| format!("workers={workers} rejected the smoke script: {e}"))
+    };
+    let one = run(1)?;
+    let two = run(2)?;
+    if one != two {
+        let at = one
+            .iter()
+            .zip(&two)
+            .position(|(a, b)| a != b)
+            .unwrap_or(one.len().min(two.len()));
+        return Err(format!(
+            "response streams diverge at byte {at} ({} vs {} bytes total)",
+            one.len(),
+            two.len()
+        ));
+    }
+    let frames = decode_responses(&one)
+        .map_err(|e| format!("smoke reply does not decode: {e}"))?
+        .len();
+    Ok(frames)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_is_deterministic_across_workers() {
+        let frames = smoke_bytes_match().expect("byte-identical");
+        assert!(frames > 12, "smoke must exercise a real response stream");
+    }
+
+    #[test]
+    fn closed_loop_produces_the_recorded_schema() {
+        let m = closed_loop(2, LoadShape::smoke());
+        for key in [
+            "jobs2_sessions_per_s",
+            "jobs2_requests_per_s",
+            "jobs2_round_p50_us",
+            "jobs2_round_p99_us",
+            "jobs2_wall_s",
+        ] {
+            assert!(m[key].is_finite() && m[key] > 0.0, "{key} = {}", m[key]);
+        }
+        assert!(m["jobs2_round_p50_us"] <= m["jobs2_round_p99_us"]);
+    }
+}

@@ -158,6 +158,13 @@ pub fn classify(rel: &str) -> FileClass {
     if rel.starts_with("crates/bench/") {
         return FileClass::Driver;
     }
+    // The serve executor is the one place the service layer is allowed to
+    // hold threads and locks: it schedules sessions across workers but
+    // never models time. Everything else in nvsim-serve (protocol,
+    // session, registry, server) is simulation-class.
+    if rel == "crates/nvsim-serve/src/executor.rs" {
+        return FileClass::Driver;
+    }
     if rel.starts_with("crates/") || rel.starts_with("src/") {
         return FileClass::Simulation;
     }

@@ -621,6 +621,61 @@ fn f() -> &'static str { let thread = 1; let _ = thread; \"AtomicU64\" }
     assert_eq!(rule_count(SIM, src, Rule::SyncOnSimPath), 0);
 }
 
+// ------------------------------------------------- serve classification
+
+#[test]
+fn serve_executor_is_driver_class() {
+    // The executor holds the service's thread pool and deques: sync
+    // primitives, wall clock and panics are legitimate there (like the
+    // bench runner), but determinism (R1) and unsafe hygiene (R8) hold.
+    let exec = "crates/nvsim-serve/src/executor.rs";
+    let sync_src = "
+use std::sync::Mutex;
+fn pool() { std::thread::scope(|s| { let _ = s; }); }
+";
+    assert_eq!(rule_count(exec, sync_src, Rule::SyncOnSimPath), 0);
+    assert_eq!(
+        rule_count(exec, "use std::collections::HashMap;\n", Rule::UnorderedMap),
+        1
+    );
+    assert_eq!(
+        rule_count(
+            exec,
+            "fn f(p: *const u64) -> u64 { unsafe { *p } }\n",
+            Rule::UnsafeUndocumented
+        ),
+        1
+    );
+}
+
+#[test]
+fn rest_of_serve_crate_is_simulation_class() {
+    // Protocol, session, registry and server model service state
+    // deterministically: every simulator rule applies in full.
+    for file in [
+        "crates/nvsim-serve/src/protocol.rs",
+        "crates/nvsim-serve/src/session.rs",
+        "crates/nvsim-serve/src/registry.rs",
+        "crates/nvsim-serve/src/server.rs",
+        "crates/nvsim-serve/src/lib.rs",
+    ] {
+        assert_eq!(
+            rule_count(file, "use std::sync::Mutex;\n", Rule::SyncOnSimPath),
+            1,
+            "{file} must be simulation-class for R10"
+        );
+        assert_eq!(
+            rule_count(
+                file,
+                "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+                Rule::PanicPath
+            ),
+            1,
+            "{file} must be simulation-class for R3"
+        );
+    }
+}
+
 // ---------------------------------------------------------------- output shape
 
 #[test]

@@ -1,0 +1,156 @@
+//! The scheduler shell: worker threads, work-stealing deques, and the
+//! shared trace buffer.
+//!
+//! This is the **only** file in the serve crate where synchronization
+//! primitives are allowed (nvsim-lint classifies it as Driver, like the
+//! bench runner's thread pool); the session simulation paths in
+//! `session.rs` / `registry.rs` / `server.rs` stay lock-free and
+//! Simulation-class. The split keeps the determinism argument local:
+//! threads only decide *which worker* runs a [`SessionUnit`], never what
+//! the unit computes, and results are merged by input order, so the
+//! response stream is byte-identical at any worker count.
+//!
+//! Scheduling mirrors the bench runner: units live in `Mutex<Option<_>>`
+//! slots, per-worker deques are seeded round-robin largest-cost-first,
+//! and an idle worker steals from the *back* of the longest sibling
+//! deque (the cheap tail a busy worker would reach last).
+
+use crate::session::{BackendFactory, SessionUnit};
+use std::collections::VecDeque;
+use std::io;
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+/// A byte buffer shared between a session's `JsonlSink` (owned by the
+/// backend) and the session bookkeeping that drains it into
+/// `TraceChunk` responses. The mutex is uncontended by construction — a
+/// session is only ever driven by one worker at a time — it exists so
+/// the buffer can cross thread boundaries with the session.
+#[derive(Debug, Default)]
+pub struct TraceShared(Arc<Mutex<Vec<u8>>>);
+
+impl TraceShared {
+    /// An empty shared buffer.
+    pub fn new() -> Self {
+        TraceShared::default()
+    }
+
+    /// Drains and returns everything written since the last take.
+    pub fn take(&self) -> Vec<u8> {
+        match self.0.lock() {
+            Ok(mut buf) => std::mem::take(&mut *buf),
+            Err(poisoned) => std::mem::take(&mut *poisoned.into_inner()),
+        }
+    }
+
+    /// A `Send` writer handle for a `JsonlSink` feeding this buffer.
+    pub fn writer(&self) -> TraceWriter {
+        TraceWriter(Arc::clone(&self.0))
+    }
+}
+
+/// The write half of a [`TraceShared`] buffer.
+#[derive(Debug)]
+pub struct TraceWriter(Arc<Mutex<Vec<u8>>>);
+
+impl io::Write for TraceWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self.0.lock() {
+            Ok(mut b) => b.extend_from_slice(buf),
+            Err(poisoned) => poisoned.into_inner().extend_from_slice(buf),
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Runs every unit to completion across `workers` threads and returns
+/// them in their original order. With one worker (or one unit) no
+/// threads are spawned at all.
+///
+/// The output is independent of `workers`: each unit's responses are a
+/// pure function of its own state and commands ([`SessionUnit::run`]),
+/// and the caller re-merges responses by global command index.
+pub fn run_units(
+    units: Vec<SessionUnit>,
+    factory: BackendFactory,
+    workers: usize,
+) -> Vec<SessionUnit> {
+    let workers = workers.max(1).min(units.len().max(1));
+    if workers == 1 {
+        let mut units = units;
+        for u in &mut units {
+            u.run(factory);
+        }
+        return units;
+    }
+
+    let costs: Vec<usize> = units.iter().map(SessionUnit::cost).collect();
+    let slots: Vec<Mutex<Option<SessionUnit>>> =
+        units.into_iter().map(|u| Mutex::new(Some(u))).collect();
+
+    // Seed deques round-robin, largest cost first, index as tie-break
+    // (deterministic seeding; the stealing order is not, and need not
+    // be, deterministic).
+    let mut order: Vec<usize> = (0..slots.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(costs[i]), i));
+    let deques: Vec<Mutex<VecDeque<usize>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (k, &i) in order.iter().enumerate() {
+        deques[k % workers]
+            .lock()
+            .expect("fresh deque")
+            .push_back(i);
+    }
+
+    thread::scope(|s| {
+        for w in 0..workers {
+            let deques = &deques;
+            let slots = &slots;
+            s.spawn(move || loop {
+                let own = deques[w].lock().expect("deque lock").pop_front();
+                let idx = match own {
+                    Some(i) => i,
+                    None => {
+                        // Steal from the back of the longest sibling.
+                        let mut best: Option<(usize, usize)> = None;
+                        for (d, dq) in deques.iter().enumerate() {
+                            if d == w {
+                                continue;
+                            }
+                            let len = dq.lock().expect("deque lock").len();
+                            if len > 0 && best.is_none_or(|(bl, _)| len > bl) {
+                                best = Some((len, d));
+                            }
+                        }
+                        let stolen = best
+                            .and_then(|(_, d)| deques[d].lock().expect("deque lock").pop_back());
+                        match stolen {
+                            Some(i) => i,
+                            None => break,
+                        }
+                    }
+                };
+                // A slot is taken at most once (its index lives in
+                // exactly one deque), run off-lock, and put back.
+                let taken = slots[idx].lock().expect("slot lock").take();
+                if let Some(mut unit) = taken {
+                    unit.run(factory);
+                    *slots[idx].lock().expect("slot lock") = Some(unit);
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("no worker panicked holding a slot")
+                .expect("every seeded unit ran exactly once")
+        })
+        .collect()
+}

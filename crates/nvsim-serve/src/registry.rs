@@ -1,0 +1,96 @@
+//! The session registry: which sessions exist between batches, and the
+//! LRU that bounds how many of them keep a live simulator object.
+//!
+//! Warm sessions are expensive (a full VANS instance each); parked
+//! sessions are just an `NVSS` blob. After every batch the registry
+//! [`settle`]s: the least-recently-used warm sessions beyond the
+//! configured capacity are parked. Because parking is an exact snapshot
+//! round-trip, the LRU changes memory footprint and rehydrate latency —
+//! never responses.
+//!
+//! [`settle`]: SessionRegistry::settle
+
+use crate::protocol::SessionId;
+use crate::session::SessionSlot;
+use std::collections::BTreeMap;
+
+/// Sessions that persist across ingestion batches.
+#[derive(Debug, Default)]
+pub struct SessionRegistry {
+    slots: BTreeMap<SessionId, SessionSlot>,
+    /// Last-touched tick per session, driving LRU eviction.
+    recency: BTreeMap<SessionId, u64>,
+    tick: u64,
+    warm_capacity: usize,
+}
+
+impl SessionRegistry {
+    /// A registry keeping at most `warm_capacity` sessions warm between
+    /// batches (minimum 1).
+    pub fn new(warm_capacity: usize) -> Self {
+        SessionRegistry {
+            warm_capacity: warm_capacity.max(1),
+            ..SessionRegistry::default()
+        }
+    }
+
+    /// Removes a session for the duration of a batch (it travels with
+    /// the [`crate::session::SessionUnit`] to whichever worker runs it).
+    pub fn checkout(&mut self, sid: SessionId) -> Option<SessionSlot> {
+        self.slots.remove(&sid)
+    }
+
+    /// Returns a session after its unit ran (`None` if it was closed or
+    /// never opened), bumping its recency.
+    pub fn check_in(&mut self, sid: SessionId, slot: Option<SessionSlot>) {
+        self.tick += 1;
+        match slot {
+            Some(s) => {
+                self.slots.insert(sid, s);
+                self.recency.insert(sid, self.tick);
+            }
+            None => {
+                self.recency.remove(&sid);
+            }
+        }
+    }
+
+    /// Parks the least-recently-used warm sessions beyond the warm
+    /// capacity. Sessions whose backend cannot checkpoint stay warm.
+    /// Eviction order is deterministic (tick, then session id).
+    pub fn settle(&mut self) {
+        let mut warm: Vec<(u64, SessionId)> = self
+            .slots
+            .iter()
+            .filter(|(_, s)| s.is_warm())
+            .map(|(&sid, _)| (self.recency.get(&sid).copied().unwrap_or(0), sid))
+            .collect();
+        warm.sort();
+        let excess = warm.len().saturating_sub(self.warm_capacity);
+        for &(_, sid) in warm.iter().take(excess) {
+            if let Some(slot) = self.slots.remove(&sid) {
+                self.slots.insert(sid, slot.park());
+            }
+        }
+    }
+
+    /// Number of open sessions (warm + parked).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no session is open.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Number of sessions holding a live backend.
+    pub fn warm_count(&self) -> usize {
+        self.slots.values().filter(|s| s.is_warm()).count()
+    }
+
+    /// Number of sessions parked as snapshot blobs.
+    pub fn parked_count(&self) -> usize {
+        self.len() - self.warm_count()
+    }
+}

@@ -1,0 +1,200 @@
+//! The [`Server`]: batched ingestion, concurrent deterministic
+//! execution, response stream assembly.
+//!
+//! A server is driven in three moves:
+//!
+//! 1. [`ingest`](Server::ingest) — feed connection bytes; complete
+//!    frames decode into commands (a malformed frame is a typed
+//!    [`ProtocolError`] and is never half-applied).
+//! 2. [`flush`](Server::flush) — execute everything ingested so far and
+//!    get the encoded response frames back.
+//! 3. [`end_of_stream`](Server::end_of_stream) — assert a clean close
+//!    (detects mid-frame disconnects).
+//!
+//! [`run_script`](Server::run_script) does all three for a complete
+//! script, which is also the determinism contract's unit: the same
+//! script produces byte-identical response streams at **any** worker
+//! count, because sessions are isolated, each session's unit executes
+//! its commands serially, and responses are merged by the global input
+//! order of commands — never by completion order.
+
+use crate::executor;
+use crate::protocol::{Command, FrameDecoder, ProtocolError, Response, SessionId};
+use crate::registry::SessionRegistry;
+use crate::session::{BackendFactory, SessionUnit};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Service-level knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Worker threads executing session units per flush (min 1). Does
+    /// not affect output bytes, only wall-clock time.
+    pub workers: usize,
+    /// Sessions kept warm (live backend) between flushes; the LRU parks
+    /// the rest as snapshot blobs. Does not affect output bytes.
+    pub warm_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 1,
+            warm_capacity: 64,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The default configuration with a different worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        ServerConfig {
+            workers,
+            ..ServerConfig::default()
+        }
+    }
+}
+
+/// A session-multiplexing simulation service over any backend the
+/// factory can build.
+pub struct Server {
+    factory: BackendFactory,
+    cfg: ServerConfig,
+    registry: SessionRegistry,
+    decoder: FrameDecoder,
+    pending: Vec<Command>,
+}
+
+impl fmt::Debug for Server {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Server")
+            .field("cfg", &self.cfg)
+            .field("sessions", &self.registry.len())
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+impl Server {
+    /// A server building backends through `factory` (pass the facade
+    /// crate's `build_backend`).
+    pub fn new(factory: BackendFactory, cfg: ServerConfig) -> Self {
+        Server {
+            factory,
+            cfg,
+            registry: SessionRegistry::new(cfg.warm_capacity),
+            decoder: FrameDecoder::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Feeds connection bytes; returns how many complete commands were
+    /// decoded (they are queued for the next [`flush`](Server::flush)).
+    ///
+    /// # Errors
+    ///
+    /// Any malformed frame yields a typed [`ProtocolError`] with its
+    /// stream offset. Commands already decoded stay queued; the
+    /// offending frame is never partially applied.
+    pub fn ingest(&mut self, bytes: &[u8]) -> Result<usize, ProtocolError> {
+        self.decoder.push(bytes);
+        let mut n = 0;
+        while let Some((base, payload)) = self.decoder.next_frame()? {
+            self.pending.push(Command::decode(base, &payload)?);
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Commands ingested but not yet executed.
+    pub fn pending_commands(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Asserts the connection ended cleanly.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError`] with kind `Truncated` if bytes of an
+    /// incomplete frame remain buffered (a mid-stream disconnect).
+    pub fn end_of_stream(&self) -> Result<(), ProtocolError> {
+        self.decoder.finish()
+    }
+
+    /// Executes every pending command and returns the encoded response
+    /// frames, in command input order.
+    ///
+    /// Commands are grouped per session into [`SessionUnit`]s (order
+    /// preserved within a session), executed across the configured
+    /// workers, and their responses re-merged by global command index —
+    /// so the returned bytes are a pure function of the ingested
+    /// commands and prior session state.
+    pub fn flush(&mut self) -> Vec<u8> {
+        let cmds = std::mem::take(&mut self.pending);
+        let total = cmds.len();
+
+        // Group commands into per-session units, checking each touched
+        // session out of the registry.
+        let mut units: Vec<SessionUnit> = Vec::new();
+        let mut by_sid: BTreeMap<SessionId, usize> = BTreeMap::new();
+        for (i, cmd) in cmds.into_iter().enumerate() {
+            let sid = cmd.sid();
+            let ui = match by_sid.get(&sid) {
+                Some(&ui) => ui,
+                None => {
+                    units.push(SessionUnit::new(sid, self.registry.checkout(sid)));
+                    by_sid.insert(sid, units.len() - 1);
+                    units.len() - 1
+                }
+            };
+            units[ui].commands.push((i, cmd));
+        }
+
+        let units = executor::run_units(units, self.factory, self.cfg.workers);
+
+        // Re-merge responses in global command order and return the
+        // sessions to the registry (registering recency for the LRU).
+        let mut per_cmd: Vec<Vec<Response>> = Vec::new();
+        per_cmd.resize_with(total, Vec::new);
+        for unit in units {
+            self.registry.check_in(unit.sid, unit.slot);
+            for (i, rsps) in unit.responses {
+                per_cmd[i] = rsps;
+            }
+        }
+        self.registry.settle();
+
+        let mut out = Vec::new();
+        for rsps in &per_cmd {
+            for r in rsps {
+                r.encode_frame(&mut out);
+            }
+        }
+        out
+    }
+
+    /// Decodes a complete script and executes it: the one-call form of
+    /// the determinism contract. The whole script is decoded (with its
+    /// own frame decoder, offsets relative to the script) before any
+    /// command is queued, so a malformed script executes nothing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ProtocolError`] from decoding, including a trailing
+    /// partial frame.
+    pub fn run_script(&mut self, script: &[u8]) -> Result<Vec<u8>, ProtocolError> {
+        let cmds = crate::protocol::decode_commands(script)?;
+        self.pending.extend(cmds);
+        Ok(self.flush())
+    }
+
+    /// The session registry (warm/parked occupancy, for inspection).
+    pub fn registry(&self) -> &SessionRegistry {
+        &self.registry
+    }
+
+    /// The configuration this server runs with.
+    pub fn config(&self) -> ServerConfig {
+        self.cfg
+    }
+}

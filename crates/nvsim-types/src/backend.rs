@@ -3,6 +3,7 @@
 //! that drives them (LENS probers, the CPU model, trace replay).
 
 use crate::addr::Addr;
+use crate::durability::{CrashImage, FaultPlan};
 use crate::error::BackendError;
 use crate::request::{MemOp, ReqId, RequestDesc};
 use crate::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
@@ -334,7 +335,12 @@ impl BackendCounters {
 /// Dependent-access experiments (pointer chasing) alternate
 /// `submit`/`wait_for`; bandwidth experiments `submit` a window of requests
 /// and then `drain`.
-pub trait MemoryBackend {
+///
+/// Backends are `Send` so a driver may *move* one between worker threads
+/// (the `nvsim-serve` executor migrates whole sessions this way). They
+/// are deliberately not `Sync`: a backend is single-threaded by
+/// construction and only ever driven from one thread at a time.
+pub trait MemoryBackend: Send {
     /// Human-readable model name ("VANS", "PMEP", "Ramulator-PCM", ...).
     fn label(&self) -> String;
 
@@ -465,18 +471,13 @@ pub trait MemoryBackend {
         !unsupported
     }
 
-    /// Installs a trace sink and enables per-stage span collection.
-    ///
-    /// Returns `true` if the backend supports tracing (the sink will
-    /// receive one [`crate::trace::RequestTrace`] per completed request);
-    /// `false` if it does not, in which case the sink is dropped and no
-    /// spans are ever recorded.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use configure_session(SessionOptions::new().trace_sink(..)) instead"
-    )]
-    fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) -> bool {
-        self.configure_session(SessionOptions::new().trace_sink(sink))
+    /// Resolves a power-fail [`FaultPlan`] against the run's durability
+    /// history and returns the resulting [`CrashImage`], or `None` if this
+    /// backend does not model persistence-domain fault injection (the
+    /// default). The injection is read-only: the clock does not advance
+    /// and the run can be continued afterwards.
+    fn inject_power_loss(&self, _plan: &FaultPlan) -> Option<CrashImage> {
+        None
     }
 
     /// Per-stage latency breakdown aggregated by the installed trace sink,
@@ -556,9 +557,8 @@ impl<B: MemoryBackend + ?Sized> MemoryBackend for &mut B {
     fn configure_session(&mut self, opts: SessionOptions) -> bool {
         (**self).configure_session(opts)
     }
-    #[allow(deprecated)]
-    fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) -> bool {
-        (**self).set_trace_sink(sink)
+    fn inject_power_loss(&self, plan: &FaultPlan) -> Option<CrashImage> {
+        (**self).inject_power_loss(plan)
     }
     fn breakdown(&self) -> Option<LatencyBreakdown> {
         (**self).breakdown()
@@ -882,11 +882,23 @@ mod tests {
         assert!(!m
             .configure_session(SessionOptions::new().trace_sink(Box::new(crate::trace::NullSink))));
         assert!(m.breakdown().is_none());
-        // The deprecated setter stays as a thin wrapper for one release.
-        #[allow(deprecated)]
-        {
-            assert!(!m.set_trace_sink(Box::new(crate::trace::NullSink)));
-        }
+    }
+
+    #[test]
+    fn fault_injection_unsupported_by_default() {
+        let m = mem();
+        assert!(m
+            .inject_power_loss(&crate::durability::FaultPlan::at_insertion(0))
+            .is_none());
+    }
+
+    /// Backends are movable between threads by contract: a `Box<dyn
+    /// MemoryBackend>` must satisfy a `Send` bound (the serve executor
+    /// migrates sessions across workers this way).
+    #[test]
+    fn boxed_backends_are_send() {
+        fn assert_send<T: Send>(_: T) {}
+        assert_send(Box::new(mem()) as Box<dyn MemoryBackend>);
     }
 
     #[test]

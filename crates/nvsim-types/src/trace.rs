@@ -340,7 +340,7 @@ impl SpanRecorder {
 /// Backends that support tracing call [`record`](TraceSink::record) once per
 /// completed request, synchronously, in submission order — which is what
 /// makes [`JsonlSink`] output deterministic.
-pub trait TraceSink: fmt::Debug {
+pub trait TraceSink: fmt::Debug + Send {
     /// Consumes one completed request trace.
     fn record(&mut self, trace: &RequestTrace);
 
@@ -625,7 +625,7 @@ impl<W: io::Write + fmt::Debug> JsonlSink<W> {
     }
 }
 
-impl<W: io::Write + fmt::Debug> TraceSink for JsonlSink<W> {
+impl<W: io::Write + fmt::Debug + Send> TraceSink for JsonlSink<W> {
     fn record(&mut self, trace: &RequestTrace) {
         // IO errors can't propagate through the hot path; fail loudly
         // rather than silently truncating an analysis artifact.

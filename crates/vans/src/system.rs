@@ -184,21 +184,12 @@ impl MemorySystem {
         Addr::new(chunk * g + local.raw() % g)
     }
 
-    /// Enables or disables per-line durability tracking. Enabling starts a
-    /// fresh history (persist-event log + request log); the tracked run
-    /// can then be crash-tested any number of times with
+    /// The durability-tracking application behind
+    /// [`configure_session`](MemoryBackend::configure_session)'s
+    /// `durability_tracking` option. Enabling starts a fresh history
+    /// (persist-event log + request log); the tracked run can then be
+    /// crash-tested any number of times with
     /// [`inject_power_loss`](MemorySystem::inject_power_loss).
-    #[deprecated(
-        since = "0.6.0",
-        note = "use configure_session(SessionOptions::new().durability_tracking(..)) instead"
-    )]
-    pub fn set_durability_tracking(&mut self, enabled: bool) {
-        self.configure_session(SessionOptions::new().durability_tracking(enabled));
-    }
-
-    /// The durability-tracking application shared by
-    /// [`configure_session`](MemoryBackend::configure_session) and the
-    /// deprecated setter.
     fn apply_durability_tracking(&mut self, enabled: bool) {
         self.persist.set_enabled(enabled);
         for d in &mut self.dimms {
@@ -551,6 +542,10 @@ impl MemoryBackend for MemorySystem {
             self.snapshot_interval = Some(interval);
         }
         true
+    }
+
+    fn inject_power_loss(&self, plan: &FaultPlan) -> Option<CrashImage> {
+        Some(MemorySystem::inject_power_loss(self, plan))
     }
 
     fn save_snapshot(&self) -> Option<Vec<u8>> {

@@ -69,6 +69,34 @@ pub fn build_backend(
     })
 }
 
+/// A [`serve::Server`](nvsim_serve::Server) wired to [`build_backend`],
+/// so it can open sessions over every backend kind in the workspace.
+///
+/// # Example
+///
+/// ```
+/// use nvsim::backends::build_server;
+/// use nvsim::serve::protocol::{Command, OpenOptions};
+/// use nvsim::serve::ServerConfig;
+/// use nvsim::types::BackendKind;
+///
+/// let mut script = Vec::new();
+/// Command::Open {
+///     sid: 1,
+///     kind: BackendKind::Vans,
+///     dimms: 1,
+///     opts: OpenOptions::default(),
+/// }
+/// .encode_frame(&mut script);
+/// let mut server = build_server(ServerConfig::default());
+/// let reply = server.run_script(&script)?;
+/// assert!(!reply.is_empty());
+/// # Ok::<(), nvsim::serve::ProtocolError>(())
+/// ```
+pub fn build_server(cfg: nvsim_serve::ServerConfig) -> nvsim_serve::Server {
+    nvsim_serve::Server::new(build_backend, cfg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,6 +15,8 @@
 //! * [`cpu`] — the trace-driven CPU model (gem5 substitute).
 //! * [`workloads`] — SPEC-calibrated and cloud workload generators.
 //! * [`dram`] / [`media`] — the DDR timing and 3D-XPoint substrates.
+//! * [`serve`] — the concurrent, deterministic simulation service
+//!   (binary wire protocol, batched sessions, snapshot migration).
 //! * [`types`] — shared vocabulary ([`types::MemoryBackend`] and friends).
 //!
 //! # Quickstart
@@ -38,6 +40,7 @@ pub use nvsim_baselines as baselines;
 pub use nvsim_cpu as cpu;
 pub use nvsim_dram as dram;
 pub use nvsim_media as media;
+pub use nvsim_serve as serve;
 pub use nvsim_types as types;
 pub use nvsim_workloads as workloads;
 pub use optane_model;

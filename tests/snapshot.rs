@@ -12,17 +12,17 @@ use nvsim::types::trace::JsonlSink;
 use nvsim::types::DetRng;
 use nvsim::vans::{MemorySystem, VansConfig};
 use proptest::prelude::*;
-use std::cell::RefCell;
 use std::io;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
-/// A writer that shares its bytes with the test body.
+/// A writer that shares its bytes with the test body (`Arc<Mutex<..>>`
+/// because `TraceSink`, and hence `JsonlSink`'s writer, must be `Send`).
 #[derive(Debug, Clone, Default)]
-struct SharedBuf(Rc<RefCell<Vec<u8>>>);
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
 
 impl io::Write for SharedBuf {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        self.0.borrow_mut().extend_from_slice(buf);
+        self.0.lock().unwrap().extend_from_slice(buf);
         Ok(buf.len())
     }
 
@@ -102,8 +102,8 @@ fn every_backend_kind_roundtrips_byte_identically() {
             "{kind}: clocks diverged after restore"
         );
         assert_eq!(
-            buf_s.0.borrow().as_slice(),
-            buf_r.0.borrow().as_slice(),
+            buf_s.0.lock().unwrap().as_slice(),
+            buf_r.0.lock().unwrap().as_slice(),
             "{kind}: continuation trace JSONL diverged after restore"
         );
         assert_eq!(

@@ -8,28 +8,28 @@ use lens::plateau_stage_breakdowns;
 use nvsim::prelude::*;
 use nvsim::types::trace::{BreakdownSink, JsonlSink, RequestTrace, Stage, TraceSink};
 use proptest::prelude::*;
-use std::cell::RefCell;
 use std::io;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
-/// A sink that shares its collected traces with the test body.
+/// A sink that shares its collected traces with the test body
+/// (`Arc<Mutex<..>>` because `TraceSink` requires `Send`).
 #[derive(Debug, Clone, Default)]
-struct SharedSink(Rc<RefCell<Vec<RequestTrace>>>);
+struct SharedSink(Arc<Mutex<Vec<RequestTrace>>>);
 
 impl TraceSink for SharedSink {
     fn record(&mut self, trace: &RequestTrace) {
-        self.0.borrow_mut().push(trace.clone());
+        self.0.lock().unwrap().push(trace.clone());
     }
 }
 
 /// A writer that shares its bytes with the test body (so a `JsonlSink`
 /// can be boxed into the backend and still be inspected afterwards).
 #[derive(Debug, Clone, Default)]
-struct SharedBuf(Rc<RefCell<Vec<u8>>>);
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
 
 impl io::Write for SharedBuf {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        self.0.borrow_mut().extend_from_slice(buf);
+        self.0.lock().unwrap().extend_from_slice(buf);
         Ok(buf.len())
     }
 
@@ -62,7 +62,7 @@ proptest! {
         for line in lines {
             sys.execute(RequestDesc::load(Addr::new(line * 64)));
         }
-        let traces = sink.0.borrow();
+        let traces = sink.0.lock().unwrap();
         prop_assert!(!traces.is_empty());
         for t in traces.iter() {
             let mut spans: Vec<_> = t
@@ -100,9 +100,8 @@ fn jsonl_dump_is_deterministic() {
         ));
         PtrChasing::read(64 << 10).with_passes(2).run(&mut sys);
         sys.flush_traces().unwrap();
-        Rc::try_unwrap(buf.0)
-            .map(RefCell::into_inner)
-            .unwrap_or_else(|rc| rc.borrow().clone())
+        let bytes = buf.0.lock().unwrap().clone();
+        bytes
     };
     let a = dump();
     let b = dump();
