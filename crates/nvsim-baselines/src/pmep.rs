@@ -56,6 +56,7 @@ impl PmepConfig {
 #[derive(Debug)]
 pub struct PmepBackend {
     inner: DramBackend,
+    // nvsim-lint: allow(snapshot-field-coverage) — construction-time configuration; never mutated.
     cfg: PmepConfig,
     /// Token-bucket state per write flavor (store / clwb / nt).
     throttle_free: [Time; 3],

@@ -146,11 +146,13 @@ impl RunReport {
 /// The trace-driven core model.
 #[derive(Debug)]
 pub struct Core {
+    // nvsim-lint: allow(snapshot-field-coverage) — construction-time configuration; never mutated.
     cfg: CoreConfig,
     /// Private cache hierarchy.
     pub caches: CacheHierarchy,
     /// TLB hierarchy.
     pub tlb: TlbHierarchy,
+    // nvsim-lint: allow(snapshot-field-coverage) — derived from `cfg` at construction (clock period); immutable.
     period: Time,
 }
 

@@ -79,10 +79,12 @@ pub struct Translation {
 struct TlbArray {
     // nvsim-lint: allow(unordered-map) — never iterated; the LRU victim is
     // chosen via the deterministic `order` BTreeMap, not this map.
+    // nvsim-lint: allow(snapshot-field-coverage) — derived mirror of `order`; save serializes `order` alone and restore rebuilds this map from it.
     entries: HashMap<u64, u64>, // vpn -> stamp
     /// Recency index: stamp -> vpn (stamps are unique), for O(log n)
     /// LRU eviction.
     order: std::collections::BTreeMap<u64, u64>,
+    // nvsim-lint: allow(snapshot-field-coverage) — construction-time configuration; restore validates the entry count against it.
     capacity: usize,
     clock: u64,
 }
@@ -169,6 +171,7 @@ impl Snapshot for TlbArray {
 /// all the *timing* behaviour (hits, misses, walks).
 #[derive(Debug)]
 pub struct TlbHierarchy {
+    // nvsim-lint: allow(snapshot-field-coverage) — construction-time configuration; never mutated.
     cfg: TlbConfig,
     l1: TlbArray,
     stlb: TlbArray,

@@ -16,7 +16,6 @@ pub struct BaselineEntry {
     pub rule: String,
     pub path: String,
     pub line: u32,
-    pub justified: bool,
     /// Line number inside the baseline file (for error reporting).
     pub src_line: u32,
 }
@@ -50,21 +49,23 @@ pub fn parse(text: &str) -> Baseline {
             .rsplit_once(':')
             .and_then(|(path, num)| num.parse::<u32>().ok().map(|n| (path.to_string(), n)));
         match parsed {
-            Some((path, line_no)) => b.entries.push(BaselineEntry {
+            // An entry without a justification is malformed, exactly as the
+            // module docs promise — it must not suppress anything, and it
+            // must not vanish silently either.
+            Some((path, line_no)) if !justification.is_empty() => b.entries.push(BaselineEntry {
                 rule: rule.to_string(),
                 path,
                 line: line_no,
-                justified: !justification.is_empty(),
                 src_line,
             }),
-            None => b.malformed.push((src_line, raw.to_string())),
+            _ => b.malformed.push((src_line, raw.to_string())),
         }
     }
     b
 }
 
-/// Split findings into (new, baselined) and report stale baseline entries.
-/// An entry only suppresses when it is justified.
+/// Split findings into (new, baselined) and report stale baseline entries
+/// (parse already rejected unjustified entries as malformed).
 pub fn apply(
     baseline: &Baseline,
     findings: Vec<Finding>,
@@ -73,9 +74,10 @@ pub fn apply(
     let mut new = Vec::new();
     let mut grandfathered = Vec::new();
     for f in findings {
-        let hit = baseline.entries.iter().position(|e| {
-            e.justified && e.rule == f.rule.id() && e.path == f.file && e.line == f.line
-        });
+        let hit = baseline
+            .entries
+            .iter()
+            .position(|e| e.rule == f.rule.id() && e.path == f.file && e.line == f.line);
         match hit {
             Some(i) => {
                 used[i] = true;
@@ -88,7 +90,7 @@ pub fn apply(
         .entries
         .iter()
         .zip(&used)
-        .filter(|(e, u)| !**u && e.justified)
+        .filter(|(_, u)| !**u)
         .map(|(e, _)| e)
         .collect();
     (new, grandfathered, stale)

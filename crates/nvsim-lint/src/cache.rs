@@ -1,0 +1,487 @@
+//! Incremental per-file result cache under `target/nvsim-lint-cache/`.
+//!
+//! Warm runs skip the lex/parse/rule pipeline for files whose content is
+//! unchanged: the per-site findings *and* the workspace facts
+//! ([`FileFacts`]) are replayed from disk and fed into the same
+//! [`crate::rules::aggregate`] pass a cold run uses. The workspace-level
+//! rules (R5 stage coverage, the R7 call graph, R12 lock order, R14
+//! protocol coverage) are therefore rebuilt from complete facts on every
+//! run — a signature change anywhere re-derives that file's facts (its
+//! content hash changed) and the graphs are never themselves cached, so
+//! call-graph-dependent results can never go stale.
+//!
+//! Cache entries are keyed by an FNV-1a 64 hash over the cache format
+//! version, the workspace-relative path, and the file contents. The
+//! serialization is a line-based, tab-separated, escaped text format;
+//! *any* parse irregularity (truncated file, unknown tag, stale format)
+//! is treated as a miss and the entry is rewritten. Function body spans
+//! are not cached — they index into the token stream, which a replayed
+//! entry no longer has, and every pass that needs them runs at
+//! [`crate::rules::lint_file`] time.
+
+use crate::items::{Call, FnItem, PanicSite};
+use crate::locks::{HeldCall, LockAcq, LockEdge, LockFn};
+use crate::rules::{FileFacts, Finding, ProtoRef, Rule};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Bump to invalidate every existing cache entry (new rules, changed
+/// serialization, changed fact shapes).
+pub const FORMAT: u32 = 1;
+
+/// FNV-1a 64-bit.
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Content key for a file: format version + path + contents.
+pub fn key_for(rel: &str, src: &str) -> u64 {
+    let h = fnv1a(FNV_OFFSET, &FORMAT.to_le_bytes());
+    let h = fnv1a(h, rel.as_bytes());
+    fnv1a(h, src.as_bytes())
+}
+
+/// Cache file path for a workspace-relative source path (named by a hash
+/// of the path so nested directories flatten without collisions on `__`).
+pub fn entry_path(dir: &Path, rel: &str) -> PathBuf {
+    dir.join(format!("{:016x}.lint", fnv1a(FNV_OFFSET, rel.as_bytes())))
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+fn opt(s: &Option<String>) -> String {
+    match s {
+        Some(v) => esc(v),
+        None => "-".to_string(),
+    }
+}
+
+fn parse_opt(s: &str) -> Option<Option<String>> {
+    if s == "-" {
+        return Some(None);
+    }
+    unesc(s).map(Some)
+}
+
+fn flag(b: bool) -> &'static str {
+    if b {
+        "t"
+    } else {
+        "f"
+    }
+}
+
+fn parse_flag(s: &str) -> Option<bool> {
+    match s {
+        "t" => Some(true),
+        "f" => Some(false),
+        _ => None,
+    }
+}
+
+/// Serialize one file's lint output.
+pub fn render(rel: &str, key: u64, findings: &[Finding], facts: &FileFacts) -> String {
+    let mut out = format!("nvsim-lint-cache {FORMAT} {key:016x} {}\n", esc(rel));
+    for f in findings {
+        out.push_str(&format!(
+            "F\t{}\t{}\t{}\t{}",
+            f.line,
+            f.col,
+            f.rule.id(),
+            esc(&f.message)
+        ));
+        for link in &f.chain {
+            out.push_str(&format!("\t{}", esc(link)));
+        }
+        out.push('\n');
+    }
+    for (variant, line) in &facts.defined {
+        out.push_str(&format!("D\t{}\t{line}\n", esc(variant)));
+    }
+    for variant in &facts.emitted {
+        out.push_str(&format!("E\t{}\n", esc(variant)));
+    }
+    for (rule, line) in &facts.allows {
+        out.push_str(&format!("A\t{}\t{line}\n", esc(rule)));
+    }
+    for (enm, variant, line) in &facts.proto_defined {
+        out.push_str(&format!("P\t{}\t{}\t{line}\n", esc(enm), esc(variant)));
+    }
+    for (enm, variant, kind) in &facts.proto_refs {
+        let k = match kind {
+            ProtoRef::Encode => "E",
+            ProtoRef::Decode => "D",
+            ProtoRef::Test => "T",
+        };
+        out.push_str(&format!("R\t{}\t{}\t{k}\n", esc(enm), esc(variant)));
+    }
+    for it in &facts.items {
+        out.push_str(&format!(
+            "I\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+            esc(&it.name),
+            opt(&it.owner),
+            opt(&it.of_trait),
+            it.line,
+            it.col,
+            flag(it.is_test),
+            flag(it.boundary)
+        ));
+        for c in &it.calls {
+            out.push_str(&format!(
+                "C\t{}\t{}\t{}\t{}\t{}\n",
+                esc(&c.name),
+                opt(&c.qual),
+                flag(c.method),
+                c.line,
+                c.col
+            ));
+        }
+        for p in &it.panics {
+            out.push_str(&format!(
+                "X\t{}\t{}\t{}\t{}\n",
+                esc(&p.what),
+                p.line,
+                p.col,
+                flag(p.sanctioned)
+            ));
+        }
+    }
+    for lf in &facts.lock_fns {
+        out.push_str(&format!("L\t{}\t{}\n", esc(&lf.name), opt(&lf.owner)));
+        for a in &lf.acquires {
+            out.push_str(&format!("Q\t{}\t{}\t{}\n", esc(&a.lock), a.line, a.col));
+        }
+        for e in &lf.edges {
+            out.push_str(&format!(
+                "G\t{}\t{}\t{}\t{}\n",
+                esc(&e.held),
+                esc(&e.then),
+                e.line,
+                e.col
+            ));
+        }
+        for hc in &lf.held_calls {
+            out.push_str(&format!(
+                "H\t{}\t{}\t{}\t{}\t{}\n",
+                esc(&hc.held),
+                esc(&hc.callee),
+                opt(&hc.qual),
+                hc.line,
+                hc.col
+            ));
+        }
+        for (name, qual) in &lf.calls {
+            out.push_str(&format!("K\t{}\t{}\n", esc(name), opt(qual)));
+        }
+    }
+    out
+}
+
+/// Parse a cache entry back; `None` on any irregularity (treated as miss).
+pub fn parse(text: &str, rel: &str, key: u64) -> Option<(Vec<Finding>, FileFacts)> {
+    let mut lines = text.lines();
+    let header = lines.next()?;
+    let mut h = header.split(' ');
+    if h.next()? != "nvsim-lint-cache" {
+        return None;
+    }
+    if h.next()?.parse::<u32>().ok()? != FORMAT {
+        return None;
+    }
+    if u64::from_str_radix(h.next()?, 16).ok()? != key {
+        return None;
+    }
+    if unesc(h.next()?)? != rel {
+        return None;
+    }
+    let mut findings = Vec::new();
+    let mut facts = FileFacts::default();
+    for line in lines {
+        let mut f = line.split('\t');
+        let tag = f.next()?;
+        let fields: Vec<&str> = f.collect();
+        match tag {
+            "F" => {
+                if fields.len() < 4 {
+                    return None;
+                }
+                let mut chain = Vec::new();
+                for link in &fields[4..] {
+                    chain.push(unesc(link)?);
+                }
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: fields[0].parse().ok()?,
+                    col: fields[1].parse().ok()?,
+                    rule: Rule::from_id(fields[2])?,
+                    message: unesc(fields[3])?,
+                    chain,
+                });
+            }
+            "D" => {
+                if fields.len() != 2 {
+                    return None;
+                }
+                facts
+                    .defined
+                    .push((unesc(fields[0])?, fields[1].parse().ok()?));
+            }
+            "E" => {
+                if fields.len() != 1 {
+                    return None;
+                }
+                facts.emitted.push(unesc(fields[0])?);
+            }
+            "A" => {
+                if fields.len() != 2 {
+                    return None;
+                }
+                facts
+                    .allows
+                    .push((unesc(fields[0])?, fields[1].parse().ok()?));
+            }
+            "P" => {
+                if fields.len() != 3 {
+                    return None;
+                }
+                facts.proto_defined.push((
+                    unesc(fields[0])?,
+                    unesc(fields[1])?,
+                    fields[2].parse().ok()?,
+                ));
+            }
+            "R" => {
+                if fields.len() != 3 {
+                    return None;
+                }
+                let kind = match fields[2] {
+                    "E" => ProtoRef::Encode,
+                    "D" => ProtoRef::Decode,
+                    "T" => ProtoRef::Test,
+                    _ => return None,
+                };
+                facts
+                    .proto_refs
+                    .push((unesc(fields[0])?, unesc(fields[1])?, kind));
+            }
+            "I" => {
+                if fields.len() != 7 {
+                    return None;
+                }
+                facts.items.push(FnItem {
+                    name: unesc(fields[0])?,
+                    owner: parse_opt(fields[1])?,
+                    of_trait: parse_opt(fields[2])?,
+                    line: fields[3].parse().ok()?,
+                    col: fields[4].parse().ok()?,
+                    is_test: parse_flag(fields[5])?,
+                    boundary: parse_flag(fields[6])?,
+                    body: None,
+                    calls: Vec::new(),
+                    panics: Vec::new(),
+                });
+            }
+            "C" => {
+                if fields.len() != 5 {
+                    return None;
+                }
+                let it = facts.items.last_mut()?;
+                it.calls.push(Call {
+                    name: unesc(fields[0])?,
+                    qual: parse_opt(fields[1])?,
+                    method: parse_flag(fields[2])?,
+                    line: fields[3].parse().ok()?,
+                    col: fields[4].parse().ok()?,
+                });
+            }
+            "X" => {
+                if fields.len() != 4 {
+                    return None;
+                }
+                let it = facts.items.last_mut()?;
+                it.panics.push(PanicSite {
+                    what: unesc(fields[0])?,
+                    line: fields[1].parse().ok()?,
+                    col: fields[2].parse().ok()?,
+                    sanctioned: parse_flag(fields[3])?,
+                });
+            }
+            "L" => {
+                if fields.len() != 2 {
+                    return None;
+                }
+                facts.lock_fns.push(LockFn {
+                    name: unesc(fields[0])?,
+                    owner: parse_opt(fields[1])?,
+                    ..LockFn::default()
+                });
+            }
+            "Q" => {
+                if fields.len() != 3 {
+                    return None;
+                }
+                let lf = facts.lock_fns.last_mut()?;
+                lf.acquires.push(LockAcq {
+                    lock: unesc(fields[0])?,
+                    line: fields[1].parse().ok()?,
+                    col: fields[2].parse().ok()?,
+                });
+            }
+            "G" => {
+                if fields.len() != 4 {
+                    return None;
+                }
+                let lf = facts.lock_fns.last_mut()?;
+                lf.edges.push(LockEdge {
+                    held: unesc(fields[0])?,
+                    then: unesc(fields[1])?,
+                    line: fields[2].parse().ok()?,
+                    col: fields[3].parse().ok()?,
+                });
+            }
+            "H" => {
+                if fields.len() != 5 {
+                    return None;
+                }
+                let lf = facts.lock_fns.last_mut()?;
+                lf.held_calls.push(HeldCall {
+                    held: unesc(fields[0])?,
+                    callee: unesc(fields[1])?,
+                    qual: parse_opt(fields[2])?,
+                    line: fields[3].parse().ok()?,
+                    col: fields[4].parse().ok()?,
+                });
+            }
+            "K" => {
+                if fields.len() != 2 {
+                    return None;
+                }
+                let lf = facts.lock_fns.last_mut()?;
+                lf.calls.push((unesc(fields[0])?, parse_opt(fields[1])?));
+            }
+            _ => return None,
+        }
+    }
+    Some((findings, facts))
+}
+
+/// Load a cache entry for `rel` if present and keyed to `key`.
+pub fn load(dir: &Path, rel: &str, key: u64) -> Option<(Vec<Finding>, FileFacts)> {
+    let text = fs::read_to_string(entry_path(dir, rel)).ok()?;
+    parse(&text, rel, key)
+}
+
+/// Write a cache entry (best-effort; cache failures never fail the lint).
+pub fn store(
+    dir: &Path,
+    rel: &str,
+    key: u64,
+    findings: &[Finding],
+    facts: &FileFacts,
+) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    fs::write(entry_path(dir, rel), render(rel, key, findings, facts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_findings_and_facts() {
+        let src = "
+            struct S { x: u32 }
+            impl Snapshot for S {
+                fn save(&self, w: &mut W) { helper(self.x); }
+                fn restore(&mut self, r: &mut R) -> Out { self.x = r.u32()?; Ok(()) }
+            }
+            fn helper(v: u32) {}
+        ";
+        let (findings, facts) = crate::rules::lint_file(
+            "crates/x/src/s.rs",
+            src,
+            crate::rules::FileClass::Simulation,
+        );
+        let key = key_for("crates/x/src/s.rs", src);
+        let text = render("crates/x/src/s.rs", key, &findings, &facts);
+        let (f2, facts2) = parse(&text, "crates/x/src/s.rs", key).expect("roundtrip parses");
+        assert_eq!(findings.len(), f2.len());
+        assert_eq!(facts.items.len(), facts2.items.len());
+        for (a, b) in facts.items.iter().zip(&facts2.items) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.owner, b.owner);
+            assert_eq!(a.of_trait, b.of_trait);
+            assert_eq!(a.calls.len(), b.calls.len());
+        }
+    }
+
+    #[test]
+    fn wrong_key_or_garbage_is_a_miss() {
+        let facts = FileFacts::default();
+        let text = render("a.rs", 7, &[], &facts);
+        assert!(parse(&text, "a.rs", 7).is_some());
+        assert!(parse(&text, "a.rs", 8).is_none(), "key mismatch");
+        assert!(parse(&text, "b.rs", 7).is_none(), "path mismatch");
+        assert!(parse("junk\n", "a.rs", 7).is_none());
+        assert!(
+            parse(
+                &text.replace("nvsim-lint-cache 1", "nvsim-lint-cache 0"),
+                "a.rs",
+                7
+            )
+            .is_none(),
+            "format mismatch"
+        );
+    }
+
+    #[test]
+    fn escaping_roundtrips_messages_with_tabs_and_newlines() {
+        let s = "a\tb\nc\\d\re";
+        assert_eq!(unesc(&esc(s)).as_deref(), Some(s));
+    }
+
+    #[test]
+    fn keys_differ_by_path_and_content() {
+        assert_ne!(key_for("a.rs", "x"), key_for("a.rs", "y"));
+        assert_ne!(key_for("a.rs", "x"), key_for("b.rs", "x"));
+    }
+}

@@ -1,26 +1,41 @@
-//! CLI driver: `cargo run -p nvsim-lint [-- --root DIR --baseline FILE --format text|json]`.
+//! CLI driver:
+//! `cargo run -p nvsim-lint [-- --root DIR --baseline FILE --format text|json|github --no-cache]`.
 //!
 //! Exit status: 0 when clean (no new findings, no stale/malformed baseline
 //! entries), 1 on findings, 2 on usage or I/O errors. `--format json` also
 //! writes the report to `results/lint.json` under the workspace root so CI
-//! can diff it against the checked-in copy.
+//! can diff it against the checked-in copy. `--format github` emits GitHub
+//! Actions `::error` annotations so findings surface inline on PR diffs.
+//!
+//! Unchanged files replay from the incremental cache under
+//! `target/nvsim-lint-cache/` (disable with `--no-cache`). Cache hit/miss
+//! counts go to stderr only — stdout is byte-identical cold vs. warm.
 
 use std::env;
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Github,
+}
+
 struct Opts {
     root: Option<PathBuf>,
     baseline: Option<PathBuf>,
-    json: bool,
+    format: Format,
+    no_cache: bool,
 }
 
 fn parse_args() -> Result<Opts, String> {
     let mut opts = Opts {
         root: None,
         baseline: None,
-        json: false,
+        format: Format::Text,
+        no_cache: false,
     };
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -34,15 +49,16 @@ fn parse_args() -> Result<Opts, String> {
                 opts.baseline = Some(PathBuf::from(v));
             }
             "--format" => match args.next().as_deref() {
-                Some("text") => opts.json = false,
-                Some("json") => opts.json = true,
-                _ => return Err("--format expects `text` or `json`".to_string()),
+                Some("text") => opts.format = Format::Text,
+                Some("json") => opts.format = Format::Json,
+                Some("github") => opts.format = Format::Github,
+                _ => return Err("--format expects `text`, `json`, or `github`".to_string()),
             },
+            "--no-cache" => opts.no_cache = true,
             "--help" | "-h" => {
-                return Err(
-                    "usage: nvsim-lint [--root DIR] [--baseline FILE] [--format text|json]"
-                        .to_string(),
-                )
+                return Err("usage: nvsim-lint [--root DIR] [--baseline FILE] \
+                     [--format text|json|github] [--no-cache]"
+                    .to_string())
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -72,25 +88,39 @@ fn main() -> ExitCode {
     let baseline = opts
         .baseline
         .unwrap_or_else(|| root.join("lint-baseline.txt"));
-    let report = match nvsim_lint::lint_workspace(&root, &baseline) {
+    let cache_dir = root.join("target").join("nvsim-lint-cache");
+    let cache = if opts.no_cache {
+        None
+    } else {
+        Some(cache_dir.as_path())
+    };
+    let (report, stats) = match nvsim_lint::lint_workspace_with(&root, &baseline, cache) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("nvsim-lint: {e}");
             return ExitCode::from(2);
         }
     };
-    if opts.json {
-        let json = report.render_json();
-        let out_dir = root.join("results");
-        let write =
-            fs::create_dir_all(&out_dir).and_then(|_| fs::write(out_dir.join("lint.json"), &json));
-        if let Err(e) = write {
-            eprintln!("nvsim-lint: failed to write results/lint.json: {e}");
-            return ExitCode::from(2);
+    if !opts.no_cache {
+        eprintln!(
+            "nvsim-lint: cache {} hit(s), {} miss(es)",
+            stats.hits, stats.misses
+        );
+    }
+    match opts.format {
+        Format::Json => {
+            let json = report.render_json();
+            let out_dir = root.join("results");
+            let write = fs::create_dir_all(&out_dir)
+                .and_then(|_| fs::write(out_dir.join("lint.json"), &json));
+            if let Err(e) = write {
+                eprintln!("nvsim-lint: failed to write results/lint.json: {e}");
+                return ExitCode::from(2);
+            }
+            print!("{json}");
         }
-        print!("{json}");
-    } else {
-        print!("{}", report.render_text());
+        Format::Github => print!("{}", report.render_github()),
+        Format::Text => print!("{}", report.render_text()),
     }
     if report.is_clean() {
         ExitCode::SUCCESS

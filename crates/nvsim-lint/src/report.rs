@@ -9,8 +9,10 @@ pub struct Report {
     pub new: Vec<Finding>,
     /// Findings suppressed by justified baseline entries.
     pub grandfathered: Vec<Finding>,
-    /// Baseline entries that matched nothing (drift: the file should shrink).
-    pub stale: Vec<(String, String, u32)>,
+    /// Baseline entries that matched nothing (drift: the file should
+    /// shrink), as `(rule, path, line, file_exists)` — `file_exists` is
+    /// false when the entry points at a file no longer in the workspace.
+    pub stale: Vec<(String, String, u32, bool)>,
     /// Unparsable baseline lines.
     pub malformed_baseline: Vec<(u32, String)>,
     /// Number of files scanned.
@@ -18,19 +20,23 @@ pub struct Report {
 }
 
 impl Report {
+    /// `file_exists` answers "is this workspace-relative path still a file
+    /// on disk" — stale entries pointing into deleted files are kept and
+    /// flagged, never silently dropped.
     pub fn from_parts(
         new: Vec<Finding>,
         grandfathered: Vec<Finding>,
         stale: &[&BaselineEntry],
         malformed: &[(u32, String)],
         files_scanned: usize,
+        file_exists: &dyn Fn(&str) -> bool,
     ) -> Report {
         Report {
             new,
             grandfathered,
             stale: stale
                 .iter()
-                .map(|e| (e.rule.clone(), e.path.clone(), e.line))
+                .map(|e| (e.rule.clone(), e.path.clone(), e.line, file_exists(&e.path)))
                 .collect(),
             malformed_baseline: malformed.to_vec(),
             files_scanned,
@@ -58,9 +64,14 @@ impl Report {
                 out.push_str(&format!("    via {link}\n"));
             }
         }
-        for (rule, path, line) in &self.stale {
+        for (rule, path, line, exists) in &self.stale {
+            let why = if *exists {
+                "matches no finding"
+            } else {
+                "points at a file that no longer exists"
+            };
             out.push_str(&format!(
-                "lint-baseline.txt: stale entry `{rule} {path}:{line}` matches no finding — remove it\n"
+                "lint-baseline.txt: stale entry `{rule} {path}:{line}` {why} — remove it\n"
             ));
         }
         for (line, text) in &self.malformed_baseline {
@@ -80,12 +91,14 @@ impl Report {
 
     /// Stable JSON (keys in fixed order, findings pre-sorted by the caller).
     ///
-    /// `"schema": 2` — v2 adds the schema marker, the `rules` inventory and
-    /// per-finding `"chain"` call-path evidence (R7). Consumers must treat
-    /// an absent `schema` key as v1.
+    /// `"schema": 3` — v3 grows the `rules` inventory to the R11–R14
+    /// semantic rules, reuses the per-finding `"chain"` field for R12
+    /// lock-cycle evidence (R7 call paths since v2), and adds
+    /// `"file_exists"` to stale-baseline rows. v2 added the schema marker
+    /// itself; consumers must treat an absent `schema` key as v1.
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": 2,\n");
+        out.push_str("  \"schema\": 3,\n");
         out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
         out.push_str(&format!("  \"new_count\": {},\n", self.new.len()));
         out.push_str(&format!(
@@ -133,12 +146,13 @@ impl Report {
         let stale_rows: Vec<String> = self
             .stale
             .iter()
-            .map(|(rule, path, line)| {
+            .map(|(rule, path, line, exists)| {
                 format!(
-                    "    {{\"rule\": {}, \"path\": {}, \"line\": {}}}",
+                    "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"file_exists\": {}}}",
                     json_str(rule),
                     json_str(path),
-                    line
+                    line,
+                    exists
                 )
             })
             .collect();
@@ -149,6 +163,68 @@ impl Report {
         out.push_str("  ]\n}\n");
         out
     }
+
+    /// GitHub Actions workflow-command annotations: one
+    /// `::error file=…,line=…,col=…,title=…::message` line per failure, so
+    /// findings surface inline on the PR diff. Grandfathered findings are
+    /// omitted (they do not fail the run); stale/malformed baseline lines
+    /// annotate the baseline file itself.
+    pub fn render_github(&self) -> String {
+        let mut out = String::new();
+        for f in &self.new {
+            let mut message = f.message.clone();
+            for link in &f.chain {
+                message.push_str(&format!("\nvia {link}"));
+            }
+            out.push_str(&format!(
+                "::error file={},line={},col={},title={}::{}\n",
+                gh_prop(&f.file),
+                f.line,
+                f.col,
+                gh_prop(&format!("nvsim-lint {}", f.rule.id())),
+                gh_data(&message)
+            ));
+        }
+        for (rule, path, line, exists) in &self.stale {
+            let why = if *exists {
+                "matches no finding"
+            } else {
+                "points at a file that no longer exists"
+            };
+            out.push_str(&format!(
+                "::error file=lint-baseline.txt,title={}::{}\n",
+                gh_prop("nvsim-lint stale-baseline"),
+                gh_data(&format!(
+                    "stale entry `{rule} {path}:{line}` {why} — remove it"
+                ))
+            ));
+        }
+        for (line, text) in &self.malformed_baseline {
+            out.push_str(&format!(
+                "::error file=lint-baseline.txt,line={},title={}::{}\n",
+                line,
+                gh_prop("nvsim-lint malformed-baseline"),
+                gh_data(&format!("malformed baseline entry: {text}"))
+            ));
+        }
+        out
+    }
+}
+
+/// Escape a workflow-command property value (`%`, CR, LF, `:`, `,`).
+fn gh_prop(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
+        .replace(':', "%3A")
+        .replace(',', "%2C")
+}
+
+/// Escape workflow-command message data (`%`, CR, LF).
+fn gh_data(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
 }
 
 /// Minimal JSON string escaping (the only non-trivial content is messages).
@@ -168,4 +244,56 @@ fn json_str(s: &str) -> String {
     }
     out.push('"');
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn finding() -> Finding {
+        Finding {
+            file: "crates/x/src/a.rs".to_string(),
+            line: 7,
+            col: 3,
+            rule: Rule::LockOrder,
+            message: "cycle A, 50%: b".to_string(),
+            chain: vec!["a.rs:1 lock(x)".to_string()],
+        }
+    }
+
+    #[test]
+    fn github_annotation_escapes_properties_and_data() {
+        let report = Report {
+            new: vec![finding()],
+            stale: vec![("lock-order".to_string(), "gone.rs".to_string(), 2, false)],
+            malformed_baseline: vec![(9, "junk line".to_string())],
+            files_scanned: 1,
+            ..Report::default()
+        };
+        let gh = report.render_github();
+        let lines: Vec<&str> = gh.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // Message data escapes `%` and newlines (the chain link rides along
+        // as an escaped LF) but keeps `:` and `,` — only property values
+        // escape those.
+        assert_eq!(
+            lines[0],
+            "::error file=crates/x/src/a.rs,line=7,col=3,\
+             title=nvsim-lint lock-order::cycle A, 50%25: b%0Avia a.rs:1 lock(x)"
+        );
+        assert!(lines[1].starts_with("::error file=lint-baseline.txt,title=nvsim-lint stale-baseline::"));
+        assert!(lines[1].contains("no longer exists"));
+        assert!(lines[2].contains("malformed baseline entry"));
+    }
+
+    #[test]
+    fn github_output_is_empty_when_clean() {
+        let report = Report {
+            grandfathered: vec![finding()],
+            files_scanned: 1,
+            ..Report::default()
+        };
+        assert!(report.render_github().is_empty());
+    }
 }

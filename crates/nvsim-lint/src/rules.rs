@@ -10,16 +10,24 @@
 //!   R8  `unsafe-undocumented`       — every `unsafe` carries a SAFETY: rationale
 //!   R9  `cast-truncation`           — no narrowing `as` casts on sim paths
 //!   R10 `sync-on-simpath`           — no locks/atomics/threads in simulator crates
+//!   R11 `snapshot-field-coverage`   — every field of a `Snapshot` type saved & restored
+//!   R12 `lock-order`                — no lock-acquisition cycles in Driver code
+//!   R13 `ptr-as-int`                — no pointer-to-integer casts on sim paths
+//!   R14 `protocol-coverage`         — every wire variant encoded, decoded, and tested
 //!       `bad-annotation`            — malformed/unjustified allow annotations
 //!
-//! R1–R3, R8–R10 are token-level per-file checks. R4 and R7 are semantic:
-//! they run over the item tree ([`crate::items`]) and the workspace call
-//! graph ([`crate::callgraph`]).
+//! R1–R3, R8–R10 and R13 are token-level per-file checks. R4 and R11 are
+//! per-file semantic checks over the item tree ([`crate::items`]); R7, R12
+//! and R14 are workspace-level: they run over the call graph
+//! ([`crate::callgraph`]), the Driver lock graph ([`crate::locks`]) and
+//! the aggregated protocol-reference facts respectively.
 
 use crate::callgraph::Graph;
-use crate::items::{parse_items, FnItem};
+use crate::items::{parse_items, parse_types, FnItem, TypeDef};
 use crate::lexer::{lex, Tok, TokKind};
+use crate::locks::{self, LockFn};
 use crate::scope::{allows, test_mask, Allow};
+use std::collections::BTreeSet;
 
 /// Rule identifiers, ordered as in the catalog.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -33,10 +41,14 @@ pub enum Rule {
     UnsafeUndocumented,
     CastTruncation,
     SyncOnSimPath,
+    SnapshotFieldCoverage,
+    LockOrder,
+    PtrAsInt,
+    ProtocolCoverage,
     BadAnnotation,
 }
 
-pub const ALL_RULES: [Rule; 10] = [
+pub const ALL_RULES: [Rule; 14] = [
     Rule::UnorderedMap,
     Rule::WallClock,
     Rule::PanicPath,
@@ -46,6 +58,10 @@ pub const ALL_RULES: [Rule; 10] = [
     Rule::UnsafeUndocumented,
     Rule::CastTruncation,
     Rule::SyncOnSimPath,
+    Rule::SnapshotFieldCoverage,
+    Rule::LockOrder,
+    Rule::PtrAsInt,
+    Rule::ProtocolCoverage,
     Rule::BadAnnotation,
 ];
 
@@ -61,6 +77,10 @@ impl Rule {
             Rule::UnsafeUndocumented => "unsafe-undocumented",
             Rule::CastTruncation => "cast-truncation",
             Rule::SyncOnSimPath => "sync-on-simpath",
+            Rule::SnapshotFieldCoverage => "snapshot-field-coverage",
+            Rule::LockOrder => "lock-order",
+            Rule::PtrAsInt => "ptr-as-int",
+            Rule::ProtocolCoverage => "protocol-coverage",
             Rule::BadAnnotation => "bad-annotation",
         }
     }
@@ -111,6 +131,31 @@ impl Rule {
                  is single-threaded by construction and sync primitives smuggle in \
                  scheduling-dependent behavior; parallelism lives in the bench runner only"
             }
+            Rule::SnapshotFieldCoverage => {
+                "a field of a `Snapshot` type that is not written in `save` and read back \
+                 in `restore` silently drifts out of the checkpoint: SMARTS resume and \
+                 serve-session parking then diverge from an uninterrupted run. Reference \
+                 the field on both sides, or annotate the field with a written argument \
+                 that it is derived/transient and rebuilt without snapshot state"
+            }
+            Rule::LockOrder => {
+                "two locks acquired in opposite orders on different paths (directly or \
+                 through a call made while a guard is held) can deadlock the worker pool \
+                 under contention; keep a single global acquisition order or drop the \
+                 first guard before taking the second"
+            }
+            Rule::PtrAsInt => {
+                "casting a reference or pointer to an integer launders the allocation \
+                 address into a value: ASLR then feeds a different number into every run \
+                 and any simulated quantity derived from it breaks byte-identical \
+                 reproducibility"
+            }
+            Rule::ProtocolCoverage => {
+                "a wire-protocol variant with no encode site, no decode arm, or no \
+                 round-trip test reference is a silent compatibility gap: the first \
+                 client to send it gets a decode error or a skewed frame instead of a \
+                 versioned rejection"
+            }
             Rule::BadAnnotation => {
                 "nvsim-lint annotations must name a known rule and carry a written \
                  justification; an unexplained allow is indistinguishable from a mistake"
@@ -134,7 +179,11 @@ pub enum FileClass {
     Driver,
     /// Examples: R4 only (they demonstrate the public API).
     Example,
-    /// Shims, tests, benches: skipped entirely.
+    /// Integration-test trees: no rules apply, but the files are scanned
+    /// for R14 round-trip-test references (a protocol variant exercised
+    /// only from `tests/` still counts as tested).
+    TestRef,
+    /// Shims, benches: skipped entirely.
     Skip,
 }
 
@@ -146,10 +195,15 @@ pub fn classify(rel: &str) -> FileClass {
     if rel.contains("crates/shims/") {
         return FileClass::Skip;
     }
-    // Test and bench trees are exempt from all rules (and from R5 reference
-    // counting: a span emitted only by a test does not make a variant "covered").
+    // Test trees are exempt from every rule (and from R5 reference
+    // counting: a span emitted only by a test does not make a variant
+    // "covered") but still contribute R14 test-reference facts. Bench
+    // trees are skipped entirely.
     let in_dir = |d: &str| rel.starts_with(&format!("{d}/")) || rel.contains(&format!("/{d}/"));
-    if in_dir("tests") || in_dir("benches") {
+    if in_dir("tests") {
+        return FileClass::TestRef;
+    }
+    if in_dir("benches") {
         return FileClass::Skip;
     }
     if in_dir("examples") {
@@ -179,12 +233,25 @@ pub struct Finding {
     pub col: u32,
     pub rule: Rule,
     pub message: String,
-    /// Call-chain evidence (R7 only): caller first, panic site last.
+    /// Chain evidence: the R7 call path (caller first, panic site last) or
+    /// the R12 lock-acquisition cycle (first lock repeated at the end).
     pub chain: Vec<String>,
 }
 
-/// Per-file facts feeding the workspace-level passes (R5 stage coverage and
-/// the R7 call graph).
+/// Classification of a protocol-variant reference site (R14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtoRef {
+    /// Referenced inside an `*encode*` function.
+    Encode,
+    /// Referenced inside a `*decode*` function.
+    Decode,
+    /// Referenced from test code (a `#[cfg(test)]` region or a `tests/`
+    /// tree file).
+    Test,
+}
+
+/// Per-file facts feeding the workspace-level passes (R5 stage coverage,
+/// the R7 call graph, R12 lock order, R14 protocol coverage).
 #[derive(Debug, Default)]
 pub struct FileFacts {
     /// `(variant, line)` pairs from the `enum Stage` definition, if this
@@ -196,10 +263,33 @@ pub struct FileFacts {
     /// Parsed function items (simulation-class files only) for the
     /// workspace call graph.
     pub items: Vec<FnItem>,
+    /// Justified allow annotations `(rule id, applies line)` — consulted by
+    /// workspace-level passes whose findings anchor in this file.
+    pub allows: Vec<(String, u32)>,
+    /// Wire-protocol enum variants `(enum, variant, line)` defined here
+    /// (populated only for the protocol definition file).
+    pub proto_defined: Vec<(String, String, u32)>,
+    /// Protocol variant reference sites `(enum, variant, kind)`.
+    pub proto_refs: Vec<(String, String, ProtoRef)>,
+    /// Per-function lock facts (Driver-class files only) for R12.
+    pub lock_fns: Vec<LockFn>,
 }
 
 /// Path suffix identifying the `Stage` definition file.
 const STAGE_DEF_FILE: &str = "nvsim-types/src/trace.rs";
+
+/// Path suffix identifying the wire-protocol definition file (R14).
+const PROTOCOL_DEF_FILE: &str = "nvsim-serve/src/protocol.rs";
+
+/// The wire-protocol enums whose variants R14 tracks.
+const PROTOCOL_ENUMS: [&str; 2] = ["Command", "Response"];
+
+/// Integer target types of an R13 pointer cast. Wider than R9's narrowing
+/// list: a pointer laundered through `as u64`/`as usize` is exactly the
+/// nondeterminism R13 exists to stop.
+const PTR_CAST_INTS: [&str; 12] = [
+    "usize", "u64", "u32", "u16", "u8", "isize", "i64", "i32", "i16", "i8", "u128", "i128",
+];
 
 /// Path suffix of the completion-bookkeeping module: the one place allowed
 /// to define and wrap `expect_completion` without a paired submit (the
@@ -237,6 +327,16 @@ pub fn lint_file(rel: &str, src: &str, class: FileClass) -> (Vec<Finding>, FileF
     let mut findings = Vec::new();
     let mut facts = FileFacts::default();
     if class == FileClass::Skip {
+        return (findings, facts);
+    }
+    if class == FileClass::TestRef {
+        // Test trees contribute only R14 test-reference facts, and only
+        // the serve crate's tests can exercise the wire protocol.
+        if rel.contains("crates/nvsim-serve/") {
+            let toks = lex(src);
+            let mask = test_mask(&toks);
+            facts.proto_refs = proto_refs(&toks, &mask, &[], class);
+        }
         return (findings, facts);
     }
     let toks = lex(src);
@@ -440,8 +540,58 @@ pub fn lint_file(rel: &str, src: &str, class: FileClass) -> (Vec<Finding>, FileF
         }
     }
 
+    // R13 — pointer-to-integer casts (simulation only).
+    if class == FileClass::Simulation {
+        for (line, col, what) in ptr_as_int_sites(&toks, &mask) {
+            push(
+                Rule::PtrAsInt,
+                line,
+                col,
+                format!("{what}: {}", Rule::PtrAsInt.rationale()),
+            );
+        }
+    }
+
     // Item tree: feeds R4 here and the workspace call graph (R7) upstream.
     facts.items = parse_items(&toks, &mask, &allow_list);
+
+    // R11 — snapshot field coverage: every field (or enum variant) of a
+    // type with an `impl Snapshot` in this file must be referenced in both
+    // the save and the restore body (including same-file helper fns the
+    // bodies call). All workspace `Snapshot` impls live beside their type
+    // definition, so the check is per-file.
+    if class == FileClass::Simulation {
+        let typedefs = parse_types(&toks, &mask);
+        for def in &typedefs {
+            snapshot_field_coverage(&toks, &facts.items, def, &mut |line, col, msg| {
+                push(Rule::SnapshotFieldCoverage, line, col, msg);
+            });
+        }
+
+        // R14 facts — definition side (the protocol file) and reference
+        // sides (encode/decode bodies anywhere in the serve crate).
+        if rel.ends_with(PROTOCOL_DEF_FILE) {
+            for def in typedefs
+                .iter()
+                .filter(|d| d.is_enum && PROTOCOL_ENUMS.contains(&d.name.as_str()))
+            {
+                for v in &def.fields {
+                    facts
+                        .proto_defined
+                        .push((def.name.clone(), v.name.clone(), v.line));
+                }
+            }
+        }
+        if rel.contains("crates/nvsim-serve/") {
+            facts.proto_refs = proto_refs(&toks, &mask, &facts.items, class);
+        }
+    }
+
+    // R12 facts — lock acquisitions and guard extents (Driver files only;
+    // R10 keeps everything else lock-free).
+    if class == FileClass::Driver {
+        facts.lock_fns = locks::collect(&toks, &mask, &facts.items);
+    }
 
     // R4 — expect_completion outside the completion-bookkeeping module must
     // sit in a function that submits the request itself; anywhere else the
@@ -477,7 +627,277 @@ pub fn lint_file(rel: &str, src: &str, class: FileClass) -> (Vec<Finding>, FileF
         annotation_finding(rel, a, &mut findings);
     }
 
+    // Export justified allows for workspace-level passes (R12/R14) whose
+    // findings anchor back into this file.
+    facts.allows = allow_list
+        .iter()
+        .filter(|a| a.has_reason)
+        .map(|a| (a.rule.clone(), a.applies_line))
+        .collect();
+
     (findings, facts)
+}
+
+/// R11 core: check one type definition against its `impl Snapshot` bodies.
+fn snapshot_field_coverage(
+    toks: &[Tok],
+    items: &[FnItem],
+    def: &TypeDef,
+    emit: &mut dyn FnMut(u32, u32, String),
+) {
+    let side = |fn_name: &str| -> Option<BTreeSet<String>> {
+        let start = items.iter().position(|f| {
+            !f.is_test
+                && f.name == fn_name
+                && f.of_trait.as_deref() == Some("Snapshot")
+                && f.owner.as_deref() == Some(def.name.as_str())
+        })?;
+        Some(reachable_idents(toks, items, start))
+    };
+    // Only types with both trait fns in this file are checked; the trait
+    // requires both, so a lone side means the impl lives elsewhere.
+    let (Some(saved), Some(restored)) = (side("save"), side("restore")) else {
+        return;
+    };
+    let what = if def.is_enum { "variant" } else { "field" };
+    for field in &def.fields {
+        let in_save = saved.contains(&field.name);
+        let in_restore = restored.contains(&field.name);
+        if in_save && in_restore {
+            continue;
+        }
+        let missing = match (in_save, in_restore) {
+            (false, false) => "either the save or the restore body",
+            (false, true) => "the save body",
+            _ => "the restore body",
+        };
+        emit(
+            field.line,
+            field.col,
+            format!(
+                "{what} `{}` of `{}` (impl Snapshot) is not referenced in {missing}: {}",
+                field.name,
+                def.name,
+                Rule::SnapshotFieldCoverage.rationale()
+            ),
+        );
+    }
+}
+
+/// Identifiers reachable from `items[start]`'s body: the body's own idents
+/// plus those of same-file helper functions it calls (BFS, name-based with
+/// qualified narrowing). Calls into *other types'* `save`/`restore` impls
+/// are not followed — a field forwarding its own snapshot appears as
+/// `self.field.save(w)`, so the field ident is already direct evidence,
+/// and following the sibling impl would credit its fields to this type.
+fn reachable_idents(toks: &[Tok], items: &[FnItem], start: usize) -> BTreeSet<String> {
+    let mut idents = BTreeSet::new();
+    let mut seen: BTreeSet<usize> = BTreeSet::new();
+    seen.insert(start);
+    let mut queue = vec![start];
+    while let Some(fi) = queue.pop() {
+        let f = &items[fi];
+        if let Some((b0, b1)) = f.body {
+            for t in toks.iter().take(b1 + 1).skip(b0) {
+                if t.kind == TokKind::Ident {
+                    idents.insert(t.text.clone());
+                }
+            }
+        }
+        for c in &f.calls {
+            if c.method && (c.name == "save" || c.name == "restore") {
+                continue;
+            }
+            for (gi, g) in items.iter().enumerate() {
+                if g.is_test || g.name != c.name {
+                    continue;
+                }
+                if let Some(q) = &c.qual {
+                    if q != "Self" && g.owner.as_deref() != Some(q.as_str()) {
+                        continue;
+                    }
+                }
+                if seen.insert(gi) {
+                    queue.push(gi);
+                }
+            }
+        }
+    }
+    idents
+}
+
+/// R13 scan: pointer-to-integer cast sites `(line, col, description)`.
+///
+/// Two patterns are recognized — `.as_ptr() as <int>` (and `as_mut_ptr`)
+/// and the cast chain `… as *const T as <int>` / `… as *mut T as <int>`.
+/// A bare `p as usize` on an already-pointer-typed binding needs type
+/// inference and is out of scope; the workspace idiom for sanctioned
+/// widening (`n as u64` on integers) is untouched.
+fn ptr_as_int_sites(toks: &[Tok], mask: &[bool]) -> Vec<(u32, u32, String)> {
+    let code: Vec<usize> = (0..toks.len())
+        .filter(|&i| toks[i].kind != TokKind::Comment)
+        .collect();
+    let mut out = Vec::new();
+    for k in 0..code.len() {
+        let i = code[k];
+        if mask[i] || !toks[i].is_ident("as") {
+            continue;
+        }
+        let Some(&ni) = code.get(k + 1) else {
+            continue;
+        };
+        if toks[ni].kind != TokKind::Ident || !PTR_CAST_INTS.contains(&toks[ni].text.as_str()) {
+            continue;
+        }
+        let int_ty = toks[ni].text.as_str();
+        // `.as_ptr() as usize` — the pointer came from a method one step back.
+        let from_as_ptr = k >= 4
+            && toks[code[k - 1]].is_punct(')')
+            && toks[code[k - 2]].is_punct('(')
+            && (toks[code[k - 3]].is_ident("as_ptr") || toks[code[k - 3]].is_ident("as_mut_ptr"))
+            && toks[code[k - 4]].is_punct('.');
+        if from_as_ptr {
+            out.push((
+                toks[i].line,
+                toks[i].col,
+                format!("`.{}() as {int_ty}` pointer cast", toks[code[k - 3]].text),
+            ));
+            continue;
+        }
+        // `… as *const T as usize` — walk back over the pointee type to the
+        // raw-pointer cast that produced the value.
+        let mut j = k;
+        let mut steps = 0usize;
+        let from_raw_cast = loop {
+            if j == 0 || steps > 16 {
+                break false;
+            }
+            j -= 1;
+            steps += 1;
+            let t = &toks[code[j]];
+            let type_ish = (t.kind == TokKind::Ident
+                && !matches!(t.text.as_str(), "const" | "mut" | "as"))
+                || t.is_punct(':')
+                || t.is_punct('<')
+                || t.is_punct('>')
+                || t.is_punct('[')
+                || t.is_punct(']')
+                || t.is_punct(';')
+                || t.kind == TokKind::Lifetime
+                || t.kind == TokKind::Num;
+            if type_ish {
+                continue;
+            }
+            break t.kind == TokKind::Ident
+                && matches!(t.text.as_str(), "const" | "mut")
+                && j >= 2
+                && toks[code[j - 1]].is_punct('*')
+                && toks[code[j - 2]].is_ident("as");
+        };
+        if from_raw_cast {
+            out.push((
+                toks[i].line,
+                toks[i].col,
+                format!(
+                    "`as *{} _ as {int_ty}` pointer cast chain",
+                    toks[code[j]].text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// R14 reference scan: `Command::X` / `Response::X` sites classified as
+/// encode, decode, or test references. Test-masked regions and `tests/`
+/// files count as Test; unmasked sites count only inside a fn whose name
+/// contains `encode`/`decode` (plain match arms in session handling are
+/// usage, not wire coverage).
+fn proto_refs(
+    toks: &[Tok],
+    mask: &[bool],
+    items: &[FnItem],
+    class: FileClass,
+) -> Vec<(String, String, ProtoRef)> {
+    let code: Vec<usize> = (0..toks.len())
+        .filter(|&i| toks[i].kind != TokKind::Comment)
+        .collect();
+    let mut out = Vec::new();
+    if code.len() < 4 {
+        return out;
+    }
+    for k in 0..code.len() - 3 {
+        let t = &toks[code[k]];
+        if t.kind != TokKind::Ident || !PROTOCOL_ENUMS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if !toks[code[k + 1]].is_punct(':') || !toks[code[k + 2]].is_punct(':') {
+            continue;
+        }
+        let v = &toks[code[k + 3]];
+        if v.kind != TokKind::Ident || !v.text.chars().next().is_some_and(|c| c.is_uppercase()) {
+            continue;
+        }
+        let kind = if class == FileClass::TestRef || mask[code[k]] {
+            ProtoRef::Test
+        } else {
+            let i = code[k];
+            let enclosing = items
+                .iter()
+                .filter(|f| f.body.is_some_and(|(b0, b1)| b0 <= i && i <= b1))
+                .min_by_key(|f| f.body.map(|(b0, b1)| b1 - b0).unwrap_or(usize::MAX));
+            match enclosing {
+                Some(f) if f.name.contains("encode") => ProtoRef::Encode,
+                Some(f) if f.name.contains("decode") => ProtoRef::Decode,
+                _ => continue,
+            }
+        };
+        out.push((t.text.clone(), v.text.clone(), kind));
+    }
+    out
+}
+
+/// Workspace-level R14: every protocol variant needs an encode site, a
+/// decode arm, and a round-trip test reference.
+pub fn protocol_coverage(
+    def_file: &str,
+    defined: &[(String, String, u32)],
+    refs: &[(String, String, ProtoRef)],
+    allowed: &dyn Fn(u32) -> bool,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (enm, variant, line) in defined {
+        let has = |kind: ProtoRef| {
+            refs.iter()
+                .any(|(e, v, k)| e == enm && v == variant && *k == kind)
+        };
+        let mut missing = Vec::new();
+        if !has(ProtoRef::Encode) {
+            missing.push("an encode site");
+        }
+        if !has(ProtoRef::Decode) {
+            missing.push("a decode arm");
+        }
+        if !has(ProtoRef::Test) {
+            missing.push("a round-trip test reference");
+        }
+        if missing.is_empty() || allowed(*line) {
+            continue;
+        }
+        out.push(Finding {
+            file: def_file.to_string(),
+            line: *line,
+            col: 1,
+            rule: Rule::ProtocolCoverage,
+            message: format!(
+                "`{enm}::{variant}` is missing {}: {}",
+                missing.join(", "),
+                Rule::ProtocolCoverage.rationale()
+            ),
+            chain: Vec::new(),
+        });
+    }
+    out
 }
 
 fn annotation_finding(rel: &str, a: &Allow, findings: &mut Vec<Finding>) {
@@ -539,9 +959,13 @@ fn stage_variants(toks: &[Tok]) -> Vec<(String, u32)> {
 }
 
 /// Workspace-level R5: every defined Stage variant must be emitted somewhere.
-pub fn stage_coverage(def_file: &str, facts: &FileFacts, emitted_all: &[String]) -> Vec<Finding> {
+pub fn stage_coverage(
+    def_file: &str,
+    defined: &[(String, u32)],
+    emitted_all: &[String],
+) -> Vec<Finding> {
     let mut out = Vec::new();
-    for (variant, line) in &facts.defined {
+    for (variant, line) in defined {
         if !emitted_all.iter().any(|e| e == variant) {
             out.push(Finding {
                 file: def_file.to_string(),
@@ -563,24 +987,54 @@ pub fn stage_coverage(def_file: &str, facts: &FileFacts, emitted_all: &[String])
 /// fixture tests). Paths are workspace-relative, `/`-separated. Findings are
 /// sorted deterministically.
 pub fn lint_sources<'a>(files: impl IntoIterator<Item = (&'a str, &'a str)>) -> Vec<Finding> {
+    let per_file: Vec<(String, Vec<Finding>, FileFacts)> = files
+        .into_iter()
+        .map(|(rel, src)| {
+            let (f, facts) = lint_file(rel, src, classify(rel));
+            (rel.to_string(), f, facts)
+        })
+        .collect();
+    aggregate(per_file)
+}
+
+/// Combine per-file results (fresh from [`lint_file`] or replayed from the
+/// incremental cache) and run the workspace-level passes: R5 stage
+/// coverage, the R7 call graph, the R12 lock graph, and R14 protocol
+/// coverage. Findings come back deterministically sorted.
+pub fn aggregate(per_file: Vec<(String, Vec<Finding>, FileFacts)>) -> Vec<Finding> {
     let mut findings = Vec::new();
     let mut emitted_all: Vec<String> = Vec::new();
-    let mut stage_def: Option<(String, FileFacts)> = None;
+    let mut stage_def: Option<(String, Vec<(String, u32)>)> = None;
     let mut graph_files: Vec<(String, Vec<FnItem>)> = Vec::new();
-    for (rel, src) in files {
-        let class = classify(rel);
-        let (mut f, mut facts) = lint_file(rel, src, class);
+    let mut allows_by_file: std::collections::BTreeMap<String, Vec<(String, u32)>> =
+        std::collections::BTreeMap::new();
+    // (definition file, [(enum, variant, line)]).
+    type ProtoDef = (String, Vec<(String, String, u32)>);
+    let mut proto_def: Option<ProtoDef> = None;
+    let mut proto_refs_all: Vec<(String, String, ProtoRef)> = Vec::new();
+    let mut lock_files: Vec<(String, Vec<LockFn>)> = Vec::new();
+    for (rel, mut f, mut facts) in per_file {
         findings.append(&mut f);
-        emitted_all.extend(facts.emitted.iter().cloned());
-        if class == FileClass::Simulation {
-            graph_files.push((rel.to_string(), std::mem::take(&mut facts.items)));
-        }
+        emitted_all.append(&mut facts.emitted);
         if !facts.defined.is_empty() {
-            stage_def = Some((rel.to_string(), facts));
+            stage_def = Some((rel.clone(), std::mem::take(&mut facts.defined)));
+        }
+        if !facts.allows.is_empty() {
+            allows_by_file.insert(rel.clone(), std::mem::take(&mut facts.allows));
+        }
+        if !facts.proto_defined.is_empty() {
+            proto_def = Some((rel.clone(), std::mem::take(&mut facts.proto_defined)));
+        }
+        proto_refs_all.append(&mut facts.proto_refs);
+        if !facts.lock_fns.is_empty() {
+            lock_files.push((rel.clone(), std::mem::take(&mut facts.lock_fns)));
+        }
+        if classify(&rel) == FileClass::Simulation {
+            graph_files.push((rel, std::mem::take(&mut facts.items)));
         }
     }
-    if let Some((def_file, facts)) = &stage_def {
-        findings.extend(stage_coverage(def_file, facts, &emitted_all));
+    if let Some((def_file, defined)) = &stage_def {
+        findings.extend(stage_coverage(def_file, defined, &emitted_all));
     }
     // R7 — transitive panic reachability over the workspace call graph.
     let graph = Graph::build(graph_files);
@@ -598,6 +1052,39 @@ pub fn lint_sources<'a>(files: impl IntoIterator<Item = (&'a str, &'a str)>) -> 
             ),
             chain: r.chain,
         });
+    }
+    let allowed_at = |file: &str, rule: Rule, line: u32| -> bool {
+        allows_by_file
+            .get(file)
+            .is_some_and(|v| v.iter().any(|(r, l)| r == rule.id() && *l == line))
+    };
+    // R12 — lock-order cycles over the Driver lock graph.
+    for c in locks::lock_order(&lock_files) {
+        if allowed_at(&c.file, Rule::LockOrder, c.line) {
+            continue;
+        }
+        let message = format!(
+            "lock acquisition cycle {}: {}",
+            c.chain.join(" → "),
+            Rule::LockOrder.rationale()
+        );
+        findings.push(Finding {
+            file: c.file,
+            line: c.line,
+            col: c.col,
+            rule: Rule::LockOrder,
+            message,
+            chain: c.chain,
+        });
+    }
+    // R14 — wire-protocol coverage.
+    if let Some((def_file, defined)) = &proto_def {
+        findings.extend(protocol_coverage(
+            def_file,
+            defined,
+            &proto_refs_all,
+            &|line| allowed_at(def_file, Rule::ProtocolCoverage, line),
+        ));
     }
     findings
         .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));

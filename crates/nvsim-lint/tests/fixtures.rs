@@ -763,3 +763,448 @@ impl Snapshot for Imc {
     assert_eq!(rule_count(SIM, src, Rule::PanicPath), 0);
     assert_eq!(rule_count(SIM, src, Rule::PanicReach), 0);
 }
+
+// ---------------------------------------------------------------- R11
+
+const COVERED_SNAPSHOT: &str = "
+struct S { a: u64, b: u64 }
+impl Snapshot for S {
+    fn save(&self, w: &mut SnapshotWriter) { w.put_u64(self.a); w.put_u64(self.b); }
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.a = r.get_u64()?;
+        self.b = r.get_u64()?;
+        Ok(())
+    }
+}
+";
+
+#[test]
+fn r11_fully_covered_struct_is_clean() {
+    assert_eq!(
+        rule_count(SIM, COVERED_SNAPSHOT, Rule::SnapshotFieldCoverage),
+        0
+    );
+}
+
+#[test]
+fn r11_save_only_field_is_flagged_as_missing_from_restore() {
+    let src = "
+struct S { a: u64, b: u64 }
+impl Snapshot for S {
+    fn save(&self, w: &mut SnapshotWriter) { w.put_u64(self.a); w.put_u64(self.b); }
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.a = r.get_u64()?;
+        Ok(())
+    }
+}
+";
+    let hits = lint_sources([(SIM, src)]);
+    let f = hits
+        .iter()
+        .find(|f| f.rule == Rule::SnapshotFieldCoverage)
+        .expect("one R11 finding");
+    assert_eq!(f.line, 2, "anchored at the field definition");
+    assert!(f.message.contains("`b` of `S`"));
+    assert!(f.message.contains("the restore body"));
+}
+
+#[test]
+fn r11_restore_only_field_is_flagged_as_missing_from_save() {
+    let src = "
+struct S { a: u64 }
+impl Snapshot for S {
+    fn save(&self, _w: &mut SnapshotWriter) {}
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.a = r.get_u64()?;
+        Ok(())
+    }
+}
+";
+    let hits = lint_sources([(SIM, src)]);
+    let f = hits
+        .iter()
+        .find(|f| f.rule == Rule::SnapshotFieldCoverage)
+        .expect("one R11 finding");
+    assert!(f.message.contains("the save body"));
+}
+
+#[test]
+fn r11_field_missing_on_both_sides_is_flagged_once() {
+    let src = "
+struct S { a: u64, ghost: u64 }
+impl Snapshot for S {
+    fn save(&self, w: &mut SnapshotWriter) { w.put_u64(self.a); }
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.a = r.get_u64()?;
+        Ok(())
+    }
+}
+";
+    let hits = lint_sources([(SIM, src)]);
+    let r11: Vec<_> = hits
+        .iter()
+        .filter(|f| f.rule == Rule::SnapshotFieldCoverage)
+        .collect();
+    assert_eq!(r11.len(), 1);
+    assert!(r11[0]
+        .message
+        .contains("either the save or the restore body"));
+}
+
+#[test]
+fn r11_derived_field_allow_on_the_field_suppresses() {
+    let src = "
+struct S {
+    a: u64,
+    // nvsim-lint: allow(snapshot-field-coverage) — derived from `a` on restore.
+    twice_a: u64,
+}
+impl Snapshot for S {
+    fn save(&self, w: &mut SnapshotWriter) { w.put_u64(self.a); }
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.a = r.get_u64()?;
+        Ok(())
+    }
+}
+";
+    assert_eq!(rule_count(SIM, src, Rule::SnapshotFieldCoverage), 0);
+}
+
+#[test]
+fn r11_field_referenced_through_a_same_file_helper_is_covered() {
+    let src = "
+struct S { a: u64 }
+impl S {
+    fn write_parts(&self, w: &mut SnapshotWriter) { w.put_u64(self.a); }
+    fn read_parts(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.a = r.get_u64()?;
+        Ok(())
+    }
+}
+impl Snapshot for S {
+    fn save(&self, w: &mut SnapshotWriter) { self.write_parts(w); }
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.read_parts(r)
+    }
+}
+";
+    assert_eq!(rule_count(SIM, src, Rule::SnapshotFieldCoverage), 0);
+}
+
+#[test]
+fn r11_sibling_impl_in_the_same_file_does_not_cross_credit() {
+    // `T::save` references `lonely`; that must not cover `S.lonely`.
+    let src = "
+struct S { lonely: u64 }
+struct T { lonely: u64 }
+impl Snapshot for S {
+    fn save(&self, _w: &mut SnapshotWriter) {}
+    fn restore(&mut self, _r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> { Ok(()) }
+}
+impl Snapshot for T {
+    fn save(&self, w: &mut SnapshotWriter) { w.put_u64(self.lonely); }
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.lonely = r.get_u64()?;
+        Ok(())
+    }
+}
+";
+    let hits = lint_sources([(SIM, src)]);
+    let r11: Vec<_> = hits
+        .iter()
+        .filter(|f| f.rule == Rule::SnapshotFieldCoverage)
+        .collect();
+    assert_eq!(r11.len(), 1, "only S.lonely is uncovered");
+    assert_eq!(r11[0].line, 2);
+}
+
+#[test]
+fn r11_enum_variant_missing_on_the_restore_side_is_flagged() {
+    let src = "
+enum E {
+    A,
+    B,
+}
+impl Snapshot for E {
+    fn save(&self, w: &mut SnapshotWriter) {
+        match self { E::A => w.put_u8(0), E::B => w.put_u8(1) }
+    }
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        *self = match r.get_u8()? {
+            0 => E::A,
+            _ => return Err(r.invalid(\"bad tag\")),
+        };
+        Ok(())
+    }
+}
+";
+    let hits = lint_sources([(SIM, src)]);
+    let f = hits
+        .iter()
+        .find(|f| f.rule == Rule::SnapshotFieldCoverage)
+        .expect("variant B flagged");
+    assert_eq!(f.line, 4);
+    assert!(f.message.contains("variant `B`"));
+}
+
+#[test]
+fn r11_does_not_fire_in_test_modules() {
+    let src = format!(
+        "#[cfg(test)]\nmod tests {{\n{}\n}}\n",
+        "struct S { a: u64 }
+impl Snapshot for S {
+    fn save(&self, _w: &mut SnapshotWriter) {}
+    fn restore(&mut self, _r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> { Ok(()) }
+}"
+    );
+    assert_eq!(rule_count(SIM, &src, Rule::SnapshotFieldCoverage), 0);
+}
+
+// ---------------------------------------------------------------- R12
+
+const DRIVER: &str = "crates/bench/src/fixture.rs";
+
+#[test]
+fn r12_two_lock_cycle_is_flagged_with_the_chain() {
+    let src = "
+fn ab(a: &Mutex<u64>, b: &Mutex<u64>) {
+    let ga = a.lock().expect(\"a\");
+    let gb = b.lock().expect(\"b\");
+}
+fn ba(a: &Mutex<u64>, b: &Mutex<u64>) {
+    let gb = b.lock().expect(\"b\");
+    let ga = a.lock().expect(\"a\");
+}
+";
+    let hits = lint_sources([(DRIVER, src)]);
+    let f = hits
+        .iter()
+        .find(|f| f.rule == Rule::LockOrder)
+        .expect("cycle finding");
+    assert!(f.message.contains("lock acquisition cycle"));
+    assert!(
+        !f.chain.is_empty(),
+        "cycle evidence travels in the chain field"
+    );
+}
+
+#[test]
+fn r12_consistent_lock_order_is_clean() {
+    let src = "
+fn ab(a: &Mutex<u64>, b: &Mutex<u64>) {
+    let ga = a.lock().expect(\"a\");
+    let gb = b.lock().expect(\"b\");
+}
+fn also_ab(a: &Mutex<u64>, b: &Mutex<u64>) {
+    let ga = a.lock().expect(\"a\");
+    let gb = b.lock().expect(\"b\");
+}
+";
+    assert_eq!(rule_count(DRIVER, src, Rule::LockOrder), 0);
+}
+
+#[test]
+fn r12_temporary_guard_chains_do_not_hold_across_the_next_lock() {
+    // The bench-runner idiom: consume the guard in the same statement.
+    let src = "
+fn drain(q: &Mutex<VecDeque<u64>>, r: &Mutex<VecDeque<u64>>) {
+    let x = q.lock().expect(\"q\").pop_front();
+    let y = r.lock().expect(\"r\").pop_front();
+}
+fn drain_rev(q: &Mutex<VecDeque<u64>>, r: &Mutex<VecDeque<u64>>) {
+    let y = r.lock().expect(\"r\").pop_front();
+    let x = q.lock().expect(\"q\").pop_front();
+}
+";
+    assert_eq!(rule_count(DRIVER, src, Rule::LockOrder), 0);
+}
+
+#[test]
+fn r12_self_deadlock_is_flagged() {
+    let src = "
+fn relock(m: &Mutex<u64>) {
+    let g = m.lock().expect(\"outer\");
+    let h = m.lock().expect(\"inner\");
+}
+";
+    assert_eq!(rule_count(DRIVER, src, Rule::LockOrder), 1);
+}
+
+#[test]
+fn r12_allow_on_the_acquisition_site_suppresses() {
+    let src = "
+fn ab(a: &Mutex<u64>, b: &Mutex<u64>) {
+    let ga = a.lock().expect(\"a\");
+    let gb = b.lock().expect(\"b\"); // nvsim-lint: allow(lock-order) — fixture exercising suppression.
+}
+fn ba(a: &Mutex<u64>, b: &Mutex<u64>) {
+    let gb = b.lock().expect(\"b\");
+    let ga = a.lock().expect(\"a\"); // nvsim-lint: allow(lock-order) — fixture exercising suppression.
+}
+";
+    assert_eq!(rule_count(DRIVER, src, Rule::LockOrder), 0);
+}
+
+// ---------------------------------------------------------------- R13
+
+#[test]
+fn r13_reference_to_integer_cast_is_flagged() {
+    let src = "fn f(x: &u64) -> usize { x as *const u64 as usize }\n";
+    assert_eq!(rule_count(SIM, src, Rule::PtrAsInt), 1);
+}
+
+#[test]
+fn r13_as_ptr_to_integer_cast_is_flagged() {
+    let src = "fn f(v: &[u8]) -> u64 { v.as_ptr() as u64 }\n";
+    assert_eq!(rule_count(SIM, src, Rule::PtrAsInt), 1);
+}
+
+#[test]
+fn r13_sanctioned_value_widening_is_clean() {
+    let src = "fn f(x: u32, y: u16) -> u64 { (x as u64) + (y as u64) }\n";
+    assert_eq!(rule_count(SIM, src, Rule::PtrAsInt), 0);
+}
+
+#[test]
+fn r13_test_code_is_exempt() {
+    let src = "#[test]\nfn t() { let x = 7u64; let _ = &x as *const u64 as usize; }\n";
+    assert_eq!(rule_count(SIM, src, Rule::PtrAsInt), 0);
+}
+
+#[test]
+fn r13_does_not_fire_on_driver_class_files() {
+    let src = "fn f(x: &u64) -> usize { x as *const u64 as usize }\n";
+    assert_eq!(rule_count(DRIVER, src, Rule::PtrAsInt), 0);
+}
+
+// ---------------------------------------------------------------- R14
+
+const PROTO: &str = "crates/nvsim-serve/src/protocol.rs";
+
+#[test]
+fn r14_variant_with_encode_decode_and_test_is_clean() {
+    let src = "
+enum Command {
+    Open,
+}
+fn encode_payload(c: &Command) { match c { Command::Open => {} } }
+fn decode_payload() -> Command { Command::Open }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn roundtrip() { let _ = Command::Open; }
+}
+";
+    assert_eq!(rule_count(PROTO, src, Rule::ProtocolCoverage), 0);
+}
+
+#[test]
+fn r14_encode_without_decode_is_flagged() {
+    let src = "
+enum Command {
+    Open,
+    Close,
+}
+fn encode_payload(c: &Command) {
+    match c { Command::Open => {}, Command::Close => {} }
+}
+fn decode_payload() -> Command { Command::Open }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn roundtrip() { let _ = (Command::Open, Command::Close); }
+}
+";
+    let hits = lint_sources([(PROTO, src)]);
+    let f = hits
+        .iter()
+        .find(|f| f.rule == Rule::ProtocolCoverage)
+        .expect("Close flagged");
+    assert_eq!(f.line, 4, "anchored at the variant definition");
+    assert!(f.message.contains("`Command::Close`"));
+    assert!(
+        f.message.contains("is missing a decode arm:"),
+        "only the decode arm is missing: {}",
+        f.message
+    );
+}
+
+#[test]
+fn r14_missing_test_reference_is_flagged() {
+    let src = "
+enum Command {
+    Open,
+}
+fn encode_payload(c: &Command) { match c { Command::Open => {} } }
+fn decode_payload() -> Command { Command::Open }
+";
+    let hits = lint_sources([(PROTO, src)]);
+    let f = hits
+        .iter()
+        .find(|f| f.rule == Rule::ProtocolCoverage)
+        .expect("missing test ref flagged");
+    assert!(f.message.contains("a round-trip test reference"));
+}
+
+#[test]
+fn r14_references_from_serve_test_files_count_as_test_coverage() {
+    let def = "
+enum Command {
+    Open,
+}
+fn encode_payload(c: &Command) { match c { Command::Open => {} } }
+fn decode_payload() -> Command { Command::Open }
+";
+    let t = "fn roundtrip() { let _ = Command::Open; }\n";
+    let hits = lint_sources([(PROTO, def), ("crates/nvsim-serve/tests/proto.rs", t)]);
+    assert!(!hits.iter().any(|f| f.rule == Rule::ProtocolCoverage));
+}
+
+#[test]
+fn r14_allow_on_the_variant_definition_suppresses() {
+    let src = "
+enum Command {
+    // nvsim-lint: allow(protocol-coverage) — fixture: reserved variant, wire id parked.
+    Reserved,
+}
+";
+    assert_eq!(rule_count(PROTO, src, Rule::ProtocolCoverage), 0);
+}
+
+// ---------------------------------------------------------------- baseline
+
+#[test]
+fn baseline_entry_without_justification_is_malformed_not_silent() {
+    let b = nvsim_lint::baseline::parse("unordered-map crates/x.rs:3\n");
+    assert!(b.entries.is_empty());
+    assert_eq!(b.malformed.len(), 1);
+    assert_eq!(b.malformed[0].0, 1);
+}
+
+#[test]
+fn baseline_justified_entry_parses() {
+    let b = nvsim_lint::baseline::parse("unordered-map crates/x.rs:3 — legacy, tracked in #12\n");
+    assert_eq!(b.entries.len(), 1);
+    assert!(b.malformed.is_empty());
+}
+
+#[test]
+fn stale_entry_for_a_deleted_file_is_reported_with_its_path() {
+    let b = nvsim_lint::baseline::parse("unordered-map crates/gone.rs:3 — file was removed\n");
+    let (new, grandfathered, stale) = nvsim_lint::baseline::apply(&b, Vec::new());
+    assert!(new.is_empty() && grandfathered.is_empty());
+    assert_eq!(stale.len(), 1);
+    let report = nvsim_lint::report::Report::from_parts(
+        Vec::new(),
+        Vec::new(),
+        &stale,
+        &b.malformed,
+        0,
+        &|_| false, // the file no longer exists
+    );
+    assert!(!report.is_clean());
+    let text = report.render_text();
+    assert!(text.contains("crates/gone.rs:3"), "path surfaces: {text}");
+    assert!(text.contains("no longer exists"), "cause surfaces: {text}");
+    assert!(report.render_json().contains("\"file_exists\": false"));
+}

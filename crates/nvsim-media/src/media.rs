@@ -136,6 +136,7 @@ impl MediaStats {
 /// the whole request.
 #[derive(Debug, Clone)]
 pub struct XpointMedia {
+    // nvsim-lint: allow(snapshot-field-coverage) — construction-time configuration; never mutated.
     cfg: MediaConfig,
     die_free: Vec<Time>,
     bus_free: Time,

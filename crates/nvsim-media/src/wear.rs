@@ -108,6 +108,7 @@ struct BlockWear {
 /// ```
 #[derive(Debug, Clone)]
 pub struct WearTracker {
+    // nvsim-lint: allow(snapshot-field-coverage) — construction-time configuration; never mutated.
     cfg: WearConfig,
     blocks: BTreeMap<u64, BlockWear>,
     total_writes: u64,

@@ -618,7 +618,9 @@ impl Snapshot for BackendCounters {
 /// ```
 #[derive(Debug, Clone)]
 pub struct FixedLatencyBackend {
+    // nvsim-lint: allow(snapshot-field-coverage) — construction-time configuration; never mutated.
     read_latency: Time,
+    // nvsim-lint: allow(snapshot-field-coverage) — construction-time configuration; never mutated.
     write_latency: Time,
     now: Time,
     next_id: u64,

@@ -52,11 +52,14 @@ pub fn fig13_workloads(seed: u64) -> Vec<CloudWorkload> {
 #[derive(Debug)]
 pub struct Redis {
     rng: DetRng,
+    // nvsim-lint: allow(snapshot-field-coverage) — immutable precomputed Zipfian CDF; the mutable sampling state is `rng`, which is snapshotted.
     keys: Zipfian,
     /// Average chain length (nodes chased per op).
+    // nvsim-lint: allow(snapshot-field-coverage) — construction-time constant; never mutated.
     chain: u32,
     mkpt: bool,
     /// Table footprint in lines.
+    // nvsim-lint: allow(snapshot-field-coverage) — construction-time constant; never mutated.
     lines: u64,
 }
 
@@ -146,8 +149,10 @@ impl Workload for Redis {
 #[derive(Debug)]
 pub struct Ycsb {
     rng: DetRng,
+    // nvsim-lint: allow(snapshot-field-coverage) — immutable precomputed Zipfian CDF; the mutable sampling state is `rng`, which is snapshotted.
     keys: Zipfian,
     mkpt: bool,
+    // nvsim-lint: allow(snapshot-field-coverage) — construction-time constant; never mutated.
     records: u64,
 }
 
@@ -255,6 +260,7 @@ pub struct Tpcc {
     rng: DetRng,
     mkpt: bool,
     log_cursor: u64,
+    // nvsim-lint: allow(snapshot-field-coverage) — construction-time constant; never mutated.
     warehouse_lines: u64,
 }
 
@@ -341,6 +347,7 @@ impl Workload for Tpcc {
 #[derive(Debug)]
 pub struct FioWrite {
     cursor: u64,
+    // nvsim-lint: allow(snapshot-field-coverage) — construction-time constant; restore validates the cursor against it.
     span_lines: u64,
     mkpt: bool,
 }
@@ -401,6 +408,7 @@ impl Workload for FioWrite {
 pub struct PmdkHashMap {
     rng: DetRng,
     mkpt: bool,
+    // nvsim-lint: allow(snapshot-field-coverage) — construction-time constant; never mutated.
     buckets: u64,
 }
 
@@ -477,6 +485,7 @@ impl Workload for PmdkHashMap {
 pub struct PmdkLinkedList {
     rng: DetRng,
     mkpt: bool,
+    // nvsim-lint: allow(snapshot-field-coverage) — construction-time constant; never mutated.
     nodes: u64,
 }
 

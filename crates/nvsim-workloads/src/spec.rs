@@ -33,7 +33,9 @@ pub struct SpecParams {
 /// A calibrated SPEC-like trace generator.
 #[derive(Debug, Clone)]
 pub struct SpecWorkloadGen {
+    // nvsim-lint: allow(snapshot-field-coverage) — construction-time identity; never mutated.
     name: String,
+    // nvsim-lint: allow(snapshot-field-coverage) — construction-time calibration parameters; never mutated.
     params: SpecParams,
     rng: DetRng,
     /// Cold-stream cursor (line units).
@@ -41,6 +43,7 @@ pub struct SpecWorkloadGen {
     /// Fractional-MPKI accumulator.
     mpki_acc: f64,
     /// Base virtual address of the workload's heap.
+    // nvsim-lint: allow(snapshot-field-coverage) — construction-time constant heap base; never mutated.
     base: u64,
 }
 

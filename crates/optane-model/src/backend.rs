@@ -20,6 +20,7 @@ use std::collections::BTreeMap;
 /// The reference machine as a driveable backend.
 #[derive(Debug, Clone)]
 pub struct ReferenceBackend {
+    // nvsim-lint: allow(snapshot-field-coverage) — immutable analytical model; all mutable backend state lives in the sibling fields.
     model: OptaneReference,
     dimms: u32,
     now: Time,

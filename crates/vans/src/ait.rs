@@ -40,6 +40,7 @@ pub struct AitStats {
 /// timed against the on-DIMM DRAM and the media array.
 #[derive(Debug)]
 pub struct Ait {
+    // nvsim-lint: allow(snapshot-field-coverage) — construction-time configuration; never mutated.
     cfg: AitConfig,
     /// Data buffer, keyed by physical page index.
     buffer: LruBuffer,
@@ -63,6 +64,7 @@ pub struct Ait {
     busy_pages: BTreeMap<u64, Time>,
     stats: AitStats,
     /// Per-stage span collection (disabled unless tracing is on).
+    // nvsim-lint: allow(snapshot-field-coverage) — trace diagnostics of the saving run; restore drains it rather than loading spans.
     recorder: SpanRecorder,
     /// When durability tracking is on, every media write-back is logged
     /// here as `(page index, completion time)` — the OnMedia transition

@@ -27,8 +27,10 @@ pub struct NvDimm {
     /// Optional Lazy cache (case study, §V-C). `None` when disabled.
     pub lazy: Option<LazyCache>,
     /// Per-stage span collection (disabled unless tracing is on).
+    // nvsim-lint: allow(snapshot-field-coverage) — trace diagnostics of the saving run; restore drains it.
     trace: SpanRecorder,
     /// Reused fence-path scratch for LSQ flush drains.
+    // nvsim-lint: allow(snapshot-field-coverage) — reused per-call scratch, emptied before each use; carries no cross-call state.
     flush_scratch: Vec<CombinedWrite>,
 }
 

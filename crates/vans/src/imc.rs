@@ -48,6 +48,7 @@ struct WpqLine {
 /// it. This keeps the iMC/DIMM composition explicit in [`crate::dimm`].
 #[derive(Debug, Clone)]
 pub struct Imc {
+    // nvsim-lint: allow(snapshot-field-coverage) — construction-time configuration; never mutated.
     cfg: ImcConfig,
     /// Pending WPQ lines in age order.
     wpq: VecDeque<WpqLine>,

@@ -50,12 +50,14 @@ pub struct LsqStats {
 /// processes one lookup at a time with `cfg.latency` occupancy.
 #[derive(Debug, Clone)]
 pub struct Lsq {
+    // nvsim-lint: allow(snapshot-field-coverage) — construction-time configuration; never mutated.
     cfg: LsqConfig,
     lines: LruBuffer,
     port_free: Time,
     stats: LsqStats,
     /// Reused per-eviction scratch for combine-block member keys, so the
     /// drain path allocates nothing in steady state.
+    // nvsim-lint: allow(snapshot-field-coverage) — per-eviction scratch (see field docs); emptied before each use, no cross-call state.
     members: Vec<u64>,
 }
 

@@ -64,6 +64,7 @@ pub struct LazyCacheStats {
 /// The Lazy cache model.
 #[derive(Debug)]
 pub struct LazyCache {
+    // nvsim-lint: allow(snapshot-field-coverage) — construction-time configuration; never mutated.
     cfg: LazyCacheConfig,
     /// LZ1: 64 B entries keyed by line index.
     lz1: LruBuffer,

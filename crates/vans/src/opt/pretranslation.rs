@@ -77,6 +77,7 @@ pub struct PretransEntry {
 /// The DIMM-side pre-translation machinery.
 #[derive(Debug)]
 pub struct PreTranslation {
+    // nvsim-lint: allow(snapshot-field-coverage) — construction-time configuration; never mutated.
     cfg: PreTranslationConfig,
     /// RLB keyed by the paddr's line index.
     rlb: LruBuffer,
