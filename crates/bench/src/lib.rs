@@ -14,6 +14,7 @@
 
 pub mod crashsweep;
 pub mod experiments;
+pub mod lintbench;
 pub mod output;
 pub mod perf;
 pub mod runner;

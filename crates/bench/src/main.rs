@@ -7,6 +7,7 @@
 //! nvsim-bench fig5a fig7b        # run specific experiments
 //! nvsim-bench trace fig9a        # per-stage latency attribution -> results/trace/
 //! nvsim-bench perf               # engine req/s -> BENCH_engine.json
+//! nvsim-bench lint-bench         # analyzer cold/warm files/s -> BENCH_lint.json
 //! nvsim-bench crashsweep         # power-fail injection sweep -> results/crash.csv
 //! nvsim-bench crashsweep --smoke # reduced sweep for CI
 //! nvsim-bench snapsmoke          # checkpoint determinism smoke -> results/snapsmoke.csv
@@ -186,6 +187,25 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        return;
+    }
+    if args[0] == "lint-bench" {
+        let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        let Some(root) = nvsim_lint::find_root(&cwd) else {
+            eprintln!("lint-bench: could not locate the workspace root above {}", cwd.display());
+            std::process::exit(2);
+        };
+        let path = PathBuf::from("BENCH_lint.json");
+        eprintln!(">> measuring nvsim-lint cold/warm throughput ...");
+        let entries = nvsim_bench::lintbench::lint_micro(&root);
+        for (k, v) in &entries {
+            println!("{k:<32} {v:>14.1}");
+        }
+        if let Err(e) = nvsim_bench::perf::record(&path, "lint", entries) {
+            eprintln!("could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("recorded -> {}", path.display());
         return;
     }
     if args[0] == "perf" {

@@ -1,0 +1,47 @@
+//! Cross-crate parameter divergence regression.
+//!
+//! Two crates intentionally encode the same physical quantities: the
+//! analytical reference machine (`optane-model`) carries the measured
+//! wear-leveling tail (magnitude + period), and the simulator's media
+//! model (`nvsim-media`) carries the migration stall and hot-block
+//! threshold that *produce* that tail. They are separate constants on
+//! purpose — the reference is a measurement envelope, the simulator a
+//! mechanism — but if they drift apart, Fig 9e/11d-style validation
+//! comparisons quietly degrade. R17 (`timing-literal-provenance`)
+//! guarantees each number has exactly one home per crate; this test
+//! pins the homes to each other.
+
+#[test]
+fn reference_tail_matches_simulator_wear_parameters() {
+    // The reference model's tail magnitude is the simulator's migration
+    // stall: ~60 µs per the paper's overwrite experiments (Fig 6).
+    assert_eq!(
+        optane_model::params::TAIL_MAGNITUDE_US,
+        nvsim_media::params::WEAR_MIGRATION_US as f64,
+        "tail magnitude (reference) != migration latency (simulator)"
+    );
+    // The tail period is the hot-block threshold: one migration every
+    // ~14,000 256 B writes to a block.
+    assert_eq!(
+        optane_model::params::TAIL_PERIOD_ITERS,
+        nvsim_media::params::WEAR_THRESHOLD_WRITES,
+        "tail period (reference) != wear threshold (simulator)"
+    );
+}
+
+#[test]
+fn wear_config_preset_uses_the_named_parameters() {
+    let cfg = nvsim_media::wear::WearConfig::optane_like();
+    assert_eq!(cfg.threshold, nvsim_media::params::WEAR_THRESHOLD_WRITES);
+    assert_eq!(
+        cfg.migration_latency,
+        nvsim_types::Time::from_us(nvsim_media::params::WEAR_MIGRATION_US)
+    );
+}
+
+#[test]
+fn reference_model_preset_uses_the_named_parameters() {
+    let model = optane_model::curves::OptaneReference::new();
+    assert_eq!(model.tail_magnitude_us, optane_model::params::TAIL_MAGNITUDE_US);
+    assert_eq!(model.tail_period_iters, optane_model::params::TAIL_PERIOD_ITERS);
+}

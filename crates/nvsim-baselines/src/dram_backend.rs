@@ -49,7 +49,7 @@ impl DramBackend {
     pub fn new(cfg: DramConfig) -> Result<Self, ConfigError> {
         Ok(DramBackend {
             dram: DramModel::new(cfg)?,
-            controller_latency: Time::from_ns(20),
+            controller_latency: Time::from_ns(crate::params::DRAM_CONTROLLER_NS),
             now: Time::ZERO,
             next_id: 0,
             completions: BTreeMap::new(),

@@ -23,6 +23,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod dram_backend;
+pub mod params;
 pub mod pmep;
 
 pub use dram_backend::DramBackend;

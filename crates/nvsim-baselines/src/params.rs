@@ -1,0 +1,16 @@
+//! Default baseline-model timing parameters (§II / Fig 1 provenance).
+//!
+//! Named consts for the PMEP and DRAM-backend latencies, so the
+//! `timing-literal-provenance` lint (R17) can keep each parameter in
+//! exactly one place. See DESIGN.md "Unit domains & parameter
+//! provenance".
+
+/// PMEP's injected extra read latency (emulated NVRAM read ~165 ns total
+/// = DRAM + this).
+pub const PMEP_EXTRA_READ_NS: u64 = 100;
+
+/// PMEP's injected extra write latency.
+pub const PMEP_EXTRA_WRITE_NS: u64 = 30;
+
+/// Fixed memory-controller latency in front of the DDR timing model.
+pub const DRAM_CONTROLLER_NS: u64 = 20;

@@ -43,8 +43,8 @@ impl PmepConfig {
     /// one real Optane inverts.
     pub fn paper() -> Self {
         PmepConfig {
-            extra_read_latency: Time::from_ns(100),
-            extra_write_latency: Time::from_ns(30),
+            extra_read_latency: Time::from_ns(crate::params::PMEP_EXTRA_READ_NS),
+            extra_write_latency: Time::from_ns(crate::params::PMEP_EXTRA_WRITE_NS),
             store_throttle_gbps: 3.5,
             clwb_throttle_gbps: 2.2,
             nt_throttle_gbps: 1.8,

@@ -238,17 +238,17 @@ impl HierarchyConfig {
             l1: CacheConfig {
                 capacity: 32 << 10,
                 ways: 8,
-                hit_cycles: 4,
+                hit_cycles: crate::params::L1_HIT_CYCLES,
             },
             l2: CacheConfig {
                 capacity: 1 << 20,
                 ways: 16,
-                hit_cycles: 14,
+                hit_cycles: crate::params::L2_HIT_CYCLES,
             },
             l3: CacheConfig {
                 capacity: 32 << 20,
                 ways: 16,
-                hit_cycles: 44,
+                hit_cycles: crate::params::L3_HIT_CYCLES,
             },
         }
     }
@@ -259,17 +259,17 @@ impl HierarchyConfig {
             l1: CacheConfig {
                 capacity: 4 << 10,
                 ways: 4,
-                hit_cycles: 4,
+                hit_cycles: crate::params::L1_HIT_CYCLES,
             },
             l2: CacheConfig {
                 capacity: 16 << 10,
                 ways: 4,
-                hit_cycles: 14,
+                hit_cycles: crate::params::L2_HIT_CYCLES,
             },
             l3: CacheConfig {
                 capacity: 64 << 10,
                 ways: 8,
-                hit_cycles: 44,
+                hit_cycles: crate::params::L3_HIT_CYCLES,
             },
         }
     }

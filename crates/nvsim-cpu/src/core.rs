@@ -30,7 +30,7 @@ impl CoreConfig {
     /// A Cascade-Lake-like configuration matching Table V.
     pub fn cascade_lake_like() -> Self {
         CoreConfig {
-            freq: Freq::mhz(2200),
+            freq: Freq::mhz(crate::params::CORE_FREQ_MHZ),
             base_cpi: 0.25,
             max_outstanding: 10,
             caches: HierarchyConfig::table_v(),
@@ -41,7 +41,7 @@ impl CoreConfig {
     /// A scaled-down configuration for fast tests.
     pub fn tiny_for_tests() -> Self {
         CoreConfig {
-            freq: Freq::mhz(2200),
+            freq: Freq::mhz(crate::params::CORE_FREQ_MHZ),
             base_cpi: 0.25,
             max_outstanding: 4,
             caches: HierarchyConfig::tiny_for_tests(),

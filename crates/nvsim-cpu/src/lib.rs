@@ -43,6 +43,7 @@
 
 pub mod cache;
 pub mod core;
+pub mod params;
 pub mod tlb;
 pub mod trace;
 pub mod trace_io;

@@ -1,0 +1,27 @@
+//! Default CPU-side timing parameters (Table III / Table V provenance).
+//!
+//! The Cascade-Lake-like presets used by the paper's gem5 experiments
+//! hard-code a handful of latencies; they live here as named consts so
+//! the `timing-literal-provenance` lint (R17) can guarantee each has
+//! exactly one home, and so the `_CYCLES`/`_MHZ` suffixes carry unit
+//! domains the R15 dataflow pass checks at every use. See DESIGN.md
+//! "Unit domains & parameter provenance".
+
+/// Core frequency of the Table V Cascade-Lake-like machine (2666 MT/s
+/// memory, 2.2 GHz cores).
+pub const CORE_FREQ_MHZ: u64 = 2200;
+
+/// L1D hit latency (Table V: 32 KB 8-way).
+pub const L1_HIT_CYCLES: u32 = 4;
+
+/// Private L2 hit latency (Table V: 1 MB 16-way).
+pub const L2_HIT_CYCLES: u32 = 14;
+
+/// Shared L3 / LLC hit latency (Table V: 32 MB 16-way).
+pub const L3_HIT_CYCLES: u32 = 44;
+
+/// STLB hit latency on an L1 DTLB miss (Table III-like).
+pub const STLB_HIT_CYCLES: u32 = 7;
+
+/// Page-walk base cost on top of the walk's memory accesses.
+pub const WALK_BASE_CYCLES: u32 = 30;

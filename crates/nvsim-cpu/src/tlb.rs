@@ -30,8 +30,8 @@ impl TlbConfig {
         TlbConfig {
             l1_entries: 64,
             stlb_entries: 1536,
-            stlb_hit_cycles: 7,
-            walk_base_cycles: 30,
+            stlb_hit_cycles: crate::params::STLB_HIT_CYCLES,
+            walk_base_cycles: crate::params::WALK_BASE_CYCLES,
             walk_memory_accesses: 2,
         }
     }
@@ -41,8 +41,8 @@ impl TlbConfig {
         TlbConfig {
             l1_entries: 4,
             stlb_entries: 16,
-            stlb_hit_cycles: 7,
-            walk_base_cycles: 30,
+            stlb_hit_cycles: crate::params::STLB_HIT_CYCLES,
+            walk_base_cycles: crate::params::WALK_BASE_CYCLES,
             walk_memory_accesses: 2,
         }
     }

@@ -5,6 +5,11 @@ use nvsim_types::time::Freq;
 use nvsim_types::ConfigError;
 use serde::{Deserialize, Serialize};
 
+/// Data-bus occupancy of one access: burst length 8 at double data rate
+/// is 4 command-clock cycles, a DDR protocol constant shared by every
+/// preset (DDR3/DDR4/PCM all burst 64 B over BL8).
+pub const BURST_CYCLES: u32 = 4;
+
 /// Physical organization of a DRAM device tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DramOrganization {
@@ -209,7 +214,7 @@ impl DramConfig {
                 trtp: 10,
                 trfc: 467,
                 trefi: 10400,
-                burst_cycles: 4,
+                burst_cycles: BURST_CYCLES,
             },
             data_rate_mhz: 2666,
             scheduler: SchedulerPolicy::FrFcfs,
@@ -263,7 +268,7 @@ impl DramConfig {
                 trtp: 5,
                 trfc: 74,
                 trefi: 5200,
-                burst_cycles: 4,
+                burst_cycles: BURST_CYCLES,
             },
             data_rate_mhz: 1333,
             scheduler: SchedulerPolicy::FrFcfs,
@@ -307,7 +312,7 @@ impl DramConfig {
                 trtp: 10,
                 trfc: 1,
                 trefi: 1_000_000_000,
-                burst_cycles: 4,
+                burst_cycles: BURST_CYCLES,
             },
             data_rate_mhz: 2666,
             scheduler: SchedulerPolicy::FrFcfs,

@@ -5,10 +5,14 @@
 //! ([`FileFacts`]) are replayed from disk and fed into the same
 //! [`crate::rules::aggregate`] pass a cold run uses. The workspace-level
 //! rules (R5 stage coverage, the R7 call graph, R12 lock order, R14
-//! protocol coverage) are therefore rebuilt from complete facts on every
-//! run — a signature change anywhere re-derives that file's facts (its
-//! content hash changed) and the graphs are never themselves cached, so
-//! call-graph-dependent results can never go stale.
+//! protocol coverage, R15/R16 unit-domain resolution) are therefore
+//! rebuilt from complete facts on every run — a signature change anywhere
+//! re-derives that file's facts (its content hash changed) and the graphs
+//! are never themselves cached, so call-graph-dependent results can never
+//! go stale. Unit operator sites are cached with *unresolved* call
+//! operands; resolution against the workspace [`crate::units::FnUnit`]
+//! summary happens in `aggregate` whether the facts came from a cold lint
+//! or a cache replay, so cold and warm runs stay byte-identical.
 //!
 //! Cache entries are keyed by an FNV-1a 64 hash over the cache format
 //! version, the workspace-relative path, and the file contents. The
@@ -22,13 +26,14 @@
 use crate::items::{Call, FnItem, PanicSite};
 use crate::locks::{HeldCall, LockAcq, LockEdge, LockFn};
 use crate::rules::{FileFacts, Finding, ProtoRef, Rule};
+use crate::units::{FnUnit, OpKind, Operand, Unit, UnitOp};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
 /// Bump to invalidate every existing cache entry (new rules, changed
 /// serialization, changed fact shapes).
-pub const FORMAT: u32 = 1;
+pub const FORMAT: u32 = 2;
 
 /// FNV-1a 64-bit.
 fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
@@ -213,7 +218,59 @@ pub fn render(rel: &str, key: u64, findings: &[Finding], facts: &FileFacts) -> S
             out.push_str(&format!("K\t{}\t{}\n", esc(name), opt(qual)));
         }
     }
+    for op in &facts.unit_ops {
+        let kind = match op.kind {
+            OpKind::Arith => "A",
+            OpKind::AddrCross => "X",
+        };
+        out.push_str(&format!(
+            "U\t{kind}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+            esc(&op.op),
+            op.line,
+            op.col,
+            operand(&op.lhs),
+            operand(&op.rhs),
+            esc(&op.lhs_text),
+            esc(&op.rhs_text)
+        ));
+    }
+    for fu in &facts.fn_units {
+        out.push_str(&format!(
+            "N\t{}\t{}\t{}\n",
+            esc(&fu.name),
+            opt(&fu.owner),
+            fu.unit.name()
+        ));
+    }
     out
+}
+
+/// Serialize an [`Operand`] as three tab-separated fields (variant tag +
+/// two payload slots, `-` when unused) so every `U` line has a fixed width.
+fn operand(o: &Operand) -> String {
+    match o {
+        Operand::Known(u, why) => format!("K\t{}\t{}", u.name(), esc(why)),
+        Operand::Call { name, qual } => format!("C\t{}\t{}", esc(name), opt(qual)),
+        Operand::Literal(text) => format!("L\t{}\t-", esc(text)),
+        Operand::Unknown => "U\t-\t-".to_string(),
+    }
+}
+
+/// Parse the three-field operand encoding produced by [`operand`].
+fn parse_operand(fields: &[&str]) -> Option<Operand> {
+    if fields.len() != 3 {
+        return None;
+    }
+    Some(match fields[0] {
+        "K" => Operand::Known(Unit::from_name(fields[1])?, unesc(fields[2])?),
+        "C" => Operand::Call {
+            name: unesc(fields[1])?,
+            qual: parse_opt(fields[2])?,
+        },
+        "L" => Operand::Literal(unesc(fields[1])?),
+        "U" => Operand::Unknown,
+        _ => return None,
+    })
 }
 
 /// Parse a cache entry back; `None` on any irregularity (treated as miss).
@@ -398,6 +455,36 @@ pub fn parse(text: &str, rel: &str, key: u64) -> Option<(Vec<Finding>, FileFacts
                 let lf = facts.lock_fns.last_mut()?;
                 lf.calls.push((unesc(fields[0])?, parse_opt(fields[1])?));
             }
+            "U" => {
+                if fields.len() != 12 {
+                    return None;
+                }
+                let kind = match fields[0] {
+                    "A" => OpKind::Arith,
+                    "X" => OpKind::AddrCross,
+                    _ => return None,
+                };
+                facts.unit_ops.push(UnitOp {
+                    kind,
+                    op: unesc(fields[1])?,
+                    line: fields[2].parse().ok()?,
+                    col: fields[3].parse().ok()?,
+                    lhs: parse_operand(&fields[4..7])?,
+                    rhs: parse_operand(&fields[7..10])?,
+                    lhs_text: unesc(fields[10])?,
+                    rhs_text: unesc(fields[11])?,
+                });
+            }
+            "N" => {
+                if fields.len() != 3 {
+                    return None;
+                }
+                facts.fn_units.push(FnUnit {
+                    name: unesc(fields[0])?,
+                    owner: parse_opt(fields[1])?,
+                    unit: Unit::from_name(fields[2])?,
+                });
+            }
             _ => return None,
         }
     }
@@ -435,6 +522,7 @@ mod tests {
                 fn restore(&mut self, r: &mut R) -> Out { self.x = r.u32()?; Ok(()) }
             }
             fn helper(v: u32) {}
+            fn mix(read_ns: u64, bus_cycles: u64) -> u64 { read_ns + bus_cycles }
         ";
         let (findings, facts) = crate::rules::lint_file(
             "crates/x/src/s.rs",
@@ -452,6 +540,12 @@ mod tests {
             assert_eq!(a.of_trait, b.of_trait);
             assert_eq!(a.calls.len(), b.calls.len());
         }
+        assert!(
+            !facts.unit_ops.is_empty(),
+            "fixture source must exercise the unit-op path"
+        );
+        assert_eq!(facts.unit_ops, facts2.unit_ops);
+        assert_eq!(facts.fn_units, facts2.fn_units);
     }
 
     #[test]
@@ -464,7 +558,7 @@ mod tests {
         assert!(parse("junk\n", "a.rs", 7).is_none());
         assert!(
             parse(
-                &text.replace("nvsim-lint-cache 1", "nvsim-lint-cache 0"),
+                &text.replace("nvsim-lint-cache 2", "nvsim-lint-cache 1"),
                 "a.rs",
                 7
             )

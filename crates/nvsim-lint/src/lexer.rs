@@ -22,7 +22,8 @@ pub enum TokKind {
     Str,
     /// Lifetime (`'a`, `'_`, `'static`).
     Lifetime,
-    /// Numeric literal.
+    /// Numeric literal; `text` holds the literal verbatim (digits,
+    /// separators, suffix) so the unit rules can reason about values.
     Num,
     /// Single punctuation character, stored in `text`.
     Punct,
@@ -294,6 +295,7 @@ impl Lexer {
     fn number(&mut self, line: u32, col: u32) {
         // Consume digits, `_`, alphanumeric suffixes, and a fractional part —
         // but stop before `..` so range expressions keep their punctuation.
+        let mut text = String::new();
         while let Some(c) = self.peek(0) {
             if c.is_alphanumeric() || c == '_' {
                 // Exponent sign: 1e-3 / 2.5E+7.
@@ -301,21 +303,27 @@ impl Lexer {
                     && matches!(self.peek(1), Some('+') | Some('-'))
                     && self.peek(2).is_some_and(|d| d.is_ascii_digit())
                 {
+                    text.push(c);
                     self.bump();
+                    if let Some(s) = self.peek(0) {
+                        text.push(s);
+                    }
                     self.bump();
                     continue;
                 }
+                text.push(c);
                 self.bump();
             } else if c == '.'
                 && self.peek(1) != Some('.')
                 && self.peek(1).is_some_and(|d| d.is_ascii_digit())
             {
+                text.push(c);
                 self.bump();
             } else {
                 break;
             }
         }
-        self.push(TokKind::Num, String::new(), line, col);
+        self.push(TokKind::Num, text, line, col);
     }
 }
 

@@ -21,6 +21,7 @@ pub mod locks;
 pub mod report;
 pub mod rules;
 pub mod scope;
+pub mod units;
 
 pub use rules::{
     classify, lint_file, lint_sources, FileClass, FileFacts, Finding, ProtoRef, Rule, ALL_RULES,

@@ -1,5 +1,6 @@
 //! CLI driver:
-//! `cargo run -p nvsim-lint [-- --root DIR --baseline FILE --format text|json|github --no-cache]`.
+//! `cargo run -p nvsim-lint [-- --root DIR --baseline FILE --format text|json|github --no-cache]`
+//! or `cargo run -p nvsim-lint -- --explain <rule>`.
 //!
 //! Exit status: 0 when clean (no new findings, no stale/malformed baseline
 //! entries), 1 on findings, 2 on usage or I/O errors. `--format json` also
@@ -28,6 +29,7 @@ struct Opts {
     baseline: Option<PathBuf>,
     format: Format,
     no_cache: bool,
+    explain: Option<String>,
 }
 
 fn parse_args() -> Result<Opts, String> {
@@ -36,6 +38,7 @@ fn parse_args() -> Result<Opts, String> {
         baseline: None,
         format: Format::Text,
         no_cache: false,
+        explain: None,
     };
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -55,15 +58,63 @@ fn parse_args() -> Result<Opts, String> {
                 _ => return Err("--format expects `text`, `json`, or `github`".to_string()),
             },
             "--no-cache" => opts.no_cache = true,
+            "--explain" => {
+                let v = args.next().ok_or("--explain requires a rule id (or `all`)")?;
+                opts.explain = Some(v);
+            }
             "--help" | "-h" => {
                 return Err("usage: nvsim-lint [--root DIR] [--baseline FILE] \
-                     [--format text|json|github] [--no-cache]"
+                     [--format text|json|github] [--no-cache] | --explain <rule|all>"
                     .to_string())
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
     Ok(opts)
+}
+
+/// Prints one rule's documentation card: catalog number, summary, the
+/// full rationale, the evidence format findings carry, and the allow
+/// syntax. Everything comes from the [`nvsim_lint::Rule`] accessors, so
+/// this output can never drift from the README table or the JSON report.
+fn explain_rule(rule: nvsim_lint::Rule) {
+    let num = match rule.number() {
+        Some(n) => format!("R{n}"),
+        None => "unnumbered".to_string(),
+    };
+    println!("{} ({num})", rule.id());
+    println!("  checks:   {}", rule.summary());
+    println!("  why:      {}", rule.rationale());
+    println!("  evidence: {}", rule.evidence());
+    println!(
+        "  allow:    // nvsim-lint: allow({}) — <reason, mandatory>",
+        rule.id()
+    );
+}
+
+fn explain(which: &str) -> ExitCode {
+    if which == "all" {
+        for (i, rule) in nvsim_lint::ALL_RULES.iter().enumerate() {
+            if i > 0 {
+                println!();
+            }
+            explain_rule(*rule);
+        }
+        return ExitCode::SUCCESS;
+    }
+    match nvsim_lint::Rule::from_id(which) {
+        Some(rule) => {
+            explain_rule(rule);
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("nvsim-lint: unknown rule `{which}`; known rules:");
+            for rule in nvsim_lint::ALL_RULES {
+                eprintln!("  {}", rule.id());
+            }
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -74,6 +125,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(which) = &opts.explain {
+        return explain(which);
+    }
     let start = match opts.root {
         Some(r) => r,
         None => env::current_dir().unwrap_or_else(|_| PathBuf::from(".")),

@@ -91,14 +91,14 @@ impl Report {
 
     /// Stable JSON (keys in fixed order, findings pre-sorted by the caller).
     ///
-    /// `"schema": 3` — v3 grows the `rules` inventory to the R11–R14
-    /// semantic rules, reuses the per-finding `"chain"` field for R12
-    /// lock-cycle evidence (R7 call paths since v2), and adds
-    /// `"file_exists"` to stale-baseline rows. v2 added the schema marker
+    /// `"schema": 4` — v4 grows the `rules` inventory to the R15–R18
+    /// unit-domain rules, whose findings reuse the per-finding `"chain"`
+    /// field for operand-provenance evidence. v3 added R11–R14 and
+    /// `"file_exists"` on stale-baseline rows; v2 added the schema marker
     /// itself; consumers must treat an absent `schema` key as v1.
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": 3,\n");
+        out.push_str("  \"schema\": 4,\n");
         out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
         out.push_str(&format!("  \"new_count\": {},\n", self.new.len()));
         out.push_str(&format!(

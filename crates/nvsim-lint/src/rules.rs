@@ -14,20 +14,28 @@
 //!   R12 `lock-order`                — no lock-acquisition cycles in Driver code
 //!   R13 `ptr-as-int`                — no pointer-to-integer casts on sim paths
 //!   R14 `protocol-coverage`         — every wire variant encoded, decoded, and tested
+//!   R15 `unit-mismatch`             — no arithmetic across unit domains (ns/cycles/…)
+//!   R16 `addr-domain`               — no addr↔line/page crossings via bare literals
+//!   R17 `timing-literal-provenance` — Table I literals live in named consts/config
+//!   R18 `overflow-policy`           — loop-product accumulation states its policy
 //!       `bad-annotation`            — malformed/unjustified allow annotations
 //!
 //! R1–R3, R8–R10 and R13 are token-level per-file checks. R4 and R11 are
 //! per-file semantic checks over the item tree ([`crate::items`]); R7, R12
 //! and R14 are workspace-level: they run over the call graph
 //! ([`crate::callgraph`]), the Driver lock graph ([`crate::locks`]) and
-//! the aggregated protocol-reference facts respectively.
+//! the aggregated protocol-reference facts respectively. R15–R18 ride on
+//! the unit-domain dataflow engine ([`crate::units`]): R17/R18 fire
+//! per-file, R15/R16 fire at aggregation time so call operands resolve
+//! against the workspace fn-unit summary map.
 
 use crate::callgraph::Graph;
 use crate::items::{parse_items, parse_types, FnItem, TypeDef};
 use crate::lexer::{lex, Tok, TokKind};
 use crate::locks::{self, LockFn};
 use crate::scope::{allows, test_mask, Allow};
-use std::collections::BTreeSet;
+use crate::units::{self, FnUnit, OpKind, Operand, Unit, UnitOp};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Rule identifiers, ordered as in the catalog.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -45,10 +53,14 @@ pub enum Rule {
     LockOrder,
     PtrAsInt,
     ProtocolCoverage,
+    UnitMismatch,
+    AddrDomain,
+    TimingLiteralProvenance,
+    OverflowPolicy,
     BadAnnotation,
 }
 
-pub const ALL_RULES: [Rule; 14] = [
+pub const ALL_RULES: [Rule; 18] = [
     Rule::UnorderedMap,
     Rule::WallClock,
     Rule::PanicPath,
@@ -62,6 +74,10 @@ pub const ALL_RULES: [Rule; 14] = [
     Rule::LockOrder,
     Rule::PtrAsInt,
     Rule::ProtocolCoverage,
+    Rule::UnitMismatch,
+    Rule::AddrDomain,
+    Rule::TimingLiteralProvenance,
+    Rule::OverflowPolicy,
     Rule::BadAnnotation,
 ];
 
@@ -81,6 +97,10 @@ impl Rule {
             Rule::LockOrder => "lock-order",
             Rule::PtrAsInt => "ptr-as-int",
             Rule::ProtocolCoverage => "protocol-coverage",
+            Rule::UnitMismatch => "unit-mismatch",
+            Rule::AddrDomain => "addr-domain",
+            Rule::TimingLiteralProvenance => "timing-literal-provenance",
+            Rule::OverflowPolicy => "overflow-policy",
             Rule::BadAnnotation => "bad-annotation",
         }
     }
@@ -156,6 +176,33 @@ impl Rule {
                  client to send it gets a decode error or a skewed frame instead of a \
                  versioned rejection"
             }
+            Rule::UnitMismatch => {
+                "adding, subtracting, or comparing values from different unit domains \
+                 (ns vs cycles, bytes vs lines, addr vs count) type-checks as plain \
+                 integers but silently corrupts the timing model; convert at a named \
+                 boundary (`Time::from_ns`, `Freq::time_to_cycles`, `Addr::line_index`) \
+                 or annotate why the domains genuinely agree"
+            }
+            Rule::AddrDomain => {
+                "crossing between raw addresses/sizes and line or page indices with a \
+                 bare `>>`/`&`/`/` literal duplicates the interleaving geometry at every \
+                 site; route crossings through the named helpers (`Addr::line_index`, \
+                 `Addr::page_index`, `blocks_touched`) or a named geometry const so the \
+                 line/page shape changes in exactly one place"
+            }
+            Rule::TimingLiteralProvenance => {
+                "a Table I latency hard-coded as a bare literal far from its config \
+                 field has no provenance: reviewers cannot tell a tuned parameter from \
+                 a typo, and the analytical model cannot extract it. Every default \
+                 timing parameter lives in exactly one named const or config field; \
+                 test/fixture code is exempt"
+            }
+            Rule::OverflowPolicy => {
+                "accumulating loop-carried products into a plain integer invites silent \
+                 wraparound exactly where earlier reviews found real overflow bugs; \
+                 state the policy with saturating_/checked_ arithmetic or a written \
+                 allow justifying the bound"
+            }
             Rule::BadAnnotation => {
                 "nvsim-lint annotations must name a known rule and carry a written \
                  justification; an unexplained allow is indistinguishable from a mistake"
@@ -166,6 +213,109 @@ impl Rule {
     pub fn from_id(id: &str) -> Option<Rule> {
         ALL_RULES.iter().copied().find(|r| r.id() == id)
     }
+
+    /// Catalog number as documented in the module header and DESIGN.md.
+    /// `None` for `bad-annotation`, which polices the annotation syntax
+    /// itself and has never carried a number. (There is no R6 — the slot
+    /// was retired before v1 shipped and the numbering is frozen in
+    /// baselines and allow comments.)
+    pub fn number(self) -> Option<u32> {
+        match self {
+            Rule::UnorderedMap => Some(1),
+            Rule::WallClock => Some(2),
+            Rule::PanicPath => Some(3),
+            Rule::ExpectCompletionMisuse => Some(4),
+            Rule::StageCoverage => Some(5),
+            Rule::PanicReach => Some(7),
+            Rule::UnsafeUndocumented => Some(8),
+            Rule::CastTruncation => Some(9),
+            Rule::SyncOnSimPath => Some(10),
+            Rule::SnapshotFieldCoverage => Some(11),
+            Rule::LockOrder => Some(12),
+            Rule::PtrAsInt => Some(13),
+            Rule::ProtocolCoverage => Some(14),
+            Rule::UnitMismatch => Some(15),
+            Rule::AddrDomain => Some(16),
+            Rule::TimingLiteralProvenance => Some(17),
+            Rule::OverflowPolicy => Some(18),
+            Rule::BadAnnotation => None,
+        }
+    }
+
+    /// One-line description for the rule table (README, `--explain`
+    /// listing). Same inventory as [`Rule::rationale`] — there is exactly
+    /// one place a rule's documentation lives.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::UnorderedMap => "no HashMap/HashSet on simulation paths",
+            Rule::WallClock => "no Instant/SystemTime on simulation paths",
+            Rule::PanicPath => "no panic!/unwrap/expect on the datapath",
+            Rule::ExpectCompletionMisuse => "expect_completion only after a same-function submit",
+            Rule::StageCoverage => "every Stage variant has a trace emission site",
+            Rule::PanicReach => "no transitive path from simulation code to a panic",
+            Rule::UnsafeUndocumented => "every unsafe block carries a SAFETY comment",
+            Rule::CastTruncation => "no narrowing `as` casts of counters/addresses",
+            Rule::SyncOnSimPath => "no locks/atomics/threads inside the simulator",
+            Rule::SnapshotFieldCoverage => "every Snapshot field is saved and restored",
+            Rule::LockOrder => "no conflicting lock-acquisition orders (Driver code)",
+            Rule::PtrAsInt => "no pointer-to-integer casts (ASLR nondeterminism)",
+            Rule::ProtocolCoverage => "every wire variant is encoded, decoded, and round-trip tested",
+            Rule::UnitMismatch => "no +/-/compare across unit domains (ns, cycles, bytes, lines, pages, addr, count)",
+            Rule::AddrDomain => "addr/line/page crossings only via named helpers or consts",
+            Rule::TimingLiteralProvenance => "timing literals live in named consts/config fields only",
+            Rule::OverflowPolicy => "loop-product accumulation states an overflow policy",
+            Rule::BadAnnotation => "allow annotations name a known rule and a written reason",
+        }
+    }
+
+    /// What a finding of this rule shows as evidence — the site format and
+    /// any `chain` payload.
+    pub fn evidence(self) -> &'static str {
+        match self {
+            Rule::UnorderedMap | Rule::WallClock | Rule::PanicPath | Rule::SyncOnSimPath
+            | Rule::PtrAsInt | Rule::CastTruncation | Rule::UnsafeUndocumented
+            | Rule::BadAnnotation | Rule::ExpectCompletionMisuse => {
+                "file:line:col of the offending token"
+            }
+            Rule::StageCoverage => "the Stage variant's definition site; fires when no \
+                 SpanRecorder emission references it anywhere in the workspace",
+            Rule::PanicReach => "the reaching function's definition site, with the full \
+                 call chain to the panic in the finding's `chain` field",
+            Rule::SnapshotFieldCoverage => "the field's declaration site, naming which of \
+                 save/restore misses it",
+            Rule::LockOrder => "one acquisition site per cycle, with the lock-order cycle \
+                 (lock -> lock -> ...) in the finding's `chain` field",
+            Rule::ProtocolCoverage => "the variant's definition site, naming the missing \
+                 side (encode, decode, or round-trip test)",
+            Rule::UnitMismatch => "the operator site, with each operand's inferred unit and \
+                 its provenance (suffix, accessor, const, or callee summary) in the \
+                 finding's `chain` field",
+            Rule::AddrDomain => "the operator site, with the address-family operand's \
+                 inferred unit and provenance in the finding's `chain` field",
+            Rule::TimingLiteralProvenance => "the literal's site, naming the constructor or \
+                 timing-suffixed binding it feeds; const/static items and test code are \
+                 exempt (they ARE the sanctioned homes)",
+            Rule::OverflowPolicy => "the accumulation site inside the loop, naming the \
+                 unit domain of the product operand; products routed through the \
+                 saturating Time::from_*/Freq conversions are compliant",
+        }
+    }
+}
+
+/// The 18-rule inventory as a GitHub-flavored markdown table — the exact
+/// text embedded in README.md between the `<!-- nvsim-lint-rules -->`
+/// markers; a workspace test diffs the two so the docs cannot drift from
+/// the code.
+pub fn rules_markdown_table() -> String {
+    let mut out = String::from("| # | rule | checks |\n|---|------|--------|\n");
+    for r in ALL_RULES {
+        let num = match r.number() {
+            Some(n) => format!("R{n}"),
+            None => "—".to_string(),
+        };
+        out.push_str(&format!("| {num} | `{}` | {} |\n", r.id(), r.summary()));
+    }
+    out
 }
 
 /// How a file participates in linting, derived from its workspace path.
@@ -273,6 +423,12 @@ pub struct FileFacts {
     pub proto_refs: Vec<(String, String, ProtoRef)>,
     /// Per-function lock facts (Driver-class files only) for R12.
     pub lock_fns: Vec<LockFn>,
+    /// R15/R16 operator sites awaiting call-operand resolution against
+    /// the workspace fn-unit summary map.
+    pub unit_ops: Vec<UnitOp>,
+    /// Return-unit summaries of this file's functions (from name
+    /// suffixes), feeding cross-file R15/R16 resolution.
+    pub fn_units: Vec<FnUnit>,
 }
 
 /// Path suffix identifying the `Stage` definition file.
@@ -554,6 +710,22 @@ pub fn lint_file(rel: &str, src: &str, class: FileClass) -> (Vec<Finding>, FileF
 
     // Item tree: feeds R4 here and the workspace call graph (R7) upstream.
     facts.items = parse_items(&toks, &mask, &allow_list);
+
+    // R15–R18 — unit-domain dataflow (simulation only). R17/R18 fire
+    // here; R15/R16 operator facts and fn-unit summaries go to the
+    // aggregation pass for cross-file call resolution.
+    if class == FileClass::Simulation {
+        let ufacts = units::analyze(&toks, &mask, &facts.items);
+        for lf in &ufacts.local {
+            let rule = match lf.rule {
+                units::LocalRule::TimingLiteral => Rule::TimingLiteralProvenance,
+                units::LocalRule::OverflowPolicy => Rule::OverflowPolicy,
+            };
+            push(rule, lf.line, lf.col, lf.message.clone());
+        }
+        facts.unit_ops = ufacts.ops;
+        facts.fn_units = ufacts.fn_units;
+    }
 
     // R11 — snapshot field coverage: every field (or enum variant) of a
     // type with an `impl Snapshot` in this file must be referenced in both
@@ -900,6 +1072,114 @@ pub fn protocol_coverage(
     out
 }
 
+/// Workspace-level R15/R16: resolve call operands through the fn-unit
+/// summary map (qualified-name narrowing, like the call graph) and fire
+/// unit mismatches and bare-literal address-domain crossings.
+fn unit_findings(
+    unit_files: &[(String, Vec<UnitOp>)],
+    fn_units: &[FnUnit],
+    allowed_at: &dyn Fn(&str, Rule, u32) -> bool,
+) -> Vec<Finding> {
+    let mut summary: BTreeMap<&str, Vec<(&Option<String>, Unit)>> = BTreeMap::new();
+    for fu in fn_units {
+        summary
+            .entry(fu.name.as_str())
+            .or_default()
+            .push((&fu.owner, fu.unit));
+    }
+    let resolve = |op: &Operand| -> Option<(Unit, String)> {
+        match op {
+            Operand::Known(u, prov) => Some((*u, prov.clone())),
+            Operand::Call { name, qual } => {
+                let cands = summary.get(name.as_str())?;
+                let narrowed: Vec<Unit> = match qual {
+                    Some(q) => {
+                        let m: Vec<Unit> = cands
+                            .iter()
+                            .filter(|(o, _)| o.as_deref() == Some(q.as_str()))
+                            .map(|&(_, u)| u)
+                            .collect();
+                        if m.is_empty() {
+                            cands.iter().map(|&(_, u)| u).collect()
+                        } else {
+                            m
+                        }
+                    }
+                    None => cands.iter().map(|&(_, u)| u).collect(),
+                };
+                let first = *narrowed.first()?;
+                if narrowed.iter().all(|&u| u == first) {
+                    Some((first, format!("workspace fn `{name}()` summary")))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    };
+    let mut out = Vec::new();
+    for (rel, ops) in unit_files {
+        for op in ops {
+            match op.kind {
+                OpKind::Arith => {
+                    let (Some((ul, pl)), Some((ur, pr))) =
+                        (resolve(&op.lhs), resolve(&op.rhs))
+                    else {
+                        continue;
+                    };
+                    if ul == ur || allowed_at(rel, Rule::UnitMismatch, op.line) {
+                        continue;
+                    }
+                    out.push(Finding {
+                        file: rel.clone(),
+                        line: op.line,
+                        col: op.col,
+                        rule: Rule::UnitMismatch,
+                        message: format!(
+                            "`{} {} {}` mixes `{}` with `{}`: {}",
+                            op.lhs_text,
+                            op.op,
+                            op.rhs_text,
+                            ul.name(),
+                            ur.name(),
+                            Rule::UnitMismatch.rationale()
+                        ),
+                        chain: vec![
+                            format!("lhs `{}` is {} ({})", op.lhs_text, ul.name(), pl),
+                            format!("rhs `{}` is {} ({})", op.rhs_text, ur.name(), pr),
+                        ],
+                    });
+                }
+                OpKind::AddrCross => {
+                    let Some((ul, pl)) = resolve(&op.lhs) else {
+                        continue;
+                    };
+                    if !units::addr_family(ul) || allowed_at(rel, Rule::AddrDomain, op.line) {
+                        continue;
+                    }
+                    out.push(Finding {
+                        file: rel.clone(),
+                        line: op.line,
+                        col: op.col,
+                        rule: Rule::AddrDomain,
+                        message: format!(
+                            "`{} {} {}` crosses out of the `{}` domain via a bare \
+                             geometry literal: {}",
+                            op.lhs_text,
+                            op.op,
+                            op.rhs_text,
+                            ul.name(),
+                            Rule::AddrDomain.rationale()
+                        ),
+                        chain: vec![format!("lhs `{}` is {} ({})", op.lhs_text, ul.name(), pl)],
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
 fn annotation_finding(rel: &str, a: &Allow, findings: &mut Vec<Finding>) {
     let problem = if a.rule.is_empty() {
         Some("marker without a parsable `allow(<rule-id>)`".to_string())
@@ -1013,7 +1293,13 @@ pub fn aggregate(per_file: Vec<(String, Vec<Finding>, FileFacts)>) -> Vec<Findin
     let mut proto_def: Option<ProtoDef> = None;
     let mut proto_refs_all: Vec<(String, String, ProtoRef)> = Vec::new();
     let mut lock_files: Vec<(String, Vec<LockFn>)> = Vec::new();
+    let mut unit_files: Vec<(String, Vec<UnitOp>)> = Vec::new();
+    let mut fn_units_all: Vec<FnUnit> = Vec::new();
     for (rel, mut f, mut facts) in per_file {
+        if !facts.unit_ops.is_empty() {
+            unit_files.push((rel.clone(), std::mem::take(&mut facts.unit_ops)));
+        }
+        fn_units_all.append(&mut facts.fn_units);
         findings.append(&mut f);
         emitted_all.append(&mut facts.emitted);
         if !facts.defined.is_empty() {
@@ -1086,6 +1372,9 @@ pub fn aggregate(per_file: Vec<(String, Vec<Finding>, FileFacts)>) -> Vec<Findin
             &|line| allowed_at(def_file, Rule::ProtocolCoverage, line),
         ));
     }
+    // R15/R16 — resolve pending unit-operator facts against the
+    // workspace fn-unit summary map and fire mismatches/crossings.
+    findings.extend(unit_findings(&unit_files, &fn_units_all, &allowed_at));
     findings
         .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
     findings

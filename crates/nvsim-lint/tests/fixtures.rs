@@ -1208,3 +1208,196 @@ fn stale_entry_for_a_deleted_file_is_reported_with_its_path() {
     assert!(text.contains("no longer exists"), "cause surfaces: {text}");
     assert!(report.render_json().contains("\"file_exists\": false"));
 }
+
+// ---------------------------------------------------------------- R15
+
+#[test]
+fn r15_mixed_unit_addition_is_flagged() {
+    let src = "fn f(read_ns: u64, bus_cycles: u64) -> u64 { read_ns + bus_cycles }\n";
+    assert_eq!(rule_count(SIM, src, Rule::UnitMismatch), 1);
+}
+
+#[test]
+fn r15_same_unit_addition_is_clean() {
+    let src = "fn f(read_ns: u64, write_ns: u64) -> u64 { read_ns + write_ns }\n";
+    assert_eq!(rule_count(SIM, src, Rule::UnitMismatch), 0);
+}
+
+#[test]
+fn r15_mixed_unit_comparison_is_flagged() {
+    let src = "fn f(lat_ns: u64, budget_cycles: u64) -> bool { lat_ns < budget_cycles }\n";
+    assert_eq!(rule_count(SIM, src, Rule::UnitMismatch), 1);
+}
+
+#[test]
+fn r15_cross_file_callee_summary_resolves_the_unit() {
+    // `media_read_ns()` lives in another file; its return unit comes from
+    // the workspace fn-summary pass, not from anything local to `g`.
+    let lib = "pub fn media_read_ns() -> u64 { MEDIA_READ_NS }\n";
+    let user = "fn g(budget_cycles: u64) -> u64 { media_read_ns() + budget_cycles }\n";
+    let findings = lint_sources([("crates/vans/src/a.rs", lib), ("crates/vans/src/b.rs", user)]);
+    let hits: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::UnitMismatch)
+        .collect();
+    assert_eq!(hits.len(), 1, "{findings:?}");
+    assert!(hits[0].file.ends_with("b.rs"));
+    assert!(
+        hits[0].chain.iter().any(|c| c.contains("summary")),
+        "provenance names the fn summary: {:?}",
+        hits[0].chain
+    );
+}
+
+#[test]
+fn r15_allow_with_reason_suppresses() {
+    let src = "// nvsim-lint: allow(unit-mismatch) — fixture: the domains agree here.\n\
+               fn f(read_ns: u64, bus_cycles: u64) -> u64 { read_ns + bus_cycles }\n";
+    assert_eq!(rule_count(SIM, src, Rule::UnitMismatch), 0);
+}
+
+/// Operand order and file order must not change what is found: the
+/// analysis is symmetric and the aggregation sorts deterministically.
+#[test]
+fn r15_is_order_independent() {
+    let a = "pub fn media_read_ns() -> u64 { MEDIA_READ_NS }\n";
+    let b = "fn g(budget_cycles: u64) -> u64 { media_read_ns() + budget_cycles }\n";
+    let b_swapped = "fn g(budget_cycles: u64) -> u64 { budget_cycles + media_read_ns() }\n";
+    let fwd = lint_sources([("crates/vans/src/a.rs", a), ("crates/vans/src/b.rs", b)]);
+    let rev = lint_sources([("crates/vans/src/b.rs", b), ("crates/vans/src/a.rs", a)]);
+    assert_eq!(fwd, rev, "file order must not matter");
+    let sw = lint_sources([("crates/vans/src/a.rs", a), ("crates/vans/src/b.rs", b_swapped)]);
+    assert_eq!(
+        sw.iter().filter(|f| f.rule == Rule::UnitMismatch).count(),
+        fwd.iter().filter(|f| f.rule == Rule::UnitMismatch).count(),
+        "operand order must not matter"
+    );
+}
+
+// ---------------------------------------------------------------- R16
+
+#[test]
+fn r16_bare_shift_out_of_the_addr_domain_is_flagged() {
+    let src = "fn f(addr: u64) -> u64 { addr >> 6 }\n";
+    assert_eq!(rule_count(SIM, src, Rule::AddrDomain), 1);
+}
+
+#[test]
+fn r16_bare_divide_by_line_size_is_flagged() {
+    let src = "fn f(span_bytes: u64) -> u64 { span_bytes / 64 }\n";
+    assert_eq!(rule_count(SIM, src, Rule::AddrDomain), 1);
+}
+
+#[test]
+fn r16_named_const_crossing_is_clean() {
+    let src = "fn f(span_bytes: u64) -> u64 { span_bytes / CACHE_LINE }\n";
+    assert_eq!(rule_count(SIM, src, Rule::AddrDomain), 0);
+}
+
+#[test]
+fn r16_non_geometry_literal_is_clean() {
+    let src = "fn f(addr: u64) -> u64 { addr / 10 }\n";
+    assert_eq!(rule_count(SIM, src, Rule::AddrDomain), 0);
+}
+
+#[test]
+fn r16_count_domain_is_not_address_family() {
+    let src = "fn f(retry_count: u64) -> u64 { retry_count / 64 }\n";
+    assert_eq!(rule_count(SIM, src, Rule::AddrDomain), 0);
+}
+
+// ---------------------------------------------------------------- R17
+
+#[test]
+fn r17_timing_literal_in_a_ctor_is_flagged() {
+    let src = "fn f() -> Time { Time::from_ns(25) }\n";
+    assert_eq!(rule_count(SIM, src, Rule::TimingLiteralProvenance), 1);
+}
+
+#[test]
+fn r17_named_const_argument_is_clean() {
+    let src = "fn f() -> Time { Time::from_ns(PROTOCOL_OVERHEAD_NS) }\n";
+    assert_eq!(rule_count(SIM, src, Rule::TimingLiteralProvenance), 0);
+}
+
+#[test]
+fn r17_literal_inside_a_const_item_is_clean() {
+    // Const items are the sanctioned home for timing parameters.
+    let src = "pub const PROTOCOL_OVERHEAD_NS: u64 = 25;\n\
+               fn f() -> Time { Time::from_ns(PROTOCOL_OVERHEAD_NS) }\n";
+    assert_eq!(rule_count(SIM, src, Rule::TimingLiteralProvenance), 0);
+}
+
+#[test]
+fn r17_timing_suffixed_let_from_a_bare_literal_is_flagged() {
+    let src = "fn f() -> u64 { let delay_ns = 25; delay_ns }\n";
+    assert_eq!(rule_count(SIM, src, Rule::TimingLiteralProvenance), 1);
+}
+
+#[test]
+fn r17_test_code_is_exempt() {
+    let src = "
+fn live() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { let _ = Time::from_ns(25); }
+}
+";
+    assert_eq!(rule_count(SIM, src, Rule::TimingLiteralProvenance), 0);
+}
+
+// ---------------------------------------------------------------- R18
+
+#[test]
+fn r18_unchecked_loop_product_accumulation_is_flagged() {
+    let src = "fn f(n_lines: u64, width_bytes: u64) -> u64 {\n\
+                   let mut total = 0;\n\
+                   for _ in 0..4 { total += n_lines * width_bytes; }\n\
+                   total\n\
+               }\n";
+    assert_eq!(rule_count(SIM, src, Rule::OverflowPolicy), 1);
+}
+
+#[test]
+fn r18_saturating_policy_is_clean() {
+    let src = "fn f(n_lines: u64, width_bytes: u64) -> u64 {\n\
+                   let mut total = 0u64;\n\
+                   for _ in 0..4 { total += n_lines.saturating_mul(width_bytes); }\n\
+                   total\n\
+               }\n";
+    assert_eq!(rule_count(SIM, src, Rule::OverflowPolicy), 0);
+}
+
+#[test]
+fn r18_product_outside_a_loop_is_clean() {
+    let src = "fn f(n_lines: u64, width_bytes: u64) -> u64 {\n\
+                   let mut total = 0;\n\
+                   total += n_lines * width_bytes;\n\
+                   total\n\
+               }\n";
+    assert_eq!(rule_count(SIM, src, Rule::OverflowPolicy), 0);
+}
+
+#[test]
+fn r18_product_inside_a_saturating_conversion_is_clean() {
+    // `Time::from_ns_f64` clamps at the float→int cast, so the product
+    // never reaches the accumulator unclamped.
+    let src = "fn f(lat_ns: f64, n_count: f64) -> Time {\n\
+                   let mut total = Time::ZERO;\n\
+                   for _ in 0..4 { total += Time::from_ns_f64(lat_ns * n_count); }\n\
+                   total\n\
+               }\n";
+    assert_eq!(rule_count(SIM, src, Rule::OverflowPolicy), 0);
+}
+
+#[test]
+fn r18_allow_with_reason_suppresses() {
+    let src = "fn f(n_lines: u64, width_bytes: u64) -> u64 {\n\
+                   let mut total = 0;\n\
+                   // nvsim-lint: allow(overflow-policy) — fixture: bounded by construction.\n\
+                   for _ in 0..4 { total += n_lines * width_bytes; }\n\
+                   total\n\
+               }\n";
+    assert_eq!(rule_count(SIM, src, Rule::OverflowPolicy), 0);
+}

@@ -1,0 +1,68 @@
+//! Property tests for the R15 unit-inference engine: the analysis must
+//! be deterministic (same source → same findings, every time) and
+//! symmetric (operand order and file order never change what is found),
+//! and an arithmetic finding must fire exactly when the two suffixes
+//! map to different unit domains.
+
+use nvsim_lint::rules::{lint_sources, Rule};
+use nvsim_lint::units::suffix_unit;
+use proptest::prelude::*;
+
+/// Unit-bearing identifier suffixes drawn from every domain the
+/// classifier knows, plus a couple of non-unit suffixes (`val`, `tmp`)
+/// so cases also cover the must-not-fire side.
+const SUFFIXES: &[&str] = &[
+    "ns", "ps", "us", "ms", "cycles", "bytes", "lines", "pages", "addr", "count", "iters", "val",
+    "tmp",
+];
+
+const SIM: &str = "crates/vans/src/fixture.rs";
+
+fn mismatches(src: &str) -> usize {
+    lint_sources([(SIM, src)])
+        .into_iter()
+        .filter(|f| f.rule == Rule::UnitMismatch)
+        .count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `a_X + b_Y` produces a unit-mismatch finding exactly when both
+    /// suffixes classify and classify differently — the end-to-end
+    /// pipeline (lex → analyze → aggregate) agrees with the classifier.
+    #[test]
+    fn mismatch_fires_iff_suffix_units_differ(xi in 0usize..13, yi in 0usize..13) {
+        let (sx, sy) = (SUFFIXES[xi], SUFFIXES[yi]);
+        let src = format!("fn f(a_{sx}: u64, b_{sy}: u64) -> u64 {{ a_{sx} + b_{sy} }}\n");
+        let expect = match (suffix_unit(&format!("a_{sx}")), suffix_unit(&format!("b_{sy}"))) {
+            (Some(ux), Some(uy)) if ux != uy => 1,
+            _ => 0,
+        };
+        prop_assert_eq!(mismatches(&src), expect);
+    }
+
+    /// Operand order never changes the verdict.
+    #[test]
+    fn inference_is_suffix_order_independent(xi in 0usize..13, yi in 0usize..13) {
+        let (sx, sy) = (SUFFIXES[xi], SUFFIXES[yi]);
+        let fwd = format!("fn f(a_{sx}: u64, b_{sy}: u64) -> u64 {{ a_{sx} + b_{sy} }}\n");
+        let rev = format!("fn f(a_{sx}: u64, b_{sy}: u64) -> u64 {{ b_{sy} + a_{sx} }}\n");
+        prop_assert_eq!(mismatches(&fwd), mismatches(&rev));
+    }
+
+    /// Same input, same findings — byte-for-byte, across repeated runs
+    /// and across file-order permutations of a two-file workspace.
+    #[test]
+    fn inference_is_deterministic(xi in 0usize..13, yi in 0usize..13) {
+        let (sx, sy) = (SUFFIXES[xi], SUFFIXES[yi]);
+        let a = format!("pub fn lat_{sx}() -> u64 {{ BASE_{} }}\n", sx.to_uppercase());
+        let b = format!("fn g(x_{sy}: u64) -> u64 {{ lat_{sx}() + x_{sy} }}\n");
+        let files = [("crates/vans/src/a.rs", a.as_str()), ("crates/vans/src/b.rs", b.as_str())];
+        let run1 = lint_sources(files);
+        let run2 = lint_sources(files);
+        let swapped = lint_sources([files[1], files[0]]);
+        prop_assert_eq!(&run1, &run2);
+        prop_assert_eq!(&run1, &swapped);
+    }
+}

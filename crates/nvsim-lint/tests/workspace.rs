@@ -47,8 +47,31 @@ fn cache_cold_and_warm_runs_render_byte_identical_reports() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The README rule table is generated text: it must match
+/// `rules_markdown_table()` exactly, so the docs cannot drift from the
+/// rule inventory in code. Regenerate by pasting the function's output
+/// between the `<!-- nvsim-lint-rules -->` markers.
+#[test]
+fn readme_rule_table_matches_the_rule_inventory() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = nvsim_lint::find_root(manifest).expect("workspace root above nvsim-lint");
+    let readme = std::fs::read_to_string(root.join("README.md")).expect("README.md");
+    let marker = "<!-- nvsim-lint-rules -->";
+    let start = readme.find(marker).expect("opening nvsim-lint-rules marker");
+    let rest = &readme[start + marker.len()..];
+    let end = rest.find(marker).expect("closing nvsim-lint-rules marker");
+    let embedded = rest[..end].trim();
+    let generated = nvsim_lint::rules::rules_markdown_table();
+    assert_eq!(
+        embedded,
+        generated.trim(),
+        "README rule table differs from rules_markdown_table(); \
+         re-embed the generated table between the markers"
+    );
+}
+
 /// Self-benchmark: the full semantic analysis (lex + item tree + call
-/// graph + lock graph + all fourteen rules over every workspace file) must
+/// graph + lock graph + all eighteen rules over every workspace file) must
 /// stay fast enough to run on every CI push. 5 s is the budget from ISSUE
 /// 4; a debug-build single-CPU container run currently takes well under
 /// 1 s.

@@ -38,6 +38,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod media;
+pub mod params;
 pub mod wear;
 
 pub use media::{MediaAddr, MediaConfig, MediaStats, XpointMedia};

@@ -72,8 +72,8 @@ impl MediaConfig {
             capacity_bytes: 4 << 30,
             dies: 16,
             access_unit: 256,
-            read_latency: Time::from_ns(110),
-            write_latency: Time::from_ns(400),
+            read_latency: Time::from_ns(crate::params::MEDIA_READ_NS),
+            write_latency: Time::from_ns(crate::params::MEDIA_WRITE_NS),
             bus_gbps: 64.0,
         }
     }

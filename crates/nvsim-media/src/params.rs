@@ -1,0 +1,23 @@
+//! Default media timing parameters (Table I provenance).
+//!
+//! Named consts for the 3D-XPoint-like latencies the Optane presets use,
+//! so the `timing-literal-provenance` lint (R17) can keep each Table I
+//! parameter in exactly one place. The `_NS`/`_US` suffixes carry unit
+//! domains for the R15 dataflow pass. See DESIGN.md "Unit domains &
+//! parameter provenance".
+
+/// Die read latency per 256 B access unit.
+pub const MEDIA_READ_NS: u64 = 110;
+
+/// Die write latency per 256 B access unit.
+pub const MEDIA_WRITE_NS: u64 = 400;
+
+/// Duration of one wear-leveling block migration — the tail stall the
+/// writer sees (the paper measures tails of tens of microseconds, over
+/// 100× a normal write; Fig 7).
+pub const WEAR_MIGRATION_US: u64 = 60;
+
+/// Writes into one 64 KB block before wear-leveling migrates it; also
+/// the decay epoch length. The paper measures a tail every ~14,000
+/// 256 B writes (Fig 7a).
+pub const WEAR_THRESHOLD_WRITES: u64 = 14_000;

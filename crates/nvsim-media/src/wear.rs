@@ -46,8 +46,8 @@ impl WearConfig {
         WearConfig {
             enabled: true,
             block_size: 64 * 1024,
-            threshold: 14_000,
-            migration_latency: nvsim_types::Time::from_us(60),
+            threshold: crate::params::WEAR_THRESHOLD_WRITES,
+            migration_latency: nvsim_types::Time::from_us(crate::params::WEAR_MIGRATION_US),
         }
     }
 

@@ -104,12 +104,20 @@ pub struct BackendConfig {
     pub fixed_write_latency: Time,
 }
 
+/// Default [`BackendKind::FixedLatency`] read latency — the ~100 ns
+/// AIT-buffer-hit read the paper cites as the idle Optane latency scale.
+pub const FIXED_READ_NS: u64 = 100;
+
+/// Default [`BackendKind::FixedLatency`] write latency — an
+/// LSQ-overflowed NT-store scale.
+pub const FIXED_WRITE_NS: u64 = 300;
+
 impl Default for BackendConfig {
     fn default() -> Self {
         BackendConfig {
             dimms: 1,
-            fixed_read_latency: Time::from_ns(100),
-            fixed_write_latency: Time::from_ns(300),
+            fixed_read_latency: Time::from_ns(FIXED_READ_NS),
+            fixed_write_latency: Time::from_ns(FIXED_WRITE_NS),
         }
     }
 }

@@ -76,7 +76,7 @@ impl ReferenceBackend {
         match desc.op {
             // Fences carry a dummy address: do not let them pollute the
             // footprint window.
-            MemOp::Fence => Time::from_ns(50),
+            MemOp::Fence => Time::from_ns(crate::params::FENCE_NS),
             MemOp::Load => {
                 let region = self.observe(desc.addr);
                 Time::from_ns_f64(self.model.read_latency_ns(region, self.dimms))

@@ -68,24 +68,24 @@ impl OptaneReference {
     /// The reference parameter set (see module docs for provenance).
     pub fn new() -> Self {
         OptaneReference {
-            read_rmw_ns: 100.0,
-            read_ait_ns: 180.0,
-            read_media_ns: 330.0,
+            read_rmw_ns: crate::params::READ_RMW_NS,
+            read_ait_ns: crate::params::READ_AIT_NS,
+            read_media_ns: crate::params::READ_MEDIA_NS,
             rmw_capacity: 16 << 10,
             ait_capacity: 16 << 20,
-            write_wpq_ns: 55.0,
-            write_lsq_ns: 95.0,
-            write_deep_ns: 290.0,
-            write_media_extra_ns: 60.0,
+            write_wpq_ns: crate::params::WRITE_WPQ_NS,
+            write_lsq_ns: crate::params::WRITE_LSQ_NS,
+            write_deep_ns: crate::params::WRITE_DEEP_NS,
+            write_media_extra_ns: crate::params::WRITE_MEDIA_EXTRA_NS,
             wpq_capacity: 512,
             lsq_capacity: 4096,
             bw_load_gbps: 4.0,
             bw_store_gbps: 1.0,
             bw_store_clwb_gbps: 1.5,
             bw_nt_store_gbps: 2.3,
-            tail_period_iters: 14_000,
-            tail_magnitude_us: 60.0,
-            overwrite_iter_us: 0.45,
+            tail_period_iters: crate::params::TAIL_PERIOD_ITERS,
+            tail_magnitude_us: crate::params::TAIL_MAGNITUDE_US,
+            overwrite_iter_us: crate::params::OVERWRITE_ITER_US,
             interleave_bytes: 4096,
         }
     }
@@ -130,7 +130,7 @@ impl OptaneReference {
     /// plateau.
     pub fn read_latency_block_ns(&self, region_bytes: u64, block_bytes: u64, dimms: u32) -> f64 {
         let base = self.read_latency_ns(region_bytes, dimms);
-        let lines = (block_bytes / 64).max(1) as f64;
+        let lines = (block_bytes / nvsim_types::CACHE_LINE).max(1) as f64;
         // First line pays the full miss; the rest approach the RMW hit.
         (base + (lines - 1.0) * self.read_rmw_ns) / lines
     }

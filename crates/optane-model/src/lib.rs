@@ -31,6 +31,7 @@
 
 pub mod backend;
 pub mod curves;
+pub mod params;
 pub mod spec;
 
 pub use backend::ReferenceBackend;

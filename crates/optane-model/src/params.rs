@@ -1,0 +1,45 @@
+//! Reference-curve parameters of the analytical Optane model.
+//!
+//! The plateau latencies, knee capacities and tail shape the paper's
+//! figures report, as named consts with unit-bearing suffixes — the
+//! single home the `timing-literal-provenance` lint (R17) enforces, and
+//! the parameter set ROADMAP item 3's analytical fast-path will extract.
+//! See DESIGN.md "Unit domains & parameter provenance"; provenance for
+//! each number is in [`crate::curves`]'s module docs.
+
+/// Read plateau while the footprint fits the 16 KB RMW buffer (Fig 1b).
+pub const READ_RMW_NS: f64 = 100.0;
+
+/// Read plateau while the footprint fits the 16 MB AIT buffer.
+pub const READ_AIT_NS: f64 = 180.0;
+
+/// Read plateau once every access misses to media (Fig 5a's ceiling).
+pub const READ_MEDIA_NS: f64 = 330.0;
+
+/// NT-store plateau while writes fit the 512 B WPQ (Fig 5a).
+pub const WRITE_WPQ_NS: f64 = 55.0;
+
+/// NT-store plateau while writes fit the 4 KB LSQ.
+pub const WRITE_LSQ_NS: f64 = 95.0;
+
+/// NT-store plateau past the LSQ (RMW/AIT bound).
+pub const WRITE_DEEP_NS: f64 = 290.0;
+
+/// Extra write cost once the AIT buffer also thrashes.
+pub const WRITE_MEDIA_EXTRA_NS: f64 = 60.0;
+
+/// Magnitude of the wear-leveling tail stall (Fig 7: tens of µs, >100×
+/// a normal write). Must agree with the simulator's
+/// `nvsim-media` migration latency — a divergence regression test pins
+/// the two together.
+pub const TAIL_MAGNITUDE_US: f64 = 60.0;
+
+/// 256 B overwrite iterations between tails (Fig 7a). Must agree with
+/// the simulator's `nvsim-media` wear threshold.
+pub const TAIL_PERIOD_ITERS: u64 = 14_000;
+
+/// Fixed fence drain latency the reference backend charges.
+pub const FENCE_NS: u64 = 50;
+
+/// Normal 256 B overwrite iteration time (Fig 7a's x-axis scale).
+pub const OVERWRITE_ITER_US: f64 = 0.45;

@@ -2,6 +2,7 @@
 //! characterization identified, plus the presets used in the paper's
 //! validation (Table V).
 
+use crate::params;
 use nvsim_dram::DramConfig;
 use nvsim_media::{MediaConfig, WearConfig};
 use nvsim_types::error::{require_nonzero, require_power_of_two};
@@ -35,11 +36,11 @@ impl ImcConfig {
         ImcConfig {
             wpq_entries: 8,
             rpq_entries: 32,
-            bus_transfer: Time::from_ns(4),
-            protocol_overhead: Time::from_ns(25),
-            core_overhead: Time::from_ns(26),
-            wpq_latency: Time::from_ns(6),
-            drain_period: Time::from_ns(18),
+            bus_transfer: Time::from_ns(params::BUS_TRANSFER_NS),
+            protocol_overhead: Time::from_ns(params::PROTOCOL_OVERHEAD_NS),
+            core_overhead: Time::from_ns(params::CORE_OVERHEAD_NS),
+            wpq_latency: Time::from_ns(params::WPQ_LATENCY_NS),
+            drain_period: Time::from_ns(params::WPQ_DRAIN_PERIOD_NS),
         }
     }
 }
@@ -62,8 +63,8 @@ impl LsqConfig {
     pub fn optane_like() -> Self {
         LsqConfig {
             entries: 64,
-            latency: Time::from_ns(12),
-            occupancy: Time::from_ns(4),
+            latency: Time::from_ns(params::LSQ_LATENCY_NS),
+            occupancy: Time::from_ns(params::LSQ_OCCUPANCY_NS),
             combine_bytes: 256,
         }
     }
@@ -88,8 +89,8 @@ impl RmwConfig {
         RmwConfig {
             entries: 64,
             entry_bytes: 256,
-            sram_latency: Time::from_ns(35),
-            port_occupancy: Time::from_ns(8),
+            sram_latency: Time::from_ns(params::RMW_SRAM_LATENCY_NS),
+            port_occupancy: Time::from_ns(params::RMW_PORT_OCCUPANCY_NS),
         }
     }
 
@@ -121,7 +122,7 @@ impl AitConfig {
         AitConfig {
             buffer_entries: 4096,
             entry_bytes: 4096,
-            controller_overhead: Time::from_ns(14),
+            controller_overhead: Time::from_ns(params::AIT_CONTROLLER_OVERHEAD_NS),
             translation_cache_entries: 64,
         }
     }

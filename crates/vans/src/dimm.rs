@@ -215,7 +215,7 @@ impl NvDimm {
     fn lsq_latency(&self) -> Time {
         // The LSQ probe cost is already modeled by its port on writes; a
         // read probe shares the port conservatively via a fixed charge.
-        Time::from_ns(5)
+        Time::from_ns(crate::params::LSQ_READ_PROBE_NS)
     }
 
     /// Host-visible read of one cache line at time `t`.

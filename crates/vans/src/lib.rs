@@ -67,6 +67,7 @@ pub mod imc;
 pub mod lsq;
 pub mod memory_mode;
 pub mod opt;
+pub mod params;
 pub mod persist;
 pub mod rmw;
 pub mod system;

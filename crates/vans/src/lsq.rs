@@ -163,6 +163,7 @@ impl Lsq {
         }
         Some(CombinedWrite {
             block_addr: Addr::new(block * self.cfg.combine_bytes as u64),
+            // nvsim-lint: allow(unit-mismatch) — members holds line indices, so its len() IS the combined line count.
             lines: self.members.len() as u32, // nvsim-lint: allow(cast-truncation) — members is bounded by lines-per-combine-block (4)
         })
     }

@@ -39,8 +39,8 @@ impl LazyCacheConfig {
         LazyCacheConfig {
             lz1_bytes: 1024,
             lz2_bytes: 2048,
-            lz1_latency: Time::from_ns(10),
-            lz2_latency: Time::from_ns(18),
+            lz1_latency: Time::from_ns(crate::params::LZ1_LATENCY_NS),
+            lz2_latency: Time::from_ns(crate::params::LZ2_LATENCY_NS),
             priority_threshold: 1,
         }
     }
@@ -91,6 +91,7 @@ impl LazyCache {
     /// Statistics so far.
     pub fn stats(&self) -> LazyCacheStats {
         let mut s = self.stats;
+        // nvsim-lint: allow(unit-mismatch) — the WLB is keyed by line index, so its len() IS the hot-line count.
         s.hot_lines = self.wlb.len() as u64;
         s
     }

@@ -45,8 +45,8 @@ impl PreTranslationConfig {
     pub fn paper() -> Self {
         PreTranslationConfig {
             rlb_entries: 128,
-            rlb_latency: Time::from_ns(4),
-            table_latency: Time::from_ns(45),
+            rlb_latency: Time::from_ns(crate::params::RLB_LATENCY_NS),
+            table_latency: Time::from_ns(crate::params::PRETRANSLATION_TABLE_NS),
             table_entries: (16 << 20) / 8,
         }
     }

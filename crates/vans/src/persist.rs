@@ -280,6 +280,7 @@ impl PersistTracker {
         let supercap_used = Time::from_ns(used_ns);
 
         let counters = CrashCounters {
+            // nvsim-lint: allow(unit-mismatch) — states is keyed by line index, so its len() IS the tracked-line count.
             tracked_lines: states.len() as u64,
             durable_lines: drained_lines + media_lines,
             volatile_lines,

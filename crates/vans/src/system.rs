@@ -116,11 +116,7 @@ impl MemorySystem {
             trace_scratch: Vec::new(),
             persist: PersistTracker::default(),
             persist_scratch: Vec::new(),
-            // Generous default: host supercap plus the DIMM's own energy
-            // store (real ADR hold-up is tens to hundreds of µs; our ADR
-            // domain also covers the on-DIMM buffers, so the budget
-            // represents the combined reserve).
-            supercap_budget: Time::from_us(200),
+            supercap_budget: Time::from_us(crate::params::SUPERCAP_BUDGET_US),
             snapshot_interval: None,
         })
     }
@@ -370,8 +366,10 @@ impl MemorySystem {
                         // latency plus extra drain-engine occupancy that
                         // throttles clwb streams below NT streams
                         // (Fig 1a's ordering).
-                        t += Time::from_ns(10);
-                        self.dimms[di].imc.charge_drain(start, Time::from_ns(15));
+                        t += Time::from_ns(crate::params::CLWB_WRITEBACK_NS);
+                        self.dimms[di]
+                            .imc
+                            .charge_drain(start, Time::from_ns(crate::params::CLWB_DRAIN_CHARGE_NS));
                     }
                     done = done.max(t);
                 }
