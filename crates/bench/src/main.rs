@@ -13,6 +13,9 @@
 //! nvsim-bench snapsmoke          # checkpoint determinism smoke -> results/snapsmoke.csv
 //! nvsim-bench serve-bench        # service load gen -> BENCH_serve.json
 //! nvsim-bench serve-bench --smoke# same, CI-sized
+//! nvsim-bench serve-bench --transport socket|stdio|inproc
+//!                                # same loop through a real daemon
+//!                                # event loop (keys socket_*/stdio_*)
 //! nvsim-bench serve-smoke        # service determinism byte-compare (workers 1 vs 2)
 //! ```
 //!
@@ -156,13 +159,26 @@ fn main() {
         } else {
             nvsim_bench::servebench::LoadShape::full()
         };
+        let transport = match args.iter().position(|a| a == "--transport") {
+            None => nvsim_bench::servebench::Transport::Inproc,
+            Some(i) => match args
+                .get(i + 1)
+                .and_then(|v| nvsim_bench::servebench::Transport::parse(v))
+            {
+                Some(t) => t,
+                None => {
+                    eprintln!("--transport needs one of: inproc, socket, stdio");
+                    std::process::exit(2);
+                }
+            },
+        };
         let path = PathBuf::from("BENCH_serve.json");
         for workers in [1usize, 8] {
             eprintln!(
-                ">> serve closed loop ({} shape) on {workers} worker(s) ...",
+                ">> serve closed loop ({} shape, {transport:?} transport) on {workers} worker(s) ...",
                 if smoke { "smoke" } else { "full" }
             );
-            let entries = nvsim_bench::servebench::closed_loop(workers, shape);
+            let entries = nvsim_bench::servebench::transport_loop(transport, workers, shape);
             for (k, v) in &entries {
                 println!("{k:<32} {v:>14.1}");
             }
@@ -192,7 +208,10 @@ fn main() {
     if args[0] == "lint-bench" {
         let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
         let Some(root) = nvsim_lint::find_root(&cwd) else {
-            eprintln!("lint-bench: could not locate the workspace root above {}", cwd.display());
+            eprintln!(
+                "lint-bench: could not locate the workspace root above {}",
+                cwd.display()
+            );
             std::process::exit(2);
         };
         let path = PathBuf::from("BENCH_lint.json");

@@ -2,28 +2,39 @@
 //! drivers for the `nvsim-serve` service layer.
 //!
 //! * **serve-bench** runs a closed-loop load generator: a fleet of
-//!   sessions (cycling through every [`BackendKind`]) is opened over the
+//!   sessions (cycling through every `BackendKind`) is opened over the
 //!   wire protocol, then driven in rounds — each round enqueues one
 //!   batch per session and flushes, timing the full
 //!   encode → ingest → execute → respond round trip. Reported figures
 //!   are sessions/s, requests/s and the p50/p99 round-trip latency,
 //!   recorded into `BENCH_serve.json` per worker count.
+//!   `--transport socket|stdio` runs the same closed loop through a
+//!   real `nvsim-served` event loop — a TCP socket on loopback, or a
+//!   pipe pair driving the stdio path — so the figures include framing,
+//!   syscalls and the daemon's scheduling; `inproc` (the default)
+//!   measures the bare server.
 //! * **serve-smoke** replays one workload script (including saves,
 //!   migration and fault injection) at `workers = 1` and `workers = 2`
 //!   and byte-compares the response streams — the service determinism
 //!   contract, cheap enough for CI.
 
 use nvsim::backends::build_server;
-use nvsim::serve::protocol::{Command, OpenOptions, Response};
-use nvsim::serve::{decode_responses, ServerConfig};
-use nvsim_types::{Addr, BackendKind, DetRng, FaultPlan, Histogram, MemOp, RequestDesc};
+use nvsim::serve::protocol::{Command, FrameDecoder, Response};
+use nvsim::serve::scripts::{batch_for, encode, open_cmd, smoke_script};
+use nvsim::serve::{daemon, decode_responses, ServerConfig, TransportConfig};
+use nvsim_types::Histogram;
 use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Size of one closed-loop run.
 #[derive(Debug, Clone, Copy)]
 pub struct LoadShape {
-    /// Concurrent sessions (cycled over [`BackendKind::ALL`]).
+    /// Concurrent sessions (cycled over
+    /// [`BackendKind::ALL`](nvsim_types::BackendKind::ALL)).
     pub sessions: u64,
     /// Rounds of one-batch-per-session flushes.
     pub rounds: u64,
@@ -51,41 +62,83 @@ impl LoadShape {
     }
 }
 
-/// One deterministic mixed batch, a pure function of `(sid, round)`.
-fn batch_for(sid: u64, round: u64, len: u64) -> Vec<RequestDesc> {
-    let mut rng = DetRng::seed_from(0x5e7e ^ (sid << 16) ^ round);
-    (0..len)
-        .map(|i| {
-            let addr = Addr::new(rng.range_u64(0, (16 << 20) / 64) * 64);
-            match i % 4 {
-                0 => RequestDesc::new(addr, 64, MemOp::Store),
-                1 => RequestDesc::new(addr, 64, MemOp::NtStore),
-                2 if i % 12 == 2 => RequestDesc::fence(),
-                _ => RequestDesc::load(addr),
-            }
-        })
-        .collect()
+/// Which path carries the bytes in `serve-bench`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// Straight into `Server::run_script`, no I/O (the historical
+    /// figures; key names carry no prefix).
+    Inproc,
+    /// Through a real `nvsim-served` TCP event loop on loopback.
+    Socket,
+    /// Through the daemon's stdio path over a pipe pair.
+    Stdio,
 }
 
-fn open_cmd(sid: u64) -> Command {
-    Command::Open {
-        sid,
-        kind: BackendKind::ALL[(sid as usize) % BackendKind::ALL.len()],
-        dimms: 1,
-        opts: OpenOptions::default(),
+impl Transport {
+    /// Parses a `--transport` value.
+    pub fn parse(s: &str) -> Option<Transport> {
+        match s {
+            "inproc" => Some(Transport::Inproc),
+            "socket" => Some(Transport::Socket),
+            "stdio" => Some(Transport::Stdio),
+            _ => None,
+        }
+    }
+
+    /// The key prefix this transport records under.
+    fn prefix(self) -> &'static str {
+        match self {
+            Transport::Inproc => "",
+            Transport::Socket => "socket_",
+            Transport::Stdio => "stdio_",
+        }
     }
 }
 
-fn encode(cmds: &[Command]) -> Vec<u8> {
-    let mut buf = Vec::new();
-    for c in cmds {
-        c.encode_frame(&mut buf);
+fn check_frames(rsps: &[Response]) {
+    for r in rsps {
+        assert!(
+            !matches!(r, Response::Error { .. }),
+            "service error under load: {r:?}"
+        );
     }
-    buf
 }
 
-/// Runs the closed loop on `workers` workers and returns the figures
-/// recorded under `BENCH_serve.json`.
+fn check(reply: &[u8]) {
+    check_frames(&decode_responses(reply).expect("service answers well-formed frames"));
+}
+
+fn figures(
+    prefix: &str,
+    workers: usize,
+    shape: LoadShape,
+    wall: f64,
+    lat_us: &mut Histogram,
+) -> BTreeMap<String, f64> {
+    let requests = (shape.sessions * shape.rounds * shape.batch) as f64;
+    BTreeMap::from([
+        (
+            format!("{prefix}jobs{workers}_sessions_per_s"),
+            shape.sessions as f64 / wall,
+        ),
+        (
+            format!("{prefix}jobs{workers}_requests_per_s"),
+            requests / wall,
+        ),
+        (
+            format!("{prefix}jobs{workers}_round_p50_us"),
+            lat_us.percentile(50.0),
+        ),
+        (
+            format!("{prefix}jobs{workers}_round_p99_us"),
+            lat_us.percentile(99.0),
+        ),
+        (format!("{prefix}jobs{workers}_wall_s"), wall),
+    ])
+}
+
+/// Runs the in-process closed loop on `workers` workers and returns the
+/// figures recorded under `BENCH_serve.json`.
 ///
 /// # Panics
 ///
@@ -94,14 +147,6 @@ fn encode(cmds: &[Command]) -> Vec<u8> {
 pub fn closed_loop(workers: usize, shape: LoadShape) -> BTreeMap<String, f64> {
     let mut server = build_server(ServerConfig::with_workers(workers));
     let mut lat_us = Histogram::new();
-    let check = |reply: &[u8]| {
-        for r in decode_responses(reply).expect("service answers well-formed frames") {
-            assert!(
-                !matches!(r, Response::Error { .. }),
-                "service error under load: {r:?}"
-            );
-        }
-    };
 
     let t0 = Instant::now();
     let opens: Vec<Command> = (0..shape.sessions).map(open_cmd).collect();
@@ -126,48 +171,119 @@ pub fn closed_loop(workers: usize, shape: LoadShape) -> BTreeMap<String, f64> {
         .collect();
     check(&server.run_script(&encode(&closes)).expect("valid closes"));
     let wall = t0.elapsed().as_secs_f64();
-
-    let requests = (shape.sessions * shape.rounds * shape.batch) as f64;
-    BTreeMap::from([
-        (
-            format!("jobs{workers}_sessions_per_s"),
-            shape.sessions as f64 / wall,
-        ),
-        (format!("jobs{workers}_requests_per_s"), requests / wall),
-        (
-            format!("jobs{workers}_round_p50_us"),
-            lat_us.percentile(50.0),
-        ),
-        (
-            format!("jobs{workers}_round_p99_us"),
-            lat_us.percentile(99.0),
-        ),
-        (format!("jobs{workers}_wall_s"), wall),
-    ])
+    figures("", workers, shape, wall, &mut lat_us)
 }
 
-/// The smoke script: every command shape the service exposes, across a
-/// handful of sessions.
-fn smoke_script() -> Vec<u8> {
-    let mut cmds: Vec<Command> = (0..6).map(open_cmd).collect();
-    for round in 0..2u64 {
-        for sid in 0..6u64 {
-            cmds.push(Command::Batch {
-                sid,
-                reqs: batch_for(sid, 100 + round, 24),
-            });
-        }
-        if round == 0 {
-            cmds.push(Command::Save { sid: 1 });
-            cmds.push(Command::Migrate { sid: 2 });
-            cmds.push(Command::Fault {
-                sid: 0,
-                plan: FaultPlan::at_insertion(8),
-            });
+/// Reads whole response frames off a blocking stream until `want` have
+/// arrived, asserting none is an error frame.
+fn read_frames(stream: &mut impl Read, decoder: &mut FrameDecoder, want: usize) {
+    let mut got = 0usize;
+    let mut buf = [0u8; 16 * 1024];
+    while got < want {
+        let n = stream.read(&mut buf).expect("daemon hung up mid-reply");
+        assert!(n > 0, "daemon closed the stream {got}/{want} frames in");
+        decoder.push(&buf[..n]);
+        while let Some((base, payload)) = decoder.next_frame().expect("well-formed reply frame") {
+            let r = Response::decode(base, &payload).expect("well-formed response");
+            check_frames(std::slice::from_ref(&r));
+            got += 1;
         }
     }
-    cmds.extend((0..6u64).map(|sid| Command::Close { sid }));
-    encode(&cmds)
+}
+
+/// The closed loop, generic over any byte stream connected to a daemon:
+/// write a round's commands, block until that round's responses are
+/// back, time the round trip.
+fn closed_loop_over(stream: &mut (impl Read + Write), shape: LoadShape) -> (f64, Histogram) {
+    let mut decoder = FrameDecoder::new();
+    let mut lat_us = Histogram::new();
+    let t0 = Instant::now();
+
+    let opens: Vec<Command> = (0..shape.sessions).map(open_cmd).collect();
+    stream.write_all(&encode(&opens)).expect("write opens");
+    read_frames(stream, &mut decoder, shape.sessions as usize);
+
+    for round in 0..shape.rounds {
+        let cmds: Vec<Command> = (0..shape.sessions)
+            .map(|sid| Command::Batch {
+                sid,
+                reqs: batch_for(sid, round, shape.batch),
+            })
+            .collect();
+        let script = encode(&cmds);
+        let r0 = Instant::now();
+        stream.write_all(&script).expect("write batches");
+        read_frames(stream, &mut decoder, shape.sessions as usize);
+        lat_us.push(r0.elapsed().as_secs_f64() * 1e6);
+    }
+
+    let closes: Vec<Command> = (0..shape.sessions)
+        .map(|sid| Command::Close { sid })
+        .collect();
+    stream.write_all(&encode(&closes)).expect("write closes");
+    read_frames(stream, &mut decoder, shape.sessions as usize);
+    (t0.elapsed().as_secs_f64(), lat_us)
+}
+
+/// Runs the closed loop through a daemon over the chosen transport and
+/// returns the figures (keys prefixed `socket_` / `stdio_`;
+/// [`Transport::Inproc`] falls through to [`closed_loop`]).
+///
+/// # Panics
+///
+/// Panics on daemon startup failure, any I/O error, or an error frame in
+/// a reply — all would invalidate the measurement.
+pub fn transport_loop(
+    transport: Transport,
+    workers: usize,
+    shape: LoadShape,
+) -> BTreeMap<String, f64> {
+    match transport {
+        Transport::Inproc => closed_loop(workers, shape),
+        Transport::Socket => {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+            let addr = listener.local_addr().expect("local addr");
+            let shutdown = Arc::new(AtomicBool::new(false));
+            let flag = Arc::clone(&shutdown);
+            let server = build_server(ServerConfig::with_workers(workers));
+            let handle = std::thread::spawn(move || {
+                daemon::serve_listener(listener, server, TransportConfig::default(), flag)
+            });
+
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            let _ = stream.set_nodelay(true);
+            let (wall, mut lat_us) = closed_loop_over(&mut stream, shape);
+            stream.shutdown(Shutdown::Both).expect("close");
+            drop(stream);
+
+            shutdown.store(true, Ordering::SeqCst);
+            handle
+                .join()
+                .expect("daemon thread alive")
+                .expect("daemon loop clean");
+            figures(transport.prefix(), workers, shape, wall, &mut lat_us)
+        }
+        Transport::Stdio => {
+            let (mut client, daemon_side) =
+                std::os::unix::net::UnixStream::pair().expect("socketpair");
+            let reader = daemon_side.try_clone().expect("clone pair end");
+            let server = build_server(ServerConfig::with_workers(workers));
+            let handle = std::thread::spawn(move || {
+                daemon::serve_stream(reader, daemon_side, server, TransportConfig::default())
+            });
+
+            let (wall, mut lat_us) = closed_loop_over(&mut client, shape);
+            client
+                .shutdown(Shutdown::Write)
+                .expect("half-close the pipe");
+            drop(client);
+            handle
+                .join()
+                .expect("stdio thread alive")
+                .expect("stdio loop clean");
+            figures(transport.prefix(), workers, shape, wall, &mut lat_us)
+        }
+    }
 }
 
 /// Replays the smoke script (every command shape, six sessions) at
@@ -227,5 +343,34 @@ mod tests {
             assert!(m[key].is_finite() && m[key] > 0.0, "{key} = {}", m[key]);
         }
         assert!(m["jobs2_round_p50_us"] <= m["jobs2_round_p99_us"]);
+    }
+
+    #[test]
+    fn socket_transport_produces_the_prefixed_schema() {
+        let shape = LoadShape {
+            sessions: 4,
+            rounds: 2,
+            batch: 8,
+        };
+        let m = transport_loop(Transport::Socket, 2, shape);
+        for key in [
+            "socket_jobs2_requests_per_s",
+            "socket_jobs2_round_p50_us",
+            "socket_jobs2_round_p99_us",
+            "socket_jobs2_wall_s",
+        ] {
+            assert!(m[key].is_finite() && m[key] > 0.0, "{key} = {}", m[key]);
+        }
+    }
+
+    #[test]
+    fn stdio_transport_produces_the_prefixed_schema() {
+        let shape = LoadShape {
+            sessions: 4,
+            rounds: 2,
+            batch: 8,
+        };
+        let m = transport_loop(Transport::Stdio, 1, shape);
+        assert!(m["stdio_jobs1_requests_per_s"] > 0.0);
     }
 }

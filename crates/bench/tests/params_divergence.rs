@@ -42,6 +42,12 @@ fn wear_config_preset_uses_the_named_parameters() {
 #[test]
 fn reference_model_preset_uses_the_named_parameters() {
     let model = optane_model::curves::OptaneReference::new();
-    assert_eq!(model.tail_magnitude_us, optane_model::params::TAIL_MAGNITUDE_US);
-    assert_eq!(model.tail_period_iters, optane_model::params::TAIL_PERIOD_ITERS);
+    assert_eq!(
+        model.tail_magnitude_us,
+        optane_model::params::TAIL_MAGNITUDE_US
+    );
+    assert_eq!(
+        model.tail_period_iters,
+        optane_model::params::TAIL_PERIOD_ITERS
+    );
 }

@@ -59,7 +59,9 @@ fn parse_args() -> Result<Opts, String> {
             },
             "--no-cache" => opts.no_cache = true,
             "--explain" => {
-                let v = args.next().ok_or("--explain requires a rule id (or `all`)")?;
+                let v = args
+                    .next()
+                    .ok_or("--explain requires a rule id (or `all`)")?;
                 opts.explain = Some(v);
             }
             "--help" | "-h" => {

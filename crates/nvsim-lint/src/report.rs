@@ -282,7 +282,8 @@ mod tests {
             "::error file=crates/x/src/a.rs,line=7,col=3,\
              title=nvsim-lint lock-order::cycle A, 50%25: b%0Avia a.rs:1 lock(x)"
         );
-        assert!(lines[1].starts_with("::error file=lint-baseline.txt,title=nvsim-lint stale-baseline::"));
+        assert!(lines[1]
+            .starts_with("::error file=lint-baseline.txt,title=nvsim-lint stale-baseline::"));
         assert!(lines[1].contains("no longer exists"));
         assert!(lines[2].contains("malformed baseline entry"));
     }

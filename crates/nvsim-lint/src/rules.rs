@@ -259,10 +259,16 @@ impl Rule {
             Rule::SnapshotFieldCoverage => "every Snapshot field is saved and restored",
             Rule::LockOrder => "no conflicting lock-acquisition orders (Driver code)",
             Rule::PtrAsInt => "no pointer-to-integer casts (ASLR nondeterminism)",
-            Rule::ProtocolCoverage => "every wire variant is encoded, decoded, and round-trip tested",
-            Rule::UnitMismatch => "no +/-/compare across unit domains (ns, cycles, bytes, lines, pages, addr, count)",
+            Rule::ProtocolCoverage => {
+                "every wire variant is encoded, decoded, and round-trip tested"
+            }
+            Rule::UnitMismatch => {
+                "no +/-/compare across unit domains (ns, cycles, bytes, lines, pages, addr, count)"
+            }
             Rule::AddrDomain => "addr/line/page crossings only via named helpers or consts",
-            Rule::TimingLiteralProvenance => "timing literals live in named consts/config fields only",
+            Rule::TimingLiteralProvenance => {
+                "timing literals live in named consts/config fields only"
+            }
             Rule::OverflowPolicy => "loop-product accumulation states an overflow policy",
             Rule::BadAnnotation => "allow annotations name a known rule and a written reason",
         }
@@ -272,32 +278,54 @@ impl Rule {
     /// any `chain` payload.
     pub fn evidence(self) -> &'static str {
         match self {
-            Rule::UnorderedMap | Rule::WallClock | Rule::PanicPath | Rule::SyncOnSimPath
-            | Rule::PtrAsInt | Rule::CastTruncation | Rule::UnsafeUndocumented
-            | Rule::BadAnnotation | Rule::ExpectCompletionMisuse => {
-                "file:line:col of the offending token"
+            Rule::UnorderedMap
+            | Rule::WallClock
+            | Rule::PanicPath
+            | Rule::SyncOnSimPath
+            | Rule::PtrAsInt
+            | Rule::CastTruncation
+            | Rule::UnsafeUndocumented
+            | Rule::BadAnnotation
+            | Rule::ExpectCompletionMisuse => "file:line:col of the offending token",
+            Rule::StageCoverage => {
+                "the Stage variant's definition site; fires when no \
+                 SpanRecorder emission references it anywhere in the workspace"
             }
-            Rule::StageCoverage => "the Stage variant's definition site; fires when no \
-                 SpanRecorder emission references it anywhere in the workspace",
-            Rule::PanicReach => "the reaching function's definition site, with the full \
-                 call chain to the panic in the finding's `chain` field",
-            Rule::SnapshotFieldCoverage => "the field's declaration site, naming which of \
-                 save/restore misses it",
-            Rule::LockOrder => "one acquisition site per cycle, with the lock-order cycle \
-                 (lock -> lock -> ...) in the finding's `chain` field",
-            Rule::ProtocolCoverage => "the variant's definition site, naming the missing \
-                 side (encode, decode, or round-trip test)",
-            Rule::UnitMismatch => "the operator site, with each operand's inferred unit and \
+            Rule::PanicReach => {
+                "the reaching function's definition site, with the full \
+                 call chain to the panic in the finding's `chain` field"
+            }
+            Rule::SnapshotFieldCoverage => {
+                "the field's declaration site, naming which of \
+                 save/restore misses it"
+            }
+            Rule::LockOrder => {
+                "one acquisition site per cycle, with the lock-order cycle \
+                 (lock -> lock -> ...) in the finding's `chain` field"
+            }
+            Rule::ProtocolCoverage => {
+                "the variant's definition site, naming the missing \
+                 side (encode, decode, or round-trip test)"
+            }
+            Rule::UnitMismatch => {
+                "the operator site, with each operand's inferred unit and \
                  its provenance (suffix, accessor, const, or callee summary) in the \
-                 finding's `chain` field",
-            Rule::AddrDomain => "the operator site, with the address-family operand's \
-                 inferred unit and provenance in the finding's `chain` field",
-            Rule::TimingLiteralProvenance => "the literal's site, naming the constructor or \
+                 finding's `chain` field"
+            }
+            Rule::AddrDomain => {
+                "the operator site, with the address-family operand's \
+                 inferred unit and provenance in the finding's `chain` field"
+            }
+            Rule::TimingLiteralProvenance => {
+                "the literal's site, naming the constructor or \
                  timing-suffixed binding it feeds; const/static items and test code are \
-                 exempt (they ARE the sanctioned homes)",
-            Rule::OverflowPolicy => "the accumulation site inside the loop, naming the \
+                 exempt (they ARE the sanctioned homes)"
+            }
+            Rule::OverflowPolicy => {
+                "the accumulation site inside the loop, naming the \
                  unit domain of the product operand; products routed through the \
-                 saturating Time::from_*/Freq conversions are compliant",
+                 saturating Time::from_*/Freq conversions are compliant"
+            }
         }
     }
 }
@@ -362,11 +390,21 @@ pub fn classify(rel: &str) -> FileClass {
     if rel.starts_with("crates/bench/") {
         return FileClass::Driver;
     }
-    // The serve executor is the one place the service layer is allowed to
-    // hold threads and locks: it schedules sessions across workers but
-    // never models time. Everything else in nvsim-serve (protocol,
-    // session, registry, server) is simulation-class.
-    if rel == "crates/nvsim-serve/src/executor.rs" {
+    // The serve executor, the transport mux and the daemon loops are the
+    // places the service layer is allowed to hold threads, sleep between
+    // polls and touch sockets: they schedule and carry bytes but never
+    // model time. Everything else in nvsim-serve (protocol, session,
+    // registry, server) is simulation-class, as are the byte-relevant
+    // parts the transport depends on.
+    if rel == "crates/nvsim-serve/src/executor.rs"
+        || rel == "crates/nvsim-serve/src/transport.rs"
+        || rel == "crates/nvsim-serve/src/daemon.rs"
+    {
+        return FileClass::Driver;
+    }
+    // Binary entrypoints (signal handling, CLI, process exit) are driver
+    // code by nature.
+    if rel.starts_with("src/bin/") {
         return FileClass::Driver;
     }
     if rel.starts_with("crates/") || rel.starts_with("src/") {
@@ -1122,8 +1160,7 @@ fn unit_findings(
         for op in ops {
             match op.kind {
                 OpKind::Arith => {
-                    let (Some((ul, pl)), Some((ur, pr))) =
-                        (resolve(&op.lhs), resolve(&op.rhs))
+                    let (Some((ul, pl)), Some((ur, pr))) = (resolve(&op.lhs), resolve(&op.rhs))
                     else {
                         continue;
                     };

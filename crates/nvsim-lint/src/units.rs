@@ -444,7 +444,11 @@ impl<'a> Analyzer<'a> {
         loop {
             let t = self.tok(k);
             if t.is_punct(')') || t.is_punct(']') {
-                let (open, close) = if t.is_punct(')') { ('(', ')') } else { ('[', ']') };
+                let (open, close) = if t.is_punct(')') {
+                    ('(', ')')
+                } else {
+                    ('[', ']')
+                };
                 let o = self.match_back(k, open, close)?;
                 if o == 0 {
                     return Some(Walked {
@@ -534,11 +538,8 @@ impl<'a> Analyzer<'a> {
         }
         // Postfix continuations: `(..)`, `[..]`, `.seg`, `::seg`, `?`,
         // `as ty`.
-        loop {
-            let next = match self.code.get(k + 1) {
-                Some(_) => self.tok(k + 1),
-                None => break,
-            };
+        while self.code.get(k + 1).is_some() {
+            let next = self.tok(k + 1);
             if next.is_punct('(') {
                 if let Some((ri, _)) = rightmost {
                     rightmost = Some((ri, true));
@@ -643,7 +644,10 @@ impl<'a> Analyzer<'a> {
                 return Operand::Known(u, format!("const `{name}`"));
             }
             // SCREAMING_CASE consts with unit suffixes (`READ_NS`).
-            if name.chars().all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_') {
+            if name
+                .chars()
+                .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+            {
                 if let Some(u) = suffix_unit(&name.to_ascii_lowercase()) {
                     return Operand::Known(u, format!("const suffix `{name}`"));
                 }
@@ -780,10 +784,9 @@ impl<'a> Analyzer<'a> {
         while k < self.code.len() {
             let t = self.tok(k);
             if (t.is_ident("const") || t.is_ident("static"))
-                && self
-                    .code
-                    .get(k + 1)
-                    .is_some_and(|_| self.tok(k + 1).kind == TokKind::Ident && !self.tok(k + 1).is_ident("fn"))
+                && self.code.get(k + 1).is_some_and(|_| {
+                    self.tok(k + 1).kind == TokKind::Ident && !self.tok(k + 1).is_ident("fn")
+                })
             {
                 let mut depth = 0i32;
                 let mut j = k + 1;
@@ -1038,7 +1041,7 @@ impl<'a> Analyzer<'a> {
             let t = self.tok(j);
             if t.kind == TokKind::Ident
                 && (t.text.starts_with("from_") || is_time_ctor(&t.text))
-                && j + 1 <= b1
+                && j < b1
                 && self.tok(j + 1).is_punct('(')
             {
                 if let Some(close) = self.match_fwd(j + 1, '(', ')') {
@@ -1060,13 +1063,10 @@ impl<'a> Analyzer<'a> {
             }
             let lhs = self.operand_back(j - 1, bindings).map(|(d, _, _)| d);
             let rhs = self.operand_fwd(j + 1, bindings).map(|(d, _, _)| d);
-            let unit = [lhs, rhs]
-                .into_iter()
-                .flatten()
-                .find_map(|d| match d {
-                    Operand::Known(u, _) => Some(u),
-                    _ => None,
-                });
+            let unit = [lhs, rhs].into_iter().flatten().find_map(|d| match d {
+                Operand::Known(u, _) => Some(u),
+                _ => None,
+            });
             if let Some(u) = unit {
                 let here = self.tok(k);
                 out.local.push(LocalFinding {
@@ -1096,7 +1096,11 @@ impl<'a> Analyzer<'a> {
         out: &mut UnitFacts,
     ) -> Option<usize> {
         let mut n = k + 1;
-        if self.code.get(n).is_some_and(|_| self.tok(n).is_ident("mut")) {
+        if self
+            .code
+            .get(n)
+            .is_some_and(|_| self.tok(n).is_ident("mut"))
+        {
             n += 1;
         }
         let name_tok = self.code.get(n).map(|_| self.tok(n))?;
@@ -1320,7 +1324,7 @@ impl<'a> Analyzer<'a> {
             }
             let c = t.text.chars().next().unwrap_or(' ');
             let prev = |ch: char| k > b0 && self.tok(k - 1).is_punct(ch);
-            let next = |ch: char| k + 1 <= b1 && self.tok(k + 1).is_punct(ch);
+            let next = |ch: char| k < b1 && self.tok(k + 1).is_punct(ch);
             let val_before = k > b0 && self.is_value_end(k - 1);
             match c {
                 '+' => {
@@ -1348,16 +1352,14 @@ impl<'a> Analyzer<'a> {
                         k += 2;
                         continue;
                     }
-                    if val_before && k + 1 <= b1 && self.is_value_start(k + 1) {
+                    if val_before && k < b1 && self.is_value_start(k + 1) {
                         self.record_arith(k, "-", k - 1, k + 1, &bindings, out);
                     }
                 }
-                '*' => {
-                    if next('=') && val_before {
-                        self.check_overflow(k, "*=", b1, &loops, &bindings, out);
-                        k += 2;
-                        continue;
-                    }
+                '*' if next('=') && val_before => {
+                    self.check_overflow(k, "*=", b1, &loops, &bindings, out);
+                    k += 2;
+                    continue;
                 }
                 '<' => {
                     if prev('<') {
@@ -1388,7 +1390,7 @@ impl<'a> Analyzer<'a> {
                             .chars()
                             .next()
                             .is_some_and(|ch| ch.is_ascii_uppercase());
-                    if val_before && !generic && k + 1 <= b1 && self.is_value_start(k + 1) {
+                    if val_before && !generic && k < b1 && self.is_value_start(k + 1) {
                         self.record_arith(k, "<", k - 1, k + 1, &bindings, out);
                     }
                 }
@@ -1411,7 +1413,7 @@ impl<'a> Analyzer<'a> {
                         k += 2;
                         continue;
                     }
-                    if val_before && k + 1 <= b1 && self.is_value_start(k + 1) {
+                    if val_before && k < b1 && self.is_value_start(k + 1) {
                         self.record_arith(k, ">", k - 1, k + 1, &bindings, out);
                     }
                 }
@@ -1448,14 +1450,12 @@ impl<'a> Analyzer<'a> {
                         self.assign_site(k, b1, &bindings, out);
                     }
                 }
-                '!' => {
-                    if next('=') {
-                        if val_before {
-                            self.record_arith(k, "!=", k - 1, k + 2, &bindings, out);
-                        }
-                        k += 2;
-                        continue;
+                '!' if next('=') => {
+                    if val_before {
+                        self.record_arith(k, "!=", k - 1, k + 2, &bindings, out);
                     }
+                    k += 2;
+                    continue;
                 }
                 ':' => {
                     if prev(':') || next(':') {
@@ -1469,7 +1469,7 @@ impl<'a> Analyzer<'a> {
                         k += 1;
                         continue;
                     }
-                    if val_before && k + 1 <= b1 && self.is_value_start(k + 1) {
+                    if val_before && k < b1 && self.is_value_start(k + 1) {
                         self.record_cross(k, "&", k - 1, k + 1, &bindings, out);
                     }
                 }
@@ -1478,14 +1478,12 @@ impl<'a> Analyzer<'a> {
                         k += 2;
                         continue;
                     }
-                    if val_before && k + 1 <= b1 && self.is_value_start(k + 1) {
+                    if val_before && k < b1 && self.is_value_start(k + 1) {
                         self.record_cross(k, "/", k - 1, k + 1, &bindings, out);
                     }
                 }
-                '%' => {
-                    if val_before && k + 1 <= b1 && self.is_value_start(k + 1) {
-                        self.record_cross(k, "%", k - 1, k + 1, &bindings, out);
-                    }
+                '%' if val_before && k < b1 && self.is_value_start(k + 1) => {
+                    self.record_cross(k, "%", k - 1, k + 1, &bindings, out);
                 }
                 _ => {}
             }
@@ -1621,7 +1619,8 @@ fn combine_mul(a: &Operand, b: &Operand) -> Operand {
             Operand::Known(*u, format!("{p} (scaled by a count)"))
         }
         (Operand::Known(_, _), Operand::Known(_, _)) => Operand::Unknown,
-        (Operand::Known(u, p), Operand::Literal(_)) | (Operand::Literal(_), Operand::Known(u, p)) => {
+        (Operand::Known(u, p), Operand::Literal(_))
+        | (Operand::Literal(_), Operand::Known(u, p)) => {
             Operand::Known(*u, format!("{p} (scaled by a literal)"))
         }
         _ => Operand::Unknown,
@@ -1732,15 +1731,14 @@ mod tests {
     #[test]
     fn count_scaling_folds_through_products() {
         // count * ns is still ns: no mismatch against another ns value.
-        let facts = run("fn f(n: usize, per_ns: u64, base_ns: u64) -> u64 { base_ns + n as u64 * per_ns }");
+        let facts =
+            run("fn f(n: usize, per_ns: u64, base_ns: u64) -> u64 { base_ns + n as u64 * per_ns }");
         assert!(facts.ops.is_empty(), "ops = {:?}", facts.ops);
     }
 
     #[test]
     fn let_bindings_propagate_units() {
-        let facts = run(
-            "fn f(a_cycles: u64, b_ns: u64) -> u64 { let t = a_cycles; t + b_ns }",
-        );
+        let facts = run("fn f(a_cycles: u64, b_ns: u64) -> u64 { let t = a_cycles; t + b_ns }");
         assert_eq!(facts.ops.len(), 1, "ops = {:?}", facts.ops);
         assert!(matches!(facts.ops[0].lhs, Operand::Known(Unit::Cycles, _)));
     }
@@ -1793,20 +1791,16 @@ mod tests {
 
     #[test]
     fn loop_product_accumulation_fires_r18() {
-        let facts = run(
-            "fn f(reqs: &[R]) -> u64 {\n\
+        let facts = run("fn f(reqs: &[R]) -> u64 {\n\
              let mut total = 0u64;\n\
              for r in reqs { total += r.len_bytes * BURST; }\n\
-             total }",
-        );
+             total }");
         assert_eq!(facts.local.len(), 1, "local = {:?}", facts.local);
         assert_eq!(facts.local[0].rule, LocalRule::OverflowPolicy);
-        let sat = run(
-            "fn f(reqs: &[R]) -> u64 {\n\
+        let sat = run("fn f(reqs: &[R]) -> u64 {\n\
              let mut total = 0u64;\n\
              for r in reqs { total = total.saturating_add(r.len_bytes * BURST); }\n\
-             total }",
-        );
+             total }");
         assert!(sat.local.is_empty(), "local = {:?}", sat.local);
     }
 

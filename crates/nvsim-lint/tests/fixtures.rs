@@ -1235,7 +1235,10 @@ fn r15_cross_file_callee_summary_resolves_the_unit() {
     // the workspace fn-summary pass, not from anything local to `g`.
     let lib = "pub fn media_read_ns() -> u64 { MEDIA_READ_NS }\n";
     let user = "fn g(budget_cycles: u64) -> u64 { media_read_ns() + budget_cycles }\n";
-    let findings = lint_sources([("crates/vans/src/a.rs", lib), ("crates/vans/src/b.rs", user)]);
+    let findings = lint_sources([
+        ("crates/vans/src/a.rs", lib),
+        ("crates/vans/src/b.rs", user),
+    ]);
     let hits: Vec<_> = findings
         .iter()
         .filter(|f| f.rule == Rule::UnitMismatch)
@@ -1266,7 +1269,10 @@ fn r15_is_order_independent() {
     let fwd = lint_sources([("crates/vans/src/a.rs", a), ("crates/vans/src/b.rs", b)]);
     let rev = lint_sources([("crates/vans/src/b.rs", b), ("crates/vans/src/a.rs", a)]);
     assert_eq!(fwd, rev, "file order must not matter");
-    let sw = lint_sources([("crates/vans/src/a.rs", a), ("crates/vans/src/b.rs", b_swapped)]);
+    let sw = lint_sources([
+        ("crates/vans/src/a.rs", a),
+        ("crates/vans/src/b.rs", b_swapped),
+    ]);
     assert_eq!(
         sw.iter().filter(|f| f.rule == Rule::UnitMismatch).count(),
         fwd.iter().filter(|f| f.rule == Rule::UnitMismatch).count(),
@@ -1400,4 +1406,47 @@ fn r18_allow_with_reason_suppresses() {
                    total\n\
                }\n";
     assert_eq!(rule_count(SIM, src, Rule::OverflowPolicy), 0);
+}
+
+// --------------------------------------------- transport classification
+
+#[test]
+fn transport_layer_files_classify_as_driver() {
+    use nvsim_lint::rules::{classify, FileClass};
+    // The daemon/transport layer may hold threads, sleep between polls
+    // and touch sockets — pin it Driver-class so R2/R10 do not fire.
+    for rel in [
+        "crates/nvsim-serve/src/executor.rs",
+        "crates/nvsim-serve/src/transport.rs",
+        "crates/nvsim-serve/src/daemon.rs",
+        "src/bin/nvsim_served.rs",
+    ] {
+        assert_eq!(classify(rel), FileClass::Driver, "{rel}");
+    }
+    // The byte-relevant service layer stays fully linted.
+    for rel in [
+        "crates/nvsim-serve/src/protocol.rs",
+        "crates/nvsim-serve/src/server.rs",
+        "crates/nvsim-serve/src/registry.rs",
+        "crates/nvsim-serve/src/session.rs",
+        "crates/nvsim-serve/src/scripts.rs",
+        "crates/nvsim-serve/src/lib.rs",
+    ] {
+        assert_eq!(classify(rel), FileClass::Simulation, "{rel}");
+    }
+}
+
+#[test]
+fn driver_class_transport_keeps_determinism_rules() {
+    // Threads and sleeps are the daemon's job ...
+    let daemon = "crates/nvsim-serve/src/daemon.rs";
+    let src = "fn f() { std::thread::sleep(std::time::Duration::from_millis(1)); }\n";
+    assert_eq!(rule_count(daemon, src, Rule::SyncOnSimPath), 0);
+    assert_eq!(rule_count(daemon, src, Rule::WallClock), 0);
+    // ... but iteration-order nondeterminism is still banned there.
+    let src = "use std::collections::HashMap;\n";
+    assert_eq!(rule_count(daemon, src, Rule::UnorderedMap), 1);
+    // And wall-clock inside the server would be a finding.
+    let src = "fn f() { let t = std::time::Instant::now(); }\n";
+    assert!(rule_count("crates/nvsim-serve/src/server.rs", src, Rule::WallClock) > 0);
 }

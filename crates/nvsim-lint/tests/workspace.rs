@@ -57,7 +57,9 @@ fn readme_rule_table_matches_the_rule_inventory() {
     let root = nvsim_lint::find_root(manifest).expect("workspace root above nvsim-lint");
     let readme = std::fs::read_to_string(root.join("README.md")).expect("README.md");
     let marker = "<!-- nvsim-lint-rules -->";
-    let start = readme.find(marker).expect("opening nvsim-lint-rules marker");
+    let start = readme
+        .find(marker)
+        .expect("opening nvsim-lint-rules marker");
     let rest = &readme[start + marker.len()..];
     let end = rest.find(marker).expect("closing nvsim-lint-rules marker");
     let embedded = rest[..end].trim();

@@ -1,0 +1,390 @@
+//! The daemon event loops: real sockets and stdio around the
+//! [`TransportMux`].
+//!
+//! Two drivers share the transport layer:
+//!
+//! * [`serve_listener`] — the socket daemon. A non-blocking
+//!   `TcpListener` poll loop owns every connection; the [`Server`] lives
+//!   on a dedicated execution thread fed over channels, so frame decode
+//!   of one connection overlaps command execution of another (one
+//!   [`FlushCycle`] in flight at a time —
+//!   the pipelining never reorders anything, because the mux assembles
+//!   cycles deterministically and responses are demultiplexed by
+//!   command assignment, not completion time).
+//! * [`serve_stream`] — the stdio/pipe path: one blocking connection
+//!   stepped synchronously through a [`TransportEngine`].
+//!
+//! Graceful drain: when the shutdown flag flips (the binary's SIGTERM
+//! handler sets it), the listener stops accepting and reading, every
+//! queued command finishes, owed response bytes are flushed best-effort,
+//! open sessions are released, warm sessions are parked to snapshot
+//! blobs, and the loop returns a [`DaemonReport`] — the binary then
+//! exits 0.
+//!
+//! This module is Driver-class code: it does real I/O, spawns the
+//! execution thread, and sleeps between idle polls. Everything
+//! byte-relevant stays inside the deterministic
+//! [`transport`](crate::transport) and [`server`](crate::server)
+//! layers.
+
+use crate::server::Server;
+use crate::transport::{
+    CompletedCycle, ConnId, FlushCycle, TransportConfig, TransportEngine, TransportMux,
+};
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::Duration;
+
+/// Socket read size per syscall.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Idle poll sleep (only taken when a pass made no progress at all).
+const IDLE_SLEEP: Duration = Duration::from_millis(1);
+
+/// Poll passes the drain phase spends flushing owed bytes to slow
+/// readers before force-closing them.
+const DRAIN_PASSES: usize = 2_000;
+
+/// What a daemon loop did before returning.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DaemonReport {
+    /// Connections accepted over the loop's lifetime.
+    pub connections: u64,
+    /// Flush cycles executed.
+    pub cycles: u64,
+    /// Sessions parked as snapshot blobs by the graceful drain.
+    pub parked_sessions: usize,
+}
+
+/// The execution side of the pipeline: a thread that owns the server,
+/// executes cycles sent to it, and parks every session when the channel
+/// closes.
+struct ExecThread {
+    cycle_tx: mpsc::Sender<FlushCycle>,
+    done_rx: mpsc::Receiver<CompletedCycle>,
+    handle: thread::JoinHandle<usize>,
+}
+
+fn spawn_exec(mut server: Server) -> ExecThread {
+    let (cycle_tx, cycle_rx) = mpsc::channel::<FlushCycle>();
+    let (done_tx, done_rx) = mpsc::channel::<CompletedCycle>();
+    let handle = thread::spawn(move || {
+        while let Ok(cycle) = cycle_rx.recv() {
+            let done = cycle.execute(&mut server);
+            if done_tx.send(done).is_err() {
+                break;
+            }
+        }
+        server.park_all()
+    });
+    ExecThread {
+        cycle_tx,
+        done_rx,
+        handle,
+    }
+}
+
+/// Writes as much pending output as the socket will take right now.
+/// Returns whether any bytes moved; `Err` means the connection is dead.
+fn pump_output(mux: &mut TransportMux, id: ConnId, stream: &mut TcpStream) -> io::Result<bool> {
+    let mut moved = false;
+    loop {
+        let out = mux.output(id);
+        if out.is_empty() {
+            return Ok(moved);
+        }
+        match stream.write(out) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => {
+                mux.consume_output(id, n);
+                moved = true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(moved),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Runs the socket daemon until `shutdown` flips true, then drains
+/// gracefully (see module docs). The listener is put into non-blocking
+/// mode; connections are polled round-robin with back-pressure and
+/// fairness from the [`TransportMux`].
+///
+/// # Errors
+///
+/// Only loop-fatal I/O errors (the listener breaking, the execution
+/// thread dying); per-connection errors tear down that connection only.
+pub fn serve_listener(
+    listener: TcpListener,
+    server: Server,
+    cfg: TransportConfig,
+    shutdown: Arc<AtomicBool>,
+) -> io::Result<DaemonReport> {
+    listener.set_nonblocking(true)?;
+    let exec = spawn_exec(server);
+    let mut mux = TransportMux::new(cfg);
+    let mut socks: BTreeMap<ConnId, TcpStream> = BTreeMap::new();
+    let mut report = DaemonReport::default();
+    let mut cycle_in_flight = false;
+    let mut buf = vec![0u8; READ_CHUNK];
+    let mut draining = false;
+
+    loop {
+        let mut progress = false;
+        if !draining && shutdown.load(Ordering::SeqCst) {
+            draining = true;
+        }
+
+        if !draining {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        stream.set_nonblocking(true)?;
+                        let _ = stream.set_nodelay(true);
+                        let id = mux.accept();
+                        socks.insert(id, stream);
+                        report.connections += 1;
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+
+        let mut dead: Vec<ConnId> = Vec::new();
+        if !draining {
+            for (&id, stream) in &mut socks {
+                while mux.wants_read(id) {
+                    match stream.read(&mut buf) {
+                        Ok(0) => {
+                            // Clean EOF (or mid-frame truncation — the mux
+                            // poisons the connection for us either way).
+                            let _ = mux.end_of_stream(id);
+                            progress = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            // A stream error is sticky in the mux; owed
+                            // responses still drain before close.
+                            let _ = mux.ingest(id, &buf[..n]);
+                            progress = true;
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                        Err(_) => {
+                            dead.push(id);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        if cycle_in_flight {
+            match exec.done_rx.try_recv() {
+                Ok(done) => {
+                    mux.absorb(done);
+                    cycle_in_flight = false;
+                    report.cycles += 1;
+                    progress = true;
+                }
+                Err(mpsc::TryRecvError::Empty) => {}
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    return Err(io::Error::other("execution thread died"));
+                }
+            }
+        }
+        if !cycle_in_flight {
+            if let Some(cycle) = mux.begin_cycle() {
+                if exec.cycle_tx.send(cycle).is_err() {
+                    return Err(io::Error::other("execution thread died"));
+                }
+                cycle_in_flight = true;
+                progress = true;
+            }
+        }
+
+        for (&id, stream) in &mut socks {
+            if dead.contains(&id) {
+                continue;
+            }
+            match pump_output(&mut mux, id, stream) {
+                Ok(moved) => progress |= moved,
+                Err(_) => dead.push(id),
+            }
+        }
+
+        for (&id, stream) in &socks {
+            if !dead.contains(&id) && mux.conn_done(id) {
+                let _ = stream.shutdown(Shutdown::Both);
+                dead.push(id);
+            }
+        }
+        for id in dead.drain(..) {
+            socks.remove(&id);
+            mux.disconnect(id);
+            progress = true;
+        }
+
+        if draining && socks.is_empty() && !cycle_in_flight && !mux.has_work() {
+            break;
+        }
+        if draining && !socks.is_empty() && !cycle_in_flight && !mux.has_work() {
+            // Queued work is done; give slow readers a bounded number of
+            // passes to take their owed bytes, then force-close.
+            let mut passes = 0;
+            while passes < DRAIN_PASSES && !socks.is_empty() {
+                let mut moved = false;
+                let mut gone: Vec<ConnId> = Vec::new();
+                for (&id, stream) in &mut socks {
+                    match pump_output(&mut mux, id, stream) {
+                        Ok(m) => {
+                            moved |= m;
+                            if mux.output(id).is_empty() {
+                                let _ = stream.shutdown(Shutdown::Both);
+                                gone.push(id);
+                            }
+                        }
+                        Err(_) => gone.push(id),
+                    }
+                }
+                for id in gone {
+                    socks.remove(&id);
+                    mux.disconnect(id);
+                }
+                if !moved {
+                    thread::sleep(IDLE_SLEEP);
+                    passes += 1;
+                }
+            }
+            for (id, stream) in std::mem::take(&mut socks) {
+                let _ = stream.shutdown(Shutdown::Both);
+                mux.disconnect(id);
+            }
+            continue; // run the cleanup cycles the disconnects queued
+        }
+
+        if !progress {
+            mux.tick();
+            thread::sleep(IDLE_SLEEP);
+        }
+    }
+
+    drop(exec.cycle_tx);
+    report.parked_sessions = exec
+        .handle
+        .join()
+        .map_err(|_| io::Error::other("execution thread panicked"))?;
+    Ok(report)
+}
+
+/// Binds `addr` and runs [`serve_listener`], first reporting the bound
+/// address through `on_bound` (the binary prints it so scripts can use
+/// port 0 and parse the real port).
+///
+/// # Errors
+///
+/// Bind failures and loop-fatal I/O errors.
+pub fn serve_addr(
+    addr: impl ToSocketAddrs,
+    server: Server,
+    cfg: TransportConfig,
+    shutdown: Arc<AtomicBool>,
+    on_bound: impl FnOnce(std::net::SocketAddr),
+) -> io::Result<DaemonReport> {
+    let listener = TcpListener::bind(addr)?;
+    on_bound(listener.local_addr()?);
+    serve_listener(listener, server, cfg, shutdown)
+}
+
+/// Serves exactly one blocking byte stream (the `--stdio` transport and
+/// the pipe-pair bench path): reads until EOF or a stream fault,
+/// executing and writing responses incrementally.
+///
+/// # Errors
+///
+/// Real I/O errors on `reader`/`writer`. Stream faults (malformed
+/// frames, truncation) are not I/O errors: owed responses are written,
+/// then the function returns normally — the typed fault is in the
+/// report's semantics, matching what a socket client observes (its
+/// connection just closes).
+pub fn serve_stream(
+    mut reader: impl Read,
+    mut writer: impl Write,
+    server: Server,
+    cfg: TransportConfig,
+) -> io::Result<DaemonReport> {
+    let mut engine = TransportEngine::new(server, cfg);
+    let id = engine.mux().accept();
+    let mut report = DaemonReport {
+        connections: 1,
+        ..DaemonReport::default()
+    };
+    let mut buf = vec![0u8; READ_CHUNK];
+    loop {
+        let n = match reader.read(&mut buf) {
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if n == 0 {
+            let _ = engine.mux().end_of_stream(id);
+            break;
+        }
+        if engine.mux().ingest(id, &buf[..n]).is_err() {
+            break;
+        }
+        while engine.step() {
+            report.cycles += 1;
+        }
+        let out = engine.mux().take_output(id);
+        if !out.is_empty() {
+            writer.write_all(&out)?;
+            writer.flush()?;
+        }
+    }
+    // Drain what is owed (pre-poison commands included), then park.
+    while engine.step() {
+        report.cycles += 1;
+    }
+    let out = engine.mux().take_output(id);
+    if !out.is_empty() {
+        writer.write_all(&out)?;
+        writer.flush()?;
+    }
+    engine.mux().disconnect(id);
+    while engine.step() {
+        report.cycles += 1;
+    }
+    report.parked_sessions = engine.park_all();
+    Ok(report)
+}
+
+/// Client helper: sends a complete script to a daemon and returns the
+/// full response byte stream (writes, half-closes, reads to EOF).
+///
+/// # Errors
+///
+/// Connection or socket I/O failures.
+pub fn client_round_trip(addr: impl ToSocketAddrs, script: &[u8]) -> io::Result<Vec<u8>> {
+    let mut stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    stream.write_all(script)?;
+    stream.shutdown(Shutdown::Write)?;
+    let mut out = Vec::new();
+    stream.read_to_end(&mut out)?;
+    Ok(out)
+}
+
+/// A shutdown flag wired for signal handlers: the daemon polls it, the
+/// binary's SIGTERM/SIGINT handler stores `true`.
+pub fn shutdown_flag() -> Arc<AtomicBool> {
+    Arc::new(AtomicBool::new(false))
+}

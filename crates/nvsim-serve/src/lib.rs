@@ -66,18 +66,23 @@
 
 #![warn(missing_docs)]
 
+pub mod daemon;
 pub mod executor;
 pub mod protocol;
 pub mod registry;
+pub mod scripts;
 pub mod server;
 pub mod session;
+pub mod transport;
 
+pub use daemon::{client_round_trip, serve_addr, serve_listener, serve_stream, DaemonReport};
 pub use protocol::{
     decode_commands, decode_responses, Command, ErrorCode, OpenOptions, ProtocolError,
     ProtocolErrorKind, Response, SessionId,
 };
 pub use server::{Server, ServerConfig};
 pub use session::BackendFactory;
+pub use transport::{ConnId, StreamError, TransportConfig, TransportEngine, TransportMux};
 
 #[cfg(test)]
 mod tests {
@@ -464,7 +469,7 @@ mod tests {
         let mut streamed = Vec::new();
         for chunk in full.chunks(3) {
             server.ingest(chunk).unwrap();
-            streamed.extend(server.flush());
+            streamed.extend(server.flush().unwrap());
         }
         server.end_of_stream().unwrap();
         assert_eq!(streamed, oneshot);

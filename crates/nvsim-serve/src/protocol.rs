@@ -447,6 +447,13 @@ impl FrameDecoder {
         self.base + self.pos
     }
 
+    /// Bytes received but not yet consumed as complete frames — the
+    /// memory a half-sent frame pins until more bytes arrive. The
+    /// transport's buffer budgets are accounted against this.
+    pub fn buffered_len(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
     /// Extracts the next complete frame payload, with the stream offset
     /// of its first payload byte. `Ok(None)` means more bytes are
     /// needed.

@@ -8,18 +8,28 @@
 //! round-trip, the LRU changes memory footprint and rehydrate latency —
 //! never responses.
 //!
+//! Sessions are keyed by a *scoped* id: `(scope, sid)`. Scope 0 is the
+//! in-process API ([`Server::ingest`](crate::Server::ingest) /
+//! [`run_script`](crate::Server::run_script)); the transport layer gives
+//! every connection its own scope, so two connections opening "session
+//! 1" get two independent simulations and each sees only its own sid in
+//! responses. The scope never appears on the wire.
+//!
 //! [`settle`]: SessionRegistry::settle
 
 use crate::protocol::SessionId;
 use crate::session::SessionSlot;
 use std::collections::BTreeMap;
 
+/// A session id qualified by its namespace (connection scope).
+pub type ScopedSid = (u64, SessionId);
+
 /// Sessions that persist across ingestion batches.
 #[derive(Debug, Default)]
 pub struct SessionRegistry {
-    slots: BTreeMap<SessionId, SessionSlot>,
+    slots: BTreeMap<ScopedSid, SessionSlot>,
     /// Last-touched tick per session, driving LRU eviction.
-    recency: BTreeMap<SessionId, u64>,
+    recency: BTreeMap<ScopedSid, u64>,
     tick: u64,
     warm_capacity: usize,
 }
@@ -36,42 +46,65 @@ impl SessionRegistry {
 
     /// Removes a session for the duration of a batch (it travels with
     /// the [`crate::session::SessionUnit`] to whichever worker runs it).
-    pub fn checkout(&mut self, sid: SessionId) -> Option<SessionSlot> {
-        self.slots.remove(&sid)
+    pub fn checkout(&mut self, key: ScopedSid) -> Option<SessionSlot> {
+        self.slots.remove(&key)
     }
 
     /// Returns a session after its unit ran (`None` if it was closed or
     /// never opened), bumping its recency.
-    pub fn check_in(&mut self, sid: SessionId, slot: Option<SessionSlot>) {
+    pub fn check_in(&mut self, key: ScopedSid, slot: Option<SessionSlot>) {
         self.tick += 1;
         match slot {
             Some(s) => {
-                self.slots.insert(sid, s);
-                self.recency.insert(sid, self.tick);
+                self.slots.insert(key, s);
+                self.recency.insert(key, self.tick);
             }
             None => {
-                self.recency.remove(&sid);
+                self.recency.remove(&key);
             }
         }
     }
 
     /// Parks the least-recently-used warm sessions beyond the warm
     /// capacity. Sessions whose backend cannot checkpoint stay warm.
-    /// Eviction order is deterministic (tick, then session id).
+    /// Eviction order is deterministic (tick, then scoped session id).
     pub fn settle(&mut self) {
-        let mut warm: Vec<(u64, SessionId)> = self
+        let mut warm: Vec<(u64, ScopedSid)> = self
             .slots
             .iter()
             .filter(|(_, s)| s.is_warm())
-            .map(|(&sid, _)| (self.recency.get(&sid).copied().unwrap_or(0), sid))
+            .map(|(&key, _)| (self.recency.get(&key).copied().unwrap_or(0), key))
             .collect();
         warm.sort();
         let excess = warm.len().saturating_sub(self.warm_capacity);
-        for &(_, sid) in warm.iter().take(excess) {
-            if let Some(slot) = self.slots.remove(&sid) {
-                self.slots.insert(sid, slot.park());
+        for &(_, key) in warm.iter().take(excess) {
+            if let Some(slot) = self.slots.remove(&key) {
+                self.slots.insert(key, slot.park());
             }
         }
+    }
+
+    /// Parks *every* warm session, regardless of capacity — the graceful
+    /// drain path: after this, no live simulator object remains (except
+    /// backends that cannot checkpoint, which stay warm). Returns how
+    /// many sessions ended up parked.
+    pub fn park_all(&mut self) -> usize {
+        let keys: Vec<ScopedSid> = self.slots.keys().copied().collect();
+        for key in keys {
+            if let Some(slot) = self.slots.remove(&key) {
+                self.slots.insert(key, slot.park());
+            }
+        }
+        self.parked_count()
+    }
+
+    /// The open session ids within one scope (a connection's sessions,
+    /// for cleanup when it disconnects).
+    pub fn sids_in_scope(&self, scope: u64) -> Vec<SessionId> {
+        self.slots
+            .range((scope, SessionId::MIN)..=(scope, SessionId::MAX))
+            .map(|(&(_, sid), _)| sid)
+            .collect()
     }
 
     /// Number of open sessions (warm + parked).

@@ -17,10 +17,30 @@
 //! count, because sessions are isolated, each session's unit executes
 //! its commands serially, and responses are merged by the global input
 //! order of commands — never by completion order.
+//!
+//! # Poisoned streams
+//!
+//! The first malformed frame *poisons* the ingest stream, permanently:
+//!
+//! * Commands that decoded **before** the bad frame stay queued and
+//!   execute **exactly once**, on the next [`flush`](Server::flush) —
+//!   the client is owed those responses.
+//! * Nothing at or past the bad frame ever decodes or executes, no
+//!   matter what bytes arrive later.
+//! * Every subsequent [`ingest`](Server::ingest), every
+//!   [`flush`](Server::flush) once the owed responses have been
+//!   delivered, [`end_of_stream`](Server::end_of_stream), and
+//!   [`run_script`](Server::run_script) return the **same**
+//!   [`ProtocolError`] (same offset, same kind) — deterministically,
+//!   regardless of how the byte stream was chunked around the error.
+//!
+//! Session state is *not* poisoned: sessions opened before the bad
+//! frame remain in the registry (the transport layer closes or parks
+//! them when it tears the connection down).
 
 use crate::executor;
 use crate::protocol::{Command, FrameDecoder, ProtocolError, Response, SessionId};
-use crate::registry::SessionRegistry;
+use crate::registry::{ScopedSid, SessionRegistry};
 use crate::session::{BackendFactory, SessionUnit};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -62,7 +82,11 @@ pub struct Server {
     cfg: ServerConfig,
     registry: SessionRegistry,
     decoder: FrameDecoder,
-    pending: Vec<Command>,
+    /// `(scope, command)` in global input order. Scope 0 is the ingest
+    /// stream; the transport enqueues under per-connection scopes.
+    pending: Vec<(u64, Command)>,
+    /// The first protocol error the ingest stream hit, sticky forever.
+    poison: Option<ProtocolError>,
 }
 
 impl fmt::Debug for Server {
@@ -71,6 +95,7 @@ impl fmt::Debug for Server {
             .field("cfg", &self.cfg)
             .field("sessions", &self.registry.len())
             .field("pending", &self.pending.len())
+            .field("poisoned", &self.poison.is_some())
             .finish()
     }
 }
@@ -85,6 +110,7 @@ impl Server {
             registry: SessionRegistry::new(cfg.warm_capacity),
             decoder: FrameDecoder::new(),
             pending: Vec::new(),
+            poison: None,
         }
     }
 
@@ -94,16 +120,50 @@ impl Server {
     /// # Errors
     ///
     /// Any malformed frame yields a typed [`ProtocolError`] with its
-    /// stream offset. Commands already decoded stay queued; the
-    /// offending frame is never partially applied.
+    /// stream offset and **poisons** the stream: commands decoded before
+    /// the bad frame stay queued (they execute exactly once on the next
+    /// flush), nothing at or past it ever executes, and every later
+    /// `ingest` returns this same error without reading `bytes` at all.
     pub fn ingest(&mut self, bytes: &[u8]) -> Result<usize, ProtocolError> {
+        if let Some(poison) = &self.poison {
+            return Err(poison.clone());
+        }
         self.decoder.push(bytes);
         let mut n = 0;
-        while let Some((base, payload)) = self.decoder.next_frame()? {
-            self.pending.push(Command::decode(base, &payload)?);
-            n += 1;
+        loop {
+            let step = (|| -> Result<Option<Command>, ProtocolError> {
+                match self.decoder.next_frame()? {
+                    Some((base, payload)) => Ok(Some(Command::decode(base, &payload)?)),
+                    None => Ok(None),
+                }
+            })();
+            match step {
+                Ok(Some(cmd)) => {
+                    self.pending.push((0, cmd));
+                    n += 1;
+                }
+                Ok(None) => return Ok(n),
+                Err(e) => {
+                    self.poison = Some(e.clone());
+                    return Err(e);
+                }
+            }
         }
-        Ok(n)
+    }
+
+    /// The sticky error a poisoned ingest stream will keep returning,
+    /// if any.
+    pub fn poison(&self) -> Option<&ProtocolError> {
+        self.poison.as_ref()
+    }
+
+    /// Queues one already-decoded command under a session namespace
+    /// (the transport path: each connection is its own scope, so two
+    /// connections opening "session 1" get two independent simulations).
+    /// Returns the command's global input index for response demux.
+    pub fn enqueue_scoped(&mut self, scope: u64, cmd: Command) -> usize {
+        self.pending.push((scope, cmd));
+        self.pending.len() - 1
     }
 
     /// Commands ingested but not yet executed.
@@ -115,35 +175,40 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// [`ProtocolError`] with kind `Truncated` if bytes of an
-    /// incomplete frame remain buffered (a mid-stream disconnect).
+    /// The stream's poison error if there was one; otherwise a
+    /// [`ProtocolError`] with kind `Truncated` if bytes of an incomplete
+    /// frame remain buffered (a mid-stream disconnect).
     pub fn end_of_stream(&self) -> Result<(), ProtocolError> {
+        if let Some(poison) = &self.poison {
+            return Err(poison.clone());
+        }
         self.decoder.finish()
     }
 
-    /// Executes every pending command and returns the encoded response
-    /// frames, in command input order.
+    /// Executes every pending command and returns each command's
+    /// responses, indexed by global input order — the transport's demux
+    /// hook, and the core of [`flush`](Server::flush).
     ///
-    /// Commands are grouped per session into [`SessionUnit`]s (order
-    /// preserved within a session), executed across the configured
-    /// workers, and their responses re-merged by global command index —
-    /// so the returned bytes are a pure function of the ingested
-    /// commands and prior session state.
-    pub fn flush(&mut self) -> Vec<u8> {
+    /// Commands are grouped per scoped session into [`SessionUnit`]s
+    /// (order preserved within a session), executed across the
+    /// configured workers, and their responses re-merged by global
+    /// command index — so the output is a pure function of the ingested
+    /// commands and prior session state, at any worker count.
+    pub fn flush_responses(&mut self) -> Vec<Vec<Response>> {
         let cmds = std::mem::take(&mut self.pending);
         let total = cmds.len();
 
         // Group commands into per-session units, checking each touched
         // session out of the registry.
         let mut units: Vec<SessionUnit> = Vec::new();
-        let mut by_sid: BTreeMap<SessionId, usize> = BTreeMap::new();
-        for (i, cmd) in cmds.into_iter().enumerate() {
-            let sid = cmd.sid();
-            let ui = match by_sid.get(&sid) {
+        let mut by_sid: BTreeMap<ScopedSid, usize> = BTreeMap::new();
+        for (i, (scope, cmd)) in cmds.into_iter().enumerate() {
+            let key: ScopedSid = (scope, cmd.sid());
+            let ui = match by_sid.get(&key) {
                 Some(&ui) => ui,
                 None => {
-                    units.push(SessionUnit::new(sid, self.registry.checkout(sid)));
-                    by_sid.insert(sid, units.len() - 1);
+                    units.push(SessionUnit::new(scope, key.1, self.registry.checkout(key)));
+                    by_sid.insert(key, units.len() - 1);
                     units.len() - 1
                 }
             };
@@ -157,20 +222,38 @@ impl Server {
         let mut per_cmd: Vec<Vec<Response>> = Vec::new();
         per_cmd.resize_with(total, Vec::new);
         for unit in units {
-            self.registry.check_in(unit.sid, unit.slot);
+            self.registry.check_in((unit.scope, unit.sid), unit.slot);
             for (i, rsps) in unit.responses {
                 per_cmd[i] = rsps;
             }
         }
         self.registry.settle();
+        per_cmd
+    }
 
+    /// Executes every pending command and returns the encoded response
+    /// frames, in command input order.
+    ///
+    /// # Errors
+    ///
+    /// On a poisoned stream (see [`ingest`](Server::ingest)): commands
+    /// queued before the bad frame still execute — exactly once — and
+    /// their bytes are returned; once nothing is owed, every further
+    /// call returns the stream's poison error.
+    pub fn flush(&mut self) -> Result<Vec<u8>, ProtocolError> {
+        if self.pending.is_empty() {
+            if let Some(poison) = &self.poison {
+                return Err(poison.clone());
+            }
+        }
+        let per_cmd = self.flush_responses();
         let mut out = Vec::new();
         for rsps in &per_cmd {
             for r in rsps {
                 r.encode_frame(&mut out);
             }
         }
-        out
+        Ok(out)
     }
 
     /// Decodes a complete script and executes it: the one-call form of
@@ -180,12 +263,29 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Propagates [`ProtocolError`] from decoding, including a trailing
-    /// partial frame.
+    /// The stream's poison error if the server's ingest stream was
+    /// already poisoned; otherwise a [`ProtocolError`] from decoding,
+    /// including a trailing partial frame.
     pub fn run_script(&mut self, script: &[u8]) -> Result<Vec<u8>, ProtocolError> {
+        if let Some(poison) = &self.poison {
+            return Err(poison.clone());
+        }
         let cmds = crate::protocol::decode_commands(script)?;
-        self.pending.extend(cmds);
-        Ok(self.flush())
+        self.pending.extend(cmds.into_iter().map(|c| (0, c)));
+        self.flush()
+    }
+
+    /// Parks every warm session as a snapshot blob (backends that cannot
+    /// checkpoint stay warm) — the graceful-drain path before the daemon
+    /// exits. Returns the number of parked sessions.
+    pub fn park_all(&mut self) -> usize {
+        self.registry.park_all()
+    }
+
+    /// The open session ids within one namespace — the transport uses
+    /// this to close a disconnected connection's sessions.
+    pub fn sids_in_scope(&self, scope: u64) -> Vec<SessionId> {
+        self.registry.sids_in_scope(scope)
     }
 
     /// The session registry (warm/parked occupancy, for inspection).

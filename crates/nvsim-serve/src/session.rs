@@ -146,6 +146,10 @@ impl SessionSlot {
 /// the executor may run them on any worker in any order; responses are
 /// keyed by the global command index and re-merged in input order.
 pub struct SessionUnit {
+    /// The namespace the session lives in (0 for the in-process API, the
+    /// connection scope under the transport). Never visible in
+    /// responses — [`apply_command`] only ever sees the client's sid.
+    pub scope: u64,
     /// The session this unit belongs to.
     pub sid: SessionId,
     /// The session's state (`None` until an `Open` in this unit creates
@@ -171,8 +175,9 @@ impl fmt::Debug for SessionUnit {
 
 impl SessionUnit {
     /// A unit over an existing (or absent) session.
-    pub fn new(sid: SessionId, slot: Option<SessionSlot>) -> Self {
+    pub fn new(scope: u64, sid: SessionId, slot: Option<SessionSlot>) -> Self {
         SessionUnit {
+            scope,
             sid,
             slot,
             commands: Vec::new(),

@@ -1,0 +1,182 @@
+//! Poisoned-stream regression suite: the first malformed frame poisons
+//! `Server::ingest` permanently, commands decoded before it execute
+//! exactly once, and the observable behavior is byte-for-byte identical
+//! no matter how the stream is chunked around the error.
+
+use nvsim_serve::protocol::{write_frame, Command, OpenOptions};
+use nvsim_serve::{decode_responses, ProtocolError, Server, ServerConfig};
+use nvsim_types::backend::FixedLatencyBackend;
+use nvsim_types::{Addr, BackendConfig, BackendKind, ConfigError, MemoryBackend, RequestDesc};
+
+fn factory(kind: BackendKind, cfg: &BackendConfig) -> Result<Box<dyn MemoryBackend>, ConfigError> {
+    match kind {
+        BackendKind::FixedLatency => Ok(Box::new(FixedLatencyBackend::new(
+            cfg.fixed_read_latency,
+            cfg.fixed_write_latency,
+        ))),
+        _ => Err(ConfigError::new(
+            "backend.kind",
+            "poison tests build `fixed` only",
+        )),
+    }
+}
+
+fn server() -> Server {
+    Server::new(factory, ServerConfig::default())
+}
+
+fn open(sid: u64) -> Command {
+    Command::Open {
+        sid,
+        kind: BackendKind::FixedLatency,
+        dimms: 1,
+        opts: OpenOptions::default(),
+    }
+}
+
+fn encode(cmds: &[Command]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for c in cmds {
+        c.encode_frame(&mut buf);
+    }
+    buf
+}
+
+/// Valid prefix + a bad frame (unknown command tag) + a valid suffix
+/// that must never execute.
+fn corrupt_stream() -> (Vec<Command>, Vec<u8>) {
+    let good: Vec<Command> = vec![
+        open(1),
+        Command::Batch {
+            sid: 1,
+            reqs: vec![
+                RequestDesc::load(Addr::new(0x40)),
+                RequestDesc::store(Addr::new(0x80)),
+            ],
+        },
+        Command::Save { sid: 1 },
+    ];
+    let mut bytes = encode(&good);
+    write_frame(&mut bytes, &[0x7F, 9, 9, 9]); // unknown tag: poison point
+    bytes.extend(encode(&[Command::Batch {
+        sid: 1,
+        reqs: vec![RequestDesc::load(Addr::new(0xC0))],
+    }]));
+    (good, bytes)
+}
+
+/// Feeds `bytes` split at `cut`, recording the first ingest error.
+fn ingest_split(server: &mut Server, bytes: &[u8], cut: usize) -> ProtocolError {
+    let mut err = None;
+    for chunk in [&bytes[..cut], &bytes[cut..]] {
+        match server.ingest(chunk) {
+            Ok(_) => {}
+            Err(e) => {
+                err.get_or_insert(e);
+            }
+        }
+    }
+    err.expect("the corrupt stream must poison at every split")
+}
+
+#[test]
+fn every_split_point_behaves_identically() {
+    let (good, bytes) = corrupt_stream();
+    // Oracle: the pre-poison commands on a fresh server.
+    let owed = server().run_script(&encode(&good)).expect("valid prefix");
+    assert_eq!(
+        decode_responses(&owed).expect("well-formed").len(),
+        good.len()
+    );
+
+    let mut reference: Option<ProtocolError> = None;
+    for cut in 0..=bytes.len() {
+        let mut s = server();
+        let err = ingest_split(&mut s, &bytes, cut);
+        // The typed error is identical at every split: same offset into
+        // the logical stream, same kind.
+        match &reference {
+            None => reference = Some(err.clone()),
+            Some(want) => assert_eq!(&err, want, "cut at {cut} changed the error"),
+        }
+        assert_eq!(s.poison(), Some(&err), "poison must be sticky");
+
+        // Pre-poison commands execute exactly once, with the same bytes
+        // as an unpoisoned run of the valid prefix.
+        assert_eq!(s.pending_commands(), good.len(), "cut at {cut}");
+        let flushed = s.flush().expect("owed responses must still flush");
+        assert_eq!(flushed, owed, "cut at {cut} changed the owed responses");
+
+        // Nothing is owed any more: every further operation returns the
+        // same stored error, and nothing ever executes again.
+        assert_eq!(s.flush().expect_err("poisoned"), err);
+        assert_eq!(s.end_of_stream().expect_err("poisoned"), err);
+        assert_eq!(
+            s.run_script(&encode(&[Command::Close { sid: 1 }]))
+                .expect_err("poisoned"),
+            err
+        );
+        assert_eq!(s.ingest(&encode(&[open(2)])).expect_err("poisoned"), err);
+        assert_eq!(s.pending_commands(), 0, "post-poison bytes must not queue");
+        assert_eq!(s.registry().len(), 1, "only the pre-poison session exists");
+    }
+}
+
+#[test]
+fn flush_between_chunks_still_delivers_exactly_once() {
+    let (good, bytes) = corrupt_stream();
+    let owed = server().run_script(&encode(&good)).expect("valid prefix");
+
+    for cut in 0..=bytes.len() {
+        let mut s = server();
+        let mut streamed = Vec::new();
+        for chunk in [&bytes[..cut], &bytes[cut..]] {
+            let _ = s.ingest(chunk);
+            // A flush between chunks may deliver a prefix of the owed
+            // responses early — but the concatenation over the whole
+            // stream must equal the oracle exactly (no duplicates, no
+            // gaps), regardless of where the split fell.
+            if let Ok(b) = s.flush() {
+                streamed.extend(b);
+            }
+        }
+        if let Ok(b) = s.flush() {
+            streamed.extend(b);
+        }
+        assert_eq!(streamed, owed, "cut at {cut}");
+    }
+}
+
+#[test]
+fn poison_offset_points_at_the_bad_frame() {
+    let (good, bytes) = corrupt_stream();
+    let mut s = server();
+    let err = s.ingest(&bytes).expect_err("corrupt stream");
+    // The error's offset lands inside the bad frame, after every valid
+    // frame's bytes.
+    assert!(
+        err.offset >= encode(&good).len(),
+        "offset {} points before the bad frame",
+        err.offset
+    );
+    assert!(err.offset < bytes.len());
+}
+
+#[test]
+fn clean_streams_see_no_poison_machinery() {
+    let (good, _) = corrupt_stream();
+    let bytes = encode(&good);
+    for cut in 0..=bytes.len() {
+        let mut s = server();
+        s.ingest(&bytes[..cut]).expect("clean prefix");
+        s.ingest(&bytes[cut..]).expect("clean suffix");
+        assert!(s.poison().is_none());
+        let reply = s.flush().expect("clean flush");
+        assert_eq!(
+            decode_responses(&reply).expect("well-formed").len(),
+            good.len()
+        );
+        s.end_of_stream().expect("clean end");
+        assert!(s.flush().expect("idle flush is empty").is_empty());
+    }
+}

@@ -239,7 +239,7 @@ fn valid_prefix_survives_later_garbage() {
     assert!(server.ingest(&junk).is_err());
 
     assert_eq!(server.pending_commands(), 1, "the Open must survive");
-    let reply = server.flush();
+    let reply = server.flush().expect("owed responses still flush");
     let rsps = decode_responses(&reply).expect("well-formed reply");
     assert_eq!(rsps.len(), 1);
 }

@@ -367,9 +367,10 @@ impl MemorySystem {
                         // throttles clwb streams below NT streams
                         // (Fig 1a's ordering).
                         t += Time::from_ns(crate::params::CLWB_WRITEBACK_NS);
-                        self.dimms[di]
-                            .imc
-                            .charge_drain(start, Time::from_ns(crate::params::CLWB_DRAIN_CHARGE_NS));
+                        self.dimms[di].imc.charge_drain(
+                            start,
+                            Time::from_ns(crate::params::CLWB_DRAIN_CHARGE_NS),
+                        );
                     }
                     done = done.max(t);
                 }

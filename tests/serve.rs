@@ -134,9 +134,9 @@ fn worker_count_and_lru_never_change_bytes() {
     // so an arbitrary byte split is fine — the decoder reassembles.
     let mut streamed = Vec::new();
     squeezed.ingest(&frames[..mid]).expect("first half");
-    streamed.extend(squeezed.flush());
+    streamed.extend(squeezed.flush().expect("first flush"));
     squeezed.ingest(&frames[mid..]).expect("second half");
-    streamed.extend(squeezed.flush());
+    streamed.extend(squeezed.flush().expect("second flush"));
     squeezed.end_of_stream().expect("clean end");
     assert_eq!(
         streamed, reference,
