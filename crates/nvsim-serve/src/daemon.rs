@@ -49,6 +49,14 @@ const IDLE_SLEEP: Duration = Duration::from_millis(1);
 /// readers before force-closing them.
 const DRAIN_PASSES: usize = 2_000;
 
+/// Poll passes a faulted connection stays half-closed (write side shut,
+/// read side drained and discarded) after its owed bytes are flushed,
+/// before the socket is dropped. Closing immediately would reset the
+/// connection while the client is still mid-send — on Linux, unread
+/// bytes in the receive buffer turn the close into an RST, which can
+/// discard the final response bytes still in the client's receive path.
+const LINGER_PASSES: usize = 200;
+
 /// What a daemon loop did before returning.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DaemonReport {
@@ -133,6 +141,7 @@ pub fn serve_listener(
     let mut cycle_in_flight = false;
     let mut buf = vec![0u8; READ_CHUNK];
     let mut draining = false;
+    let mut lingering: Vec<(TcpStream, usize)> = Vec::new();
 
     loop {
         let mut progress = false;
@@ -221,17 +230,50 @@ pub fn serve_listener(
             }
         }
 
+        let mut done_faulted: Vec<ConnId> = Vec::new();
         for (&id, stream) in &socks {
             if !dead.contains(&id) && mux.conn_done(id) {
-                let _ = stream.shutdown(Shutdown::Both);
-                dead.push(id);
+                if mux.fault(id).is_some() {
+                    // We stopped reading at the fault, so the client may
+                    // still be mid-send. Half-close and linger instead of
+                    // closing outright (see LINGER_PASSES).
+                    done_faulted.push(id);
+                } else {
+                    let _ = stream.shutdown(Shutdown::Both);
+                    dead.push(id);
+                }
             }
+        }
+        for id in done_faulted {
+            if let Some(stream) = socks.remove(&id) {
+                let _ = stream.shutdown(Shutdown::Write);
+                lingering.push((stream, LINGER_PASSES));
+            }
+            mux.disconnect(id);
+            progress = true;
         }
         for id in dead.drain(..) {
             socks.remove(&id);
             mux.disconnect(id);
             progress = true;
         }
+
+        // Drain and discard bytes from lingering half-closed sockets;
+        // drop each once the client closes its side, errors, or the
+        // pass budget runs out. Discarded bytes are not progress.
+        lingering.retain_mut(|(stream, passes)| {
+            loop {
+                match stream.read(&mut buf) {
+                    Ok(0) => return false,
+                    Ok(_) => {}
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => return false,
+                }
+            }
+            *passes -= 1;
+            *passes > 0
+        });
 
         if draining && socks.is_empty() && !cycle_in_flight && !mux.has_work() {
             break;
@@ -271,8 +313,12 @@ pub fn serve_listener(
             continue; // run the cleanup cycles the disconnects queued
         }
 
+        // The poll clock must advance every pass: gating the tick on an
+        // idle pass would let any busy connection — including a
+        // slow-trickle attacker itself — keep the clock frozen and the
+        // IdlePartialFrame defense inert. Only the sleep is gated.
+        mux.tick();
         if !progress {
-            mux.tick();
             thread::sleep(IDLE_SLEEP);
         }
     }

@@ -431,13 +431,27 @@ impl FrameDecoder {
         FrameDecoder::default()
     }
 
+    /// Consumed-prefix size beyond which `push` compacts the buffer
+    /// even when an unread frame tail remains. Without this, a stream
+    /// whose reads always straddle a frame boundary never hits the
+    /// fully-drained fast path and the consumed prefix grows with
+    /// total bytes received — invisible to `buffered_len`.
+    const COMPACT_THRESHOLD: usize = 4096;
+
     /// Appends received bytes.
     pub fn push(&mut self, bytes: &[u8]) {
-        // Compact lazily so long streams do not accumulate.
-        if self.pos > 0 && self.pos == self.buf.len() {
-            self.base += self.pos;
-            self.buf.clear();
-            self.pos = 0;
+        if self.pos > 0 {
+            if self.pos == self.buf.len() {
+                self.base += self.pos;
+                self.buf.clear();
+                self.pos = 0;
+            } else if self.pos >= Self::COMPACT_THRESHOLD {
+                let len = self.buf.len();
+                self.buf.copy_within(self.pos.., 0);
+                self.buf.truncate(len - self.pos);
+                self.base += self.pos;
+                self.pos = 0;
+            }
         }
         self.buf.extend_from_slice(bytes);
     }
@@ -1145,6 +1159,40 @@ mod tests {
             frames,
             vec![Command::Save { sid: 11 }, Command::Close { sid: 11 }]
         );
+    }
+
+    #[test]
+    fn decoder_compacts_consumed_prefix_on_long_streams() {
+        // Reads that always leave a partial frame tail never hit the
+        // fully-drained reset, so without threshold compaction the
+        // consumed prefix would grow with total bytes received while
+        // buffered_len() stayed small — a leak invisible to the
+        // transport's buffer budget.
+        let mut frame = Vec::new();
+        Command::Save { sid: 3 }.encode_frame(&mut frame);
+        let chunk = frame.len() + 1; // every push straddles a boundary
+        let mut stream = Vec::new();
+        for _ in 0..4096 {
+            stream.extend_from_slice(&frame);
+        }
+        let mut dec = FrameDecoder::new();
+        let mut decoded = 0usize;
+        for piece in stream.chunks(chunk) {
+            dec.push(piece);
+            while dec.next_frame().expect("valid stream").is_some() {
+                decoded += 1;
+            }
+            assert!(
+                dec.buf.len() <= FrameDecoder::COMPACT_THRESHOLD + 2 * chunk,
+                "internal buffer grew to {} bytes",
+                dec.buf.len()
+            );
+        }
+        assert_eq!(decoded, 4096);
+        // Compaction must not disturb absolute offset bookkeeping.
+        assert_eq!(dec.offset(), stream.len());
+        assert_eq!(dec.buffered_len(), 0);
+        dec.finish().expect("clean end");
     }
 
     #[test]

@@ -405,6 +405,68 @@ fn socket_daemon_answers_oracle_bytes_and_drains() {
     }
 }
 
+/// The slow-trickle defense must fire on a busy daemon: the poll clock
+/// advances every pass, not only on fully-idle passes, so a stalled
+/// partial frame faults and its connection is closed even while other
+/// connections keep the loop making progress.
+#[test]
+fn trickler_is_cut_off_while_the_daemon_is_busy() {
+    use std::io::{Read as _, Write as _};
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&shutdown);
+    let cfg = TransportConfig {
+        idle_poll_limit: 200,
+        ..TransportConfig::default()
+    };
+    let server = build_server(ServerConfig::with_workers(2));
+    let daemon_thread =
+        std::thread::spawn(move || daemon::serve_listener(listener, server, cfg, flag));
+
+    // Background traffic keeps poll passes progressing.
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let busy = std::thread::spawn(move || {
+        let mut i = 0u64;
+        while !stop2.load(Ordering::SeqCst) {
+            let script = connection_script(i, 1, 4);
+            let _ = daemon::client_round_trip(addr, &script);
+            i += 1;
+        }
+    });
+
+    // The trickler: declare a 300-byte frame, send ten bytes, stall.
+    let mut frame = Vec::new();
+    write_frame(&mut frame, &[0xAA; 300]);
+    let mut sock = std::net::TcpStream::connect(addr).expect("connect");
+    sock.write_all(&frame[..10]).expect("partial frame");
+    sock.set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .expect("timeout");
+    let mut sink = Vec::new();
+    match sock.read_to_end(&mut sink) {
+        Ok(n) => assert_eq!(n, 0, "trickler was owed no response bytes"),
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            panic!("trickler connection was not cut off within the deadline")
+        }
+        Err(_) => {} // a reset also means the daemon cut it off
+    }
+
+    stop.store(true, Ordering::SeqCst);
+    busy.join().expect("busy thread");
+    shutdown.store(true, Ordering::SeqCst);
+    daemon_thread
+        .join()
+        .expect("daemon thread")
+        .expect("clean drain");
+}
+
 /// The stdio path: `serve_stream` over in-memory pipes answers the same
 /// bytes as `run_script`, including for a truncated (mid-frame EOF)
 /// stream.
